@@ -1,0 +1,105 @@
+// E6b — Replicated governance under realistic networking (paper §III-A).
+//
+// The governance layer must stay consistent when validators communicate
+// over a lossy wide-area network. This harness runs the full-mesh PoA
+// validator network over the DES and reports chain progress, replica
+// divergence and sync-protocol activity across packet-loss rates, plus
+// block propagation under growing validator sets.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "p2p/validator_network.h"
+
+namespace {
+
+using namespace pds2;
+
+struct RunOutcome {
+  uint64_t min_height = 0;
+  uint64_t max_height = 0;
+  uint64_t syncs = 0;
+  uint64_t messages = 0;
+  bool balances_agree = true;
+};
+
+RunOutcome Run(size_t validators, double drop_rate, uint64_t seed) {
+  crypto::SigningKey alice = crypto::SigningKey::FromSeed(common::ToBytes("a"));
+  const chain::Address bob = chain::AddressFromPublicKey(
+      crypto::SigningKey::FromSeed(common::ToBytes("b")).PublicKey());
+  std::vector<p2p::GenesisAlloc> genesis = {
+      {chain::AddressFromPublicKey(alice.PublicKey()), 1'000'000'000}};
+
+  dml::NetConfig net;
+  net.base_latency = 30 * common::kMicrosPerMilli;
+  net.latency_jitter = 20 * common::kMicrosPerMilli;
+  net.drop_rate = drop_rate;
+
+  std::vector<p2p::ValidatorNode*> nodes;
+  auto sim = p2p::MakeValidatorNetwork(validators, genesis,
+                                       common::kMicrosPerSecond, net, seed,
+                                       &nodes);
+  sim->Start();
+
+  // A trickle of transfers submitted at rotating validators.
+  for (uint64_t i = 0; i < 10; ++i) {
+    chain::Transaction tx = chain::Transaction::Make(
+        alice, i, bob, 10, 100000, chain::CallPayload{});
+    dml::NodeContext ctx(*sim, i % validators);
+    (void)nodes[i % validators]->SubmitTransaction(tx, ctx);
+    sim->RunUntil((i + 1) * 2 * common::kMicrosPerSecond);
+  }
+  sim->RunUntil(40 * common::kMicrosPerSecond);
+
+  RunOutcome outcome;
+  outcome.min_height = UINT64_MAX;
+  uint64_t reference_balance = nodes[0]->chain().GetBalance(bob);
+  for (p2p::ValidatorNode* node : nodes) {
+    outcome.min_height = std::min(outcome.min_height, node->chain().Height());
+    outcome.max_height = std::max(outcome.max_height, node->chain().Height());
+    outcome.syncs += node->sync_requests_sent();
+    if (node->chain().GetBalance(bob) != reference_balance) {
+      outcome.balances_agree = false;
+    }
+  }
+  outcome.messages = sim->stats().messages_sent;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E6b: replicated governance over a lossy network",
+                "replicas converge; the sync protocol absorbs packet loss");
+
+  std::printf("-- (a) packet-loss sweep (4 validators, 40 s) --\n");
+  std::printf("%10s %12s %12s %10s %12s %14s\n", "loss", "min height",
+              "max height", "syncs", "messages", "state agree");
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    RunOutcome o = Run(4, loss, 11);
+    std::printf("%10.2f %12llu %12llu %10llu %12llu %14s\n", loss,
+                static_cast<unsigned long long>(o.min_height),
+                static_cast<unsigned long long>(o.max_height),
+                static_cast<unsigned long long>(o.syncs),
+                static_cast<unsigned long long>(o.messages),
+                o.balances_agree ? "yes" : "NO");
+  }
+
+  std::printf("\n-- (b) validator-set sweep (5%% loss) --\n");
+  std::printf("%12s %12s %12s %14s\n", "validators", "min height",
+              "messages", "msgs/block");
+  for (size_t n : {3u, 5u, 9u, 13u}) {
+    RunOutcome o = Run(n, 0.05, 13);
+    std::printf("%12zu %12llu %12llu %14.0f\n", n,
+                static_cast<unsigned long long>(o.min_height),
+                static_cast<unsigned long long>(o.messages),
+                o.min_height > 0
+                    ? static_cast<double>(o.messages) /
+                          static_cast<double>(o.min_height)
+                    : 0.0);
+  }
+  std::printf("\n(full-mesh broadcast: traffic grows quadratically in the "
+              "validator count — PoA committees stay small)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E10 — End-to-end platform feasibility (paper §II-D, §VI).
+//
+// The future-work section asks for "an implementation that can be used to
+// test the feasibility of the platform". This harness runs the complete
+// marketplace at increasing scale and reports throughput, per-phase chain
+// activity, model quality and the settlement audit (escrow conservation).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "market/marketplace.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace pds2;
+
+storage::SemanticMetadata Meta() {
+  storage::SemanticMetadata meta;
+  meta.types = {"iot/sensor/temperature"};
+  return meta;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E10: end-to-end marketplace feasibility",
+                "full Fig. 2 lifecycle at scale; escrow fully discharged");
+
+  std::printf("%10s %10s | %10s %12s %10s %12s %14s\n", "providers",
+              "executors", "wall ms", "gas", "blocks", "model acc",
+              "escrow check");
+
+  for (size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const size_t n_exec = std::max<size_t>(1, n / 8);
+    market::MarketConfig config;
+    config.seed = 1000 + n;
+    market::Marketplace m(config);
+
+    common::Rng rng(n);
+    ml::Dataset world = ml::MakeTwoGaussians(60 * n + 500, 6, 3.5, rng);
+    auto [train, test] = ml::TrainTestSplit(
+        world, 500.0 / static_cast<double>(world.Size()), rng);
+    auto parts = ml::PartitionIid(train, n, rng);
+    for (size_t i = 0; i < n; ++i) {
+      auto& p = m.AddProvider("p" + std::to_string(i));
+      (void)p.store().AddDataset("d", parts[i], Meta());
+    }
+    for (size_t i = 0; i < n_exec; ++i) m.AddExecutor("e" + std::to_string(i));
+    auto& consumer = m.AddConsumer("c");
+
+    market::WorkloadSpec spec;
+    spec.name = "feasibility";
+    spec.requirement.required_types = {"iot/sensor"};
+    spec.model_kind = "logistic";
+    spec.features = 6;
+    spec.epochs = 5;
+    spec.reward_pool = 1'000'000;
+    spec.min_providers = n;
+    spec.max_providers = n;
+    spec.executor_reward_permille = 150;
+
+    bench::Timer timer;
+    auto report = m.RunWorkload(consumer, spec);
+    const double wall_ms = timer.ElapsedMs();
+    if (!report.ok()) {
+      std::printf("%10zu %10zu | FAILED: %s\n", n, n_exec,
+                  report.status().ToString().c_str());
+      continue;
+    }
+
+    ml::LogisticRegressionModel model(6);
+    model.SetParams(report->model_params);
+    const double accuracy = ml::Accuracy(model, test);
+
+    // Settlement audit: the contract must hold zero tokens, and the paid
+    // rewards must equal the pool minus (tiny) rounding dust.
+    uint64_t paid = 0;
+    for (const auto& [_, tokens] : report->provider_rewards) paid += tokens;
+    for (const auto& [_, tokens] : report->executor_rewards) paid += tokens;
+    const uint64_t stuck = m.chain().GetBalance(
+        chain::ContractAddress("workload", report->instance));
+    const bool conserved = stuck == 0 && paid <= spec.reward_pool &&
+                           spec.reward_pool - paid < 1000;
+
+    std::printf("%10zu %10zu | %10.1f %12llu %10llu %12.3f %14s\n", n, n_exec,
+                wall_ms, static_cast<unsigned long long>(report->gas_used),
+                static_cast<unsigned long long>(report->blocks_produced),
+                accuracy, conserved ? "conserved" : "VIOLATED");
+  }
+  std::printf("\n(gas grows linearly in providers — certificate validation "
+              "dominates; accuracy is flat: the same data, more finely "
+              "sharded)\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E6 — Governance-layer costs (paper §III-A).
+//
+// The blockchain carries registration, validation, escrow and settlement.
+// This harness reports (a) gas per marketplace operation — in an
+// Ethereum-like gas unit, so the relative cost structure is comparable to a
+// main-net deployment — and (b) total lifecycle gas and chain growth as the
+// provider cohort scales.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crypto/sha256.h"
+#include "market/marketplace.h"
+
+namespace {
+
+using namespace pds2;
+
+storage::SemanticMetadata Meta() {
+  storage::SemanticMetadata meta;
+  meta.types = {"iot/sensor/temperature"};
+  return meta;
+}
+
+market::WorkloadSpec Spec(uint64_t min_providers) {
+  market::WorkloadSpec spec;
+  spec.name = "bench";
+  spec.requirement.required_types = {"iot/sensor"};
+  spec.model_kind = "logistic";
+  spec.features = 4;
+  spec.epochs = 2;
+  spec.reward_pool = 1'000'000;
+  spec.min_providers = min_providers;
+  spec.max_providers = 256;
+  spec.executor_reward_permille = 100;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E6: on-chain governance costs",
+                "per-operation gas and lifecycle cost vs cohort size (III-A)");
+
+  // --- (a) gas per operation ------------------------------------------------
+  {
+    market::Marketplace m;
+    common::Rng rng(1);
+    ml::Dataset data = ml::MakeTwoGaussians(400, 4, 3.0, rng);
+    auto parts = ml::PartitionIid(data, 4, rng);
+    for (int i = 0; i < 4; ++i) {
+      auto& p = m.AddProvider("p" + std::to_string(i));
+      (void)p.store().AddDataset("d", parts[i], Meta());
+    }
+    m.AddExecutor("e0");
+    auto& consumer = m.AddConsumer("c");
+
+    struct OpCost {
+      const char* op;
+      uint64_t gas;
+    };
+    std::vector<OpCost> costs;
+
+    // Native transfer.
+    uint64_t before = m.chain().TotalGasUsed();
+    (void)m.Execute(consumer.key(), m.providers()[0]->address(), 1, 100000,
+                    chain::CallPayload{});
+    costs.push_back({"native transfer", m.chain().TotalGasUsed() - before});
+
+    // ERC-20 deploy + transfer.
+    common::Writer erc20_args;
+    erc20_args.PutString("TOK");
+    erc20_args.PutU64(1000000);
+    before = m.chain().TotalGasUsed();
+    auto deploy = m.Execute(consumer.key(), {}, 0, 10'000'000,
+                            chain::CallPayload{"erc20", 0, "deploy",
+                                               erc20_args.Take()});
+    costs.push_back({"erc20 deploy", m.chain().TotalGasUsed() - before});
+    const uint64_t erc20 = *chain::InstanceIdFromReceipt(*deploy);
+    common::Writer t;
+    t.PutBytes(m.providers()[0]->address());
+    t.PutU64(10);
+    before = m.chain().TotalGasUsed();
+    (void)m.Execute(consumer.key(), {}, 0, 10'000'000,
+                    chain::CallPayload{"erc20", erc20, "transfer", t.Take()});
+    costs.push_back({"erc20 transfer", m.chain().TotalGasUsed() - before});
+
+    // ERC-721 dataset NFT mint.
+    common::Writer nft_args;
+    nft_args.PutString("datasets");
+    auto nft_deploy = m.Execute(consumer.key(), {}, 0, 10'000'000,
+                                chain::CallPayload{"erc721", 0, "deploy",
+                                                   nft_args.Take()});
+    const uint64_t nft = *chain::InstanceIdFromReceipt(*nft_deploy);
+    common::Writer mint;
+    mint.PutBytes(crypto::Sha256::Hash("dataset"));
+    mint.PutBytes(common::ToBytes("iot temperature, EU, 10Hz"));
+    before = m.chain().TotalGasUsed();
+    (void)m.Execute(consumer.key(), {}, 0, 10'000'000,
+                    chain::CallPayload{"erc721", nft, "mint", mint.Take()});
+    costs.push_back({"erc721 mint (data NFT)",
+                     m.chain().TotalGasUsed() - before});
+
+    // Full workload ops, measured through a real run's phases.
+    before = m.chain().TotalGasUsed();
+    auto report = m.RunWorkload(consumer, Spec(4));
+    if (report.ok()) {
+      costs.push_back({"full workload lifecycle (4 providers)",
+                       report->gas_used});
+    }
+
+    std::printf("%-42s %14s\n", "operation", "gas");
+    for (const auto& cost : costs) {
+      std::printf("%-42s %14llu\n", cost.op,
+                  static_cast<unsigned long long>(cost.gas));
+    }
+  }
+
+  // --- (b) lifecycle cost vs provider count ---------------------------------
+  std::printf("\n%10s %16s %12s %14s %14s\n", "providers", "lifecycle gas",
+              "blocks", "gas/provider", "wall ms");
+  for (size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    market::MarketConfig config;
+    config.seed = n;
+    market::Marketplace m(config);
+    common::Rng rng(n);
+    ml::Dataset data = ml::MakeTwoGaussians(50 * n, 4, 3.0, rng);
+    auto parts = ml::PartitionIid(data, n, rng);
+    for (size_t i = 0; i < n; ++i) {
+      auto& p = m.AddProvider("p" + std::to_string(i));
+      (void)p.store().AddDataset("d", parts[i], Meta());
+    }
+    for (size_t i = 0; i < std::max<size_t>(1, n / 8); ++i) {
+      m.AddExecutor("e" + std::to_string(i));
+    }
+    auto& consumer = m.AddConsumer("c");
+
+    bench::Timer timer;
+    auto report = m.RunWorkload(consumer, Spec(n));
+    if (!report.ok()) {
+      std::printf("%10zu  FAILED: %s\n", n, report.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%10zu %16llu %12llu %14.0f %14.1f\n", n,
+                static_cast<unsigned long long>(report->gas_used),
+                static_cast<unsigned long long>(report->blocks_produced),
+                static_cast<double>(report->gas_used) / n, timer.ElapsedMs());
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the cryptographic and ledger
+// primitives every experiment builds on. These are the per-operation
+// latencies that calibrate the cost models quoted in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "chain/chain.h"
+#include "common/rng.h"
+#include "crypto/merkle.h"
+#include "crypto/paillier.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "tee/oblivious.h"
+
+namespace {
+
+using namespace pds2;
+
+void BM_Sha256(benchmark::State& state) {
+  common::Rng rng(1);
+  common::Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  common::Rng rng(2);
+  crypto::SigningKey key = crypto::SigningKey::Generate(rng);
+  common::Bytes msg = rng.NextBytes(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Sign(msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  common::Rng rng(3);
+  crypto::SigningKey key = crypto::SigningKey::Generate(rng);
+  common::Bytes msg = rng.NextBytes(128);
+  common::Bytes sig = key.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::VerifySignature(key.PublicKey(), msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  common::Rng rng(4);
+  static crypto::PaillierKeyPair* kp = new crypto::PaillierKeyPair(
+      crypto::PaillierKeyPair::Generate(
+          static_cast<size_t>(state.range(0)), rng));
+  crypto::BigUint m(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp->public_key().Encrypt(m, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(512);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  common::Rng rng(5);
+  std::vector<common::Bytes> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(rng.NextBytes(64));
+  }
+  for (auto _ : state) {
+    crypto::MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.Root());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(64)->Arg(1024);
+
+void BM_ObliviousSort(benchmark::State& state) {
+  common::Rng rng(6);
+  std::vector<uint64_t> base(static_cast<size_t>(state.range(0)));
+  for (auto& v : base) v = rng.NextU64();
+  for (auto _ : state) {
+    auto copy = base;
+    tee::ObliviousSort(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ObliviousSort)->Arg(1024)->Arg(8192);
+
+void BM_NativeTransferBlock(benchmark::State& state) {
+  // Cost of producing a block with `range` plain transfers.
+  using namespace chain;
+  crypto::SigningKey validator =
+      crypto::SigningKey::FromSeed(common::ToBytes("v"));
+  crypto::SigningKey sender = crypto::SigningKey::FromSeed(common::ToBytes("s"));
+  const Address to(kAddressSize, 7);
+  common::SimTime now = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Blockchain bc({validator.PublicKey()}, ContractRegistry::CreateDefault());
+    (void)bc.CreditGenesis(AddressFromPublicKey(sender.PublicKey()),
+                           1'000'000'000'000ULL);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      (void)bc.SubmitTransaction(Transaction::Make(
+          sender, static_cast<uint64_t>(i), to, 1, 100000, CallPayload{}));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bc.ProduceBlock(validator, ++now));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NativeTransferBlock)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

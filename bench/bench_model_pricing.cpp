@@ -1,0 +1,47 @@
+// E5 — Model-based pricing (paper §IV-A, Chen et al. [32]).
+//
+// "Given an ML model, an optimal instance is trained. Then based on the
+// budget available to the potential buyer, Gaussian noise is injected into
+// the model to reduce its accuracy. The larger the buyer's budget, the
+// smaller the injected noise variance and the greater the accuracy."
+// Expected shape: accuracy strictly non-decreasing in budget, saturating at
+// the optimal model's accuracy.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/sgd.h"
+#include "rewards/pricing.h"
+
+int main() {
+  using namespace pds2;
+  bench::Banner("E5: model-based pricing (noise vs budget)",
+                "accuracy increases monotonically with buyer budget (IV-A)");
+
+  common::Rng rng(9);
+  ml::Dataset all = ml::MakeTwoGaussians(3000, 8, 3.5, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.3, rng);
+  ml::LogisticRegressionModel model(8);
+  ml::SgdConfig config;
+  config.epochs = 15;
+  ml::Train(model, train, config, rng);
+  const double optimal_accuracy = ml::Accuracy(model, test);
+  std::printf("optimal model accuracy: %.3f (full price = 1000)\n\n",
+              optimal_accuracy);
+
+  rewards::ModelPricer pricer(model, 1000.0, 2.0);
+  const std::vector<double> budgets = {10,  25,  50,  100, 200,
+                                       400, 600, 800, 1000};
+  auto curve = rewards::PriceAccuracyCurve(pricer, test, budgets, 40, rng);
+
+  std::printf("%10s %16s %12s %14s\n", "budget", "noise stddev", "accuracy",
+              "% of optimal");
+  for (const auto& point : curve) {
+    std::printf("%10.0f %16.3f %12.3f %13.1f%%\n", point.budget,
+                point.noise_stddev, point.accuracy,
+                100.0 * point.accuracy / optimal_accuracy);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E4 — Reward schemes (paper §IV-A).
+//
+// Three measurements:
+//  (a) cost of exact Shapley vs provider count — the exponential wall;
+//  (b) accuracy/cost of the Monte-Carlo and truncated-MC approximations;
+//  (c) misallocation of the naive size-proportional split when one provider
+//      contributes label noise ("monetization of data based on size does
+//      not work well", [27]).
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "rewards/shapley.h"
+
+int main() {
+  using namespace pds2;
+  using rewards::CachedUtility;
+
+  bench::Banner("E4: Shapley-value reward schemes",
+                "fair but exponential; approximations needed (IV-A)");
+
+  common::Rng rng(3);
+
+  // --- (a)+(b): cost and error vs provider count. -------------------------
+  std::printf("%4s | %12s %10s | %12s %10s | %12s %10s\n", "n", "exact ms",
+              "calls", "mc err", "calls", "tmc err", "calls");
+  for (size_t n : {4u, 6u, 8u, 10u, 12u}) {
+    // Heterogeneous providers: equal sizes, varying label noise.
+    common::Rng data_rng(100 + n);
+    ml::Dataset all = ml::MakeTwoGaussians(200 * n + 600, 6, 2.5, data_rng);
+    auto [train, test] = ml::TrainTestSplit(all, 600.0 / all.Size(), data_rng);
+    auto parts = ml::PartitionIid(train, n, data_rng);
+    for (size_t i = 0; i < n; ++i) {
+      ml::CorruptLabels(parts[i],
+                        0.5 * static_cast<double>(i) / static_cast<double>(n),
+                        data_rng);
+    }
+    CachedUtility exact_utility(rewards::MakeMlUtility(parts, test, 7));
+
+    bench::Timer timer;
+    auto exact = rewards::ExactShapley(n, std::ref(exact_utility));
+    const double exact_ms = timer.ElapsedMs();
+    const size_t exact_calls = exact_utility.misses();
+
+    auto err = [&](const std::vector<double>& approx) {
+      double total = 0;
+      for (size_t i = 0; i < n; ++i) total += std::abs(approx[i] - (*exact)[i]);
+      return total / static_cast<double>(n);
+    };
+
+    const size_t perms = 60;
+    CachedUtility mc_utility(rewards::MakeMlUtility(parts, test, 7));
+    auto mc =
+        rewards::MonteCarloShapley(n, std::ref(mc_utility), perms, rng);
+    const size_t mc_calls = mc_utility.misses();
+
+    CachedUtility tmc_utility(rewards::MakeMlUtility(parts, test, 7));
+    auto tmc = rewards::TruncatedMonteCarloShapley(n, std::ref(tmc_utility),
+                                                   perms, 0.02, rng);
+    std::printf("%4zu | %12.1f %10zu | %12.4f %10zu | %12.4f %10zu\n", n,
+                exact_ms, exact_calls, err(mc), mc_calls, err(tmc.values),
+                tmc_utility.misses());
+  }
+  std::printf("(exact calls = 2^n distinct coalitions; the paper's "
+              "exponential-complexity point)\n");
+
+  // --- (c): size-based vs Shapley-based allocation. -------------------------
+  std::printf("\n-- misallocation: equal sizes, one noisy provider --\n");
+  common::Rng data_rng(55);
+  ml::Dataset all = ml::MakeTwoGaussians(2000, 6, 3.0, data_rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.25, data_rng);
+  auto parts = ml::PartitionIid(train, 4, data_rng);
+  ml::CorruptLabels(parts[3], 0.45, data_rng);
+
+  CachedUtility utility(rewards::MakeMlUtility(parts, test, 7));
+  auto shapley = rewards::ExactShapley(4, std::ref(utility));
+  auto shapley_rewards = rewards::NormalizeToRewards(*shapley, 100.0);
+  std::vector<size_t> sizes;
+  for (const auto& p : parts) sizes.push_back(p.Size());
+  auto size_rewards = rewards::SizeProportionalShares(sizes, 100.0);
+
+  std::printf("%12s %10s %14s %16s\n", "provider", "records", "size-based %",
+              "shapley %");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%12d %10zu %14.1f %16.1f%s\n", i, sizes[i], size_rewards[i],
+                shapley_rewards[i], i == 3 ? "  <- 45% label noise" : "");
+  }
+
+  // --- (d): cheaper valuation methods against exact Shapley. ----------------
+  std::printf("\n-- method comparison (same game) --\n");
+  auto loo = rewards::LeaveOneOut(4, std::ref(utility));
+  auto loo_rewards = rewards::NormalizeToRewards(loo, 100.0);
+  common::Rng brng(77);
+  auto banzhaf = rewards::BanzhafIndex(4, std::ref(utility), 30, brng);
+  auto banzhaf_rewards = rewards::NormalizeToRewards(banzhaf, 100.0);
+  std::printf("%12s %14s %14s %14s\n", "provider", "shapley %", "LOO %",
+              "banzhaf %");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%12d %14.1f %14.1f %14.1f\n", i, shapley_rewards[i],
+                loo_rewards[i], banzhaf_rewards[i]);
+  }
+  std::printf("(LOO costs n+1 utility calls but cannot see redundancy; "
+              "Banzhaf weights all coalition sizes equally)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef PDS2_BENCH_BENCH_UTIL_H_
+#define PDS2_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+
+namespace pds2::bench {
+
+/// Wall-clock stopwatch for experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedUs() const { return ElapsedMs() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Compiler barrier: forces `value` to be materialized, preventing the
+/// optimizer from hoisting or eliding the computation that produced it.
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+/// Section banner shared by all experiment binaries.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace pds2::bench
+
+#endif  // PDS2_BENCH_BENCH_UTIL_H_

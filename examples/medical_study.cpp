@@ -1,0 +1,112 @@
+// Medical study scenario: the privacy-leak mitigation of §IV-D.
+//
+// Clinics hold sensitive patient data (heart-rate features, condition
+// label). A research institute trains a classifier through PDS2. Even
+// though raw data never leaves the enclaves, the *trained model itself*
+// can leak membership ("was this patient in the training set?"). The
+// consumer therefore runs the workload twice — plain and with differential
+// privacy — and measures the leak with a membership-inference attack.
+
+#include <cstdio>
+
+#include "market/marketplace.h"
+#include "ml/metrics.h"
+#include "ml/privacy.h"
+
+using namespace pds2;
+
+namespace {
+
+struct StudyOutcome {
+  double accuracy = 0.0;
+  double attack_advantage = 0.0;
+};
+
+StudyOutcome RunStudy(bool with_dp, const ml::Dataset& train_pool,
+                      const ml::Dataset& holdout, uint64_t seed) {
+  market::MarketConfig config;
+  config.seed = seed;
+  market::Marketplace marketplace(config);
+
+  common::Rng rng(seed);
+  auto shards = ml::PartitionIid(train_pool, 4, rng);
+
+  storage::SemanticMetadata metadata;
+  metadata.types = {"iot/sensor/heart_rate"};
+  for (int i = 0; i < 4; ++i) {
+    market::ProviderAgent& clinic =
+        marketplace.AddProvider("clinic-" + std::to_string(i));
+    (void)clinic.store().AddDataset("patients", shards[i], metadata);
+  }
+  marketplace.AddExecutor("hospital-tee-0");
+  marketplace.AddExecutor("hospital-tee-1");
+  market::ConsumerAgent& institute = marketplace.AddConsumer("institute");
+
+  market::WorkloadSpec spec;
+  spec.name = with_dp ? "cardiac-risk-dp" : "cardiac-risk-plain";
+  spec.requirement.required_types = {"iot/sensor/heart_rate"};
+  spec.model_kind = "logistic";
+  spec.features = train_pool.NumFeatures();
+  spec.epochs = 150;           // deliberately overfit-prone
+  spec.learning_rate = 0.8;
+  spec.reward_pool = 400'000;
+  spec.min_providers = 3;
+  if (with_dp) {
+    spec.dp_enabled = true;
+    spec.dp_clip = 1.0;
+    spec.dp_noise = 2.0;
+  }
+
+  auto report = marketplace.RunWorkload(institute, spec);
+  StudyOutcome outcome;
+  if (!report.ok()) {
+    std::printf("study failed: %s\n", report.status().ToString().c_str());
+    return outcome;
+  }
+
+  ml::LogisticRegressionModel model(spec.features);
+  model.SetParams(report->model_params);
+  outcome.accuracy = ml::Accuracy(model, holdout);
+  outcome.attack_advantage =
+      ml::MembershipInferenceAttack(model, train_pool, holdout).advantage;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== PDS2 medical study (privacy leakage, paper §IV-D) ==\n\n");
+
+  // Small, high-dimensional cohort: the regime where models memorize.
+  common::Rng rng(99);
+  ml::Dataset cohort = ml::MakeTwoGaussians(240, 24, 1.0, rng);
+  auto [train_pool, holdout] = ml::TrainTestSplit(cohort, 0.5, rng);
+  std::printf("cohort: %zu training patients, %zu holdout, %zu features\n\n",
+              train_pool.Size(), holdout.Size(), train_pool.NumFeatures());
+
+  StudyOutcome plain = RunStudy(/*with_dp=*/false, train_pool, holdout, 11);
+  StudyOutcome dp = RunStudy(/*with_dp=*/true, train_pool, holdout, 11);
+
+  const double epsilon = ml::GaussianDpEpsilon(2.0, 150 * 4, 1e-5);
+
+  std::printf("%-28s %10s %18s\n", "configuration", "accuracy",
+              "attack advantage");
+  std::printf("%-28s %10.3f %18.3f\n", "plain training", plain.accuracy,
+              plain.attack_advantage);
+  std::printf("%-28s %10.3f %18.3f\n", "DP-SGD (sigma=2.0)", dp.accuracy,
+              dp.attack_advantage);
+  std::printf("\nDP budget estimate (advanced composition): eps ~= %.1f\n",
+              epsilon);
+
+  if (dp.attack_advantage < plain.attack_advantage) {
+    std::printf("\n=> differential privacy reduced the membership leak by "
+                "%.0f%%, at an accuracy cost of %.1f points.\n",
+                100.0 * (1.0 - dp.attack_advantage /
+                                   std::max(1e-9, plain.attack_advantage)),
+                100.0 * (plain.accuracy - dp.accuracy));
+  } else {
+    std::printf("\n=> no measurable leak in this run (model did not "
+                "memorize).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef PDS2_CHAIN_BLOCK_H_
+#define PDS2_CHAIN_BLOCK_H_
+
+#include <vector>
+
+#include "chain/transaction.h"
+#include "chain/types.h"
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "crypto/schnorr.h"
+
+namespace pds2::chain {
+
+/// Block header, signed by the proposing validator (domain "pds2.block").
+struct BlockHeader {
+  Hash parent_hash;
+  uint64_t number = 0;
+  common::SimTime timestamp = 0;
+  Hash tx_root;     // Merkle root over transaction ids
+  Hash state_root;  // WorldState digest after execution
+  common::Bytes proposer_public_key;
+  common::Bytes signature;
+
+  /// Bytes covered by the proposer's signature.
+  common::Bytes SigningBytes() const;
+  common::Bytes Serialize() const;
+  static common::Result<BlockHeader> Deserialize(const common::Bytes& data);
+
+  /// SHA-256 of the serialized header — the block's identity.
+  Hash Id() const;
+
+  static const char* Domain() { return "pds2.block"; }
+};
+
+/// A full block: header plus ordered transactions.
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  common::Bytes Serialize() const;
+  static common::Result<Block> Deserialize(const common::Bytes& data);
+
+  /// Merkle root over the transaction ids, as committed in the header.
+  static Hash ComputeTxRoot(const std::vector<Transaction>& txs);
+};
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_BLOCK_H_

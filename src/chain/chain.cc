@@ -1,0 +1,337 @@
+#include "chain/chain.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/serial.h"
+
+namespace pds2::chain {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+Blockchain::Blockchain(std::vector<Bytes> validator_public_keys,
+                       std::unique_ptr<ContractRegistry> registry,
+                       ChainConfig config)
+    : validators_(std::move(validator_public_keys)),
+      registry_(std::move(registry)),
+      config_(config) {
+  assert(!validators_.empty());
+  assert(registry_ != nullptr);
+}
+
+Status Blockchain::CreditGenesis(const Address& addr, uint64_t amount) {
+  if (!blocks_.empty()) {
+    return Status::FailedPrecondition(
+        "genesis allocation after the first block");
+  }
+  state_.Credit(addr, amount);
+  return Status::Ok();
+}
+
+Status Blockchain::SubmitTransaction(const Transaction& tx) {
+  PDS2_RETURN_IF_ERROR(tx.VerifySignature());
+  const auto& schedule = DefaultGasSchedule();
+  const uint64_t floor_cost =
+      schedule.tx_base + schedule.tx_payload_byte * tx.payload().args.size();
+  if (tx.gas_limit() < floor_cost) {
+    return Status::InvalidArgument("gas limit below intrinsic cost");
+  }
+  if (!tx.payload().IsPlainTransfer() &&
+      registry_->Find(tx.payload().contract) == nullptr) {
+    return Status::NotFound("unknown contract type: " + tx.payload().contract);
+  }
+  mempool_.push_back(tx);
+  return Status::Ok();
+}
+
+Hash Blockchain::LastBlockHash() const {
+  if (blocks_.empty()) return Hash(32, 0);  // genesis sentinel
+  return blocks_.back().header.Id();
+}
+
+const Bytes& Blockchain::NextProposer() const {
+  return validators_[blocks_.size() % validators_.size()];
+}
+
+Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
+                                       uint64_t block_number,
+                                       common::SimTime timestamp) {
+  Receipt receipt;
+  receipt.tx_id = tx.Id();
+  receipt.block_number = block_number;
+
+  const Address sender = tx.SenderAddress();
+  const auto& schedule = DefaultGasSchedule();
+  GasMeter gas(tx.gas_limit());
+
+  // The sender must afford worst-case gas plus the transferred value.
+  const uint64_t max_fee = tx.gas_limit() * config_.gas_price;
+  if (state_.GetBalance(sender) < max_fee + tx.value()) {
+    receipt.success = false;
+    receipt.error = "InsufficientFunds: cannot cover value + max gas fee";
+    receipt.gas_used = 0;
+    return receipt;
+  }
+
+  state_.BumpNonce(sender);
+
+  // Intrinsic gas is charged regardless of the execution outcome.
+  Status status = gas.Charge(schedule.tx_base);
+  if (status.ok()) {
+    status =
+        gas.Charge(schedule.tx_payload_byte * tx.payload().args.size());
+  }
+
+  Bytes output;
+  std::vector<Event> events;
+  if (status.ok()) {
+    state_.Begin();
+    const CallPayload& payload = tx.payload();
+    BlockContext block_ctx{block_number, timestamp};
+
+    if (payload.IsPlainTransfer()) {
+      if (tx.to().size() != kAddressSize) {
+        status = Status::InvalidArgument("malformed recipient address");
+      } else {
+        status = state_.Transfer(sender, tx.to(), tx.value());
+      }
+    } else {
+      Contract* contract = registry_->Find(payload.contract);
+      if (contract == nullptr) {
+        status = Status::NotFound("unknown contract: " + payload.contract);
+      } else if (payload.method == "deploy") {
+        const uint64_t instance = next_instance_id_;
+        // Escrow the transferred value into the new instance's account.
+        status = tx.value() > 0
+                     ? state_.Transfer(
+                           sender, ContractAddress(payload.contract, instance),
+                           tx.value())
+                     : Status::Ok();
+        if (status.ok()) {
+          CallContext ctx(state_, gas, sender, tx.value(), payload.contract,
+                          instance, block_ctx, &events);
+          status = contract->Deploy(ctx, payload.args);
+        }
+        if (status.ok()) {
+          ++next_instance_id_;
+          Writer w;
+          w.PutU64(instance);
+          output = w.Take();
+        }
+      } else {
+        if (payload.instance == 0 || payload.instance >= next_instance_id_) {
+          status = Status::NotFound("contract instance not deployed");
+        } else {
+          status = tx.value() > 0
+                       ? state_.Transfer(sender,
+                                         ContractAddress(payload.contract,
+                                                         payload.instance),
+                                         tx.value())
+                       : Status::Ok();
+          if (status.ok()) {
+            CallContext ctx(state_, gas, sender, tx.value(), payload.contract,
+                            payload.instance, block_ctx, &events);
+            auto result = contract->Call(ctx, payload.method, payload.args);
+            if (result.ok()) {
+              output = std::move(result).value();
+            } else {
+              status = result.status();
+            }
+          }
+        }
+      }
+    }
+
+    if (status.ok()) {
+      state_.Commit();
+    } else {
+      state_.Rollback();
+    }
+  }
+
+  // Settle gas: sender pays, proposer is credited by the caller.
+  receipt.gas_used = gas.used();
+  const uint64_t fee = receipt.gas_used * config_.gas_price;
+  Status fee_status = state_.Debit(sender, fee);
+  assert(fee_status.ok());  // guaranteed by the upfront balance check
+  (void)fee_status;
+  total_gas_used_ += receipt.gas_used;
+
+  receipt.success = status.ok();
+  if (!status.ok()) {
+    receipt.error = status.ToString();
+  } else {
+    receipt.output = std::move(output);
+    receipt.events = std::move(events);
+  }
+  return receipt;
+}
+
+Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
+                                       common::SimTime timestamp) {
+  if (proposer.PublicKey() != NextProposer()) {
+    return Status::PermissionDenied("not this validator's turn to propose");
+  }
+  if (!blocks_.empty() && timestamp <= blocks_.back().header.timestamp) {
+    return Status::InvalidArgument("block timestamp must increase");
+  }
+
+  const uint64_t block_number = blocks_.size();
+  const Address proposer_addr = AddressFromPublicKey(proposer.PublicKey());
+
+  Block block;
+  uint64_t block_gas = 0;
+  uint64_t fees = 0;
+
+  // Drain the mempool in submission order; a transaction whose nonce is
+  // ahead of the account stays queued, one that is behind is dropped.
+  // Multiple passes let several transactions from one sender land in a
+  // single block.
+  bool progressed = true;
+  while (progressed && block_gas < config_.block_gas_limit) {
+    progressed = false;
+    for (auto it = mempool_.begin(); it != mempool_.end();) {
+      const uint64_t account_nonce = state_.GetNonce(it->SenderAddress());
+      if (it->nonce() < account_nonce) {
+        it = mempool_.erase(it);  // stale, superseded
+        continue;
+      }
+      if (it->nonce() > account_nonce ||
+          block_gas + it->gas_limit() > config_.block_gas_limit) {
+        ++it;
+        continue;
+      }
+      Receipt receipt = ExecuteTransaction(*it, block_number, timestamp);
+      block_gas += receipt.gas_used;
+      fees += receipt.gas_used * config_.gas_price;
+      receipts_[receipt.tx_id] = receipt;
+      block.transactions.push_back(*it);
+      it = mempool_.erase(it);
+      progressed = true;
+    }
+  }
+
+  // Fees go to the proposer.
+  if (fees > 0) state_.Credit(proposer_addr, fees);
+
+  block.header.parent_hash = LastBlockHash();
+  block.header.number = block_number;
+  block.header.timestamp = timestamp;
+  block.header.tx_root = Block::ComputeTxRoot(block.transactions);
+  block.header.state_root = state_.Digest();
+  block.header.proposer_public_key = proposer.PublicKey();
+  block.header.signature = proposer.SignWithDomain(
+      BlockHeader::Domain(), block.header.SigningBytes());
+
+  blocks_.push_back(block);
+  PDS2_LOG(kDebug) << "produced block " << block_number << " with "
+                   << block.transactions.size() << " txs, gas " << block_gas;
+  return block;
+}
+
+Status Blockchain::ApplyExternalBlock(const Block& block) {
+  // Consensus validation.
+  if (block.header.number != blocks_.size()) {
+    return Status::InvalidArgument("block number out of sequence");
+  }
+  if (block.header.parent_hash != LastBlockHash()) {
+    return Status::InvalidArgument("parent hash mismatch");
+  }
+  if (block.header.proposer_public_key != NextProposer()) {
+    return Status::PermissionDenied("proposer out of turn");
+  }
+  if (!blocks_.empty() &&
+      block.header.timestamp <= blocks_.back().header.timestamp) {
+    return Status::InvalidArgument("non-monotonic block timestamp");
+  }
+  PDS2_RETURN_IF_ERROR(crypto::VerifySignatureWithDomain(
+      block.header.proposer_public_key, BlockHeader::Domain(),
+      block.header.SigningBytes(), block.header.signature));
+  if (block.header.tx_root != Block::ComputeTxRoot(block.transactions)) {
+    return Status::Corruption("transaction root mismatch");
+  }
+  for (const Transaction& tx : block.transactions) {
+    PDS2_RETURN_IF_ERROR(tx.VerifySignature());
+  }
+
+  // Execute and check the resulting state commitment.
+  uint64_t fees = 0;
+  for (const Transaction& tx : block.transactions) {
+    Receipt receipt =
+        ExecuteTransaction(tx, block.header.number, block.header.timestamp);
+    fees += receipt.gas_used * config_.gas_price;
+    receipts_[receipt.tx_id] = receipt;
+  }
+  if (fees > 0) {
+    state_.Credit(AddressFromPublicKey(block.header.proposer_public_key),
+                  fees);
+  }
+  if (state_.Digest() != block.header.state_root) {
+    return Status::Corruption("state root mismatch after execution");
+  }
+  blocks_.push_back(block);
+  return Status::Ok();
+}
+
+std::vector<Event> Blockchain::EventsFor(const std::string& contract,
+                                         uint64_t instance) const {
+  // Receipts are re-walked in chain order so the audit view is stable.
+  std::vector<Event> events;
+  for (const Block& block : blocks_) {
+    for (const Transaction& tx : block.transactions) {
+      auto it = receipts_.find(tx.Id());
+      if (it == receipts_.end()) continue;
+      for (const Event& event : it->second.events) {
+        if (event.contract == contract && event.instance == instance) {
+          events.push_back(event);
+        }
+      }
+    }
+  }
+  return events;
+}
+
+Result<Receipt> Blockchain::GetReceipt(const Hash& tx_id) const {
+  auto it = receipts_.find(tx_id);
+  if (it == receipts_.end()) {
+    return Status::NotFound("no receipt for transaction");
+  }
+  return it->second;
+}
+
+Result<Bytes> Blockchain::Query(const std::string& contract, uint64_t instance,
+                                const std::string& method, const Bytes& args,
+                                const Address& caller) const {
+  Contract* logic = registry_->Find(contract);
+  if (logic == nullptr) {
+    return Status::NotFound("unknown contract: " + contract);
+  }
+  // Queries run against a scratch checkpoint that is always rolled back.
+  auto* mutable_this = const_cast<Blockchain*>(this);
+  WorldState& state = mutable_this->state_;
+  GasMeter gas(config_.block_gas_limit);
+  BlockContext block_ctx{
+      blocks_.empty() ? 0 : blocks_.back().header.number,
+      blocks_.empty() ? 0 : blocks_.back().header.timestamp};
+  state.Begin();
+  CallContext ctx(state, gas, caller, 0, contract, instance, block_ctx,
+                  nullptr);
+  auto result = logic->Call(ctx, method, args);
+  state.Rollback();
+  return result;
+}
+
+Result<uint64_t> InstanceIdFromReceipt(const Receipt& receipt) {
+  if (!receipt.success) {
+    return Status::FailedPrecondition("deploy failed: " + receipt.error);
+  }
+  Reader r(receipt.output);
+  PDS2_ASSIGN_OR_RETURN(uint64_t instance, r.GetU64());
+  return instance;
+}
+
+}  // namespace pds2::chain

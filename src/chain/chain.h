@@ -1,0 +1,125 @@
+#ifndef PDS2_CHAIN_CHAIN_H_
+#define PDS2_CHAIN_CHAIN_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/contract.h"
+#include "chain/gas.h"
+#include "chain/state.h"
+#include "chain/transaction.h"
+#include "common/result.h"
+
+namespace pds2::chain {
+
+/// Outcome of one executed transaction, the audit record exposed by the
+/// governance layer.
+struct Receipt {
+  Hash tx_id;
+  uint64_t block_number = 0;
+  bool success = false;
+  std::string error;          // status string when !success
+  uint64_t gas_used = 0;
+  common::Bytes output;       // contract return value (instance id on deploy)
+  std::vector<Event> events;
+};
+
+/// Chain-wide parameters.
+struct ChainConfig {
+  uint64_t gas_price = 1;                  // native tokens per gas unit
+  uint64_t block_gas_limit = 100'000'000;  // per-block execution budget
+};
+
+/// The PDS2 governance blockchain: an account-based ledger with
+/// proof-of-authority consensus (a fixed validator set proposing in
+/// round-robin order) executing native C++ contracts with Ethereum-style
+/// gas accounting. Single-threaded and deterministic by design — it is the
+/// ground truth of the marketplace simulation.
+class Blockchain {
+ public:
+  Blockchain(std::vector<common::Bytes> validator_public_keys,
+             std::unique_ptr<ContractRegistry> registry,
+             ChainConfig config = {});
+
+  /// Pre-consensus token allocation (genesis only; fails after block 0).
+  common::Status CreditGenesis(const Address& addr, uint64_t amount);
+
+  /// Validates a transaction's signature and queues it.
+  common::Status SubmitTransaction(const Transaction& tx);
+
+  /// Produces, executes and appends the next block. Fails unless `proposer`
+  /// is the validator whose round-robin turn it is. `timestamp` must be
+  /// strictly after the previous block's.
+  common::Result<Block> ProduceBlock(const crypto::SigningKey& proposer,
+                                     common::SimTime timestamp);
+
+  /// Validates an externally produced block (proposer turn, signatures,
+  /// parent linkage, tx root) and executes it. Used when replicating
+  /// another node's chain.
+  common::Status ApplyExternalBlock(const Block& block);
+
+  // --- Queries -------------------------------------------------------------
+
+  uint64_t GetBalance(const Address& addr) const {
+    return state_.GetBalance(addr);
+  }
+  uint64_t GetNonce(const Address& addr) const { return state_.GetNonce(addr); }
+
+  /// Receipt of an executed transaction.
+  common::Result<Receipt> GetReceipt(const Hash& tx_id) const;
+
+  /// Read-only contract call: executes against current state and rolls
+  /// everything back. Never mutates the ledger.
+  common::Result<common::Bytes> Query(const std::string& contract,
+                                      uint64_t instance,
+                                      const std::string& method,
+                                      const common::Bytes& args,
+                                      const Address& caller = Address{}) const;
+
+  /// Height = number of blocks (genesis is implicit; first block is 0).
+  uint64_t Height() const { return blocks_.size(); }
+  Hash LastBlockHash() const;
+  const std::vector<Block>& blocks() const { return blocks_; }
+  size_t MempoolSize() const { return mempool_.size(); }
+  const std::vector<common::Bytes>& validators() const { return validators_; }
+  /// Validator whose turn it is to propose the next block.
+  const common::Bytes& NextProposer() const;
+
+  /// Total gas consumed by all executed transactions (experiment E6).
+  uint64_t TotalGasUsed() const { return total_gas_used_; }
+
+  /// Circulating native supply (see WorldState::TotalBalance).
+  uint64_t TotalSupply() const { return state_.TotalBalance(); }
+
+  /// All events a contract instance emitted, across every executed
+  /// transaction, in block/receipt order — the audit-trail view of the
+  /// governance layer (paper §II-C).
+  std::vector<Event> EventsFor(const std::string& contract,
+                               uint64_t instance) const;
+
+ private:
+  Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number,
+                             common::SimTime timestamp);
+
+  std::vector<common::Bytes> validators_;
+  std::unique_ptr<ContractRegistry> registry_;
+  ChainConfig config_;
+
+  WorldState state_;
+  std::vector<Block> blocks_;
+  std::deque<Transaction> mempool_;
+  std::map<Hash, Receipt> receipts_;
+  uint64_t next_instance_id_ = 1;
+  uint64_t total_gas_used_ = 0;
+};
+
+/// Helper for reading a deploy receipt's output as the new instance id.
+common::Result<uint64_t> InstanceIdFromReceipt(const Receipt& receipt);
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_CHAIN_H_

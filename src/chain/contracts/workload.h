@@ -1,0 +1,81 @@
+#ifndef PDS2_CHAIN_CONTRACTS_WORKLOAD_H_
+#define PDS2_CHAIN_CONTRACTS_WORKLOAD_H_
+
+#include <string>
+
+#include "chain/contract.h"
+#include "crypto/schnorr.h"
+
+namespace pds2::chain::contracts {
+
+/// Lifecycle phases of a workload contract (paper Fig. 2).
+enum class WorkloadPhase : uint8_t {
+  kAccepting = 0,  // providers/executors may register participation
+  kRunning = 1,    // conditions met, executors instructed to proceed
+  kCompleted = 2,  // result hash agreed by executor quorum
+  kPaid = 3,       // escrow distributed
+  kAborted = 4,    // cancelled; escrow refunded to the consumer
+};
+
+/// A provider's signed consent to contribute a committed dataset to one
+/// workload through one executor. Executors submit these on-chain when
+/// registering (paper §II-D: certificates "confirming that they have indeed
+/// accepted to participate"). The signature binds provider, workload
+/// instance, executor and data commitment together, so a certificate can
+/// neither be forged nor replayed for another executor or workload.
+struct ParticipationCert {
+  uint64_t workload_instance = 0;
+  common::Bytes provider_public_key;
+  common::Bytes executor_public_key;
+  common::Bytes data_commitment;  // Merkle root of the contributed records
+  uint64_t num_records = 0;
+  common::Bytes signature;        // provider's, domain "pds2.cert"
+
+  /// Byte string covered by the provider signature.
+  common::Bytes SigningBytes() const;
+  /// Signs with the provider key (fills `signature`).
+  void Sign(const crypto::SigningKey& provider_key);
+  /// Full wire encoding including the signature.
+  common::Bytes Serialize() const;
+  static common::Result<ParticipationCert> Deserialize(
+      const common::Bytes& data);
+
+  /// The signing domain.
+  static const char* Domain() { return "pds2.cert"; }
+};
+
+/// The per-workload governance contract: escrow, participation tracking,
+/// executor quorum on the result, and reward distribution.
+///
+/// Deploy args (consumer): bytes spec_hash, u64 reward_pool (must equal the
+/// escrowed tx value), u64 min_providers, u64 max_providers, u64
+/// executor_reward_permille, u64 deadline (sim-time), string aggregation.
+///
+/// Methods:
+///   "register_executor" (bytes executor_pubkey, u32 n, n x cert) -> ()
+///       sender must be the executor; each certificate is verified on-chain
+///   "start"             () -> ()    anyone, once min_providers reached
+///   "submit_result"     (bytes result_hash) -> ()   registered executors;
+///       completes when a strict majority agrees on one hash
+///   "finalize"          (u32 n, n x (bytes provider_addr, u64 weight)) -> ()
+///       consumer only, in Completed; pays executors evenly from the
+///       executor pool and providers by weight from the remainder
+///   "abort"             () -> ()    consumer, in Accepting or past deadline
+///   -- queries --
+///   "phase"             () -> u8
+///   "result"            () -> bytes result_hash
+///   "spec"              () -> deploy args echo
+///   "provider_records"  (bytes provider_addr) -> u64
+///   "participants"      () -> (u32 p, p x bytes, u32 e, e x bytes)
+class WorkloadContract : public Contract {
+ public:
+  std::string Name() const override { return "workload"; }
+  common::Status Deploy(CallContext& ctx, const common::Bytes& args) override;
+  common::Result<common::Bytes> Call(CallContext& ctx,
+                                     const std::string& method,
+                                     const common::Bytes& args) override;
+};
+
+}  // namespace pds2::chain::contracts
+
+#endif  // PDS2_CHAIN_CONTRACTS_WORKLOAD_H_

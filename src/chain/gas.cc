@@ -1,0 +1,19 @@
+#include "chain/gas.h"
+
+namespace pds2::chain {
+
+const GasSchedule& DefaultGasSchedule() {
+  static const GasSchedule kSchedule;
+  return kSchedule;
+}
+
+common::Status GasMeter::Charge(uint64_t amount) {
+  if (used_ + amount > limit_ || used_ + amount < used_) {
+    used_ = limit_;  // burn everything, as a failed EVM call would
+    return common::Status::ResourceExhausted("out of gas");
+  }
+  used_ += amount;
+  return common::Status::Ok();
+}
+
+}  // namespace pds2::chain

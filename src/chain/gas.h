@@ -1,0 +1,49 @@
+#ifndef PDS2_CHAIN_GAS_H_
+#define PDS2_CHAIN_GAS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pds2::chain {
+
+/// Gas cost schedule, loosely modeled on Ethereum's so that the governance
+/// cost experiment (E6) reports figures in a familiar unit.
+struct GasSchedule {
+  uint64_t tx_base = 21000;         // flat cost of any transaction
+  uint64_t tx_payload_byte = 16;    // per byte of call payload
+  uint64_t storage_write = 20000;   // per contract storage write
+  uint64_t storage_update = 5000;   // overwrite of an existing slot
+  uint64_t storage_read = 800;      // per contract storage read
+  uint64_t event_emit = 1000;       // per emitted event + per 8 bytes of data
+  uint64_t signature_check = 3000;  // per signature verified in-contract
+  uint64_t transfer = 9000;         // value transfer initiated by a contract
+  uint64_t compute_unit = 10;       // generic per-unit contract computation
+};
+
+/// Returns the process-wide schedule (constant; defined once).
+const GasSchedule& DefaultGasSchedule();
+
+/// Tracks gas consumption against a transaction's gas limit. Contracts
+/// charge through this; exceeding the limit fails the call with
+/// ResourceExhausted and the transaction's effects are rolled back (the gas
+/// itself stays consumed, as on Ethereum).
+class GasMeter {
+ public:
+  explicit GasMeter(uint64_t limit) : limit_(limit) {}
+
+  /// Consumes `amount` gas; ResourceExhausted if the limit is exceeded.
+  common::Status Charge(uint64_t amount);
+
+  uint64_t used() const { return used_; }
+  uint64_t limit() const { return limit_; }
+  uint64_t remaining() const { return limit_ - used_; }
+
+ private:
+  uint64_t limit_;
+  uint64_t used_ = 0;
+};
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_GAS_H_

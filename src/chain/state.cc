@@ -1,0 +1,185 @@
+#include "chain/state.h"
+
+#include <cassert>
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace pds2::chain {
+
+using common::Bytes;
+using common::Status;
+
+uint64_t WorldState::GetBalance(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  return it == accounts_.end() ? 0 : it->second.balance;
+}
+
+uint64_t WorldState::GetNonce(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  return it == accounts_.end() ? 0 : it->second.nonce;
+}
+
+void WorldState::JournalAccount(const Address& addr) {
+  if (checkpoints_.empty()) return;
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kAccount;
+  entry.addr = addr;
+  auto it = accounts_.find(addr);
+  if (it != accounts_.end()) entry.prior_account = it->second;
+  journal_.push_back(std::move(entry));
+}
+
+void WorldState::JournalStorage(const std::string& space, const Bytes& key) {
+  if (checkpoints_.empty()) return;
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kStorage;
+  entry.space = space;
+  entry.key = key;
+  auto space_it = storage_.find(space);
+  if (space_it != storage_.end()) {
+    auto it = space_it->second.find(key);
+    if (it != space_it->second.end()) entry.prior_value = it->second;
+  }
+  journal_.push_back(std::move(entry));
+}
+
+void WorldState::Credit(const Address& addr, uint64_t amount) {
+  JournalAccount(addr);
+  accounts_[addr].balance += amount;
+}
+
+Status WorldState::Debit(const Address& addr, uint64_t amount) {
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end() || it->second.balance < amount) {
+    return Status::InsufficientFunds("balance below debit amount");
+  }
+  JournalAccount(addr);
+  it->second.balance -= amount;
+  return Status::Ok();
+}
+
+Status WorldState::Transfer(const Address& from, const Address& to,
+                            uint64_t amount) {
+  PDS2_RETURN_IF_ERROR(Debit(from, amount));
+  Credit(to, amount);
+  return Status::Ok();
+}
+
+void WorldState::BumpNonce(const Address& addr) {
+  JournalAccount(addr);
+  accounts_[addr].nonce += 1;
+}
+
+std::optional<Bytes> WorldState::StorageGet(const std::string& space,
+                                            const Bytes& key) const {
+  auto space_it = storage_.find(space);
+  if (space_it == storage_.end()) return std::nullopt;
+  auto it = space_it->second.find(key);
+  if (it == space_it->second.end()) return std::nullopt;
+  return it->second;
+}
+
+bool WorldState::StoragePut(const std::string& space, const Bytes& key,
+                            const Bytes& value) {
+  JournalStorage(space, key);
+  auto& space_map = storage_[space];
+  auto [it, inserted] = space_map.insert_or_assign(key, value);
+  (void)it;
+  return !inserted;
+}
+
+void WorldState::StorageDelete(const std::string& space, const Bytes& key) {
+  auto space_it = storage_.find(space);
+  if (space_it == storage_.end()) return;
+  if (space_it->second.find(key) == space_it->second.end()) return;
+  JournalStorage(space, key);
+  space_it->second.erase(key);
+}
+
+std::vector<std::pair<Bytes, Bytes>> WorldState::StorageScan(
+    const std::string& space, const Bytes& prefix) const {
+  std::vector<std::pair<Bytes, Bytes>> out;
+  auto space_it = storage_.find(space);
+  if (space_it == storage_.end()) return out;
+  for (auto it = space_it->second.lower_bound(prefix);
+       it != space_it->second.end(); ++it) {
+    const Bytes& key = it->first;
+    if (key.size() < prefix.size() ||
+        !std::equal(prefix.begin(), prefix.end(), key.begin())) {
+      break;
+    }
+    out.emplace_back(key, it->second);
+  }
+  return out;
+}
+
+void WorldState::Begin() { checkpoints_.push_back(journal_.size()); }
+
+void WorldState::Commit() {
+  assert(!checkpoints_.empty());
+  const size_t mark = checkpoints_.back();
+  checkpoints_.pop_back();
+  // If an outer checkpoint is still open, keep the journal entries so the
+  // outer Rollback can still undo; otherwise drop them.
+  if (checkpoints_.empty()) {
+    journal_.clear();
+  } else {
+    (void)mark;
+  }
+}
+
+void WorldState::Rollback() {
+  assert(!checkpoints_.empty());
+  const size_t mark = checkpoints_.back();
+  checkpoints_.pop_back();
+  while (journal_.size() > mark) {
+    const JournalEntry& entry = journal_.back();
+    if (entry.kind == JournalEntry::Kind::kAccount) {
+      if (entry.prior_account.has_value()) {
+        accounts_[entry.addr] = *entry.prior_account;
+      } else {
+        accounts_.erase(entry.addr);
+      }
+    } else {
+      if (entry.prior_value.has_value()) {
+        storage_[entry.space][entry.key] = *entry.prior_value;
+      } else {
+        auto space_it = storage_.find(entry.space);
+        if (space_it != storage_.end()) space_it->second.erase(entry.key);
+      }
+    }
+    journal_.pop_back();
+  }
+}
+
+uint64_t WorldState::TotalBalance() const {
+  uint64_t total = 0;
+  for (const auto& [addr, account] : accounts_) {
+    (void)addr;
+    total += account.balance;
+  }
+  return total;
+}
+
+Hash WorldState::Digest() const {
+  crypto::Sha256 h;
+  h.Update("pds2.state");
+  for (const auto& [addr, account] : accounts_) {
+    h.Update(addr);
+    common::Writer w;
+    w.PutU64(account.balance);
+    w.PutU64(account.nonce);
+    h.Update(w.data());
+  }
+  for (const auto& [space, kv] : storage_) {
+    h.Update(space);
+    for (const auto& [key, value] : kv) {
+      h.Update(key);
+      h.Update(value);
+    }
+  }
+  return h.Finish();
+}
+
+}  // namespace pds2::chain

@@ -1,0 +1,106 @@
+#ifndef PDS2_CHAIN_STATE_H_
+#define PDS2_CHAIN_STATE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/types.h"
+#include "common/result.h"
+
+namespace pds2::chain {
+
+/// Balance, nonce and existence of one account.
+struct Account {
+  uint64_t balance = 0;
+  uint64_t nonce = 0;
+};
+
+/// The replicated ledger state: native-token accounts plus raw contract
+/// storage. Mutations are journaled so a failed transaction can be rolled
+/// back precisely (only the keys it touched are restored).
+class WorldState {
+ public:
+  WorldState() = default;
+
+  // --- Accounts -----------------------------------------------------------
+
+  /// Balance of `addr` (0 for unknown accounts).
+  uint64_t GetBalance(const Address& addr) const;
+  /// Current nonce of `addr` (0 for unknown accounts).
+  uint64_t GetNonce(const Address& addr) const;
+  /// Unconditionally credits an account (used for genesis allocations,
+  /// block rewards and gas refunds).
+  void Credit(const Address& addr, uint64_t amount);
+  /// Debits; InsufficientFunds if the balance is too small.
+  common::Status Debit(const Address& addr, uint64_t amount);
+  /// Atomic transfer from -> to.
+  common::Status Transfer(const Address& from, const Address& to,
+                          uint64_t amount);
+  /// Increments the account nonce.
+  void BumpNonce(const Address& addr);
+
+  // --- Contract storage ----------------------------------------------------
+
+  /// Reads a storage slot; nullopt when unset.
+  std::optional<common::Bytes> StorageGet(const std::string& space,
+                                          const common::Bytes& key) const;
+  /// Writes a storage slot. Returns true if the slot already existed
+  /// (drives the cheaper "update" gas price).
+  bool StoragePut(const std::string& space, const common::Bytes& key,
+                  const common::Bytes& value);
+  /// Deletes a slot (no-op if absent).
+  void StorageDelete(const std::string& space, const common::Bytes& key);
+  /// All (key, value) pairs in a namespace whose key starts with `prefix`,
+  /// in key order. Used by read-only enumeration queries.
+  std::vector<std::pair<common::Bytes, common::Bytes>> StorageScan(
+      const std::string& space, const common::Bytes& prefix) const;
+
+  // --- Journaling -----------------------------------------------------------
+
+  /// Opens a nested checkpoint. Every mutation after this point can be
+  /// undone with Rollback or kept with Commit.
+  void Begin();
+  /// Discards the most recent checkpoint, keeping its mutations.
+  void Commit();
+  /// Undoes all mutations since the most recent checkpoint.
+  void Rollback();
+  /// Depth of open checkpoints (0 outside any transaction).
+  size_t CheckpointDepth() const { return checkpoints_.size(); }
+
+  /// Commitment to the full state (order-independent digest of accounts
+  /// and storage). Included in block headers.
+  Hash Digest() const;
+
+  /// Sum of all account balances — the circulating native supply. Only
+  /// genesis allocations create tokens, so this is invariant across
+  /// transaction execution (fees merely move value to the proposer); the
+  /// audit tests assert it.
+  uint64_t TotalBalance() const;
+
+ private:
+  struct JournalEntry {
+    enum class Kind { kAccount, kStorage } kind;
+    // Account entries.
+    Address addr;
+    std::optional<Account> prior_account;
+    // Storage entries.
+    std::string space;
+    common::Bytes key;
+    std::optional<common::Bytes> prior_value;
+  };
+
+  void JournalAccount(const Address& addr);
+  void JournalStorage(const std::string& space, const common::Bytes& key);
+
+  std::map<Address, Account> accounts_;
+  // space -> key -> value.
+  std::map<std::string, std::map<common::Bytes, common::Bytes>> storage_;
+  std::vector<JournalEntry> journal_;
+  std::vector<size_t> checkpoints_;  // journal sizes at Begin()
+};
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_STATE_H_

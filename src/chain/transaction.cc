@@ -1,0 +1,76 @@
+#include "chain/transaction.h"
+
+#include "crypto/sha256.h"
+
+namespace pds2::chain {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+namespace {
+constexpr char kTxDomain[] = "pds2.tx";
+}  // namespace
+
+Transaction Transaction::Make(const crypto::SigningKey& sender, uint64_t nonce,
+                              const Address& to, uint64_t value,
+                              uint64_t gas_limit, CallPayload payload) {
+  Transaction tx;
+  tx.sender_public_key_ = sender.PublicKey();
+  tx.nonce_ = nonce;
+  tx.to_ = to;
+  tx.value_ = value;
+  tx.gas_limit_ = gas_limit;
+  tx.payload_ = std::move(payload);
+  tx.signature_ = sender.SignWithDomain(kTxDomain, tx.SigningBytes());
+  return tx;
+}
+
+Bytes Transaction::SigningBytes() const {
+  Writer w;
+  w.PutBytes(sender_public_key_);
+  w.PutU64(nonce_);
+  w.PutBytes(to_);
+  w.PutU64(value_);
+  w.PutU64(gas_limit_);
+  w.PutString(payload_.contract);
+  w.PutU64(payload_.instance);
+  w.PutString(payload_.method);
+  w.PutBytes(payload_.args);
+  return w.Take();
+}
+
+Bytes Transaction::Serialize() const {
+  Writer w;
+  w.PutRaw(SigningBytes());
+  w.PutBytes(signature_);
+  return w.Take();
+}
+
+Result<Transaction> Transaction::Deserialize(const Bytes& data) {
+  Reader r(data);
+  Transaction tx;
+  PDS2_ASSIGN_OR_RETURN(tx.sender_public_key_, r.GetBytes());
+  PDS2_ASSIGN_OR_RETURN(tx.nonce_, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(tx.to_, r.GetBytes());
+  PDS2_ASSIGN_OR_RETURN(tx.value_, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(tx.gas_limit_, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(tx.payload_.contract, r.GetString());
+  PDS2_ASSIGN_OR_RETURN(tx.payload_.instance, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(tx.payload_.method, r.GetString());
+  PDS2_ASSIGN_OR_RETURN(tx.payload_.args, r.GetBytes());
+  PDS2_ASSIGN_OR_RETURN(tx.signature_, r.GetBytes());
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in transaction");
+  return tx;
+}
+
+Hash Transaction::Id() const { return crypto::Sha256::Hash(Serialize()); }
+
+Status Transaction::VerifySignature() const {
+  return crypto::VerifySignatureWithDomain(sender_public_key_, kTxDomain,
+                                           SigningBytes(), signature_);
+}
+
+}  // namespace pds2::chain

@@ -1,0 +1,69 @@
+#ifndef PDS2_CHAIN_TRANSACTION_H_
+#define PDS2_CHAIN_TRANSACTION_H_
+
+#include <string>
+
+#include "chain/types.h"
+#include "common/result.h"
+#include "common/serial.h"
+#include "crypto/schnorr.h"
+
+namespace pds2::chain {
+
+/// What a transaction invokes: a plain value transfer (empty contract
+/// name), a contract deployment ("deploy"), or a contract method call.
+struct CallPayload {
+  std::string contract;   // registered contract type, "" = plain transfer
+  uint64_t instance = 0;  // deployed instance id (0 for deploys)
+  std::string method;
+  common::Bytes args;     // method-specific serialized arguments
+
+  bool IsPlainTransfer() const { return contract.empty(); }
+};
+
+/// A signed transaction. The signing domain is "pds2.tx" so transaction
+/// signatures can never be replayed as blocks or certificates.
+class Transaction {
+ public:
+  Transaction() = default;
+
+  /// Builds and signs a transaction.
+  static Transaction Make(const crypto::SigningKey& sender, uint64_t nonce,
+                          const Address& to, uint64_t value,
+                          uint64_t gas_limit, CallPayload payload);
+
+  /// The canonical byte serialization (including signature).
+  common::Bytes Serialize() const;
+  static common::Result<Transaction> Deserialize(const common::Bytes& data);
+
+  /// SHA-256 of the serialized transaction.
+  Hash Id() const;
+
+  /// Verifies the sender signature.
+  common::Status VerifySignature() const;
+
+  const common::Bytes& sender_public_key() const { return sender_public_key_; }
+  Address SenderAddress() const {
+    return AddressFromPublicKey(sender_public_key_);
+  }
+  uint64_t nonce() const { return nonce_; }
+  const Address& to() const { return to_; }
+  uint64_t value() const { return value_; }
+  uint64_t gas_limit() const { return gas_limit_; }
+  const CallPayload& payload() const { return payload_; }
+
+ private:
+  common::Bytes SigningBytes() const;
+
+  common::Bytes sender_public_key_;
+  uint64_t nonce_ = 0;
+  Address to_;
+  uint64_t value_ = 0;
+  uint64_t gas_limit_ = 0;
+  CallPayload payload_;
+  common::Bytes signature_;
+};
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_TRANSACTION_H_

@@ -1,0 +1,29 @@
+#include "chain/types.h"
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace pds2::chain {
+
+Address AddressFromPublicKey(const common::Bytes& public_key) {
+  common::Bytes digest = crypto::Sha256::Hash(public_key);
+  return Address(digest.begin(), digest.begin() + kAddressSize);
+}
+
+Address ContractAddress(const std::string& contract_name,
+                        uint64_t instance_id) {
+  crypto::Sha256 h;
+  h.Update("pds2.contract.address");
+  h.Update(contract_name);
+  uint8_t id_bytes[8];
+  for (int i = 0; i < 8; ++i) id_bytes[i] = static_cast<uint8_t>(instance_id >> (8 * i));
+  h.Update(id_bytes, sizeof(id_bytes));
+  common::Bytes digest = h.Finish();
+  return Address(digest.begin(), digest.begin() + kAddressSize);
+}
+
+std::string ShortHex(const common::Bytes& bytes) {
+  return common::HexPrefix(bytes, 8) + (bytes.size() > 4 ? "…" : "");
+}
+
+}  // namespace pds2::chain

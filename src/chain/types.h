@@ -1,0 +1,31 @@
+#ifndef PDS2_CHAIN_TYPES_H_
+#define PDS2_CHAIN_TYPES_H_
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace pds2::chain {
+
+/// A 20-byte account address (truncated SHA-256 of the public key,
+/// Ethereum-style).
+using Address = common::Bytes;
+
+/// A 32-byte SHA-256 content hash.
+using Hash = common::Bytes;
+
+constexpr size_t kAddressSize = 20;
+
+/// Derives the account address for a Schnorr public key.
+Address AddressFromPublicKey(const common::Bytes& public_key);
+
+/// Deterministic address of a deployed contract instance (derived from its
+/// creator and instance id, so contracts can hold escrowed balances).
+Address ContractAddress(const std::string& contract_name, uint64_t instance_id);
+
+/// Short printable form "a3f9c02e…" for logs and error messages.
+std::string ShortHex(const common::Bytes& bytes);
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_TYPES_H_

@@ -1,0 +1,37 @@
+#ifndef PDS2_COMMON_BYTES_H_
+#define PDS2_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pds2::common {
+
+/// Raw binary data. Used for keys, hashes, ciphertexts, serialized
+/// payloads — anything that crosses a module boundary as opaque bytes.
+using Bytes = std::vector<uint8_t>;
+
+/// Copies a string's characters into a byte vector.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Reinterprets bytes as text. Only meaningful for byte strings that were
+/// produced from text in the first place.
+inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Appends `src` to `dst`.
+inline void Append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Constant-time equality check, for comparing MACs and other secrets
+/// without leaking the position of the first mismatch through timing.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+}  // namespace pds2::common
+
+#endif  // PDS2_COMMON_BYTES_H_

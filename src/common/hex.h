@@ -1,0 +1,25 @@
+#ifndef PDS2_COMMON_HEX_H_
+#define PDS2_COMMON_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pds2::common {
+
+/// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(const Bytes& data);
+
+/// Decodes a hex string (upper or lower case). Fails with InvalidArgument
+/// on odd length or non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// First `n` hex characters of `data`, for compact display of hashes and
+/// addresses in logs ("a3f9c02e...").
+std::string HexPrefix(const Bytes& data, size_t n = 8);
+
+}  // namespace pds2::common
+
+#endif  // PDS2_COMMON_HEX_H_

@@ -1,0 +1,52 @@
+#ifndef PDS2_COMMON_LOGGING_H_
+#define PDS2_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pds2::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+/// Default is kWarn so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr (internal; use the PDS2_LOG macro).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal_logging {
+
+/// Stream-style collector used by the macro below.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace pds2::common
+
+#define PDS2_LOG(level)                                                     \
+  if (::pds2::common::LogLevel::level < ::pds2::common::GetLogLevel()) {    \
+  } else                                                                    \
+    ::pds2::common::internal_logging::LogLine(                              \
+        ::pds2::common::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // PDS2_COMMON_LOGGING_H_

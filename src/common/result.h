@@ -1,0 +1,69 @@
+#ifndef PDS2_COMMON_RESULT_H_
+#define PDS2_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pds2::common {
+
+/// Either a value of type T or a non-OK Status. The value accessors assert
+/// that the result is OK; call sites must check `ok()` (or use
+/// PDS2_ASSIGN_OR_RETURN) before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pds2::common
+
+/// `PDS2_ASSIGN_OR_RETURN(auto x, Compute());` — unwraps a Result<T> or
+/// propagates its error status.
+#define PDS2_ASSIGN_OR_RETURN(decl, expr)                       \
+  PDS2_ASSIGN_OR_RETURN_IMPL_(                                  \
+      PDS2_RESULT_CONCAT_(_pds2_result_, __LINE__), decl, expr)
+
+#define PDS2_RESULT_CONCAT_INNER_(a, b) a##b
+#define PDS2_RESULT_CONCAT_(a, b) PDS2_RESULT_CONCAT_INNER_(a, b)
+
+#define PDS2_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).value()
+
+#endif  // PDS2_COMMON_RESULT_H_

@@ -1,0 +1,106 @@
+#ifndef PDS2_COMMON_STATUS_H_
+#define PDS2_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pds2::common {
+
+/// Machine-readable category of a failure. Mirrors the RocksDB/Arrow error
+/// model: the library never throws; every fallible operation returns a
+/// Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnauthenticated,   // signature / attestation / certificate failure
+  kInsufficientFunds, // blockchain balance or escrow underflow
+  kCorruption,        // serialization / integrity check failure
+  kResourceExhausted, // gas limit, capacity limits
+  kUnavailable,       // simulated network / node failure
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail but returns no value.
+///
+/// Cheap to copy in the OK case (no allocation). Construction of error
+/// statuses goes through the named factories, e.g.
+/// `Status::InvalidArgument("negative reward")`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status InsufficientFunds(std::string msg) {
+    return Status(StatusCode::kInsufficientFunds, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace pds2::common
+
+/// Propagates a non-OK Status from the current function, RocksDB-style.
+#define PDS2_RETURN_IF_ERROR(expr)                          \
+  do {                                                      \
+    ::pds2::common::Status _pds2_status = (expr);           \
+    if (!_pds2_status.ok()) return _pds2_status;            \
+  } while (0)
+
+#endif  // PDS2_COMMON_STATUS_H_

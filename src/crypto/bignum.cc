@@ -1,0 +1,474 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pds2::crypto {
+
+using common::Bytes;
+using common::Result;
+using common::Status;
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// Small primes for fast trial division before Miller-Rabin.
+constexpr uint64_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::FromBytesBE(const Bytes& bytes) {
+  BigUint out;
+  size_t n = bytes.size();
+  out.limbs_.assign((n + 7) / 8, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // bytes[n-1-i] is the i-th least significant byte.
+    out.limbs_[i / 8] |= static_cast<uint64_t>(bytes[n - 1 - i]) << (8 * (i % 8));
+  }
+  out.Trim();
+  return out;
+}
+
+Result<BigUint> BigUint::FromHex(const std::string& hex) {
+  BigUint out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else return Status::InvalidArgument("non-hex character");
+    out = out.ShiftLeft(4).Add(BigUint(static_cast<uint64_t>(v)));
+  }
+  return out;
+}
+
+Result<BigUint> BigUint::FromDecimal(const std::string& dec) {
+  if (dec.empty()) return Status::InvalidArgument("empty decimal string");
+  BigUint out;
+  const BigUint ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-decimal character");
+    }
+    out = out.Mul(ten).Add(BigUint(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+BigUint BigUint::RandomBelow(const BigUint& bound, common::Rng& rng) {
+  assert(!bound.IsZero());
+  const size_t bits = bound.BitLength();
+  const size_t limbs = (bits + 63) / 64;
+  for (;;) {
+    BigUint candidate;
+    candidate.limbs_.resize(limbs);
+    for (auto& l : candidate.limbs_) l = rng.NextU64();
+    // Mask off excess bits in the top limb.
+    const size_t top_bits = bits - (limbs - 1) * 64;
+    if (top_bits < 64) {
+      candidate.limbs_.back() &= (uint64_t{1} << top_bits) - 1;
+    }
+    candidate.Trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigUint BigUint::RandomBits(size_t bits, common::Rng& rng) {
+  assert(bits > 0);
+  const size_t limbs = (bits + 63) / 64;
+  BigUint out;
+  out.limbs_.resize(limbs);
+  for (auto& l : out.limbs_) l = rng.NextU64();
+  const size_t top_bits = bits - (limbs - 1) * 64;
+  if (top_bits < 64) {
+    out.limbs_.back() &= (uint64_t{1} << top_bits) - 1;
+  }
+  out.limbs_.back() |= uint64_t{1} << (top_bits - 1);  // force exact width
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::RandomPrime(size_t bits, common::Rng& rng, int rounds) {
+  assert(bits >= 8);
+  for (;;) {
+    BigUint candidate = RandomBits(bits, rng);
+    candidate.limbs_[0] |= 1;  // odd
+    if (IsProbablePrime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  const uint64_t top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         (64 - static_cast<size_t>(__builtin_clzll(top)));
+}
+
+bool BigUint::Bit(size_t i) const {
+  const size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+Bytes BigUint::ToBytesBE() const {
+  if (limbs_.empty()) return {};
+  const size_t bytes = (BitLength() + 7) / 8;
+  Bytes out(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    out[bytes - 1 - i] =
+        static_cast<uint8_t>(limbs_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+Result<Bytes> BigUint::ToBytesBEPadded(size_t width) const {
+  Bytes minimal = ToBytesBE();
+  if (minimal.size() > width) {
+    return Status::OutOfRange("value does not fit in requested width");
+  }
+  Bytes out(width - minimal.size(), 0);
+  out.insert(out.end(), minimal.begin(), minimal.end());
+  return out;
+}
+
+std::string BigUint::ToHex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  Bytes be = ToBytesBE();
+  for (uint8_t b : be) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  // Strip at most one leading zero nibble.
+  if (out.size() > 1 && out[0] == '0') out.erase(out.begin());
+  return out;
+}
+
+std::string BigUint::ToDecimal() const {
+  if (limbs_.empty()) return "0";
+  std::string out;
+  BigUint v = *this;
+  const BigUint ten(10);
+  while (!v.IsZero()) {
+    auto [q, r] = v.DivMod(ten);
+    out.push_back(static_cast<char>('0' + r.Low64()));
+    v = std::move(q);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Add(const BigUint& o) const {
+  BigUint out;
+  const size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    u128 sum = static_cast<u128>(i < limbs_.size() ? limbs_[i] : 0) +
+               (i < o.limbs_.size() ? o.limbs_[i] : 0) + carry;
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigUint BigUint::Sub(const BigUint& o) const {
+  assert(*this >= o);
+  BigUint out;
+  out.limbs_.resize(limbs_.size());
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    u128 lhs = limbs_[i];
+    u128 need = static_cast<u128>(rhs) + borrow;
+    if (lhs >= need) {
+      out.limbs_[i] = static_cast<uint64_t>(lhs - need);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<uint64_t>((lhs + (static_cast<u128>(1) << 64)) - need);
+      borrow = 1;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::Mul(const BigUint& o) const {
+  if (IsZero() || o.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t a = limbs_[i];
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(a) * o.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + o.limbs_.size()] += carry;
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigUint copy = *this;
+    return copy;
+  }
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::ShiftRight(size_t bits) const {
+  const size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  const size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+std::pair<BigUint, BigUint> BigUint::DivMod(const BigUint& divisor) const {
+  assert(!divisor.IsZero());
+  if (*this < divisor) return {BigUint(), *this};
+
+  // Single-limb fast path.
+  if (divisor.limbs_.size() == 1) {
+    const uint64_t d = divisor.limbs_[0];
+    BigUint q;
+    q.limbs_.resize(limbs_.size());
+    u128 rem = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | limbs_[i];
+      q.limbs_[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Trim();
+    return {q, BigUint(static_cast<uint64_t>(rem))};
+  }
+
+  // Knuth Algorithm D (TAOCP Vol.2, 4.3.1).
+  const size_t n = divisor.limbs_.size();
+  const size_t m = limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its MSB set.
+  const int shift = __builtin_clzll(divisor.limbs_.back());
+  BigUint u = ShiftLeft(static_cast<size_t>(shift));
+  BigUint v = divisor.ShiftLeft(static_cast<size_t>(shift));
+  u.limbs_.resize(limbs_.size() + 1, 0);  // extra high limb for D3 overflow
+  v.limbs_.resize(n, 0);
+
+  BigUint q;
+  q.limbs_.assign(m + 1, 0);
+
+  const uint64_t v1 = v.limbs_[n - 1];
+  const uint64_t v2 = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top three dividend limbs.
+    u128 numerator = (static_cast<u128>(u.limbs_[j + n]) << 64) | u.limbs_[j + n - 1];
+    u128 qhat = numerator / v1;
+    u128 rhat = numerator % v1;
+    const u128 kBase = static_cast<u128>(1) << 64;
+    while (qhat >= kBase ||
+           qhat * v2 > ((rhat << 64) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 p = qhat * v.limbs_[i] + carry;
+      carry = p >> 64;
+      uint64_t p_lo = static_cast<uint64_t>(p);
+      u128 sub = static_cast<u128>(u.limbs_[j + i]) - p_lo - borrow;
+      u.limbs_[j + i] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;  // sub underflowed iff top bits set
+    }
+    u128 sub = static_cast<u128>(u.limbs_[j + n]) - carry - borrow;
+    u.limbs_[j + n] = static_cast<uint64_t>(sub);
+    bool negative = (sub >> 64) != 0;
+
+    // D5/D6: if we subtracted too much, add back one divisor.
+    if (negative) {
+      --qhat;
+      u128 carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(u.limbs_[j + i]) + v.limbs_[i] + carry2;
+        u.limbs_[j + i] = static_cast<uint64_t>(sum);
+        carry2 = sum >> 64;
+      }
+      u.limbs_[j + n] += static_cast<uint64_t>(carry2);
+    }
+    q.limbs_[j] = static_cast<uint64_t>(qhat);
+  }
+
+  q.Trim();
+  u.Trim();
+  BigUint r = u.ShiftRight(static_cast<size_t>(shift));
+  return {q, r};
+}
+
+BigUint BigUint::MulMod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return a.Mul(b).Mod(m);
+}
+
+BigUint BigUint::PowMod(const BigUint& base, const BigUint& exp,
+                        const BigUint& m) {
+  assert(m > BigUint(1));
+  BigUint result(1);
+  BigUint b = base.Mod(m);
+  const size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.Bit(i)) result = MulMod(result, b, m);
+    b = MulMod(b, b, m);
+  }
+  return result;
+}
+
+BigUint BigUint::Gcd(BigUint a, BigUint b) {
+  while (!b.IsZero()) {
+    BigUint r = a.Mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUint BigUint::Lcm(const BigUint& a, const BigUint& b) {
+  if (a.IsZero() || b.IsZero()) return BigUint();
+  BigUint g = Gcd(a, b);
+  return a.DivMod(g).first.Mul(b);
+}
+
+Result<BigUint> BigUint::InvMod(const BigUint& a, const BigUint& m) {
+  // Extended Euclid on non-negative values, tracking coefficients with an
+  // explicit sign to stay within unsigned arithmetic.
+  BigUint r0 = m;
+  BigUint r1 = a.Mod(m);
+  BigUint t0;      // coefficient of m
+  BigUint t1(1);   // coefficient of a
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.IsZero()) {
+    auto [q, r2] = r0.DivMod(r1);
+    // t2 = t0 - q * t1 (signed).
+    BigUint qt = q.Mul(t1);
+    BigUint t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (t0 >= qt) {
+        t2 = t0.Sub(qt);
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt.Sub(t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      // Opposite signs: magnitudes add, sign follows t0.
+      t2 = t0.Add(qt);
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+
+  if (!r0.IsOne()) {
+    return Status::InvalidArgument("value not invertible modulo m");
+  }
+  BigUint inv = t0.Mod(m);
+  if (t0_neg && !inv.IsZero()) inv = m.Sub(inv);
+  return inv;
+}
+
+bool BigUint::IsProbablePrime(const BigUint& n, common::Rng& rng, int rounds) {
+  if (n < BigUint(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return true;
+    if (n.Mod(bp).IsZero()) return false;
+  }
+
+  // Write n-1 = d * 2^s with d odd.
+  const BigUint one(1);
+  const BigUint n_minus_1 = n.Sub(one);
+  BigUint d = n_minus_1;
+  size_t s = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+
+  const BigUint two(2);
+  const BigUint n_minus_3 = n.Sub(BigUint(3));
+  for (int round = 0; round < rounds; ++round) {
+    const BigUint a = RandomBelow(n_minus_3, rng).Add(two);  // in [2, n-2]
+    BigUint x = PowMod(a, d, n);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+}  // namespace pds2::crypto

@@ -1,0 +1,112 @@
+#ifndef PDS2_CRYPTO_BIGNUM_H_
+#define PDS2_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace pds2::crypto {
+
+/// Arbitrary-precision unsigned integer with 64-bit limbs (little-endian
+/// limb order). Backs the Paillier cryptosystem and Schnorr scalar
+/// arithmetic. Implements schoolbook multiplication and Knuth Algorithm D
+/// division — ample for the 512–2048 bit moduli used here, and the
+/// (substantial) cost of Paillier operations is itself one of the measured
+/// quantities in experiment E1.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+  /// From a single machine word.
+  explicit BigUint(uint64_t v);
+
+  /// From big-endian bytes (the natural order for hashes and wire formats).
+  static BigUint FromBytesBE(const common::Bytes& bytes);
+  /// From a lowercase/uppercase hex string (no 0x prefix). Empty = zero.
+  static common::Result<BigUint> FromHex(const std::string& hex);
+  /// From a base-10 string of digits.
+  static common::Result<BigUint> FromDecimal(const std::string& dec);
+
+  /// Uniform random value < bound (bound must be nonzero).
+  static BigUint RandomBelow(const BigUint& bound, common::Rng& rng);
+  /// Uniform random value with exactly `bits` bits (MSB set).
+  static BigUint RandomBits(size_t bits, common::Rng& rng);
+  /// Random probable prime with exactly `bits` bits (Miller–Rabin,
+  /// `rounds` witnesses).
+  static BigUint RandomPrime(size_t bits, common::Rng& rng, int rounds = 24);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  /// Value of bit `i` (false beyond the MSB).
+  bool Bit(size_t i) const;
+
+  /// Low 64 bits.
+  uint64_t Low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Big-endian byte serialization, minimal length (empty for zero).
+  common::Bytes ToBytesBE() const;
+  /// Big-endian, left-padded with zeros to exactly `width` bytes. Fails
+  /// (OutOfRange) if the value does not fit.
+  common::Result<common::Bytes> ToBytesBEPadded(size_t width) const;
+  std::string ToHex() const;
+  std::string ToDecimal() const;
+
+  // Comparison.
+  int Compare(const BigUint& other) const;  // -1, 0, +1
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+  // Arithmetic (pure functions; operands unchanged).
+  BigUint Add(const BigUint& o) const;
+  /// Requires *this >= o (asserts in debug; wraps as if unsigned otherwise
+  /// is never produced — callers uphold the precondition).
+  BigUint Sub(const BigUint& o) const;
+  BigUint Mul(const BigUint& o) const;
+  /// Quotient and remainder; divisor must be nonzero.
+  std::pair<BigUint, BigUint> DivMod(const BigUint& divisor) const;
+  BigUint Mod(const BigUint& m) const { return DivMod(m).second; }
+
+  BigUint ShiftLeft(size_t bits) const;
+  BigUint ShiftRight(size_t bits) const;
+
+  /// (a * b) mod m.
+  static BigUint MulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// (base ^ exp) mod m, square-and-multiply. m must be > 1.
+  static BigUint PowMod(const BigUint& base, const BigUint& exp,
+                        const BigUint& m);
+  static BigUint Gcd(BigUint a, BigUint b);
+  /// Least common multiple.
+  static BigUint Lcm(const BigUint& a, const BigUint& b);
+  /// Modular inverse of a mod m; fails (InvalidArgument) when
+  /// gcd(a, m) != 1.
+  static common::Result<BigUint> InvMod(const BigUint& a, const BigUint& m);
+
+  /// Miller–Rabin probable-prime test with `rounds` random witnesses.
+  static bool IsProbablePrime(const BigUint& n, common::Rng& rng,
+                              int rounds = 24);
+
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void Trim();
+
+  // Little-endian limbs; no trailing zero limbs (canonical form).
+  std::vector<uint64_t> limbs_;
+};
+
+}  // namespace pds2::crypto
+
+#endif  // PDS2_CRYPTO_BIGNUM_H_

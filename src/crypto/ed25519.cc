@@ -1,0 +1,407 @@
+#include "crypto/ed25519.h"
+
+#include <cassert>
+
+namespace pds2::crypto {
+
+using common::Bytes;
+using common::Result;
+using common::Status;
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr uint64_t kMask51 = (uint64_t{1} << 51) - 1;
+
+// 2*p in radix-2^51, added before subtraction to keep limbs non-negative.
+constexpr uint64_t kTwoP0 = 0xfffffffffffdaULL;  // 2*(2^51 - 19)
+constexpr uint64_t kTwoPn = 0xffffffffffffeULL;  // 2*(2^51 - 1)
+
+}  // namespace
+
+void Fe25519::Carry() {
+  // Propagate carries; fold the top carry back with factor 19
+  // (2^255 = 19 mod p).
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t c = 0;
+    for (int i = 0; i < 5; ++i) {
+      limbs_[i] += c;
+      c = limbs_[i] >> 51;
+      limbs_[i] &= kMask51;
+    }
+    limbs_[0] += 19 * c;
+  }
+}
+
+Fe25519 Fe25519::FromU64(uint64_t v) {
+  Fe25519 out;
+  out.limbs_[0] = v & kMask51;
+  out.limbs_[1] = v >> 51;
+  return out;
+}
+
+Fe25519 Fe25519::FromBytes(const Bytes& b) {
+  assert(b.size() >= 32);
+  auto load64 = [&](size_t off) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[off + i]) << (8 * i);
+    return v;
+  };
+  Fe25519 out;
+  out.limbs_[0] = load64(0) & kMask51;
+  out.limbs_[1] = (load64(6) >> 3) & kMask51;
+  out.limbs_[2] = (load64(12) >> 6) & kMask51;
+  out.limbs_[3] = (load64(19) >> 1) & kMask51;
+  out.limbs_[4] = (load64(24) >> 12) & kMask51;
+  return out;
+}
+
+Bytes Fe25519::ToBytes() const {
+  // Fully reduce: carry, then conditionally subtract p (twice suffices for
+  // loosely reduced values).
+  Fe25519 t = *this;
+  t.Carry();
+  for (int round = 0; round < 2; ++round) {
+    // Compute t - p and keep it if non-negative.
+    uint64_t borrow = 0;
+    std::array<uint64_t, 5> diff;
+    const uint64_t p0 = kMask51 - 18;  // 2^51 - 19
+    for (int i = 0; i < 5; ++i) {
+      const uint64_t sub = (i == 0 ? p0 : kMask51) + borrow;
+      if (t.limbs_[i] >= sub) {
+        diff[i] = t.limbs_[i] - sub;
+        borrow = 0;
+      } else {
+        diff[i] = t.limbs_[i] + (uint64_t{1} << 51) - sub;
+        borrow = 1;
+      }
+    }
+    if (borrow == 0) t.limbs_ = diff;
+  }
+
+  // Pack 5x51 bits into 32 bytes little-endian.
+  Bytes out(32, 0);
+  u128 acc = 0;
+  int acc_bits = 0;
+  size_t byte = 0;
+  for (int i = 0; i < 5; ++i) {
+    acc |= static_cast<u128>(t.limbs_[i]) << acc_bits;
+    acc_bits += 51;
+    while (acc_bits >= 8 && byte < 32) {
+      out[byte++] = static_cast<uint8_t>(acc);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  while (byte < 32) {
+    out[byte++] = static_cast<uint8_t>(acc);
+    acc >>= 8;
+  }
+  return out;
+}
+
+Fe25519 Fe25519::Add(const Fe25519& a, const Fe25519& b) {
+  Fe25519 out;
+  for (int i = 0; i < 5; ++i) out.limbs_[i] = a.limbs_[i] + b.limbs_[i];
+  out.Carry();
+  return out;
+}
+
+Fe25519 Fe25519::Sub(const Fe25519& a, const Fe25519& b) {
+  Fe25519 out;
+  out.limbs_[0] = a.limbs_[0] + kTwoP0 - b.limbs_[0];
+  for (int i = 1; i < 5; ++i) {
+    out.limbs_[i] = a.limbs_[i] + kTwoPn - b.limbs_[i];
+  }
+  out.Carry();
+  return out;
+}
+
+Fe25519 Fe25519::Mul(const Fe25519& f, const Fe25519& g) {
+  const uint64_t* a = f.limbs_.data();
+  const uint64_t* b = g.limbs_.data();
+
+  // Terms with index >= 5 wrap with factor 19.
+  const uint64_t b1_19 = b[1] * 19;
+  const uint64_t b2_19 = b[2] * 19;
+  const uint64_t b3_19 = b[3] * 19;
+  const uint64_t b4_19 = b[4] * 19;
+
+  u128 t0 = static_cast<u128>(a[0]) * b[0] + static_cast<u128>(a[1]) * b4_19 +
+            static_cast<u128>(a[2]) * b3_19 + static_cast<u128>(a[3]) * b2_19 +
+            static_cast<u128>(a[4]) * b1_19;
+  u128 t1 = static_cast<u128>(a[0]) * b[1] + static_cast<u128>(a[1]) * b[0] +
+            static_cast<u128>(a[2]) * b4_19 + static_cast<u128>(a[3]) * b3_19 +
+            static_cast<u128>(a[4]) * b2_19;
+  u128 t2 = static_cast<u128>(a[0]) * b[2] + static_cast<u128>(a[1]) * b[1] +
+            static_cast<u128>(a[2]) * b[0] + static_cast<u128>(a[3]) * b4_19 +
+            static_cast<u128>(a[4]) * b3_19;
+  u128 t3 = static_cast<u128>(a[0]) * b[3] + static_cast<u128>(a[1]) * b[2] +
+            static_cast<u128>(a[2]) * b[1] + static_cast<u128>(a[3]) * b[0] +
+            static_cast<u128>(a[4]) * b4_19;
+  u128 t4 = static_cast<u128>(a[0]) * b[4] + static_cast<u128>(a[1]) * b[3] +
+            static_cast<u128>(a[2]) * b[2] + static_cast<u128>(a[3]) * b[1] +
+            static_cast<u128>(a[4]) * b[0];
+
+  // Carry chain over the 128-bit accumulators.
+  Fe25519 out;
+  uint64_t carry;
+  out.limbs_[0] = static_cast<uint64_t>(t0) & kMask51;
+  carry = static_cast<uint64_t>(t0 >> 51);
+  t1 += carry;
+  out.limbs_[1] = static_cast<uint64_t>(t1) & kMask51;
+  carry = static_cast<uint64_t>(t1 >> 51);
+  t2 += carry;
+  out.limbs_[2] = static_cast<uint64_t>(t2) & kMask51;
+  carry = static_cast<uint64_t>(t2 >> 51);
+  t3 += carry;
+  out.limbs_[3] = static_cast<uint64_t>(t3) & kMask51;
+  carry = static_cast<uint64_t>(t3 >> 51);
+  t4 += carry;
+  out.limbs_[4] = static_cast<uint64_t>(t4) & kMask51;
+  carry = static_cast<uint64_t>(t4 >> 51);
+  out.limbs_[0] += carry * 19;
+  out.Carry();
+  return out;
+}
+
+namespace {
+
+// MSB-first square-and-multiply over an exponent given as 32 LE bytes.
+Fe25519 PowBytesLe(const Fe25519& base, const uint8_t exp_le[32]) {
+  Fe25519 result = Fe25519::FromU64(1);
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) result = Fe25519::Square(result);
+      if ((exp_le[byte] >> bit) & 1) {
+        result = Fe25519::Mul(result, base);
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Fe25519 Fe25519::Invert(const Fe25519& a) {
+  // Exponent p - 2 = 2^255 - 21: bytes eb ff .. ff 7f.
+  uint8_t exp[32];
+  exp[0] = 0xeb;
+  for (int i = 1; i < 31; ++i) exp[i] = 0xff;
+  exp[31] = 0x7f;
+  return PowBytesLe(a, exp);
+}
+
+Fe25519 Fe25519::PowP38(const Fe25519& a) {
+  // Exponent (p + 3) / 8 = 2^252 - 2: bytes fe ff .. ff 0f.
+  uint8_t exp[32];
+  exp[0] = 0xfe;
+  for (int i = 1; i < 31; ++i) exp[i] = 0xff;
+  exp[31] = 0x0f;
+  return PowBytesLe(a, exp);
+}
+
+bool Fe25519::IsZero() const {
+  Bytes b = ToBytes();
+  uint8_t acc = 0;
+  for (uint8_t v : b) acc |= v;
+  return acc == 0;
+}
+
+bool Fe25519::Equals(const Fe25519& other) const {
+  return ToBytes() == other.ToBytes();
+}
+
+bool Fe25519::IsNegative() const { return ToBytes()[0] & 1; }
+
+// ---------------------------------------------------------------------------
+// Curve constants, computed once.
+
+namespace {
+
+struct CurveConstants {
+  Fe25519 d;        // -121665 / 121666
+  Fe25519 d2;       // 2 * d
+  Fe25519 sqrt_m1;  // sqrt(-1) = 2^((p-1)/4)
+};
+
+const CurveConstants& Constants() {
+  static const CurveConstants* consts = [] {
+    auto* c = new CurveConstants();
+    const Fe25519 num = Fe25519::Sub(Fe25519(), Fe25519::FromU64(121665));
+    const Fe25519 den_inv = Fe25519::Invert(Fe25519::FromU64(121666));
+    c->d = Fe25519::Mul(num, den_inv);
+    c->d2 = Fe25519::Add(c->d, c->d);
+    // sqrt(-1) = 2^((p-1)/4); exponent (p-1)/4 = (2^255 - 20)/4 = 2^253 - 5:
+    // bytes fb ff .. ff 1f.
+    uint8_t exp[32];
+    exp[0] = 0xfb;
+    for (int i = 1; i < 31; ++i) exp[i] = 0xff;
+    exp[31] = 0x1f;
+    Fe25519 base = Fe25519::FromU64(2);
+    Fe25519 result = Fe25519::FromU64(1);
+    for (int byte = 31; byte >= 0; --byte) {
+      for (int bit = 7; bit >= 0; --bit) {
+        result = Fe25519::Square(result);
+        if ((exp[byte] >> bit) & 1) result = Fe25519::Mul(result, base);
+      }
+    }
+    c->sqrt_m1 = result;
+    return c;
+  }();
+  return *consts;
+}
+
+}  // namespace
+
+bool EdPoint::OnCurve(const Fe25519& x, const Fe25519& y) {
+  // -x^2 + y^2 == 1 + d x^2 y^2
+  const Fe25519 xx = Fe25519::Square(x);
+  const Fe25519 yy = Fe25519::Square(y);
+  const Fe25519 lhs = Fe25519::Sub(yy, xx);
+  const Fe25519 dxxyy = Fe25519::Mul(Constants().d, Fe25519::Mul(xx, yy));
+  const Fe25519 rhs = Fe25519::Add(Fe25519::FromU64(1), dxxyy);
+  return lhs.Equals(rhs);
+}
+
+EdPoint EdPoint::FromAffine(const Fe25519& x, const Fe25519& y) {
+  EdPoint p;
+  p.x_ = x;
+  p.y_ = y;
+  p.z_ = Fe25519::FromU64(1);
+  p.t_ = Fe25519::Mul(x, y);
+  return p;
+}
+
+EdPoint EdPoint::Identity() {
+  return FromAffine(Fe25519(), Fe25519::FromU64(1));
+}
+
+const EdPoint& EdPoint::Base() {
+  static const EdPoint* base = [] {
+    // y = 4/5; recover even x from the curve equation.
+    const Fe25519 y =
+        Fe25519::Mul(Fe25519::FromU64(4), Fe25519::Invert(Fe25519::FromU64(5)));
+    const Fe25519 yy = Fe25519::Square(y);
+    const Fe25519 u = Fe25519::Sub(yy, Fe25519::FromU64(1));  // y^2 - 1
+    const Fe25519 v =
+        Fe25519::Add(Fe25519::Mul(Constants().d, yy), Fe25519::FromU64(1));
+    // Candidate root of u/v: (u/v)^((p+3)/8).
+    const Fe25519 uv = Fe25519::Mul(u, Fe25519::Invert(v));
+    Fe25519 x = Fe25519::PowP38(uv);
+    if (!Fe25519::Square(x).Equals(uv)) {
+      x = Fe25519::Mul(x, Constants().sqrt_m1);
+    }
+    assert(Fe25519::Square(x).Equals(uv));
+    if (x.IsNegative()) x = Fe25519::Sub(Fe25519(), x);  // pick even root
+    assert(OnCurve(x, y));
+    return new EdPoint(FromAffine(x, y));
+  }();
+  return *base;
+}
+
+const BigUint& EdPoint::GroupOrder() {
+  static const BigUint* order = [] {
+    auto r = BigUint::FromDecimal(
+        "7237005577332262213973186563042994240857116359379907606001950938285"
+        "454250989");  // 2^252 + 27742317777372353535851937790883648493
+    assert(r.ok());
+    return new BigUint(std::move(r).value());
+  }();
+  return *order;
+}
+
+EdPoint EdPoint::Add(const EdPoint& p, const EdPoint& q) {
+  // RFC 8032 extended-coordinates addition (a = -1).
+  using F = Fe25519;
+  const F a = F::Mul(F::Sub(p.y_, p.x_), F::Sub(q.y_, q.x_));
+  const F b = F::Mul(F::Add(p.y_, p.x_), F::Add(q.y_, q.x_));
+  const F c = F::Mul(F::Mul(p.t_, Constants().d2), q.t_);
+  const F d = F::Mul(F::Add(p.z_, p.z_), q.z_);
+  const F e = F::Sub(b, a);
+  const F f = F::Sub(d, c);
+  const F g = F::Add(d, c);
+  const F h = F::Add(b, a);
+  EdPoint out;
+  out.x_ = F::Mul(e, f);
+  out.y_ = F::Mul(g, h);
+  out.t_ = F::Mul(e, h);
+  out.z_ = F::Mul(f, g);
+  return out;
+}
+
+EdPoint EdPoint::Double(const EdPoint& p) {
+  using F = Fe25519;
+  const F a = F::Square(p.x_);
+  const F b = F::Square(p.y_);
+  const F zz = F::Square(p.z_);
+  const F c = F::Add(zz, zz);
+  const F h = F::Add(a, b);
+  const F xy = F::Add(p.x_, p.y_);
+  const F e = F::Sub(h, F::Square(xy));
+  const F g = F::Sub(a, b);
+  const F f = F::Add(c, g);
+  EdPoint out;
+  out.x_ = F::Mul(e, f);
+  out.y_ = F::Mul(g, h);
+  out.t_ = F::Mul(e, h);
+  out.z_ = F::Mul(f, g);
+  return out;
+}
+
+EdPoint EdPoint::ScalarMul(const BigUint& k, const EdPoint& p) {
+  EdPoint acc = Identity();
+  const size_t bits = k.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    acc = Double(acc);
+    if (k.Bit(i)) acc = Add(acc, p);
+  }
+  return acc;
+}
+
+EdPoint EdPoint::ScalarBaseMul(const BigUint& k) {
+  return ScalarMul(k, Base());
+}
+
+void EdPoint::ToAffine(Fe25519* x, Fe25519* y) const {
+  const Fe25519 z_inv = Fe25519::Invert(z_);
+  *x = Fe25519::Mul(x_, z_inv);
+  *y = Fe25519::Mul(y_, z_inv);
+}
+
+Bytes EdPoint::Encode() const {
+  Fe25519 x, y;
+  ToAffine(&x, &y);
+  Bytes out = x.ToBytes();
+  Bytes yb = y.ToBytes();
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+Result<EdPoint> EdPoint::Decode(const Bytes& enc) {
+  if (enc.size() != 64) {
+    return Status::InvalidArgument("point encoding must be 64 bytes");
+  }
+  Bytes xb(enc.begin(), enc.begin() + 32);
+  Bytes yb(enc.begin() + 32, enc.end());
+  const Fe25519 x = Fe25519::FromBytes(xb);
+  const Fe25519 y = Fe25519::FromBytes(yb);
+  if (!OnCurve(x, y)) {
+    return Status::InvalidArgument("encoded point not on curve");
+  }
+  return FromAffine(x, y);
+}
+
+bool EdPoint::Equals(const EdPoint& other) const {
+  // Cross-multiply to avoid inversions: X1*Z2 == X2*Z1 and same for Y.
+  const Fe25519 lhs_x = Fe25519::Mul(x_, other.z_);
+  const Fe25519 rhs_x = Fe25519::Mul(other.x_, z_);
+  const Fe25519 lhs_y = Fe25519::Mul(y_, other.z_);
+  const Fe25519 rhs_y = Fe25519::Mul(other.y_, z_);
+  return lhs_x.Equals(rhs_x) && lhs_y.Equals(rhs_y);
+}
+
+}  // namespace pds2::crypto

@@ -1,0 +1,83 @@
+#include "crypto/merkle.h"
+
+#include "crypto/sha256.h"
+
+namespace pds2::crypto {
+
+using common::Bytes;
+using common::Result;
+using common::Status;
+
+namespace {
+
+Bytes HashNode(const Bytes& left, const Bytes& right) {
+  Sha256 h;
+  const uint8_t prefix = 0x01;
+  h.Update(&prefix, 1);
+  h.Update(left);
+  h.Update(right);
+  return h.Finish();
+}
+
+}  // namespace
+
+Bytes MerkleTree::HashLeaf(const Bytes& data) {
+  Sha256 h;
+  const uint8_t prefix = 0x00;
+  h.Update(&prefix, 1);
+  h.Update(data);
+  return h.Finish();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Sha256::Hash(Bytes{});
+    return;
+  }
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
+  levels_.push_back(level);
+
+  while (levels_.back().size() > 1) {
+    const std::vector<Bytes>& prev = levels_.back();
+    std::vector<Bytes> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(HashNode(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote odd node
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t index) const {
+  if (index >= leaf_count_) {
+    return Status::OutOfRange("leaf index beyond tree size");
+  }
+  MerkleProof proof;
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const std::vector<Bytes>& level = levels_[lvl];
+    const size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back({level[sibling], /*sibling_is_left=*/pos % 2 == 1});
+    }
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Bytes& root, const Bytes& leaf_data,
+                        const MerkleProof& proof) {
+  Bytes node = HashLeaf(leaf_data);
+  for (const MerkleStep& step : proof) {
+    node = step.sibling_is_left ? HashNode(step.sibling, node)
+                                : HashNode(node, step.sibling);
+  }
+  return node == root;
+}
+
+}  // namespace pds2::crypto

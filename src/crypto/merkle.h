@@ -1,0 +1,54 @@
+#ifndef PDS2_CRYPTO_MERKLE_H_
+#define PDS2_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pds2::crypto {
+
+/// One step of a Merkle inclusion proof: the sibling hash and whether it
+/// sits on the left of the path node.
+struct MerkleStep {
+  common::Bytes sibling;
+  bool sibling_is_left = false;
+};
+
+/// Inclusion proof for a single leaf.
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Binary SHA-256 Merkle tree over a list of leaf byte-strings. Leaves are
+/// hashed with a 0x00 prefix and interior nodes with 0x01, preventing
+/// leaf/node second-preimage confusion. Odd nodes are promoted (not
+/// duplicated). The blockchain uses this for transaction roots; the storage
+/// subsystem uses it for dataset commitments.
+class MerkleTree {
+ public:
+  /// Builds the tree. An empty input yields the hash of the empty string as
+  /// root (a defined sentinel).
+  explicit MerkleTree(const std::vector<common::Bytes>& leaves);
+
+  const common::Bytes& Root() const { return root_; }
+  size_t LeafCount() const { return leaf_count_; }
+
+  /// Proof for leaf `index`; fails with OutOfRange on a bad index.
+  common::Result<MerkleProof> Prove(size_t index) const;
+
+  /// Verifies that `leaf_data` is at some position under `root`.
+  static bool Verify(const common::Bytes& root, const common::Bytes& leaf_data,
+                     const MerkleProof& proof);
+
+  /// Hash applied to raw leaf data (0x00-prefixed SHA-256).
+  static common::Bytes HashLeaf(const common::Bytes& data);
+
+ private:
+  // levels_[0] = leaf hashes, last level = {root}.
+  std::vector<std::vector<common::Bytes>> levels_;
+  common::Bytes root_;
+  size_t leaf_count_ = 0;
+};
+
+}  // namespace pds2::crypto
+
+#endif  // PDS2_CRYPTO_MERKLE_H_

@@ -1,0 +1,87 @@
+#include "crypto/paillier.h"
+
+#include <cassert>
+
+namespace pds2::crypto {
+
+using common::Result;
+using common::Status;
+
+Result<BigUint> PaillierPublicKey::Encrypt(const BigUint& m,
+                                           common::Rng& rng) const {
+  if (m >= n_) return Status::InvalidArgument("plaintext not below n");
+  // With g = n+1: g^m = 1 + m*n (mod n^2).
+  const BigUint g_to_m = BigUint(1).Add(m.Mul(n_)).Mod(n_squared_);
+  // Random r in [1, n) coprime with n (overwhelmingly likely; retry if not).
+  for (;;) {
+    BigUint r = BigUint::RandomBelow(n_, rng);
+    if (r.IsZero()) continue;
+    if (!BigUint::Gcd(r, n_).IsOne()) continue;
+    const BigUint r_to_n = BigUint::PowMod(r, n_, n_squared_);
+    return BigUint::MulMod(g_to_m, r_to_n, n_squared_);
+  }
+}
+
+BigUint PaillierPublicKey::AddCiphertexts(const BigUint& c1,
+                                          const BigUint& c2) const {
+  return BigUint::MulMod(c1, c2, n_squared_);
+}
+
+BigUint PaillierPublicKey::ScalarMul(const BigUint& c, const BigUint& k) const {
+  return BigUint::PowMod(c, k, n_squared_);
+}
+
+BigUint PaillierPublicKey::EncodeSigned(int64_t v) const {
+  if (v >= 0) return BigUint(static_cast<uint64_t>(v));
+  return n_.Sub(BigUint(static_cast<uint64_t>(-v)));
+}
+
+Result<int64_t> PaillierPublicKey::DecodeSigned(const BigUint& m) const {
+  const BigUint half = n_.ShiftRight(1);
+  if (m <= half) {
+    if (m.BitLength() > 63) return Status::OutOfRange("decoded value too large");
+    return static_cast<int64_t>(m.Low64());
+  }
+  const BigUint neg = n_.Sub(m);
+  if (neg.BitLength() > 63) return Status::OutOfRange("decoded value too large");
+  return -static_cast<int64_t>(neg.Low64());
+}
+
+PaillierKeyPair PaillierKeyPair::Generate(size_t modulus_bits,
+                                          common::Rng& rng) {
+  assert(modulus_bits >= 64);
+  const size_t prime_bits = modulus_bits / 2;
+  BigUint p, q, n;
+  do {
+    p = BigUint::RandomPrime(prime_bits, rng);
+    q = BigUint::RandomPrime(prime_bits, rng);
+    n = p.Mul(q);
+  } while (p == q);
+
+  const BigUint n_squared = n.Mul(n);
+  const BigUint one(1);
+  const BigUint lambda = BigUint::Lcm(p.Sub(one), q.Sub(one));
+
+  // mu = (L(g^lambda mod n^2))^-1 mod n, with g = n+1 so
+  // g^lambda mod n^2 = 1 + lambda*n mod n^2, hence L(...) = lambda mod n.
+  const BigUint l_value = lambda.Mod(n);
+  auto mu = BigUint::InvMod(l_value, n);
+  // lambda is coprime with n for distinct primes p, q.
+  assert(mu.ok());
+
+  return PaillierKeyPair(PaillierPublicKey(n, n_squared), lambda,
+                         std::move(mu).value());
+}
+
+Result<BigUint> PaillierKeyPair::Decrypt(const BigUint& c) const {
+  const BigUint& n = public_key_.n();
+  const BigUint& n2 = public_key_.n_squared();
+  if (c >= n2) return Status::InvalidArgument("ciphertext not below n^2");
+  const BigUint u = BigUint::PowMod(c, lambda_, n2);
+  if (u.IsZero()) return Status::InvalidArgument("invalid ciphertext");
+  // L(u) = (u - 1) / n; u = 1 (mod n) for valid ciphertexts.
+  const BigUint l = u.Sub(BigUint(1)).DivMod(n).first;
+  return BigUint::MulMod(l, mu_, n);
+}
+
+}  // namespace pds2::crypto

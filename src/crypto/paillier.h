@@ -1,0 +1,68 @@
+#ifndef PDS2_CRYPTO_PAILLIER_H_
+#define PDS2_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/bignum.h"
+
+namespace pds2::crypto {
+
+/// Public half of a Paillier key pair: additively homomorphic encryption
+/// with plaintext space Z_n. Using the standard g = n + 1 simplification.
+class PaillierPublicKey {
+ public:
+  PaillierPublicKey(BigUint n, BigUint n_squared)
+      : n_(std::move(n)), n_squared_(std::move(n_squared)) {}
+
+  const BigUint& n() const { return n_; }
+  const BigUint& n_squared() const { return n_squared_; }
+
+  /// Encrypts m (must be < n): c = (1 + m*n) * r^n mod n^2.
+  common::Result<BigUint> Encrypt(const BigUint& m, common::Rng& rng) const;
+
+  /// Homomorphic addition: Dec(AddCiphertexts(E(a), E(b))) = a + b mod n.
+  BigUint AddCiphertexts(const BigUint& c1, const BigUint& c2) const;
+
+  /// Homomorphic scalar multiplication: Dec(c^k) = k * m mod n.
+  BigUint ScalarMul(const BigUint& c, const BigUint& k) const;
+
+  /// Encodes a signed 64-bit value into Z_n (negatives map to n - |v|).
+  BigUint EncodeSigned(int64_t v) const;
+  /// Inverse of EncodeSigned; values in the upper half of Z_n decode as
+  /// negative. Fails if the magnitude exceeds int64.
+  common::Result<int64_t> DecodeSigned(const BigUint& m) const;
+
+ private:
+  BigUint n_;
+  BigUint n_squared_;
+};
+
+/// Full Paillier key pair (decryption capability).
+class PaillierKeyPair {
+ public:
+  /// Generates a key with an n of roughly `modulus_bits` bits (two random
+  /// primes of modulus_bits/2). 1024 is the library default — deliberately
+  /// realistic so experiment E1 measures genuine HE cost.
+  static PaillierKeyPair Generate(size_t modulus_bits, common::Rng& rng);
+
+  const PaillierPublicKey& public_key() const { return public_key_; }
+
+  /// Decrypts: m = L(c^lambda mod n^2) * mu mod n, L(x) = (x-1)/n.
+  common::Result<BigUint> Decrypt(const BigUint& c) const;
+
+ private:
+  PaillierKeyPair(PaillierPublicKey pub, BigUint lambda, BigUint mu)
+      : public_key_(std::move(pub)),
+        lambda_(std::move(lambda)),
+        mu_(std::move(mu)) {}
+
+  PaillierPublicKey public_key_;
+  BigUint lambda_;  // lcm(p-1, q-1)
+  BigUint mu_;      // (L(g^lambda mod n^2))^-1 mod n
+};
+
+}  // namespace pds2::crypto
+
+#endif  // PDS2_CRYPTO_PAILLIER_H_

@@ -1,0 +1,120 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/sha256.h"
+
+namespace pds2::crypto {
+
+using common::Bytes;
+using common::Status;
+
+namespace {
+
+// Hash arbitrary bytes to a scalar mod the group order.
+BigUint HashToScalar(const Bytes& data) {
+  return BigUint::FromBytesBE(Sha256::Hash(data)).Mod(EdPoint::GroupOrder());
+}
+
+Bytes WithDomain(const std::string& domain, const Bytes& message) {
+  Bytes out = common::ToBytes(domain);
+  out.push_back(0);  // unambiguous separator
+  common::Append(out, message);
+  return out;
+}
+
+}  // namespace
+
+SigningKey SigningKey::Generate(common::Rng& rng) {
+  return FromSeed(rng.NextBytes(32));
+}
+
+SigningKey SigningKey::FromSeed(const Bytes& seed) {
+  Bytes expanded = Sha256::Hash2(common::ToBytes("pds2.key.seed"), seed);
+  BigUint secret = BigUint::FromBytesBE(expanded).Mod(EdPoint::GroupOrder());
+  if (secret.IsZero()) secret = BigUint(1);  // vanishingly unlikely
+  Bytes public_key = EdPoint::ScalarBaseMul(secret).Encode();
+  return SigningKey(std::move(secret), std::move(public_key));
+}
+
+Bytes SigningKey::Sign(const Bytes& message) const {
+  // Deterministic nonce: r = H(secret || message || "nonce") mod l.
+  Bytes nonce_input = secret_.ToBytesBE();
+  common::Append(nonce_input, message);
+  common::Append(nonce_input, common::ToBytes("pds2.sig.nonce"));
+  BigUint r = HashToScalar(nonce_input);
+  if (r.IsZero()) r = BigUint(1);
+
+  const EdPoint big_r = EdPoint::ScalarBaseMul(r);
+  Bytes r_enc = big_r.Encode();
+
+  // Challenge c = H(R || P || message) mod l.
+  Bytes challenge_input = r_enc;
+  common::Append(challenge_input, public_key_);
+  common::Append(challenge_input, message);
+  const BigUint c = HashToScalar(challenge_input);
+
+  // s = r + c * secret mod l.
+  const BigUint& order = EdPoint::GroupOrder();
+  const BigUint s = r.Add(BigUint::MulMod(c, secret_, order)).Mod(order);
+
+  Bytes sig = std::move(r_enc);
+  auto s_bytes = s.ToBytesBEPadded(32);
+  // s < l < 2^253 always fits in 32 bytes.
+  common::Append(sig, s_bytes.value());
+  return sig;
+}
+
+Bytes SigningKey::SignWithDomain(const std::string& domain,
+                                 const Bytes& message) const {
+  return Sign(WithDomain(domain, message));
+}
+
+common::Result<Bytes> SigningKey::SharedSecret(
+    const Bytes& peer_public_key) const {
+  PDS2_ASSIGN_OR_RETURN(EdPoint peer, EdPoint::Decode(peer_public_key));
+  const EdPoint shared = EdPoint::ScalarMul(secret_, peer);
+  return Sha256::Hash2(common::ToBytes("pds2.dh"), shared.Encode());
+}
+
+Status VerifySignature(const Bytes& public_key, const Bytes& message,
+                       const Bytes& signature) {
+  if (public_key.size() != kPublicKeySize) {
+    return Status::Unauthenticated("malformed public key");
+  }
+  if (signature.size() != kSignatureSize) {
+    return Status::Unauthenticated("malformed signature");
+  }
+
+  Bytes r_enc(signature.begin(), signature.begin() + kPublicKeySize);
+  Bytes s_bytes(signature.begin() + kPublicKeySize, signature.end());
+
+  auto big_r = EdPoint::Decode(r_enc);
+  if (!big_r.ok()) return Status::Unauthenticated("signature R not on curve");
+  auto pub = EdPoint::Decode(public_key);
+  if (!pub.ok()) return Status::Unauthenticated("public key not on curve");
+
+  const BigUint s = BigUint::FromBytesBE(s_bytes);
+  const BigUint& order = EdPoint::GroupOrder();
+  if (s >= order) return Status::Unauthenticated("signature s out of range");
+
+  Bytes challenge_input = r_enc;
+  common::Append(challenge_input, public_key);
+  common::Append(challenge_input, message);
+  const BigUint c = HashToScalar(challenge_input);
+
+  // Check s*B == R + c*P.
+  const EdPoint lhs = EdPoint::ScalarBaseMul(s);
+  const EdPoint rhs = EdPoint::Add(*big_r, EdPoint::ScalarMul(c, *pub));
+  if (!lhs.Equals(rhs)) {
+    return Status::Unauthenticated("signature verification failed");
+  }
+  return Status::Ok();
+}
+
+Status VerifySignatureWithDomain(const Bytes& public_key,
+                                 const std::string& domain,
+                                 const Bytes& message,
+                                 const Bytes& signature) {
+  return VerifySignature(public_key, WithDomain(domain, message), signature);
+}
+
+}  // namespace pds2::crypto

@@ -1,0 +1,72 @@
+#ifndef PDS2_CRYPTO_SCHNORR_H_
+#define PDS2_CRYPTO_SCHNORR_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/bignum.h"
+#include "crypto/ed25519.h"
+
+namespace pds2::crypto {
+
+/// Size of a serialized public key (affine point, x || y, 32 bytes each).
+constexpr size_t kPublicKeySize = 64;
+/// Size of a signature: R (64) || s (32, big-endian).
+constexpr size_t kSignatureSize = 96;
+
+/// A Schnorr signing key over the edwards25519 group with SHA-256 as the
+/// challenge hash (deterministic nonces, RFC-6979 style). This is the
+/// signature scheme of the whole platform: transactions, blocks,
+/// certificates, attestation quotes and device readings are all signed with
+/// it.
+class SigningKey {
+ public:
+  /// Fresh random key.
+  static SigningKey Generate(common::Rng& rng);
+  /// Deterministic key from a seed (used to give simulated devices and
+  /// actors stable identities).
+  static SigningKey FromSeed(const common::Bytes& seed);
+
+  /// Serialized public key.
+  const common::Bytes& PublicKey() const { return public_key_; }
+
+  /// Signs a message. Deterministic: same key + message => same signature.
+  common::Bytes Sign(const common::Bytes& message) const;
+
+  /// Signs a domain-separated message ("pds2.tx", "pds2.block", ...), so a
+  /// signature from one context can never be replayed in another.
+  common::Bytes SignWithDomain(const std::string& domain,
+                               const common::Bytes& message) const;
+
+  /// Diffie-Hellman shared secret with a peer's public key: both sides
+  /// derive SHA-256(secret * PeerPoint). Providers and executors use this
+  /// to agree on a transport key without any online key exchange. Fails on
+  /// a malformed peer key.
+  common::Result<common::Bytes> SharedSecret(
+      const common::Bytes& peer_public_key) const;
+
+ private:
+  SigningKey(BigUint secret, common::Bytes public_key)
+      : secret_(std::move(secret)), public_key_(std::move(public_key)) {}
+
+  BigUint secret_;
+  common::Bytes public_key_;
+};
+
+/// Verifies `signature` over `message` against `public_key`. Returns OK on
+/// a valid signature, Unauthenticated otherwise.
+common::Status VerifySignature(const common::Bytes& public_key,
+                               const common::Bytes& message,
+                               const common::Bytes& signature);
+
+/// Domain-separated verification, mirror of SignWithDomain.
+common::Status VerifySignatureWithDomain(const common::Bytes& public_key,
+                                         const std::string& domain,
+                                         const common::Bytes& message,
+                                         const common::Bytes& signature);
+
+}  // namespace pds2::crypto
+
+#endif  // PDS2_CRYPTO_SCHNORR_H_

@@ -1,0 +1,138 @@
+#include "dml/experiment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/metrics.h"
+
+namespace pds2::dml {
+
+using common::Rng;
+using common::SimTime;
+
+namespace {
+
+struct TaskData {
+  std::vector<ml::Dataset> partitions;
+  ml::Dataset test;
+};
+
+TaskData MakeTask(const DmlExperimentConfig& config, size_t num_holders,
+                  Rng& rng) {
+  TaskData task;
+  ml::Dataset all = ml::MakeTwoGaussians(
+      config.samples_per_node * num_holders + config.test_samples,
+      config.features, config.separation, rng);
+  auto [train, test] = ml::TrainTestSplit(
+      all, static_cast<double>(config.test_samples) /
+               static_cast<double>(all.Size()),
+      rng);
+  task.test = std::move(test);
+  task.partitions = config.non_iid
+                        ? ml::PartitionByLabel(train, num_holders, 2, rng)
+                        : ml::PartitionIid(train, num_holders, rng);
+  return task;
+}
+
+// Reshuffles which nodes are offline. `first_node` skips the server.
+void ApplyChurn(NetSim& sim, size_t first_node, double offline_fraction,
+                Rng& rng) {
+  if (offline_fraction <= 0.0) return;
+  std::vector<size_t> ids;
+  for (size_t i = first_node; i < sim.NumNodes(); ++i) ids.push_back(i);
+  rng.Shuffle(ids);
+  const size_t offline =
+      static_cast<size_t>(offline_fraction * static_cast<double>(ids.size()));
+  for (size_t k = 0; k < ids.size(); ++k) {
+    sim.SetOnline(ids[k], k >= offline);
+  }
+}
+
+}  // namespace
+
+DmlResult RunGossip(const DmlExperimentConfig& config) {
+  Rng rng(config.seed);
+  TaskData task = MakeTask(config, config.num_nodes, rng);
+
+  NetSim sim(config.net, config.seed ^ 0x9e3779b9);
+  std::vector<GossipNode*> nodes;
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    auto node = std::make_unique<GossipNode>(
+        std::make_unique<ml::LogisticRegressionModel>(config.features),
+        std::move(task.partitions[i]), config.gossip);
+    nodes.push_back(node.get());
+    sim.AddNode(std::move(node));
+  }
+  sim.Start();
+
+  DmlResult result;
+  for (SimTime t = config.eval_interval; t <= config.duration;
+       t += config.eval_interval) {
+    ApplyChurn(sim, 0, config.churn_offline_fraction, rng);
+    sim.RunUntil(t);
+
+    double acc_sum = 0.0;
+    for (GossipNode* node : nodes) {
+      acc_sum += ml::Accuracy(node->model(), task.test);
+    }
+    DmlTimelinePoint point;
+    point.time = t;
+    point.accuracy = acc_sum / static_cast<double>(nodes.size());
+    point.bytes_sent = sim.stats().bytes_sent;
+    point.max_node_rx_bytes =
+        *std::max_element(sim.stats().bytes_received_per_node.begin(),
+                          sim.stats().bytes_received_per_node.end());
+    result.timeline.push_back(point);
+  }
+  result.final_stats = sim.stats();
+  result.final_accuracy = result.timeline.empty()
+                              ? 0.0
+                              : result.timeline.back().accuracy;
+  return result;
+}
+
+DmlResult RunFedAvg(const DmlExperimentConfig& config) {
+  Rng rng(config.seed);
+  // Same number of data holders as the gossip run; the server is an extra
+  // data-less node 0.
+  TaskData task = MakeTask(config, config.num_nodes, rng);
+
+  NetSim sim(config.net, config.seed ^ 0x9e3779b9);
+  std::vector<size_t> client_ids(config.num_nodes);
+  std::iota(client_ids.begin(), client_ids.end(), 1);
+
+  auto server = std::make_unique<FedServerNode>(
+      std::make_unique<ml::LogisticRegressionModel>(config.features),
+      config.fedavg, client_ids);
+  FedServerNode* server_ptr = server.get();
+  sim.AddNode(std::move(server));
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    sim.AddNode(std::make_unique<FedClientNode>(
+        std::make_unique<ml::LogisticRegressionModel>(config.features),
+        std::move(task.partitions[i]), config.fedavg.local_sgd));
+  }
+  sim.Start();
+
+  DmlResult result;
+  for (SimTime t = config.eval_interval; t <= config.duration;
+       t += config.eval_interval) {
+    ApplyChurn(sim, 1, config.churn_offline_fraction, rng);
+    sim.RunUntil(t);
+
+    DmlTimelinePoint point;
+    point.time = t;
+    point.accuracy = ml::Accuracy(server_ptr->model(), task.test);
+    point.bytes_sent = sim.stats().bytes_sent;
+    point.max_node_rx_bytes =
+        *std::max_element(sim.stats().bytes_received_per_node.begin(),
+                          sim.stats().bytes_received_per_node.end());
+    result.timeline.push_back(point);
+  }
+  result.final_stats = sim.stats();
+  result.final_accuracy = result.timeline.empty()
+                              ? 0.0
+                              : result.timeline.back().accuracy;
+  return result;
+}
+
+}  // namespace pds2::dml

@@ -1,0 +1,62 @@
+#ifndef PDS2_DML_EXPERIMENT_H_
+#define PDS2_DML_EXPERIMENT_H_
+
+#include <vector>
+
+#include "dml/fedavg.h"
+#include "dml/gossip.h"
+#include "dml/netsim.h"
+
+namespace pds2::dml {
+
+/// One configured decentralized-learning run: data generation and
+/// partitioning, the network, the protocol, churn and the evaluation
+/// schedule. Shared by the unit tests and the E2/E3 benchmark harnesses so
+/// both protocols are compared under identical conditions.
+struct DmlExperimentConfig {
+  size_t num_nodes = 32;
+  size_t features = 8;
+  size_t samples_per_node = 50;
+  double separation = 3.0;   // class separability of the synthetic task
+  bool non_iid = false;      // label-skewed partitions when true
+  size_t test_samples = 1000;
+
+  NetConfig net;
+  common::SimTime duration = 30 * common::kMicrosPerSecond;
+  common::SimTime eval_interval = common::kMicrosPerSecond;
+
+  GossipConfig gossip;
+  FedAvgConfig fedavg;
+
+  /// Fraction of (non-server) nodes offline at any time; membership is
+  /// reshuffled at every evaluation tick.
+  double churn_offline_fraction = 0.0;
+
+  uint64_t seed = 1;
+};
+
+/// One evaluation sample along a run.
+struct DmlTimelinePoint {
+  common::SimTime time = 0;
+  double accuracy = 0.0;          // mean node accuracy (gossip) / server's
+  uint64_t bytes_sent = 0;        // network-wide cumulative traffic
+  uint64_t max_node_rx_bytes = 0; // hottest receiver (bottleneck indicator)
+};
+
+/// Full run output.
+struct DmlResult {
+  std::vector<DmlTimelinePoint> timeline;
+  NetStats final_stats;
+  double final_accuracy = 0.0;
+};
+
+/// Runs gossip learning under `config` (logistic regression task).
+DmlResult RunGossip(const DmlExperimentConfig& config);
+
+/// Runs federated averaging under the same conditions; node 0 is the
+/// central server and holds no data.
+DmlResult RunFedAvg(const DmlExperimentConfig& config);
+
+}  // namespace pds2::dml
+
+#endif  // PDS2_DML_EXPERIMENT_H_

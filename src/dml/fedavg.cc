@@ -1,0 +1,118 @@
+#include "dml/fedavg.h"
+
+#include <algorithm>
+
+#include "common/serial.h"
+
+namespace pds2::dml {
+
+using common::Bytes;
+using common::Reader;
+using common::Writer;
+
+namespace {
+constexpr uint64_t kRoundTimeoutTimer = 1;
+
+// Message tags.
+constexpr uint8_t kMsgTrainRequest = 1;
+constexpr uint8_t kMsgTrainResponse = 2;
+}  // namespace
+
+FedServerNode::FedServerNode(std::unique_ptr<ml::Model> model,
+                             FedAvgConfig config,
+                             std::vector<size_t> client_ids)
+    : model_(std::move(model)),
+      config_(config),
+      client_ids_(std::move(client_ids)) {}
+
+void FedServerNode::OnStart(NodeContext& ctx) { BeginRound(ctx); }
+
+void FedServerNode::BeginRound(NodeContext& ctx) {
+  ++round_;
+  round_params_.clear();
+  round_weights_.clear();
+
+  // Sample C * K online clients uniformly.
+  std::vector<size_t> online;
+  for (size_t id : client_ids_) {
+    if (ctx.IsOnline(id)) online.push_back(id);
+  }
+  const size_t target = std::max<size_t>(
+      1, static_cast<size_t>(config_.client_fraction *
+                             static_cast<double>(online.size())));
+  ctx.rng().Shuffle(online);
+  awaiting_ = std::min(target, online.size());
+  if (awaiting_ == 0) {
+    // Nobody reachable; retry after the timeout.
+    ctx.SetTimer(config_.round_timeout, kRoundTimeoutTimer + round_);
+    return;
+  }
+
+  Writer w;
+  w.PutU8(kMsgTrainRequest);
+  w.PutU64(round_);
+  w.PutDoubleVector(model_->GetParams());
+  const Bytes request = w.Take();
+  for (size_t i = 0; i < awaiting_; ++i) ctx.Send(online[i], request);
+  ctx.SetTimer(config_.round_timeout, kRoundTimeoutTimer + round_);
+}
+
+void FedServerNode::FinishRound(NodeContext& ctx) {
+  if (!round_params_.empty()) {
+    model_->SetParams(ml::WeightedAverage(round_params_, round_weights_));
+    ++rounds_completed_;
+  }
+  BeginRound(ctx);
+}
+
+void FedServerNode::OnMessage(NodeContext& ctx, size_t /*from*/,
+                              const Bytes& payload) {
+  Reader r(payload);
+  auto tag = r.GetU8();
+  if (!tag.ok() || *tag != kMsgTrainResponse) return;
+  auto round = r.GetU64();
+  auto params = r.GetDoubleVector();
+  auto samples = r.GetU64();
+  if (!round.ok() || !params.ok() || !samples.ok()) return;
+  if (*round != round_) return;  // stale response from a previous round
+  if (params->size() != model_->NumParams()) return;
+
+  round_params_.push_back(std::move(*params));
+  round_weights_.push_back(static_cast<double>(std::max<uint64_t>(1, *samples)));
+  if (round_params_.size() >= awaiting_) FinishRound(ctx);
+}
+
+void FedServerNode::OnTimer(NodeContext& ctx, uint64_t timer_id) {
+  // Only the current round's timeout matters; older ones are stale.
+  if (timer_id != kRoundTimeoutTimer + round_) return;
+  FinishRound(ctx);
+}
+
+FedClientNode::FedClientNode(std::unique_ptr<ml::Model> model,
+                             ml::Dataset local_data, ml::SgdConfig local_sgd)
+    : model_(std::move(model)),
+      data_(std::move(local_data)),
+      local_sgd_(local_sgd) {}
+
+void FedClientNode::OnMessage(NodeContext& ctx, size_t from,
+                              const Bytes& payload) {
+  Reader r(payload);
+  auto tag = r.GetU8();
+  if (!tag.ok() || *tag != kMsgTrainRequest) return;
+  auto round = r.GetU64();
+  auto params = r.GetDoubleVector();
+  if (!round.ok() || !params.ok()) return;
+  if (params->size() != model_->NumParams()) return;
+
+  model_->SetParams(*params);
+  ml::Train(*model_, data_, local_sgd_, ctx.rng());
+
+  Writer w;
+  w.PutU8(kMsgTrainResponse);
+  w.PutU64(*round);
+  w.PutDoubleVector(model_->GetParams());
+  w.PutU64(data_.Size());
+  ctx.Send(from, w.Take());
+}
+
+}  // namespace pds2::dml

@@ -1,0 +1,115 @@
+#include "dml/netsim.h"
+
+#include <cassert>
+
+namespace pds2::dml {
+
+using common::Bytes;
+using common::SimTime;
+
+SimTime NodeContext::Now() const { return sim_.Now(); }
+size_t NodeContext::NumNodes() const { return sim_.NumNodes(); }
+bool NodeContext::IsOnline(size_t node) const { return sim_.IsOnline(node); }
+void NodeContext::Send(size_t to, Bytes payload) {
+  sim_.SendFrom(self_, to, std::move(payload));
+}
+void NodeContext::SetTimer(SimTime delay, uint64_t timer_id) {
+  sim_.SetTimerFor(self_, delay, timer_id);
+}
+common::Rng& NodeContext::rng() { return sim_.rng(); }
+
+NetSim::NetSim(NetConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+size_t NetSim::AddNode(std::unique_ptr<Node> node) {
+  assert(!started_);
+  nodes_.push_back(std::move(node));
+  online_.push_back(true);
+  stats_.bytes_received_per_node.push_back(0);
+  return nodes_.size() - 1;
+}
+
+void NetSim::Start() {
+  assert(!started_);
+  started_ = true;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NodeContext ctx(*this, i);
+    nodes_[i]->OnStart(ctx);
+  }
+}
+
+void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
+  assert(to < nodes_.size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  if (config_.drop_rate > 0.0 && rng_.NextBool(config_.drop_rate)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  SimTime latency = config_.base_latency;
+  if (config_.latency_jitter > 0) {
+    latency += rng_.NextU64(config_.latency_jitter);
+  }
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    latency += static_cast<SimTime>(
+        static_cast<double>(payload.size()) /
+        config_.bandwidth_bytes_per_sec * common::kMicrosPerSecond);
+  }
+
+  PdsEvent event;
+  event.time = clock_.Now() + latency;
+  event.seq = seq_++;
+  event.kind = PdsEvent::Kind::kMessage;
+  event.target = to;
+  event.from = from;
+  event.payload = std::move(payload);
+  queue_.push(std::move(event));
+}
+
+void NetSim::SetTimerFor(size_t node, SimTime delay, uint64_t timer_id) {
+  PdsEvent event;
+  event.time = clock_.Now() + delay;
+  event.seq = seq_++;
+  event.kind = PdsEvent::Kind::kTimer;
+  event.target = node;
+  event.timer_id = timer_id;
+  queue_.push(std::move(event));
+}
+
+void NetSim::SetOnline(size_t node, bool online) {
+  assert(node < online_.size());
+  const bool was_online = online_[node];
+  online_[node] = online;
+  // A node rejoining after churn restarts its protocol (its pending timers
+  // were dropped while offline).
+  if (started_ && online && !was_online) {
+    NodeContext ctx(*this, node);
+    nodes_[node]->OnStart(ctx);
+  }
+}
+
+void NetSim::RunUntil(SimTime t) {
+  assert(started_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    PdsEvent event = queue_.top();
+    queue_.pop();
+    clock_.AdvanceTo(event.time);
+    if (!online_[event.target]) {
+      if (event.kind == PdsEvent::Kind::kMessage) ++stats_.messages_dropped;
+      continue;
+    }
+    NodeContext ctx(*this, event.target);
+    if (event.kind == PdsEvent::Kind::kMessage) {
+      ++stats_.messages_delivered;
+      stats_.bytes_received_per_node[event.target] += event.payload.size();
+      nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
+    } else {
+      nodes_[event.target]->OnTimer(ctx, event.timer_id);
+    }
+  }
+  clock_.AdvanceTo(t);
+}
+
+}  // namespace pds2::dml

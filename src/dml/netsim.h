@@ -1,0 +1,140 @@
+#ifndef PDS2_DML_NETSIM_H_
+#define PDS2_DML_NETSIM_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace pds2::dml {
+
+/// Link model of the simulated network.
+struct NetConfig {
+  common::SimTime base_latency = 10 * common::kMicrosPerMilli;
+  common::SimTime latency_jitter = 5 * common::kMicrosPerMilli;
+  double drop_rate = 0.0;                    // independent per message
+  double bandwidth_bytes_per_sec = 1.0e6;    // serialization delay per link
+};
+
+/// Network-wide counters (experiments E2/E3 read these).
+struct NetStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;     // by loss or offline receiver
+  uint64_t bytes_sent = 0;
+  /// Bytes received per node — exposes hotspots (the federated server).
+  std::vector<uint64_t> bytes_received_per_node;
+};
+
+class NetSim;
+
+/// The facilities a node may use from inside a callback.
+class NodeContext {
+ public:
+  NodeContext(NetSim& sim, size_t self) : sim_(sim), self_(self) {}
+
+  size_t self() const { return self_; }
+  common::SimTime Now() const;
+  size_t NumNodes() const;
+  bool IsOnline(size_t node) const;
+
+  /// Sends a message; it arrives after latency + size/bandwidth, unless
+  /// dropped or the receiver is offline at delivery time.
+  void Send(size_t to, common::Bytes payload);
+
+  /// Arms a one-shot timer that fires OnTimer(timer_id) after `delay`.
+  void SetTimer(common::SimTime delay, uint64_t timer_id);
+
+  common::Rng& rng();
+
+ private:
+  NetSim& sim_;
+  size_t self_;
+};
+
+/// A protocol endpoint. Implementations: GossipNode, FedServerNode,
+/// FedClientNode, and any future aggregation method (the architecture's
+/// §II-F flexibility point).
+class Node {
+ public:
+  virtual ~Node() = default;
+  /// Called once when the simulation starts.
+  virtual void OnStart(NodeContext& ctx) { (void)ctx; }
+  /// Called when a message addressed to this node is delivered.
+  virtual void OnMessage(NodeContext& ctx, size_t from,
+                         const common::Bytes& payload) = 0;
+  /// Called when a timer armed by this node fires.
+  virtual void OnTimer(NodeContext& ctx, uint64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+};
+
+/// Deterministic discrete-event network simulator. Single-threaded: events
+/// (message deliveries, timers) execute in timestamp order, ties broken by
+/// insertion sequence. Nodes can be taken offline and back online to model
+/// churn; messages to offline nodes are lost (no retransmission — protocol
+/// robustness under loss is part of what the experiments measure).
+class NetSim {
+ public:
+  NetSim(NetConfig config, uint64_t seed);
+
+  /// Registers a node; returns its index.
+  size_t AddNode(std::unique_ptr<Node> node);
+
+  /// Delivers OnStart to every node. Call once, after adding all nodes.
+  void Start();
+
+  /// Processes events until the clock passes `t` (events at exactly `t`
+  /// are processed).
+  void RunUntil(common::SimTime t);
+
+  /// Churn control. An offline node receives neither messages nor timers;
+  /// timers that fire while offline are silently dropped.
+  void SetOnline(size_t node, bool online);
+  bool IsOnline(size_t node) const { return online_[node]; }
+
+  common::SimTime Now() const { return clock_.Now(); }
+  size_t NumNodes() const { return nodes_.size(); }
+  Node* node(size_t i) { return nodes_[i].get(); }
+  const NetStats& stats() const { return stats_; }
+  common::Rng& rng() { return rng_; }
+
+  // Internal API used by NodeContext.
+  void SendFrom(size_t from, size_t to, common::Bytes payload);
+  void SetTimerFor(size_t node, common::SimTime delay, uint64_t timer_id);
+
+ private:
+  struct PdsEvent {
+    common::SimTime time = 0;
+    uint64_t seq = 0;  // FIFO tie-break
+    enum class Kind { kMessage, kTimer } kind = Kind::kMessage;
+    size_t target = 0;
+    size_t from = 0;        // messages
+    common::Bytes payload;
+    uint64_t timer_id = 0;  // timers
+  };
+  struct EventLater {
+    bool operator()(const PdsEvent& a, const PdsEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  NetConfig config_;
+  common::Rng rng_;
+  common::SimClock clock_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> online_;
+  std::priority_queue<PdsEvent, std::vector<PdsEvent>, EventLater> queue_;
+  NetStats stats_;
+  uint64_t seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pds2::dml
+
+#endif  // PDS2_DML_NETSIM_H_

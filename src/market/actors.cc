@@ -1,0 +1,183 @@
+#include "market/actors.h"
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+#include "tee/training_kernel.h"
+
+namespace pds2::market {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::ToBytes;
+using common::Writer;
+
+// ---------------------------------------------------------------------------
+// ProviderAgent
+
+ProviderAgent::ProviderAgent(std::string name, uint64_t seed)
+    : name_(std::move(name)),
+      key_(crypto::SigningKey::FromSeed(
+          ToBytes("pds2.provider." + name_ + "." + std::to_string(seed)))),
+      store_(crypto::Sha256::Hash(
+          ToBytes("pds2.provider.master." + name_ + std::to_string(seed)))) {}
+
+std::optional<storage::DatasetSummary> ProviderAgent::EvaluateWorkload(
+    const storage::Ontology& ontology, const WorkloadSpec& spec) const {
+  auto eligible = store_.Match(ontology, spec.requirement);
+  if (eligible.empty()) return std::nullopt;
+
+  // Contribute the largest eligible dataset.
+  const storage::DatasetSummary* best = &eligible[0];
+  for (const auto& summary : eligible) {
+    if (summary.num_records > best->num_records) best = &summary;
+  }
+
+  // Acceptance policy: pessimistic expected share of the provider pool.
+  const double provider_pool =
+      static_cast<double>(spec.reward_pool) *
+      static_cast<double>(1000 - spec.executor_reward_permille) / 1000.0;
+  const double expected_share =
+      provider_pool / static_cast<double>(spec.min_providers);
+  if (expected_share <
+      min_reward_per_record_ * static_cast<double>(best->num_records)) {
+    return std::nullopt;
+  }
+  return *best;
+}
+
+Result<SealedContribution> ProviderAgent::PrepareContribution(
+    const storage::DatasetSummary& offer, const WorkloadSpec& spec,
+    uint64_t workload_instance, const tee::AttestationQuote& quote,
+    const Bytes& root_public_key, const Bytes& expected_measurement,
+    const Bytes& executor_chain_public_key) {
+  (void)spec;
+  // Trust decision (paper §II-E): the provider releases data only to an
+  // enclave whose code identity it verified.
+  PDS2_RETURN_IF_ERROR(
+      tee::VerifyQuote(quote, root_public_key, expected_measurement));
+
+  // The enclave's transport key is bound inside the report data.
+  Reader report(quote.report_data);
+  PDS2_ASSIGN_OR_RETURN(Bytes enclave_transport_key, report.GetBytes());
+
+  PDS2_ASSIGN_OR_RETURN(Bytes transport_key,
+                        key_.SharedSecret(enclave_transport_key));
+  PDS2_ASSIGN_OR_RETURN(Bytes sealed,
+                        store_.SealForTransfer(offer.name, transport_key));
+
+  SealedContribution contribution;
+  contribution.provider_name = name_;
+  contribution.sealed_data = std::move(sealed);
+  contribution.provider_public_key = key_.PublicKey();
+  contribution.commitment = offer.commitment;
+  contribution.num_records = offer.num_records;
+  contribution.cert.workload_instance = workload_instance;
+  contribution.cert.provider_public_key = key_.PublicKey();
+  contribution.cert.executor_public_key = executor_chain_public_key;
+  contribution.cert.data_commitment = offer.commitment;
+  contribution.cert.num_records = offer.num_records;
+  contribution.cert.Sign(key_);
+  return contribution;
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorAgent
+
+ExecutorAgent::ExecutorAgent(std::string name, uint64_t seed,
+                             tee::AttestationService& attestation)
+    : name_(std::move(name)),
+      key_(crypto::SigningKey::FromSeed(
+          ToBytes("pds2.executor." + name_ + "." + std::to_string(seed)))) {
+  enclave_ = std::make_unique<tee::Enclave>(
+      std::make_unique<tee::TrainingKernel>(),
+      attestation.ProvisionDevice("tee." + name_),
+      crypto::Sha256::Hash(ToBytes("fused." + name_ + std::to_string(seed))),
+      seed);
+}
+
+tee::AttestationQuote ExecutorAgent::QuoteFor(uint64_t workload_instance) const {
+  Writer w;
+  w.PutU64(workload_instance);
+  return enclave_->GenerateQuote(w.Take());
+}
+
+Status ExecutorAgent::Setup(const WorkloadSpec& spec) {
+  Writer w;
+  w.PutString(spec.model_kind);
+  w.PutU64(spec.features);
+  w.PutU64(spec.hidden_units);
+  w.PutDouble(spec.learning_rate);
+  w.PutU64(spec.epochs);
+  w.PutU64(spec.batch_size);
+  w.PutDouble(spec.l2);
+  w.PutBool(spec.dp_enabled);
+  w.PutDouble(spec.dp_clip);
+  w.PutDouble(spec.dp_noise);
+  w.PutBool(spec.validation.enabled);
+  w.PutDouble(spec.validation.feature_min);
+  w.PutDouble(spec.validation.feature_max);
+  w.PutDouble(spec.validation.min_label_fraction);
+  contributions_.clear();
+  auto result = enclave_->Ecall("configure", w.Take());
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Result<uint64_t> ExecutorAgent::AcceptContribution(
+    const SealedContribution& c) {
+  Writer w;
+  w.PutBytes(c.sealed_data);
+  w.PutBytes(c.provider_public_key);
+  w.PutBytes(c.commitment);
+  PDS2_ASSIGN_OR_RETURN(Bytes out, enclave_->Ecall("load_data", w.Take()));
+  Reader r(out);
+  PDS2_ASSIGN_OR_RETURN(uint64_t loaded, r.GetU64());
+  contributions_.push_back(c);
+  return loaded;
+}
+
+Result<ml::Vec> ExecutorAgent::Train() {
+  PDS2_ASSIGN_OR_RETURN(Bytes out, enclave_->Ecall("train", {}));
+  Reader r(out);
+  PDS2_ASSIGN_OR_RETURN(ml::Vec params, r.GetDoubleVector());
+  return params;
+}
+
+Result<ml::Vec> ExecutorAgent::Params() const {
+  PDS2_ASSIGN_OR_RETURN(Bytes out, enclave_->Ecall("get_params", {}));
+  Reader r(out);
+  PDS2_ASSIGN_OR_RETURN(ml::Vec params, r.GetDoubleVector());
+  return params;
+}
+
+Result<uint64_t> ExecutorAgent::SampleCount() const {
+  PDS2_ASSIGN_OR_RETURN(Bytes out, enclave_->Ecall("sample_count", {}));
+  Reader r(out);
+  PDS2_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  return count;
+}
+
+Result<ml::Vec> ExecutorAgent::MergeAll(
+    const std::vector<std::pair<ml::Vec, uint64_t>>& peer_states) {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(peer_states.size()));
+  for (const auto& [params, samples] : peer_states) {
+    w.PutDoubleVector(params);
+    w.PutU64(samples);
+  }
+  PDS2_ASSIGN_OR_RETURN(Bytes out, enclave_->Ecall("merge_all", w.Take()));
+  Reader r(out);
+  PDS2_ASSIGN_OR_RETURN(ml::Vec params, r.GetDoubleVector());
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// ConsumerAgent
+
+ConsumerAgent::ConsumerAgent(std::string name, uint64_t seed)
+    : name_(std::move(name)),
+      key_(crypto::SigningKey::FromSeed(
+          ToBytes("pds2.consumer." + name_ + "." + std::to_string(seed)))) {}
+
+}  // namespace pds2::market

@@ -1,0 +1,141 @@
+#ifndef PDS2_MARKET_ACTORS_H_
+#define PDS2_MARKET_ACTORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chain/contracts/workload.h"
+#include "chain/types.h"
+#include "market/spec.h"
+#include "storage/provider_store.h"
+#include "tee/attestation.h"
+#include "tee/enclave.h"
+
+namespace pds2::market {
+
+/// A provider's sealed, certified contribution to one workload: everything
+/// an executor needs (and nothing more — the data is opened only inside the
+/// enclave).
+struct SealedContribution {
+  std::string provider_name;
+  common::Bytes sealed_data;
+  common::Bytes provider_public_key;
+  common::Bytes commitment;
+  uint64_t num_records = 0;
+  chain::contracts::ParticipationCert cert;
+};
+
+/// A data provider (seller): owns a signing identity, a storage subsystem,
+/// and an acceptance policy. Never hands out plaintext data — contributions
+/// leave only as sealed transfers to attested enclaves.
+class ProviderAgent {
+ public:
+  ProviderAgent(std::string name, uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  const crypto::SigningKey& key() const { return key_; }
+  chain::Address address() const {
+    return chain::AddressFromPublicKey(key_.PublicKey());
+  }
+  storage::ProviderStorage& store() { return store_; }
+
+  /// Acceptance policy: minimum tokens per contributed record the provider
+  /// expects from its (pessimistic, min_providers-way) share of the pool.
+  void set_min_reward_per_record(double v) { min_reward_per_record_ = v; }
+
+  /// Hardware-control choice (paper Fig. 3): a provider that owns TEE
+  /// hardware can pin execution to its own executor instead of a third
+  /// party. Empty = any executor (fully outsourced).
+  void set_preferred_executor(std::string executor_name) {
+    preferred_executor_ = std::move(executor_name);
+  }
+  const std::string& preferred_executor() const { return preferred_executor_; }
+
+  /// The dataset this provider would contribute, or nullopt if nothing is
+  /// eligible or the expected reward is below the provider's floor.
+  std::optional<storage::DatasetSummary> EvaluateWorkload(
+      const storage::Ontology& ontology, const WorkloadSpec& spec) const;
+
+  /// Verifies the executor enclave's attestation, derives the transport key
+  /// (ECDH with the enclave's key), seals the dataset and signs the
+  /// participation certificate. Fails — and releases nothing — when the
+  /// quote does not verify against `root_public_key` + measurement.
+  common::Result<SealedContribution> PrepareContribution(
+      const storage::DatasetSummary& offer, const WorkloadSpec& spec,
+      uint64_t workload_instance, const tee::AttestationQuote& quote,
+      const common::Bytes& root_public_key,
+      const common::Bytes& expected_measurement,
+      const common::Bytes& executor_chain_public_key);
+
+ private:
+  std::string name_;
+  crypto::SigningKey key_;
+  storage::ProviderStorage store_;
+  double min_reward_per_record_ = 0.0;
+  std::string preferred_executor_;
+};
+
+/// An executor: TEE-equipped compute node. Holds a chain identity (for
+/// registration and rewards) and an enclave running the training kernel.
+class ExecutorAgent {
+ public:
+  ExecutorAgent(std::string name, uint64_t seed,
+                tee::AttestationService& attestation);
+
+  const std::string& name() const { return name_; }
+  const crypto::SigningKey& key() const { return key_; }
+  chain::Address address() const {
+    return chain::AddressFromPublicKey(key_.PublicKey());
+  }
+  const tee::Enclave& enclave() const { return *enclave_; }
+
+  /// Quote binding this enclave to the given workload instance.
+  tee::AttestationQuote QuoteFor(uint64_t workload_instance) const;
+
+  /// Configures the enclave kernel for a workload (resets any prior data).
+  common::Status Setup(const WorkloadSpec& spec);
+
+  /// Loads a sealed contribution into the enclave; returns records loaded.
+  common::Result<uint64_t> AcceptContribution(const SealedContribution& c);
+  const std::vector<SealedContribution>& contributions() const {
+    return contributions_;
+  }
+
+  /// Local training inside the enclave; returns the (host-visible) params.
+  common::Result<ml::Vec> Train();
+
+  common::Result<ml::Vec> Params() const;
+  common::Result<uint64_t> SampleCount() const;
+
+  /// Deterministic all-reduce step (see TrainingKernel::merge_all).
+  common::Result<ml::Vec> MergeAll(
+      const std::vector<std::pair<ml::Vec, uint64_t>>& peer_states);
+
+ private:
+  std::string name_;
+  crypto::SigningKey key_;
+  mutable std::unique_ptr<tee::Enclave> enclave_;
+  std::vector<SealedContribution> contributions_;
+};
+
+/// A consumer (buyer): just a funded chain identity plus the workload it
+/// wants run; all of its power is exercised through the workload contract.
+class ConsumerAgent {
+ public:
+  ConsumerAgent(std::string name, uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  const crypto::SigningKey& key() const { return key_; }
+  chain::Address address() const {
+    return chain::AddressFromPublicKey(key_.PublicKey());
+  }
+
+ private:
+  std::string name_;
+  crypto::SigningKey key_;
+};
+
+}  // namespace pds2::market
+
+#endif  // PDS2_MARKET_ACTORS_H_

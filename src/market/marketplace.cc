@@ -1,0 +1,447 @@
+#include "market/marketplace.h"
+
+#include <algorithm>
+
+#include "chain/contracts/actor_registry.h"
+#include "common/hex.h"
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace pds2::market {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::ToBytes;
+using common::Writer;
+
+namespace {
+constexpr uint64_t kDefaultGas = 20'000'000;
+}  // namespace
+
+Marketplace::Marketplace(MarketConfig config)
+    : config_(std::move(config)), attestation_(config_.seed ^ 0xa77e57) {
+  std::vector<Bytes> validator_keys;
+  for (size_t i = 0; i < config_.num_validators; ++i) {
+    validators_.push_back(crypto::SigningKey::FromSeed(
+        ToBytes("pds2.validator." + std::to_string(config_.seed) + "." +
+                std::to_string(i))));
+    validator_keys.push_back(validators_.back().PublicKey());
+  }
+  chain_ = std::make_unique<chain::Blockchain>(
+      validator_keys, chain::ContractRegistry::CreateDefault());
+
+  // Governance bootstrap: validator 0 holds the funding treasury (enough
+  // for ~1e6 actors) and deploys the actor registry.
+  const chain::Address v0 =
+      chain::AddressFromPublicKey(validators_[0].PublicKey());
+  (void)chain_->CreditGenesis(v0, config_.genesis_balance * 1'000'000ULL);
+  auto receipt =
+      Execute(validators_[0], chain::Address{}, 0, kDefaultGas,
+              chain::CallPayload{"actors", 0, "deploy", Bytes{}});
+  if (receipt.ok() && receipt->success) {
+    actor_registry_instance_ = *chain::InstanceIdFromReceipt(*receipt);
+  }
+}
+
+Status Marketplace::Tick() {
+  now_ += config_.block_interval;
+  const size_t turn = chain_->Height() % validators_.size();
+  auto block = chain_->ProduceBlock(validators_[turn], now_);
+  return block.ok() ? Status::Ok() : block.status();
+}
+
+Result<chain::Receipt> Marketplace::Execute(const crypto::SigningKey& sender,
+                                            const chain::Address& to,
+                                            uint64_t value, uint64_t gas_limit,
+                                            chain::CallPayload payload) {
+  const chain::Address sender_addr =
+      chain::AddressFromPublicKey(sender.PublicKey());
+  chain::Transaction tx =
+      chain::Transaction::Make(sender, chain_->GetNonce(sender_addr), to,
+                               value, gas_limit, std::move(payload));
+  PDS2_RETURN_IF_ERROR(chain_->SubmitTransaction(tx));
+  PDS2_RETURN_IF_ERROR(Tick());
+  return chain_->GetReceipt(tx.Id());
+}
+
+Status Marketplace::RegisterActor(const crypto::SigningKey& key,
+                                  uint64_t roles,
+                                  const std::string& metadata) {
+  if (actor_registry_instance_ == 0) {
+    return Status::Internal("actor registry not deployed");
+  }
+  Writer args;
+  args.PutBytes(key.PublicKey());
+  args.PutU64(roles);
+  args.PutString(metadata);
+  PDS2_ASSIGN_OR_RETURN(
+      chain::Receipt receipt,
+      Execute(key, chain::Address{}, 0, kDefaultGas,
+              chain::CallPayload{"actors", actor_registry_instance_,
+                                 "register", args.Take()}));
+  if (!receipt.success) return Status::Internal(receipt.error);
+  return Status::Ok();
+}
+
+ProviderAgent& Marketplace::AddProvider(const std::string& name) {
+  providers_.push_back(
+      std::make_unique<ProviderAgent>(name, config_.seed + ++actor_seed_));
+  ProviderAgent& provider = *providers_.back();
+  (void)Execute(validators_[0], provider.address(), config_.genesis_balance,
+                kDefaultGas, chain::CallPayload{});
+  (void)RegisterActor(provider.key(), chain::contracts::kRoleProvider, name);
+  return provider;
+}
+
+ExecutorAgent& Marketplace::AddExecutor(const std::string& name) {
+  executors_.push_back(std::make_unique<ExecutorAgent>(
+      name, config_.seed + ++actor_seed_, attestation_));
+  ExecutorAgent& executor = *executors_.back();
+  (void)Execute(validators_[0], executor.address(), config_.genesis_balance,
+                kDefaultGas, chain::CallPayload{});
+  (void)RegisterActor(executor.key(), chain::contracts::kRoleExecutor, name);
+  return executor;
+}
+
+ConsumerAgent& Marketplace::AddConsumer(const std::string& name) {
+  consumers_.push_back(
+      std::make_unique<ConsumerAgent>(name, config_.seed + ++actor_seed_));
+  ConsumerAgent& consumer = *consumers_.back();
+  (void)Execute(validators_[0], consumer.address(), config_.genesis_balance,
+                kDefaultGas, chain::CallPayload{});
+  (void)RegisterActor(consumer.key(), chain::contracts::kRoleConsumer, name);
+  return consumer;
+}
+
+Result<common::Bytes> Marketplace::RegisterDatasetNft(
+    ProviderAgent& provider, const std::string& dataset_name) {
+  if (dataset_registry_instance_ == 0) {
+    Writer args;
+    args.PutString("pds2-datasets");
+    PDS2_ASSIGN_OR_RETURN(
+        chain::Receipt receipt,
+        Execute(validators_[0], chain::Address{}, 0, kDefaultGas,
+                chain::CallPayload{"erc721", 0, "deploy", args.Take()}));
+    if (!receipt.success) return Status::Internal(receipt.error);
+    PDS2_ASSIGN_OR_RETURN(dataset_registry_instance_,
+                          chain::InstanceIdFromReceipt(receipt));
+  }
+
+  PDS2_ASSIGN_OR_RETURN(storage::DatasetSummary summary,
+                        provider.store().Summary(dataset_name));
+  Writer mint;
+  mint.PutBytes(summary.commitment);
+  mint.PutBytes(summary.metadata.Serialize());
+  PDS2_ASSIGN_OR_RETURN(
+      chain::Receipt receipt,
+      Execute(provider.key(), chain::Address{}, 0, kDefaultGas,
+              chain::CallPayload{"erc721", dataset_registry_instance_, "mint",
+                                 mint.Take()}));
+  if (!receipt.success) {
+    return Status::Internal("dataset NFT mint failed: " + receipt.error);
+  }
+  return summary.commitment;
+}
+
+Result<chain::Address> Marketplace::DatasetOwner(
+    const common::Bytes& commitment) const {
+  if (dataset_registry_instance_ == 0) {
+    return Status::NotFound("no datasets registered yet");
+  }
+  Writer q;
+  q.PutBytes(commitment);
+  return chain_->Query("erc721", dataset_registry_instance_, "owner_of",
+                       q.Take());
+}
+
+Result<ml::Vec> Marketplace::FetchResult(const RunReport& report) const {
+  PDS2_ASSIGN_OR_RETURN(Bytes blob, result_store_.Get(report.result_address));
+  if (crypto::Sha256::Hash(blob) != report.result_hash) {
+    return Status::Corruption(
+        "stored result does not match the on-chain result hash");
+  }
+  Reader r(blob);
+  PDS2_ASSIGN_OR_RETURN(ml::Vec params, r.GetDoubleVector());
+  return params;
+}
+
+Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
+                                           const WorkloadSpec& spec,
+                                           const RunOptions& options) {
+  PDS2_RETURN_IF_ERROR(spec.Validate());
+  if (executors_.empty()) {
+    return Status::FailedPrecondition("no executors registered");
+  }
+
+  RunReport report;
+  const uint64_t gas_before = chain_->TotalGasUsed();
+  const uint64_t height_before = chain_->Height();
+  auto audit = [&report](std::string line) {
+    report.audit_log.push_back(std::move(line));
+  };
+
+  // --- Phase 1 (Fig. 2): consumer submits the workload specification. ----
+  Writer deploy_args;
+  deploy_args.PutBytes(spec.SpecHash());
+  deploy_args.PutU64(spec.reward_pool);
+  deploy_args.PutU64(spec.min_providers);
+  deploy_args.PutU64(spec.max_providers);
+  deploy_args.PutU64(spec.executor_reward_permille);
+  deploy_args.PutU64(spec.deadline == 0 ? now_ + 3600 * common::kMicrosPerSecond
+                                        : spec.deadline);
+  deploy_args.PutString("gossip");
+  PDS2_ASSIGN_OR_RETURN(
+      chain::Receipt deploy_receipt,
+      Execute(consumer.key(), chain::Address{}, spec.reward_pool, kDefaultGas,
+              chain::CallPayload{"workload", 0, "deploy", deploy_args.Take()}));
+  if (!deploy_receipt.success) {
+    return Status::Internal("workload deploy failed: " + deploy_receipt.error);
+  }
+  PDS2_ASSIGN_OR_RETURN(report.instance,
+                        chain::InstanceIdFromReceipt(deploy_receipt));
+  audit("deployed workload '" + spec.name + "' as instance " +
+        std::to_string(report.instance) + ", escrow " +
+        std::to_string(spec.reward_pool));
+
+  // Abort helper used on every failure past this point.
+  auto abort_and_fail = [&](const Status& cause) -> Status {
+    (void)Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
+                  chain::CallPayload{"workload", report.instance, "abort", {}});
+    return cause;
+  };
+
+  // --- Phase 2: storage subsystems match data; providers decide. ---------
+  struct Participation {
+    ProviderAgent* provider;
+    storage::DatasetSummary offer;
+    ExecutorAgent* executor;
+  };
+  std::vector<Participation> participations;
+  for (auto& provider : providers_) {
+    if (participations.size() >=
+        static_cast<size_t>(spec.max_providers)) {
+      break;
+    }
+    auto offer = provider->EvaluateWorkload(config_.ontology, spec);
+    if (!offer.has_value()) continue;
+    participations.push_back({provider.get(), std::move(*offer), nullptr});
+  }
+  audit(std::to_string(participations.size()) + " providers accepted");
+  if (participations.size() < spec.min_providers) {
+    return abort_and_fail(Status::FailedPrecondition(
+        "only " + std::to_string(participations.size()) +
+        " providers accepted (need " + std::to_string(spec.min_providers) +
+        "); workload aborted and escrow refunded"));
+  }
+
+  // --- Phase 3: providers pick executors, verify attestation, send data.
+  // Providers with their own hardware (Fig. 3) pin their preferred
+  // executor; the rest are assigned round-robin across third parties.
+  std::map<ExecutorAgent*, std::vector<SealedContribution>> per_executor;
+  for (size_t i = 0; i < participations.size(); ++i) {
+    Participation& p = participations[i];
+    p.executor = executors_[i % executors_.size()].get();
+    if (!p.provider->preferred_executor().empty()) {
+      for (auto& candidate : executors_) {
+        if (candidate->name() == p.provider->preferred_executor()) {
+          p.executor = candidate.get();
+          break;
+        }
+      }
+    }
+    if (per_executor.find(p.executor) == per_executor.end()) {
+      PDS2_RETURN_IF_ERROR(p.executor->Setup(spec));
+      per_executor[p.executor] = {};
+    }
+    const tee::AttestationQuote quote = p.executor->QuoteFor(report.instance);
+    auto contribution = p.provider->PrepareContribution(
+        p.offer, spec, report.instance, quote, attestation_.RootPublicKey(),
+        p.executor->enclave().Measurement(), p.executor->key().PublicKey());
+    if (!contribution.ok()) return abort_and_fail(contribution.status());
+    auto loaded = p.executor->AcceptContribution(*contribution);
+    if (!loaded.ok()) {
+      // In-enclave validation (§IV-C) may reject the data; the provider is
+      // excluded rather than the workload failing.
+      audit("excluded " + p.provider->name() + ": " +
+            loaded.status().ToString());
+      p.executor = nullptr;
+      continue;
+    }
+    per_executor[p.executor].push_back(std::move(*contribution));
+  }
+  participations.erase(
+      std::remove_if(participations.begin(), participations.end(),
+                     [](const Participation& p) { return p.executor == nullptr; }),
+      participations.end());
+  if (participations.size() < spec.min_providers) {
+    return abort_and_fail(Status::FailedPrecondition(
+        "too few providers passed in-enclave validation"));
+  }
+  // Executors whose every assigned provider was excluded sit this one out.
+  for (auto it = per_executor.begin(); it != per_executor.end();) {
+    it = it->second.empty() ? per_executor.erase(it) : std::next(it);
+  }
+  report.num_providers = participations.size();
+  report.num_executors = per_executor.size();
+  audit("data sealed to " + std::to_string(per_executor.size()) +
+        " attested executors");
+
+  // --- Phase 4: executors register participation (certs go on-chain). ----
+  for (auto& [executor, contributions] : per_executor) {
+    Writer args;
+    args.PutBytes(executor->key().PublicKey());
+    args.PutU32(static_cast<uint32_t>(contributions.size()));
+    for (const auto& c : contributions) args.PutBytes(c.cert.Serialize());
+    PDS2_ASSIGN_OR_RETURN(
+        chain::Receipt receipt,
+        Execute(executor->key(), chain::Address{}, 0, kDefaultGas,
+                chain::CallPayload{"workload", report.instance,
+                                   "register_executor", args.Take()}));
+    if (!receipt.success) {
+      return abort_and_fail(
+          Status::Internal("executor registration failed: " + receipt.error));
+    }
+  }
+  audit("all executor registrations validated on-chain");
+
+  // --- Phase 5: governance starts the workload. ---------------------------
+  PDS2_ASSIGN_OR_RETURN(
+      chain::Receipt start_receipt,
+      Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
+              chain::CallPayload{"workload", report.instance, "start", {}}));
+  if (!start_receipt.success) {
+    return abort_and_fail(Status::Internal(start_receipt.error));
+  }
+  audit("workload started");
+
+  // --- Phase 6: in-enclave training + decentralized aggregation. ----------
+  std::vector<ExecutorAgent*> active;
+  for (auto& [executor, _] : per_executor) active.push_back(executor);
+  std::sort(active.begin(), active.end(),
+            [](const ExecutorAgent* a, const ExecutorAgent* b) {
+              return a->name() < b->name();  // canonical order
+            });
+  for (ExecutorAgent* executor : active) {
+    auto trained = executor->Train();
+    if (!trained.ok()) return abort_and_fail(trained.status());
+  }
+  std::vector<std::pair<ml::Vec, uint64_t>> states;
+  for (ExecutorAgent* executor : active) {
+    PDS2_ASSIGN_OR_RETURN(ml::Vec params, executor->Params());
+    PDS2_ASSIGN_OR_RETURN(uint64_t samples, executor->SampleCount());
+    states.emplace_back(std::move(params), samples);
+  }
+  ml::Vec final_params;
+  if (spec.aggregation == AggregationMethod::kTeeStar && active.size() > 1) {
+    // Star topology: the first (canonical) executor's enclave aggregates;
+    // everyone else adopts the distributed result.
+    auto merged = active[0]->MergeAll(states);
+    if (!merged.ok()) return abort_and_fail(merged.status());
+    final_params = *merged;
+    uint64_t total_samples = 0;
+    for (const auto& [_, samples] : states) total_samples += samples;
+    for (size_t i = 1; i < active.size(); ++i) {
+      auto adopted =
+          active[i]->MergeAll({{final_params, total_samples}});
+      if (!adopted.ok()) return abort_and_fail(adopted.status());
+    }
+    audit("aggregation: TEE-hosted star via " + active[0]->name());
+  } else {
+    // Deterministic all-reduce: every executor merges the same state list.
+    for (ExecutorAgent* executor : active) {
+      auto merged = executor->MergeAll(states);
+      if (!merged.ok()) return abort_and_fail(merged.status());
+      final_params = *merged;
+    }
+  }
+  Writer params_writer;
+  params_writer.PutDoubleVector(final_params);
+  const Bytes result_blob = params_writer.Take();
+  const Bytes result_hash = crypto::Sha256::Hash(result_blob);
+  // Executors publish the result blob off-chain; only its hash goes on
+  // the ledger (the chain "is not used for storing any ... code or data").
+  report.result_address = result_store_.Put(result_blob);
+  audit("decentralized aggregation complete; result " +
+        common::HexPrefix(result_hash, 12));
+
+  // --- Phase 7: executors submit the agreed result. Submissions stop as
+  // soon as a strict majority completes the workload (the contract rejects
+  // votes after completion).
+  for (ExecutorAgent* executor : active) {
+    auto phase_bytes = chain_->Query("workload", report.instance, "phase", {});
+    if (phase_bytes.ok() && !phase_bytes->empty() &&
+        (*phase_bytes)[0] ==
+            static_cast<uint8_t>(
+                chain::contracts::WorkloadPhase::kCompleted)) {
+      break;
+    }
+    Writer args;
+    args.PutBytes(result_hash);
+    PDS2_ASSIGN_OR_RETURN(
+        chain::Receipt receipt,
+        Execute(executor->key(), chain::Address{}, 0, kDefaultGas,
+                chain::CallPayload{"workload", report.instance,
+                                   "submit_result", args.Take()}));
+    if (!receipt.success) {
+      return abort_and_fail(
+          Status::Internal("result submission failed: " + receipt.error));
+    }
+  }
+  auto agreed = chain_->Query("workload", report.instance, "result", {});
+  if (!agreed.ok() || *agreed != result_hash) {
+    return abort_and_fail(
+        Status::Internal("no on-chain result agreement reached"));
+  }
+  report.result_hash = result_hash;
+  report.model_params = final_params;
+  audit("executor quorum agreed on the result");
+
+  // --- Phase 8: consumer finalizes; contract pays out. ---------------------
+  std::map<std::string, uint64_t> balances_before;
+  for (const auto& p : participations) {
+    balances_before[p.provider->name()] =
+        chain_->GetBalance(p.provider->address());
+  }
+  for (ExecutorAgent* executor : active) {
+    balances_before[executor->name()] = chain_->GetBalance(executor->address());
+  }
+
+  Writer fin;
+  fin.PutU32(static_cast<uint32_t>(participations.size()));
+  for (const auto& p : participations) {
+    uint64_t weight = p.offer.num_records;
+    if (spec.reward_policy == RewardPolicy::kShapley) {
+      auto it = options.provider_weights.find(p.provider->name());
+      if (it != options.provider_weights.end()) weight = it->second;
+    }
+    fin.PutBytes(p.provider->address());
+    fin.PutU64(std::max<uint64_t>(1, weight));
+  }
+  PDS2_ASSIGN_OR_RETURN(
+      chain::Receipt fin_receipt,
+      Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
+              chain::CallPayload{"workload", report.instance, "finalize",
+                                 fin.Take()}));
+  if (!fin_receipt.success) {
+    return abort_and_fail(Status::Internal(fin_receipt.error));
+  }
+  for (const auto& p : participations) {
+    report.provider_rewards[p.provider->name()] =
+        chain_->GetBalance(p.provider->address()) -
+        balances_before[p.provider->name()];
+  }
+  for (ExecutorAgent* executor : active) {
+    report.executor_rewards[executor->name()] =
+        chain_->GetBalance(executor->address()) -
+        balances_before[executor->name()];
+  }
+  audit("escrow discharged; rewards distributed");
+
+  report.gas_used = chain_->TotalGasUsed() - gas_before;
+  report.blocks_produced = chain_->Height() - height_before;
+  return report;
+}
+
+}  // namespace pds2::market

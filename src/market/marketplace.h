@@ -1,0 +1,136 @@
+#ifndef PDS2_MARKET_MARKETPLACE_H_
+#define PDS2_MARKET_MARKETPLACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/chain.h"
+#include "market/actors.h"
+#include "market/spec.h"
+#include "storage/content_store.h"
+#include "storage/semantic.h"
+#include "tee/attestation.h"
+
+namespace pds2::market {
+
+/// Marketplace-wide configuration.
+struct MarketConfig {
+  size_t num_validators = 3;
+  uint64_t genesis_balance = 1'000'000'000'000ULL;  // per created actor
+  uint64_t seed = 1;
+  common::SimTime block_interval = common::kMicrosPerSecond;
+  storage::Ontology ontology = storage::Ontology::StandardIot();
+};
+
+/// Extra per-run inputs a consumer may supply.
+struct RunOptions {
+  /// Externally computed provider weights (by provider name), used when the
+  /// spec's reward policy is kShapley. Missing providers default to their
+  /// record counts.
+  std::map<std::string, uint64_t> provider_weights;
+};
+
+/// The outcome of one full workload lifecycle.
+struct RunReport {
+  uint64_t instance = 0;
+  common::Bytes result_hash;
+  common::Bytes result_address;  // content address in the result store
+  ml::Vec model_params;
+  size_t num_providers = 0;
+  size_t num_executors = 0;
+  std::map<std::string, uint64_t> provider_rewards;  // name -> tokens
+  std::map<std::string, uint64_t> executor_rewards;  // name -> tokens
+  uint64_t gas_used = 0;        // chain gas consumed by this run's txs
+  uint64_t blocks_produced = 0; // chain progress during the run
+  std::vector<std::string> audit_log;
+};
+
+/// The PDS2 marketplace facade: wires the governance blockchain, the
+/// attestation root, provider storage subsystems and TEE executors, and
+/// drives the Fig. 2 lifecycle end to end:
+///
+///   submit spec -> notify/match providers -> providers verify attestation
+///   and seal data to executors (with certificates) -> executors register
+///   on-chain -> start -> in-enclave training + decentralized aggregation
+///   -> result quorum on-chain -> finalize -> rewards distributed.
+class Marketplace {
+ public:
+  explicit Marketplace(MarketConfig config = {});
+
+  chain::Blockchain& chain() { return *chain_; }
+  tee::AttestationService& attestation() { return attestation_; }
+  const storage::Ontology& ontology() const { return config_.ontology; }
+  common::SimTime Now() const { return now_; }
+
+  /// Produces one block from the pending transactions.
+  common::Status Tick();
+
+  // --- Actor onboarding (funds the account, registers the actor role) ----
+  ProviderAgent& AddProvider(const std::string& name);
+  ExecutorAgent& AddExecutor(const std::string& name);
+  ConsumerAgent& AddConsumer(const std::string& name);
+
+  std::vector<std::unique_ptr<ProviderAgent>>& providers() {
+    return providers_;
+  }
+  std::vector<std::unique_ptr<ExecutorAgent>>& executors() {
+    return executors_;
+  }
+
+  /// Runs a complete workload lifecycle for `consumer`. On failure the
+  /// contract is aborted (escrow refunded) before the error is returned.
+  common::Result<RunReport> RunWorkload(ConsumerAgent& consumer,
+                                        const WorkloadSpec& spec,
+                                        const RunOptions& options = {});
+
+  /// Convenience: submits a transaction from `sender`, produces a block,
+  /// and returns the receipt (with automatic nonce management).
+  common::Result<chain::Receipt> Execute(const crypto::SigningKey& sender,
+                                         const chain::Address& to,
+                                         uint64_t value, uint64_t gas_limit,
+                                         chain::CallPayload payload);
+
+  /// Registers a provider's dataset as an ERC-721 data NFT (paper §III-A:
+  /// datasets are registered "by means of their hashes" and modeled as
+  /// non-fungible tokens). Token id = the dataset's Merkle commitment;
+  /// token metadata = the serialized semantic metadata. The shared data
+  /// registry is deployed lazily on first use. Returns the token id.
+  common::Result<common::Bytes> RegisterDatasetNft(
+      ProviderAgent& provider, const std::string& dataset_name);
+
+  /// Resolves the on-chain owner of a registered dataset commitment.
+  common::Result<chain::Address> DatasetOwner(
+      const common::Bytes& commitment) const;
+
+  /// Retrieves a finished workload's model from the off-chain result store
+  /// by its report and verifies it against the on-chain result hash — the
+  /// consumer-side integrity check of Fig. 2's final step. Corruption if
+  /// the stored blob does not hash to the agreed result.
+  common::Result<ml::Vec> FetchResult(const RunReport& report) const;
+
+ private:
+  common::Status RegisterActor(const crypto::SigningKey& key, uint64_t roles,
+                               const std::string& metadata);
+
+  MarketConfig config_;
+  std::vector<crypto::SigningKey> validators_;
+  std::unique_ptr<chain::Blockchain> chain_;
+  tee::AttestationService attestation_;
+  common::SimTime now_ = 0;
+  uint64_t actor_registry_instance_ = 0;
+  uint64_t dataset_registry_instance_ = 0;  // lazily deployed erc721
+
+  std::vector<std::unique_ptr<ProviderAgent>> providers_;
+  std::vector<std::unique_ptr<ExecutorAgent>> executors_;
+  std::vector<std::unique_ptr<ConsumerAgent>> consumers_;
+  uint64_t actor_seed_ = 0;
+
+  // Off-chain result distribution (the chain stores only hashes).
+  storage::ContentStore result_store_;
+};
+
+}  // namespace pds2::market
+
+#endif  // PDS2_MARKET_MARKETPLACE_H_

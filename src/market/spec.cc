@@ -1,0 +1,98 @@
+#include "market/spec.h"
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace pds2::market {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+Bytes WorkloadSpec::Serialize() const {
+  Writer w;
+  w.PutString(name);
+  w.PutBytes(requirement.Serialize());
+  w.PutBool(validation.enabled);
+  w.PutDouble(validation.feature_min);
+  w.PutDouble(validation.feature_max);
+  w.PutDouble(validation.min_label_fraction);
+  w.PutString(model_kind);
+  w.PutU64(features);
+  w.PutU64(hidden_units);
+  w.PutDouble(learning_rate);
+  w.PutU64(epochs);
+  w.PutU64(batch_size);
+  w.PutDouble(l2);
+  w.PutBool(dp_enabled);
+  w.PutDouble(dp_clip);
+  w.PutDouble(dp_noise);
+  w.PutU64(reward_pool);
+  w.PutU64(min_providers);
+  w.PutU64(max_providers);
+  w.PutU64(executor_reward_permille);
+  w.PutU64(deadline);
+  w.PutU8(static_cast<uint8_t>(reward_policy));
+  w.PutU8(static_cast<uint8_t>(aggregation));
+  return w.Take();
+}
+
+Result<WorkloadSpec> WorkloadSpec::Deserialize(const Bytes& data) {
+  Reader r(data);
+  WorkloadSpec spec;
+  PDS2_ASSIGN_OR_RETURN(spec.name, r.GetString());
+  PDS2_ASSIGN_OR_RETURN(Bytes req_bytes, r.GetBytes());
+  PDS2_ASSIGN_OR_RETURN(spec.requirement,
+                        storage::DataRequirement::Deserialize(req_bytes));
+  PDS2_ASSIGN_OR_RETURN(spec.validation.enabled, r.GetBool());
+  PDS2_ASSIGN_OR_RETURN(spec.validation.feature_min, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.validation.feature_max, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.validation.min_label_fraction, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.model_kind, r.GetString());
+  PDS2_ASSIGN_OR_RETURN(spec.features, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.hidden_units, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.learning_rate, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.epochs, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.batch_size, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.l2, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.dp_enabled, r.GetBool());
+  PDS2_ASSIGN_OR_RETURN(spec.dp_clip, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.dp_noise, r.GetDouble());
+  PDS2_ASSIGN_OR_RETURN(spec.reward_pool, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.min_providers, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.max_providers, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.executor_reward_permille, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(spec.deadline, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(uint8_t policy, r.GetU8());
+  if (policy > 1) return Status::Corruption("invalid reward policy");
+  spec.reward_policy = static_cast<RewardPolicy>(policy);
+  PDS2_ASSIGN_OR_RETURN(uint8_t aggregation, r.GetU8());
+  if (aggregation > 1) return Status::Corruption("invalid aggregation method");
+  spec.aggregation = static_cast<AggregationMethod>(aggregation);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in spec");
+  return spec;
+}
+
+Bytes WorkloadSpec::SpecHash() const {
+  return crypto::Sha256::Hash(Serialize());
+}
+
+Status WorkloadSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("workload needs a name");
+  if (features == 0) return Status::InvalidArgument("zero features");
+  if (reward_pool == 0) return Status::InvalidArgument("zero reward pool");
+  if (min_providers == 0 || max_providers < min_providers) {
+    return Status::InvalidArgument("invalid provider bounds");
+  }
+  if (executor_reward_permille > 1000) {
+    return Status::InvalidArgument("executor share above 100%");
+  }
+  if (model_kind == "mlp" && hidden_units == 0) {
+    return Status::InvalidArgument("mlp needs hidden units");
+  }
+  return Status::Ok();
+}
+
+}  // namespace pds2::market

@@ -1,0 +1,70 @@
+#include "ml/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pds2::ml {
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Norm2(const Vec& x) { return std::sqrt(Dot(x, x)); }
+
+Vec Lerp(const Vec& a, const Vec& b, double t) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = (1.0 - t) * a[i] + t * b[i];
+  return out;
+}
+
+Vec WeightedAverage(const std::vector<Vec>& vecs,
+                    const std::vector<double>& weights) {
+  assert(!vecs.empty());
+  assert(vecs.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  Vec out(vecs[0].size(), 0.0);
+  for (size_t i = 0; i < vecs.size(); ++i) {
+    assert(vecs[i].size() == out.size());
+    Axpy(weights[i] / total, vecs[i], out);
+  }
+  return out;
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  assert(x.size() == cols_);
+  Vec out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Vec Matrix::MatVecTransposed(const Vec& x) const {
+  assert(x.size() == rows_);
+  Vec out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * x[r];
+  }
+  return out;
+}
+
+}  // namespace pds2::ml

@@ -1,0 +1,64 @@
+#ifndef PDS2_ML_LINALG_H_
+#define PDS2_ML_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pds2::ml {
+
+/// Dense vector of doubles. ML parameters and feature rows use this
+/// directly; gossip learning merges models as flat Vec parameter blocks.
+using Vec = std::vector<double>;
+
+/// Dot product; vectors must have equal length.
+double Dot(const Vec& a, const Vec& b);
+
+/// y += alpha * x (in place).
+void Axpy(double alpha, const Vec& x, Vec& y);
+
+/// x *= alpha (in place).
+void Scale(double alpha, Vec& x);
+
+/// Euclidean norm.
+double Norm2(const Vec& x);
+
+/// Element-wise convex combination: (1 - t) * a + t * b.
+Vec Lerp(const Vec& a, const Vec& b, double t);
+
+/// Weighted average of several parameter vectors (weights need not be
+/// normalized; they are divided by their sum). All vectors must share one
+/// length and at least one weight must be positive.
+Vec WeightedAverage(const std::vector<Vec>& vecs,
+                    const std::vector<double>& weights);
+
+/// Dense row-major matrix, minimal by design: the models here only need
+/// matvec and outer-product accumulation.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// out = M * x. x.size() must equal cols().
+  Vec MatVec(const Vec& x) const;
+  /// out = M^T * x. x.size() must equal rows().
+  Vec MatVecTransposed(const Vec& x) const;
+
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Vec data_;
+};
+
+}  // namespace pds2::ml
+
+#endif  // PDS2_ML_LINALG_H_

@@ -1,0 +1,76 @@
+#include "ml/privacy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace pds2::ml {
+
+double GaussianDpEpsilon(double noise_multiplier, size_t steps, double delta) {
+  if (noise_multiplier <= 0.0 || steps == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double eps_step =
+      std::sqrt(2.0 * std::log(1.25 / delta)) / noise_multiplier;
+  const double k = static_cast<double>(steps);
+  return std::sqrt(2.0 * k * std::log(1.0 / delta)) * eps_step +
+         k * eps_step * (std::exp(eps_step) - 1.0);
+}
+
+MembershipAttackResult MembershipInferenceAttack(const Model& model,
+                                                 const Dataset& members,
+                                                 const Dataset& nonmembers) {
+  MembershipAttackResult result;
+  if (members.Size() == 0 || nonmembers.Size() == 0) return result;
+
+  std::vector<double> member_losses(members.Size());
+  std::vector<double> nonmember_losses(nonmembers.Size());
+  double member_sum = 0.0, nonmember_sum = 0.0;
+  for (size_t i = 0; i < members.Size(); ++i) {
+    member_losses[i] = model.ExampleLoss(members.x[i], members.y[i]);
+    member_sum += member_losses[i];
+  }
+  for (size_t i = 0; i < nonmembers.Size(); ++i) {
+    nonmember_losses[i] = model.ExampleLoss(nonmembers.x[i], nonmembers.y[i]);
+    nonmember_sum += nonmember_losses[i];
+  }
+  result.mean_member_loss = member_sum / static_cast<double>(members.Size());
+  result.mean_nonmember_loss =
+      nonmember_sum / static_cast<double>(nonmembers.Size());
+
+  // Sweep thresholds: predict "member" when loss <= t. Candidate
+  // thresholds are all observed loss values.
+  std::vector<double> thresholds = member_losses;
+  thresholds.insert(thresholds.end(), nonmember_losses.begin(),
+                    nonmember_losses.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::sort(member_losses.begin(), member_losses.end());
+  std::sort(nonmember_losses.begin(), nonmember_losses.end());
+
+  double best_acc = 0.5;
+  for (double t : thresholds) {
+    // True positive rate: members with loss <= t.
+    const double tpr =
+        static_cast<double>(std::upper_bound(member_losses.begin(),
+                                             member_losses.end(), t) -
+                            member_losses.begin()) /
+        static_cast<double>(member_losses.size());
+    const double fpr =
+        static_cast<double>(std::upper_bound(nonmember_losses.begin(),
+                                             nonmember_losses.end(), t) -
+                            nonmember_losses.begin()) /
+        static_cast<double>(nonmember_losses.size());
+    const double balanced_acc = 0.5 * (tpr + (1.0 - fpr));
+    best_acc = std::max(best_acc, balanced_acc);
+  }
+
+  result.attack_accuracy = best_acc;
+  result.advantage = 2.0 * (best_acc - 0.5);
+  return result;
+}
+
+}  // namespace pds2::ml

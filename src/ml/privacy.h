@@ -1,0 +1,39 @@
+#ifndef PDS2_ML_PRIVACY_H_
+#define PDS2_ML_PRIVACY_H_
+
+#include <cstddef>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace pds2::ml {
+
+/// (epsilon, delta) differential-privacy estimate for `steps` applications
+/// of the Gaussian mechanism with the given noise multiplier (sigma,
+/// relative to the clipping bound, i.e. sensitivity 1). Uses the analytic
+/// single-shot bound eps_step = sqrt(2 ln(1.25/delta)) / sigma combined
+/// with advanced composition:
+///   eps_total = sqrt(2 k ln(1/delta)) * eps + k * eps * (e^eps - 1).
+/// Infinite when sigma == 0.
+double GaussianDpEpsilon(double noise_multiplier, size_t steps, double delta);
+
+/// Result of a loss-threshold membership-inference attack (the standard
+/// Yeom-style attack: training members tend to have lower loss).
+struct MembershipAttackResult {
+  double attack_accuracy = 0.5;  // best balanced accuracy over thresholds
+  double advantage = 0.0;        // 2 * (accuracy - 0.5), in [0, 1]
+  double mean_member_loss = 0.0;
+  double mean_nonmember_loss = 0.0;
+};
+
+/// Runs the attack: scores every member/non-member example by model loss
+/// and finds the threshold maximizing balanced accuracy. An advantage near
+/// zero means the model leaks (almost) no membership information through
+/// its losses — the property DP training should restore (paper §IV-D).
+MembershipAttackResult MembershipInferenceAttack(const Model& model,
+                                                 const Dataset& members,
+                                                 const Dataset& nonmembers);
+
+}  // namespace pds2::ml
+
+#endif  // PDS2_ML_PRIVACY_H_

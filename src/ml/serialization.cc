@@ -1,0 +1,94 @@
+#include "ml/serialization.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serial.h"
+
+namespace pds2::ml {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+common::Bytes SerializeModel(const Model& model) {
+  Writer w;
+  w.PutString("pds2.model.v1");
+  w.PutString(model.Architecture());
+  w.PutDoubleVector(model.GetParams());
+  return w.Take();
+}
+
+namespace {
+
+// Splits "kind:a:b" into tokens.
+std::vector<std::string> SplitColon(const std::string& s) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  for (;;) {
+    const size_t colon = s.find(':', begin);
+    if (colon == std::string::npos) {
+      out.push_back(s.substr(begin));
+      return out;
+    }
+    out.push_back(s.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+}
+
+Result<size_t> ParseDim(const std::string& token) {
+  if (token.empty()) return Status::Corruption("empty dimension");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0 || v > 1'000'000) {
+    return Status::Corruption("bad dimension: " + token);
+  }
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Model>> DeserializeModel(const Bytes& data) {
+  Reader r(data);
+  PDS2_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "pds2.model.v1") {
+    return Status::Corruption("not a model snapshot");
+  }
+  PDS2_ASSIGN_OR_RETURN(std::string architecture, r.GetString());
+  PDS2_ASSIGN_OR_RETURN(Vec params, r.GetDoubleVector());
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in snapshot");
+
+  const std::vector<std::string> tokens = SplitColon(architecture);
+  std::unique_ptr<Model> model;
+  if (tokens[0] == "linear" && tokens.size() == 2) {
+    PDS2_ASSIGN_OR_RETURN(size_t d, ParseDim(tokens[1]));
+    model = std::make_unique<LinearRegressionModel>(d);
+  } else if (tokens[0] == "logistic" && tokens.size() == 2) {
+    PDS2_ASSIGN_OR_RETURN(size_t d, ParseDim(tokens[1]));
+    model = std::make_unique<LogisticRegressionModel>(d);
+  } else if (tokens[0] == "softmax" && tokens.size() == 3) {
+    PDS2_ASSIGN_OR_RETURN(size_t d, ParseDim(tokens[1]));
+    PDS2_ASSIGN_OR_RETURN(size_t classes, ParseDim(tokens[2]));
+    if (classes < 2) return Status::Corruption("softmax needs >= 2 classes");
+    model = std::make_unique<SoftmaxRegressionModel>(d, classes);
+  } else if (tokens[0] == "mlp" && tokens.size() == 3) {
+    PDS2_ASSIGN_OR_RETURN(size_t d, ParseDim(tokens[1]));
+    PDS2_ASSIGN_OR_RETURN(size_t hidden, ParseDim(tokens[2]));
+    common::Rng init_rng(0);  // initialization is overwritten by SetParams
+    model = std::make_unique<MlpModel>(d, hidden, init_rng);
+  } else {
+    return Status::InvalidArgument("unknown architecture: " + architecture);
+  }
+
+  if (params.size() != model->NumParams()) {
+    return Status::Corruption("parameter count does not match architecture");
+  }
+  model->SetParams(params);
+  return model;
+}
+
+}  // namespace pds2::ml

@@ -1,0 +1,24 @@
+#ifndef PDS2_ML_SERIALIZATION_H_
+#define PDS2_ML_SERIALIZATION_H_
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "ml/model.h"
+
+namespace pds2::ml {
+
+/// Self-describing model snapshot: architecture header + parameters.
+/// Consumers persist purchased models with this; the snapshot can be
+/// rehydrated without knowing the workload spec that produced it.
+common::Bytes SerializeModel(const Model& model);
+
+/// Rehydrates a model snapshot. Fails with Corruption on malformed input
+/// and InvalidArgument on unknown architectures.
+common::Result<std::unique_ptr<Model>> DeserializeModel(
+    const common::Bytes& data);
+
+}  // namespace pds2::ml
+
+#endif  // PDS2_ML_SERIALIZATION_H_

@@ -1,0 +1,223 @@
+#include "p2p/validator_network.h"
+
+#include "common/logging.h"
+#include "common/serial.h"
+
+namespace pds2::p2p {
+
+using common::Bytes;
+using common::Reader;
+using common::Status;
+using common::Writer;
+
+namespace {
+
+constexpr uint64_t kSlotTimer = 1;
+
+// Wire message kinds.
+constexpr uint8_t kMsgTx = 1;
+constexpr uint8_t kMsgBlock = 2;
+constexpr uint8_t kMsgSyncRequest = 3;
+constexpr uint8_t kMsgSyncResponse = 4;
+constexpr uint8_t kMsgHeadAnnounce = 5;
+
+Bytes EncodeTx(const chain::Transaction& tx) {
+  Writer w;
+  w.PutU8(kMsgTx);
+  w.PutBytes(tx.Serialize());
+  return w.Take();
+}
+
+Bytes EncodeBlock(uint8_t kind, const chain::Block& block) {
+  Writer w;
+  w.PutU8(kind);
+  w.PutBytes(block.Serialize());
+  return w.Take();
+}
+
+}  // namespace
+
+ValidatorNode::ValidatorNode(size_t index,
+                             std::vector<Bytes> validator_keys,
+                             crypto::SigningKey key,
+                             const std::vector<GenesisAlloc>& genesis,
+                             common::SimTime block_interval)
+    : index_(index), key_(std::move(key)), block_interval_(block_interval) {
+  chain_ = std::make_unique<chain::Blockchain>(
+      std::move(validator_keys), chain::ContractRegistry::CreateDefault());
+  for (const GenesisAlloc& alloc : genesis) {
+    (void)chain_->CreditGenesis(alloc.address, alloc.amount);
+  }
+}
+
+void ValidatorNode::OnStart(dml::NodeContext& ctx) {
+  // Stagger slot timers slightly by index so a round-robin slot's proposer
+  // usually fires first.
+  ctx.SetTimer(block_interval_ + index_ * 199, kSlotTimer);
+}
+
+void ValidatorNode::Broadcast(dml::NodeContext& ctx, const Bytes& payload) {
+  for (size_t peer : peers_) {
+    if (peer != ctx.self()) ctx.Send(peer, payload);
+  }
+}
+
+Status ValidatorNode::SubmitTransaction(const chain::Transaction& tx,
+                                        dml::NodeContext& ctx) {
+  PDS2_RETURN_IF_ERROR(chain_->SubmitTransaction(tx));
+  seen_txs_[tx.Id()] = true;
+  Broadcast(ctx, EncodeTx(tx));
+  return Status::Ok();
+}
+
+void ValidatorNode::TryProduce(dml::NodeContext& ctx) {
+  if (chain_->NextProposer() != key_.PublicKey()) return;
+  auto block = chain_->ProduceBlock(key_, ctx.Now());
+  if (!block.ok()) return;  // e.g. non-monotonic timestamp: wait a slot
+  ++blocks_produced_;
+  Broadcast(ctx, EncodeBlock(kMsgBlock, *block));
+  DrainBuffer();
+}
+
+void ValidatorNode::OnTimer(dml::NodeContext& ctx, uint64_t timer_id) {
+  if (timer_id != kSlotTimer) return;
+  TryProduce(ctx);
+  // Head announcement every slot: lets peers that missed a block (lossy
+  // links) discover the gap and pull it via the sync protocol, so the
+  // round-robin rotation can never deadlock on a single lost broadcast.
+  Writer w;
+  w.PutU8(kMsgHeadAnnounce);
+  w.PutU64(chain_->Height());
+  Broadcast(ctx, w.Take());
+  ctx.SetTimer(block_interval_, kSlotTimer);
+}
+
+void ValidatorNode::ApplyOrBuffer(dml::NodeContext& ctx, size_t from,
+                                  chain::Block block) {
+  const uint64_t height = chain_->Height();
+  if (block.header.number < height) return;  // stale duplicate
+  if (block.header.number > height) {
+    // A gap: buffer the block and ask the sender for what we miss.
+    future_blocks_.emplace(block.header.number, std::move(block));
+    Writer w;
+    w.PutU8(kMsgSyncRequest);
+    w.PutU64(height);
+    ctx.Send(from, w.Take());
+    ++sync_requests_sent_;
+    return;
+  }
+  Status status = chain_->ApplyExternalBlock(block);
+  if (!status.ok()) {
+    PDS2_LOG(kWarn) << "validator " << index_ << " rejected block "
+                    << block.header.number << ": " << status.ToString();
+    return;
+  }
+  DrainBuffer();
+}
+
+void ValidatorNode::DrainBuffer() {
+  for (;;) {
+    auto it = future_blocks_.find(chain_->Height());
+    if (it == future_blocks_.end()) break;
+    Status status = chain_->ApplyExternalBlock(it->second);
+    future_blocks_.erase(it);
+    if (!status.ok()) break;
+  }
+  // Drop anything at or below the new height.
+  while (!future_blocks_.empty() &&
+         future_blocks_.begin()->first < chain_->Height()) {
+    future_blocks_.erase(future_blocks_.begin());
+  }
+}
+
+void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
+                              const Bytes& payload) {
+  Reader r(payload);
+  auto kind = r.GetU8();
+  if (!kind.ok()) return;
+
+  switch (*kind) {
+    case kMsgTx: {
+      auto tx_bytes = r.GetBytes();
+      if (!tx_bytes.ok()) return;
+      auto tx = chain::Transaction::Deserialize(*tx_bytes);
+      if (!tx.ok()) return;
+      const chain::Hash id = tx->Id();
+      if (seen_txs_.count(id)) return;  // already gossiped
+      if (!chain_->SubmitTransaction(*tx).ok()) return;
+      seen_txs_[id] = true;
+      Broadcast(ctx, payload);  // re-gossip once
+      break;
+    }
+    case kMsgBlock: {
+      auto block_bytes = r.GetBytes();
+      if (!block_bytes.ok()) return;
+      auto block = chain::Block::Deserialize(*block_bytes);
+      if (!block.ok()) return;
+      ApplyOrBuffer(ctx, from, std::move(*block));
+      break;
+    }
+    case kMsgSyncRequest: {
+      auto from_height = r.GetU64();
+      if (!from_height.ok()) return;
+      // Send every block the requester is missing, individually (they
+      // apply in order on arrival; the event queue preserves send order).
+      const auto& blocks = chain_->blocks();
+      for (uint64_t h = *from_height; h < blocks.size(); ++h) {
+        ctx.Send(from, EncodeBlock(kMsgSyncResponse, blocks[h]));
+      }
+      break;
+    }
+    case kMsgHeadAnnounce: {
+      auto peer_height = r.GetU64();
+      if (!peer_height.ok()) return;
+      if (*peer_height > chain_->Height()) {
+        Writer w;
+        w.PutU8(kMsgSyncRequest);
+        w.PutU64(chain_->Height());
+        ctx.Send(from, w.Take());
+        ++sync_requests_sent_;
+      }
+      break;
+    }
+    case kMsgSyncResponse: {
+      auto block_bytes = r.GetBytes();
+      if (!block_bytes.ok()) return;
+      auto block = chain::Block::Deserialize(*block_bytes);
+      if (!block.ok()) return;
+      ApplyOrBuffer(ctx, from, std::move(*block));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
+    size_t n, const std::vector<GenesisAlloc>& genesis,
+    common::SimTime block_interval, const dml::NetConfig& net_config,
+    uint64_t seed, std::vector<ValidatorNode*>* nodes) {
+  std::vector<crypto::SigningKey> keys;
+  std::vector<Bytes> public_keys;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(crypto::SigningKey::FromSeed(common::ToBytes(
+        "pds2.p2p.validator." + std::to_string(seed) + "." +
+        std::to_string(i))));
+    public_keys.push_back(keys.back().PublicKey());
+  }
+
+  auto sim = std::make_unique<dml::NetSim>(net_config, seed);
+  std::vector<size_t> ids;
+  std::vector<ValidatorNode*> raw_nodes;
+  for (size_t i = 0; i < n; ++i) {
+    auto node = std::make_unique<ValidatorNode>(
+        i, public_keys, std::move(keys[i]), genesis, block_interval);
+    raw_nodes.push_back(node.get());
+    ids.push_back(sim->AddNode(std::move(node)));
+  }
+  for (ValidatorNode* node : raw_nodes) node->SetPeers(ids);
+  if (nodes != nullptr) *nodes = raw_nodes;
+  return sim;
+}
+
+}  // namespace pds2::p2p

@@ -1,0 +1,53 @@
+#include "rewards/pricing.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+
+namespace pds2::rewards {
+
+ModelPricer::ModelPricer(const ml::Model& optimal_model, double full_price,
+                         double noise_scale)
+    : optimal_(optimal_model.Clone()),
+      full_price_(full_price),
+      noise_scale_(noise_scale) {}
+
+double ModelPricer::NoiseStddev(double budget) const {
+  const double clamped = std::clamp(budget, full_price_ * 1e-3, full_price_);
+  return noise_scale_ * (full_price_ / clamped - 1.0);
+}
+
+std::unique_ptr<ml::Model> ModelPricer::PriceOut(double budget,
+                                                 common::Rng& rng) const {
+  auto model = optimal_->Clone();
+  const double stddev = NoiseStddev(budget);
+  if (stddev > 0.0) {
+    ml::Vec params = model->GetParams();
+    for (double& p : params) p += rng.NextGaussian(0.0, stddev);
+    model->SetParams(params);
+  }
+  return model;
+}
+
+std::vector<PricePoint> PriceAccuracyCurve(const ModelPricer& pricer,
+                                           const ml::Dataset& test,
+                                           const std::vector<double>& budgets,
+                                           size_t trials, common::Rng& rng) {
+  std::vector<PricePoint> curve;
+  curve.reserve(budgets.size());
+  for (double budget : budgets) {
+    PricePoint point;
+    point.budget = budget;
+    point.noise_stddev = pricer.NoiseStddev(budget);
+    double acc_sum = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      auto model = pricer.PriceOut(budget, rng);
+      acc_sum += ml::Accuracy(*model, test);
+    }
+    point.accuracy = acc_sum / static_cast<double>(trials);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace pds2::rewards

@@ -1,0 +1,56 @@
+#ifndef PDS2_REWARDS_PRICING_H_
+#define PDS2_REWARDS_PRICING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace pds2::rewards {
+
+/// Model-based pricing (Chen, Koutris & Kumar [32], §IV-A): the platform
+/// trains one optimal model instance and sells degraded versions — Gaussian
+/// noise is injected into the parameters with variance inversely
+/// proportional to the buyer's budget, so paying more buys accuracy.
+class ModelPricer {
+ public:
+  /// `full_price` is the budget that buys the noise-free model;
+  /// `noise_scale` calibrates degradation for smaller budgets: the injected
+  /// per-parameter stddev is noise_scale * (full_price / budget - 1).
+  ModelPricer(const ml::Model& optimal_model, double full_price,
+              double noise_scale);
+
+  /// A model instance degraded according to `budget` (clamped to
+  /// (0, full_price]). Deterministic given the rng state.
+  std::unique_ptr<ml::Model> PriceOut(double budget, common::Rng& rng) const;
+
+  /// The noise stddev applied at `budget`.
+  double NoiseStddev(double budget) const;
+
+  double full_price() const { return full_price_; }
+
+ private:
+  std::unique_ptr<ml::Model> optimal_;
+  double full_price_;
+  double noise_scale_;
+};
+
+/// One point of a price/accuracy curve.
+struct PricePoint {
+  double budget = 0.0;
+  double noise_stddev = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Sweeps budgets and measures the delivered accuracy on `test`, averaging
+/// `trials` noise draws per budget. The curve must be (stochastically)
+/// non-decreasing in budget — the arbitrage-freeness the scheme needs.
+std::vector<PricePoint> PriceAccuracyCurve(const ModelPricer& pricer,
+                                           const ml::Dataset& test,
+                                           const std::vector<double>& budgets,
+                                           size_t trials, common::Rng& rng);
+
+}  // namespace pds2::rewards
+
+#endif  // PDS2_REWARDS_PRICING_H_

@@ -1,0 +1,63 @@
+#include "storage/content_store.h"
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace pds2::storage {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+Bytes ContentStore::Put(const Bytes& blob) {
+  Writer manifest;
+  manifest.PutU64(blob.size());
+  const size_t n_chunks = (blob.size() + kChunkSize - 1) / kChunkSize;
+  manifest.PutU32(static_cast<uint32_t>(n_chunks));
+  for (size_t i = 0; i < n_chunks; ++i) {
+    const size_t begin = i * kChunkSize;
+    const size_t end = std::min(blob.size(), begin + kChunkSize);
+    Bytes chunk(blob.begin() + static_cast<ptrdiff_t>(begin),
+                blob.begin() + static_cast<ptrdiff_t>(end));
+    Bytes chunk_hash = crypto::Sha256::Hash(chunk);
+    auto [it, inserted] = chunks_.emplace(chunk_hash, std::move(chunk));
+    if (inserted) stored_bytes_ += it->second.size();
+    manifest.PutBytes(chunk_hash);
+  }
+  Bytes manifest_bytes = manifest.Take();
+  Bytes address = crypto::Sha256::Hash(manifest_bytes);
+  manifests_.emplace(address, std::move(manifest_bytes));
+  return address;
+}
+
+Result<Bytes> ContentStore::Get(const Bytes& address) const {
+  auto it = manifests_.find(address);
+  if (it == manifests_.end()) {
+    return Status::NotFound("unknown content address");
+  }
+  Reader r(it->second);
+  PDS2_ASSIGN_OR_RETURN(uint64_t total_size, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(uint32_t n_chunks, r.GetU32());
+  Bytes blob;
+  blob.reserve(total_size);
+  for (uint32_t i = 0; i < n_chunks; ++i) {
+    PDS2_ASSIGN_OR_RETURN(Bytes chunk_hash, r.GetBytes());
+    auto chunk_it = chunks_.find(chunk_hash);
+    if (chunk_it == chunks_.end()) {
+      return Status::Corruption("referenced chunk missing");
+    }
+    common::Append(blob, chunk_it->second);
+  }
+  if (blob.size() != total_size) {
+    return Status::Corruption("reassembled size mismatch");
+  }
+  return blob;
+}
+
+bool ContentStore::Has(const Bytes& address) const {
+  return manifests_.count(address) != 0;
+}
+
+}  // namespace pds2::storage

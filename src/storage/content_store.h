@@ -1,0 +1,41 @@
+#ifndef PDS2_STORAGE_CONTENT_STORE_H_
+#define PDS2_STORAGE_CONTENT_STORE_H_
+
+#include <map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pds2::storage {
+
+/// Content-addressed blob store in the spirit of Swarm/IPFS (the storage
+/// backends the paper's related work uses). Blobs are split into fixed-size
+/// chunks; a manifest lists the chunk addresses; the blob's address is the
+/// manifest's hash. Identical chunks are stored once (deduplication).
+class ContentStore {
+ public:
+  static constexpr size_t kChunkSize = 4096;
+
+  /// Stores a blob, returns its content address.
+  common::Bytes Put(const common::Bytes& blob);
+
+  /// Retrieves a blob by address; NotFound for unknown addresses,
+  /// Corruption if a referenced chunk is missing or mismatched.
+  common::Result<common::Bytes> Get(const common::Bytes& address) const;
+
+  bool Has(const common::Bytes& address) const;
+
+  /// Number of distinct chunks held.
+  size_t ChunkCount() const { return chunks_.size(); }
+  /// Total bytes across distinct chunks (deduplicated footprint).
+  size_t StoredBytes() const { return stored_bytes_; }
+
+ private:
+  std::map<common::Bytes, common::Bytes> chunks_;     // hash -> chunk
+  std::map<common::Bytes, common::Bytes> manifests_;  // address -> manifest
+  size_t stored_bytes_ = 0;
+};
+
+}  // namespace pds2::storage
+
+#endif  // PDS2_STORAGE_CONTENT_STORE_H_

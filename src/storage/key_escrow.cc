@@ -1,0 +1,70 @@
+#include "storage/key_escrow.h"
+
+namespace pds2::storage {
+
+using common::Bytes;
+using common::Result;
+using common::Status;
+using crypto::ShamirShare;
+
+namespace {
+// A 32-byte key is escrowed as 8 independent 4-byte segments; 32-bit
+// values sit comfortably below the 2^61-1 field modulus.
+constexpr size_t kSegments = 8;
+constexpr size_t kSegmentBytes = 4;
+}  // namespace
+
+KeyEscrow::KeyEscrow(size_t num_keepers, size_t threshold)
+    : num_keepers_(num_keepers), threshold_(threshold) {}
+
+Status KeyEscrow::Deposit(const Bytes& key32, common::Rng& rng) {
+  if (key32.size() != kSegments * kSegmentBytes) {
+    return Status::InvalidArgument("escrowed key must be 32 bytes");
+  }
+  if (threshold_ == 0 || threshold_ > num_keepers_) {
+    return Status::InvalidArgument("invalid escrow threshold");
+  }
+  shares_.clear();
+  for (size_t seg = 0; seg < kSegments; ++seg) {
+    uint64_t value = 0;
+    for (size_t b = 0; b < kSegmentBytes; ++b) {
+      value = (value << 8) | key32[seg * kSegmentBytes + b];
+    }
+    auto split = crypto::ShamirSplit(value, threshold_, num_keepers_, rng);
+    PDS2_RETURN_IF_ERROR(split.status());
+    for (size_t keeper = 0; keeper < num_keepers_; ++keeper) {
+      shares_[keeper].push_back((*split)[keeper]);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> KeyEscrow::Recover(
+    const std::vector<size_t>& keeper_indices) const {
+  if (shares_.empty()) {
+    return Status::FailedPrecondition("no key deposited");
+  }
+  if (keeper_indices.size() < threshold_) {
+    return Status::PermissionDenied("not enough keepers to reconstruct");
+  }
+  Bytes key(kSegments * kSegmentBytes);
+  for (size_t seg = 0; seg < kSegments; ++seg) {
+    std::vector<ShamirShare> segment_shares;
+    for (size_t keeper : keeper_indices) {
+      auto it = shares_.find(keeper);
+      if (it == shares_.end()) {
+        return Status::NotFound("unknown keeper index");
+      }
+      segment_shares.push_back(it->second[seg]);
+    }
+    PDS2_ASSIGN_OR_RETURN(uint64_t value,
+                          crypto::ShamirReconstruct(segment_shares));
+    for (size_t b = 0; b < kSegmentBytes; ++b) {
+      key[seg * kSegmentBytes + b] =
+          static_cast<uint8_t>(value >> (8 * (kSegmentBytes - 1 - b)));
+    }
+  }
+  return key;
+}
+
+}  // namespace pds2::storage

@@ -1,0 +1,47 @@
+#ifndef PDS2_STORAGE_KEY_ESCROW_H_
+#define PDS2_STORAGE_KEY_ESCROW_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/secret_sharing.h"
+
+namespace pds2::storage {
+
+/// Threshold key escrow in the style of the "Key Keeper" design from the
+/// paper's related work (Zheng et al.): a provider splits a storage key
+/// into Shamir shares held by independent keepers; any `threshold` of them
+/// can reconstruct it, fewer learn nothing. Guards against losing access to
+/// one's own encrypted data without trusting any single third party.
+class KeyEscrow {
+ public:
+  /// `keepers` identifies the escrow nodes (indices 1..n internally).
+  KeyEscrow(size_t num_keepers, size_t threshold);
+
+  /// Splits a 32-byte key into per-keeper shares (4 field elements per
+  /// keeper, one per 8-byte key segment). Fails on bad parameters.
+  common::Status Deposit(const common::Bytes& key32, common::Rng& rng);
+
+  /// Reconstructs the key from the shares of `keeper_indices` (0-based).
+  /// Fails unless at least `threshold` distinct keepers are given.
+  common::Result<common::Bytes> Recover(
+      const std::vector<size_t>& keeper_indices) const;
+
+  size_t num_keepers() const { return num_keepers_; }
+  size_t threshold() const { return threshold_; }
+
+ private:
+  size_t num_keepers_;
+  size_t threshold_;
+  // keeper index -> 8 shares (two field elements per 8-byte segment: the
+  // key segment is split into two 30-bit halves to fit below the prime).
+  std::map<size_t, std::vector<crypto::ShamirShare>> shares_;
+};
+
+}  // namespace pds2::storage
+
+#endif  // PDS2_STORAGE_KEY_ESCROW_H_

@@ -1,0 +1,91 @@
+#ifndef PDS2_STORAGE_PROVIDER_STORE_H_
+#define PDS2_STORAGE_PROVIDER_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "storage/content_store.h"
+#include "storage/semantic.h"
+
+namespace pds2::storage {
+
+/// Canonical per-record serialization (features || label). The unit of the
+/// dataset Merkle commitment, so executors can verify that the data they
+/// received is exactly what the provider's certificate committed to.
+std::vector<common::Bytes> SerializeRecords(const ml::Dataset& data);
+
+/// Whole-dataset wire encoding and its inverse.
+common::Bytes SerializeDataset(const ml::Dataset& data);
+common::Result<ml::Dataset> DeserializeDataset(const common::Bytes& bytes);
+
+/// Merkle root over the per-record serialization — the `data_commitment`
+/// carried in participation certificates.
+common::Bytes DatasetCommitment(const ml::Dataset& data);
+
+/// What the storage subsystem is willing to reveal about a dataset without
+/// authorization: metadata, size and commitment — never records.
+struct DatasetSummary {
+  std::string name;
+  uint64_t num_records = 0;
+  common::Bytes commitment;
+  SemanticMetadata metadata;
+};
+
+/// A provider's storage subsystem (paper §II-C): keeps the data encrypted
+/// at rest in a content-addressed store, matches it against workload
+/// requirements using metadata only, and releases it exclusively as sealed
+/// transfers to executors the provider authorized.
+class ProviderStorage {
+ public:
+  /// `master_key` encrypts everything at rest (derived per dataset).
+  explicit ProviderStorage(common::Bytes master_key);
+
+  /// Registers a dataset. Fails on duplicate names or empty data.
+  common::Status AddDataset(const std::string& name, const ml::Dataset& data,
+                            SemanticMetadata metadata);
+
+  /// Summaries of all datasets eligible for `requirement`.
+  std::vector<DatasetSummary> Match(const Ontology& ontology,
+                                    const DataRequirement& requirement) const;
+
+  /// Summary of one dataset by name.
+  common::Result<DatasetSummary> Summary(const std::string& name) const;
+
+  /// Decrypts a dataset back out of the store (the owner's own access path).
+  common::Result<ml::Dataset> Load(const std::string& name) const;
+
+  /// Seals a dataset for transfer under a transport key the provider
+  /// negotiated with an executor (ECDH). Only this call ever exposes
+  /// records, and only in authenticated-encrypted form.
+  common::Result<common::Bytes> SealForTransfer(
+      const std::string& name, const common::Bytes& transport_key) const;
+
+  /// Executor-side: opens a sealed transfer and verifies the records match
+  /// the certificate's commitment. Unauthenticated on tampering, and
+  /// FailedPrecondition if the commitment disagrees.
+  static common::Result<ml::Dataset> OpenTransfer(
+      const common::Bytes& sealed, const common::Bytes& transport_key,
+      const common::Bytes& expected_commitment);
+
+  size_t DatasetCount() const { return index_.size(); }
+  /// Bytes held by the underlying content store (encrypted at rest).
+  size_t StoredBytes() const { return store_.StoredBytes(); }
+
+ private:
+  struct IndexEntry {
+    common::Bytes address;  // content address of the encrypted blob
+    DatasetSummary summary;
+  };
+
+  common::Bytes master_key_;
+  ContentStore store_;
+  std::map<std::string, IndexEntry> index_;
+};
+
+}  // namespace pds2::storage
+
+#endif  // PDS2_STORAGE_PROVIDER_STORE_H_

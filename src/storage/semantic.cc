@@ -1,0 +1,199 @@
+#include "storage/semantic.h"
+
+#include "common/serial.h"
+
+namespace pds2::storage {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+Status Ontology::AddClass(const std::string& name, const std::string& parent) {
+  if (name.empty()) return Status::InvalidArgument("empty class name");
+  if (parents_.count(name) != 0) {
+    return Status::AlreadyExists("class already defined: " + name);
+  }
+  if (!parent.empty() && parents_.count(parent) == 0) {
+    return Status::NotFound("unknown parent class: " + parent);
+  }
+  parents_[name] = parent;
+  return Status::Ok();
+}
+
+bool Ontology::HasClass(const std::string& name) const {
+  return parents_.count(name) != 0;
+}
+
+bool Ontology::IsSubclassOf(const std::string& cls,
+                            const std::string& ancestor) const {
+  std::string current = cls;
+  while (!current.empty()) {
+    if (current == ancestor) return true;
+    auto it = parents_.find(current);
+    if (it == parents_.end()) return false;
+    current = it->second;
+  }
+  return false;
+}
+
+Ontology Ontology::StandardIot() {
+  Ontology o;
+  (void)o.AddClass("iot");
+  (void)o.AddClass("iot/sensor", "iot");
+  (void)o.AddClass("iot/sensor/temperature", "iot/sensor");
+  (void)o.AddClass("iot/sensor/humidity", "iot/sensor");
+  (void)o.AddClass("iot/sensor/heart_rate", "iot/sensor");
+  (void)o.AddClass("iot/sensor/location", "iot/sensor");
+  (void)o.AddClass("iot/wearable", "iot");
+  (void)o.AddClass("iot/wearable/smartwatch", "iot/wearable");
+  (void)o.AddClass("iot/wearable/fitness_band", "iot/wearable");
+  return o;
+}
+
+Bytes Ontology::Serialize() const {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(parents_.size()));
+  for (const auto& [name, parent] : parents_) {
+    w.PutString(name);
+    w.PutString(parent);
+  }
+  return w.Take();
+}
+
+Result<Ontology> Ontology::Deserialize(const Bytes& data) {
+  Reader r(data);
+  Ontology ontology;
+  PDS2_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  // std::map iteration is name-ordered, which does not guarantee parents
+  // precede children; insert classes first, then validate parent links.
+  std::map<std::string, std::string> entries;
+  for (uint32_t i = 0; i < n; ++i) {
+    PDS2_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    PDS2_ASSIGN_OR_RETURN(std::string parent, r.GetString());
+    if (name.empty()) return Status::Corruption("empty ontology class");
+    if (!entries.emplace(name, parent).second) {
+      return Status::Corruption("duplicate ontology class");
+    }
+  }
+  for (const auto& [name, parent] : entries) {
+    if (!parent.empty() && entries.count(parent) == 0) {
+      return Status::Corruption("ontology parent missing: " + parent);
+    }
+  }
+  ontology.parents_ = std::move(entries);
+  return ontology;
+}
+
+Bytes SemanticMetadata::Serialize() const {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(types.size()));
+  for (const auto& t : types) w.PutString(t);
+  w.PutU32(static_cast<uint32_t>(numeric.size()));
+  for (const auto& [k, v] : numeric) {
+    w.PutString(k);
+    w.PutDouble(v);
+  }
+  w.PutU32(static_cast<uint32_t>(text.size()));
+  for (const auto& [k, v] : text) {
+    w.PutString(k);
+    w.PutString(v);
+  }
+  return w.Take();
+}
+
+Result<SemanticMetadata> SemanticMetadata::Deserialize(const Bytes& data) {
+  Reader r(data);
+  SemanticMetadata meta;
+  PDS2_ASSIGN_OR_RETURN(uint32_t n_types, r.GetU32());
+  for (uint32_t i = 0; i < n_types; ++i) {
+    PDS2_ASSIGN_OR_RETURN(std::string t, r.GetString());
+    meta.types.push_back(std::move(t));
+  }
+  PDS2_ASSIGN_OR_RETURN(uint32_t n_numeric, r.GetU32());
+  for (uint32_t i = 0; i < n_numeric; ++i) {
+    PDS2_ASSIGN_OR_RETURN(std::string k, r.GetString());
+    PDS2_ASSIGN_OR_RETURN(double v, r.GetDouble());
+    meta.numeric[k] = v;
+  }
+  PDS2_ASSIGN_OR_RETURN(uint32_t n_text, r.GetU32());
+  for (uint32_t i = 0; i < n_text; ++i) {
+    PDS2_ASSIGN_OR_RETURN(std::string k, r.GetString());
+    PDS2_ASSIGN_OR_RETURN(std::string v, r.GetString());
+    meta.text[k] = v;
+  }
+  return meta;
+}
+
+bool DataRequirement::Matches(const Ontology& ontology,
+                              const SemanticMetadata& metadata,
+                              uint64_t num_records) const {
+  if (num_records < min_records) return false;
+
+  for (const std::string& required : required_types) {
+    bool found = false;
+    for (const std::string& have : metadata.types) {
+      if (ontology.IsSubclassOf(have, required)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+
+  for (const PropertyConstraint& c : constraints) {
+    if (c.kind == PropertyConstraint::Kind::kNumericRange) {
+      auto it = metadata.numeric.find(c.key);
+      if (it == metadata.numeric.end()) return false;
+      if (it->second < c.min || it->second > c.max) return false;
+    } else {
+      auto it = metadata.text.find(c.key);
+      if (it == metadata.text.end()) return false;
+      if (it->second != c.value) return false;
+    }
+  }
+  return true;
+}
+
+Bytes DataRequirement::Serialize() const {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(required_types.size()));
+  for (const auto& t : required_types) w.PutString(t);
+  w.PutU32(static_cast<uint32_t>(constraints.size()));
+  for (const auto& c : constraints) {
+    w.PutU8(static_cast<uint8_t>(c.kind));
+    w.PutString(c.key);
+    w.PutDouble(c.min);
+    w.PutDouble(c.max);
+    w.PutString(c.value);
+  }
+  w.PutU64(min_records);
+  return w.Take();
+}
+
+Result<DataRequirement> DataRequirement::Deserialize(const Bytes& data) {
+  Reader r(data);
+  DataRequirement req;
+  PDS2_ASSIGN_OR_RETURN(uint32_t n_types, r.GetU32());
+  for (uint32_t i = 0; i < n_types; ++i) {
+    PDS2_ASSIGN_OR_RETURN(std::string t, r.GetString());
+    req.required_types.push_back(std::move(t));
+  }
+  PDS2_ASSIGN_OR_RETURN(uint32_t n_constraints, r.GetU32());
+  for (uint32_t i = 0; i < n_constraints; ++i) {
+    PropertyConstraint c;
+    PDS2_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+    if (kind > 1) return Status::Corruption("invalid constraint kind");
+    c.kind = static_cast<PropertyConstraint::Kind>(kind);
+    PDS2_ASSIGN_OR_RETURN(c.key, r.GetString());
+    PDS2_ASSIGN_OR_RETURN(c.min, r.GetDouble());
+    PDS2_ASSIGN_OR_RETURN(c.max, r.GetDouble());
+    PDS2_ASSIGN_OR_RETURN(c.value, r.GetString());
+    req.constraints.push_back(std::move(c));
+  }
+  PDS2_ASSIGN_OR_RETURN(req.min_records, r.GetU64());
+  return req;
+}
+
+}  // namespace pds2::storage

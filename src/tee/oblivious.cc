@@ -1,0 +1,111 @@
+#include "tee/oblivious.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace pds2::tee {
+
+common::Bytes MemoryTrace::Digest() const {
+  crypto::Sha256 h;
+  for (const auto& [kind, index] : accesses_) {
+    uint8_t buf[9];
+    buf[0] = static_cast<uint8_t>(kind);
+    for (int i = 0; i < 8; ++i) buf[1 + i] = static_cast<uint8_t>(index >> (8 * i));
+    h.Update(buf, sizeof(buf));
+  }
+  return h.Finish();
+}
+
+uint64_t ObliviousSelect(bool cond, uint64_t a, uint64_t b) {
+  // mask = all-ones when cond; arithmetic on both operands always runs.
+  const uint64_t mask = ~(static_cast<uint64_t>(cond) - 1);
+  return (a & mask) | (b & ~mask);
+}
+
+void ObliviousMinMax(uint64_t& a, uint64_t& b) {
+  const bool swap = a > b;
+  const uint64_t lo = ObliviousSelect(swap, b, a);
+  const uint64_t hi = ObliviousSelect(swap, a, b);
+  a = lo;
+  b = hi;
+}
+
+namespace {
+
+// Compare-exchange positions i < j; always reads and writes both.
+void CompareExchange(std::vector<uint64_t>& v, size_t i, size_t j,
+                     MemoryTrace* trace) {
+  if (trace != nullptr) {
+    trace->RecordRead(i);
+    trace->RecordRead(j);
+  }
+  ObliviousMinMax(v[i], v[j]);
+  if (trace != nullptr) {
+    trace->RecordWrite(i);
+    trace->RecordWrite(j);
+  }
+}
+
+}  // namespace
+
+void ObliviousSort(std::vector<uint64_t>& values, MemoryTrace* trace) {
+  const size_t n = values.size();
+  if (n < 2) return;
+  // Pad to a power of two with +infinity sentinels; the padded positions
+  // take part in the fixed comparison network like any other.
+  size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  values.resize(padded, UINT64_MAX);
+
+  // Batcher odd-even mergesort network (iterative form): the schedule of
+  // (i, i+k) pairs is a function of `padded` only.
+  for (size_t p = 1; p < padded; p <<= 1) {
+    for (size_t k = p; k >= 1; k >>= 1) {
+      for (size_t j = k % p; j + k < padded; j += 2 * k) {
+        for (size_t i = 0; i < k; ++i) {
+          const size_t lo = i + j;
+          const size_t hi = i + j + k;
+          if (lo / (2 * p) == hi / (2 * p)) {
+            CompareExchange(values, lo, hi, trace);
+          }
+        }
+      }
+    }
+  }
+  values.resize(n);
+}
+
+void LeakySort(std::vector<uint64_t>& values, MemoryTrace* trace) {
+  // Insertion sort: its accesses (and early exits) depend on the data —
+  // the archetypal leaky access pattern.
+  for (size_t i = 1; i < values.size(); ++i) {
+    uint64_t key = values[i];
+    if (trace != nullptr) trace->RecordRead(i);
+    size_t j = i;
+    while (j > 0 && values[j - 1] > key) {
+      if (trace != nullptr) {
+        trace->RecordRead(j - 1);
+        trace->RecordWrite(j);
+      }
+      values[j] = values[j - 1];
+      --j;
+    }
+    values[j] = key;
+    if (trace != nullptr) trace->RecordWrite(j);
+  }
+}
+
+uint64_t ObliviousFilteredSum(const std::vector<uint64_t>& values,
+                              const std::vector<bool>& flags,
+                              MemoryTrace* trace) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (trace != nullptr) trace->RecordRead(i);
+    // Every element is read and multiplied; the flag only masks the value.
+    sum += ObliviousSelect(i < flags.size() && flags[i], values[i], 0);
+  }
+  return sum;
+}
+
+}  // namespace pds2::tee

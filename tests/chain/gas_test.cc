@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "chain/chain.h"
+#include "common/serial.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::Bytes;
+using common::Reader;
+using common::ToBytes;
+using common::Writer;
+using crypto::SigningKey;
+
+TEST(GasMeterTest, ChargesWithinLimit) {
+  GasMeter meter(1000);
+  EXPECT_TRUE(meter.Charge(400).ok());
+  EXPECT_TRUE(meter.Charge(600).ok());
+  EXPECT_EQ(meter.used(), 1000u);
+  EXPECT_EQ(meter.remaining(), 0u);
+}
+
+TEST(GasMeterTest, OverLimitBurnsEverything) {
+  GasMeter meter(1000);
+  EXPECT_TRUE(meter.Charge(999).ok());
+  auto status = meter.Charge(2);
+  EXPECT_EQ(status.code(), common::StatusCode::kResourceExhausted);
+  // Out-of-gas consumes the whole limit, like a failed EVM call.
+  EXPECT_EQ(meter.used(), 1000u);
+}
+
+TEST(GasMeterTest, OverflowGuard) {
+  GasMeter meter(UINT64_MAX);
+  EXPECT_TRUE(meter.Charge(UINT64_MAX - 1).ok());
+  EXPECT_FALSE(meter.Charge(UINT64_MAX).ok());
+}
+
+TEST(GasMeterTest, ScheduleHasSaneOrdering) {
+  const GasSchedule& s = DefaultGasSchedule();
+  EXPECT_GT(s.storage_write, s.storage_update);
+  EXPECT_GT(s.storage_update, s.storage_read);
+  EXPECT_GT(s.tx_base, s.signature_check);
+}
+
+class OutOfGasTest : public ::testing::Test {
+ protected:
+  OutOfGasTest()
+      : validator_(SigningKey::FromSeed(ToBytes("v"))),
+        sender_(SigningKey::FromSeed(ToBytes("s"))),
+        chain_({validator_.PublicKey()}, ContractRegistry::CreateDefault()) {
+    (void)chain_.CreditGenesis(AddressFromPublicKey(sender_.PublicKey()),
+                               1'000'000'000);
+  }
+
+  Receipt Run(const Transaction& tx) {
+    EXPECT_TRUE(chain_.SubmitTransaction(tx).ok());
+    (void)chain_.ProduceBlock(validator_, ++now_);
+    return *chain_.GetReceipt(tx.Id());
+  }
+
+  SigningKey validator_, sender_;
+  Blockchain chain_;
+  common::SimTime now_ = 0;
+};
+
+TEST_F(OutOfGasTest, ContractCallRunsOutOfGasAndRollsBack) {
+  // Deploy with plenty of gas.
+  Writer args;
+  args.PutString("TOK");
+  args.PutU64(100);
+  Receipt deploy = Run(Transaction::Make(
+      sender_, 0, Address{}, 0, 5'000'000,
+      CallPayload{"erc20", 0, "deploy", args.Take()}));
+  ASSERT_TRUE(deploy.success);
+  const uint64_t inst = *InstanceIdFromReceipt(deploy);
+
+  // Then call with a limit that covers the intrinsic cost but not the
+  // storage writes of a transfer.
+  Writer t;
+  t.PutBytes(Address(kAddressSize, 9));
+  t.PutU64(10);
+  const Bytes call_args = t.Take();
+  const uint64_t tight_limit =
+      DefaultGasSchedule().tx_base +
+      DefaultGasSchedule().tx_payload_byte * call_args.size() +
+      DefaultGasSchedule().storage_read;  // not enough for the writes
+  Receipt receipt = Run(Transaction::Make(
+      sender_, 1, Address{}, 0, tight_limit,
+      CallPayload{"erc20", inst, "transfer", call_args}));
+  EXPECT_FALSE(receipt.success);
+  EXPECT_EQ(receipt.gas_used, tight_limit);  // everything burned
+
+  // Balance unchanged: the partial execution rolled back.
+  Writer q;
+  q.PutBytes(AddressFromPublicKey(sender_.PublicKey()));
+  auto balance = chain_.Query("erc20", inst, "balance_of", q.Take());
+  Reader r(*balance);
+  EXPECT_EQ(r.GetU64().value(), 100u);
+}
+
+TEST_F(OutOfGasTest, GasAccountingFeedsTotalCounter) {
+  const uint64_t before = chain_.TotalGasUsed();
+  Receipt receipt =
+      Run(Transaction::Make(sender_, 0, Address(kAddressSize, 1), 5,
+                            100'000, CallPayload{}));
+  EXPECT_TRUE(receipt.success);
+  EXPECT_EQ(chain_.TotalGasUsed() - before, receipt.gas_used);
+  EXPECT_EQ(receipt.gas_used, DefaultGasSchedule().tx_base);
+}
+
+TEST_F(OutOfGasTest, PayloadBytesCost) {
+  CallPayload payload;
+  payload.contract = "erc20";
+  payload.instance = 77;  // nonexistent: call fails, but intrinsic gas shows
+  payload.method = "x";
+  payload.args = Bytes(100, 1);
+  Receipt receipt = Run(
+      Transaction::Make(sender_, 0, Address{}, 0, 1'000'000, payload));
+  EXPECT_FALSE(receipt.success);
+  EXPECT_GE(receipt.gas_used,
+            DefaultGasSchedule().tx_base +
+                100 * DefaultGasSchedule().tx_payload_byte);
+}
+
+}  // namespace
+}  // namespace pds2::chain

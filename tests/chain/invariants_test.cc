@@ -1,0 +1,159 @@
+// Property tests over the ledger's global invariants: supply conservation,
+// deterministic replay, and robustness of every wire deserializer against
+// corrupted or random input.
+
+#include <gtest/gtest.h>
+
+#include "auth/device.h"
+#include "chain/chain.h"
+#include "chain/contracts/workload.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "market/spec.h"
+#include "storage/semantic.h"
+#include "tee/attestation.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::Bytes;
+using common::Rng;
+using common::ToBytes;
+using common::Writer;
+using crypto::SigningKey;
+
+// --- Supply conservation under random transaction streams -------------------
+
+class SupplyConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SupplyConservation, RandomTransfersAndContractCallsConserveSupply) {
+  Rng rng(GetParam());
+  SigningKey validator = SigningKey::FromSeed(ToBytes("v"));
+  Blockchain chain({validator.PublicKey()}, ContractRegistry::CreateDefault());
+
+  std::vector<SigningKey> actors;
+  uint64_t genesis_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    actors.push_back(SigningKey::FromSeed(ToBytes("a" + std::to_string(i))));
+    const uint64_t amount = 1'000'000 + rng.NextU64(1'000'000);
+    ASSERT_TRUE(chain
+                    .CreditGenesis(
+                        AddressFromPublicKey(actors.back().PublicKey()), amount)
+                    .ok());
+    genesis_total += amount;
+  }
+  EXPECT_EQ(chain.TotalSupply(), genesis_total);
+
+  // Deploy a token contract as extra state churn.
+  Writer deploy;
+  deploy.PutString("T");
+  deploy.PutU64(1000);
+  Transaction deploy_tx = Transaction::Make(
+      actors[0], 0, Address{}, 0, 1'000'000,
+      CallPayload{"erc20", 0, "deploy", deploy.Take()});
+  ASSERT_TRUE(chain.SubmitTransaction(deploy_tx).ok());
+
+  common::SimTime now = 0;
+  for (int round = 0; round < 10; ++round) {
+    // A burst of random (sometimes invalid) transactions.
+    for (int t = 0; t < 6; ++t) {
+      const size_t from = rng.NextU64(actors.size());
+      const size_t to = rng.NextU64(actors.size());
+      const uint64_t value = rng.NextU64(2'000'000);  // may exceed balance
+      Transaction tx = Transaction::Make(
+          actors[from],
+          chain.GetNonce(AddressFromPublicKey(actors[from].PublicKey())),
+          AddressFromPublicKey(actors[to].PublicKey()), value, 200'000,
+          CallPayload{});
+      (void)chain.SubmitTransaction(tx);
+      // Note: same-nonce txs from one sender in a round; later ones are
+      // dropped as stale — also part of the property.
+    }
+    ASSERT_TRUE(chain.ProduceBlock(validator, ++now).ok());
+    EXPECT_EQ(chain.TotalSupply(), genesis_total) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupplyConservation,
+                         ::testing::Values(1, 2, 3, 7, 1234));
+
+// --- Deserializer fuzz: random bytes must error, never crash -----------------
+
+class DeserializerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeserializerFuzz, RandomBytesAreRejectedGracefully) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = rng.NextU64(300);
+    Bytes junk = rng.NextBytes(len);
+    // Every wire format in the system; none may crash or accept-and-verify.
+    (void)Transaction::Deserialize(junk);
+    (void)BlockHeader::Deserialize(junk);
+    (void)Block::Deserialize(junk);
+    (void)contracts::ParticipationCert::Deserialize(junk);
+    (void)tee::AttestationQuote::Deserialize(junk);
+    (void)auth::SignedReading::Deserialize(junk);
+    (void)market::WorkloadSpec::Deserialize(junk);
+    (void)storage::SemanticMetadata::Deserialize(junk);
+    (void)storage::DataRequirement::Deserialize(junk);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeserializerFuzz,
+                         ::testing::Values(10, 20, 30, 40));
+
+// --- Truncation fuzz: every prefix of a valid message is rejected -----------
+
+TEST(TruncationFuzz, EveryPrefixOfAValidTransactionIsRejected) {
+  SigningKey key = SigningKey::FromSeed(ToBytes("k"));
+  Transaction tx =
+      Transaction::Make(key, 3, Address(kAddressSize, 1), 42, 100000,
+                        CallPayload{"erc20", 1, "transfer", Bytes(20, 7)});
+  const Bytes full = tx.Serialize();
+  ASSERT_TRUE(Transaction::Deserialize(full).ok());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<ptrdiff_t>(cut));
+    auto result = Transaction::Deserialize(prefix);
+    EXPECT_FALSE(result.ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(TruncationFuzz, EveryPrefixOfAValidCertIsRejected) {
+  SigningKey provider = SigningKey::FromSeed(ToBytes("p"));
+  contracts::ParticipationCert cert;
+  cert.workload_instance = 9;
+  cert.provider_public_key = provider.PublicKey();
+  cert.executor_public_key = provider.PublicKey();
+  cert.data_commitment = Bytes(32, 2);
+  cert.num_records = 10;
+  cert.Sign(provider);
+  const Bytes full = cert.Serialize();
+  ASSERT_TRUE(contracts::ParticipationCert::Deserialize(full).ok());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(contracts::ParticipationCert::Deserialize(prefix).ok());
+  }
+}
+
+// --- Bit-flip fuzz: flipped valid messages never verify ---------------------
+
+TEST(BitFlipFuzz, FlippedTransactionsNeverVerify) {
+  Rng rng(5);
+  SigningKey key = SigningKey::FromSeed(ToBytes("k"));
+  Transaction tx = Transaction::Make(key, 0, Address(kAddressSize, 1), 1,
+                                     100000, CallPayload{});
+  const Bytes full = tx.Serialize();
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes mutated = full;
+    mutated[rng.NextU64(mutated.size())] ^=
+        static_cast<uint8_t>(1 << rng.NextU64(8));
+    auto parsed = Transaction::Deserialize(mutated);
+    if (!parsed.ok()) continue;  // structurally broken: fine
+    EXPECT_FALSE(parsed->VerifySignature().ok())
+        << "bit flip accepted by signature check";
+  }
+}
+
+}  // namespace
+}  // namespace pds2::chain

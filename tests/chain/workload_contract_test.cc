@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "chain/chain.h"
+#include "chain/contracts/workload.h"
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::Bytes;
+using common::Reader;
+using common::ToBytes;
+using common::Writer;
+using contracts::ParticipationCert;
+using contracts::WorkloadPhase;
+using crypto::SigningKey;
+
+constexpr uint64_t kGas = 5'000'000;
+constexpr uint64_t kPool = 1'000'000;
+
+class WorkloadContractTest : public ::testing::Test {
+ protected:
+  WorkloadContractTest()
+      : validator_(SigningKey::FromSeed(ToBytes("validator"))),
+        consumer_(SigningKey::FromSeed(ToBytes("consumer"))),
+        executor_(SigningKey::FromSeed(ToBytes("executor-0"))),
+        executor2_(SigningKey::FromSeed(ToBytes("executor-1"))),
+        chain_({validator_.PublicKey()}, ContractRegistry::CreateDefault()) {
+    for (int i = 0; i < 4; ++i) {
+      providers_.push_back(
+          SigningKey::FromSeed(ToBytes("provider-" + std::to_string(i))));
+    }
+    (void)chain_.CreditGenesis(Addr(consumer_), 1'000'000'000);
+    (void)chain_.CreditGenesis(Addr(executor_), 1'000'000'000);
+    (void)chain_.CreditGenesis(Addr(executor2_), 1'000'000'000);
+  }
+
+  static Address Addr(const SigningKey& key) {
+    return AddressFromPublicKey(key.PublicKey());
+  }
+
+  Receipt Run(const Transaction& tx) {
+    EXPECT_TRUE(chain_.SubmitTransaction(tx).ok());
+    auto block = chain_.ProduceBlock(validator_, ++now_);
+    EXPECT_TRUE(block.ok()) << block.status().ToString();
+    return *chain_.GetReceipt(tx.Id());
+  }
+
+  uint64_t Nonce(const SigningKey& key) { return chain_.GetNonce(Addr(key)); }
+
+  // Deploys a workload with the given bounds; returns the instance id.
+  uint64_t DeployWorkload(uint64_t min_providers = 2,
+                          uint64_t max_providers = 10,
+                          uint64_t exec_permille = 200,
+                          uint64_t deadline = 1'000'000) {
+    Writer args;
+    args.PutBytes(crypto::Sha256::Hash("spec"));
+    args.PutU64(kPool);
+    args.PutU64(min_providers);
+    args.PutU64(max_providers);
+    args.PutU64(exec_permille);
+    args.PutU64(deadline);
+    args.PutString("gossip");
+    Receipt receipt = Run(Transaction::Make(
+        consumer_, Nonce(consumer_), Address{}, kPool, kGas,
+        CallPayload{"workload", 0, "deploy", args.Take()}));
+    EXPECT_TRUE(receipt.success) << receipt.error;
+    return *InstanceIdFromReceipt(receipt);
+  }
+
+  ParticipationCert MakeCert(uint64_t instance, const SigningKey& provider,
+                             const SigningKey& executor, uint64_t records) {
+    ParticipationCert cert;
+    cert.workload_instance = instance;
+    cert.provider_public_key = provider.PublicKey();
+    cert.executor_public_key = executor.PublicKey();
+    cert.data_commitment = crypto::Sha256::Hash("commitment");
+    cert.num_records = records;
+    cert.Sign(provider);
+    return cert;
+  }
+
+  Receipt RegisterExecutor(uint64_t instance, const SigningKey& executor,
+                           const std::vector<ParticipationCert>& certs) {
+    Writer args;
+    args.PutBytes(executor.PublicKey());
+    args.PutU32(static_cast<uint32_t>(certs.size()));
+    for (const auto& cert : certs) args.PutBytes(cert.Serialize());
+    return Run(Transaction::Make(
+        executor, Nonce(executor), Address{}, 0, kGas,
+        CallPayload{"workload", instance, "register_executor", args.Take()}));
+  }
+
+  WorkloadPhase Phase(uint64_t instance) {
+    auto result = chain_.Query("workload", instance, "phase", {});
+    EXPECT_TRUE(result.ok());
+    return static_cast<WorkloadPhase>((*result)[0]);
+  }
+
+  Receipt CallSimple(const SigningKey& sender, uint64_t instance,
+                     const std::string& method, Bytes args = {}) {
+    return Run(Transaction::Make(
+        sender, Nonce(sender), Address{}, 0, kGas,
+        CallPayload{"workload", instance, method, std::move(args)}));
+  }
+
+  SigningKey validator_, consumer_, executor_, executor2_;
+  std::vector<SigningKey> providers_;
+  Blockchain chain_;
+  common::SimTime now_ = 0;
+};
+
+TEST_F(WorkloadContractTest, DeployEscrowsRewardPool) {
+  const uint64_t before = chain_.GetBalance(Addr(consumer_));
+  const uint64_t inst = DeployWorkload();
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kAccepting);
+  EXPECT_EQ(chain_.GetBalance(ContractAddress("workload", inst)), kPool);
+  EXPECT_LT(chain_.GetBalance(Addr(consumer_)), before - kPool + 1);
+}
+
+TEST_F(WorkloadContractTest, DeployRejectsMismatchedEscrow) {
+  Writer args;
+  args.PutBytes(crypto::Sha256::Hash("spec"));
+  args.PutU64(kPool);
+  args.PutU64(1);
+  args.PutU64(10);
+  args.PutU64(0);
+  args.PutU64(100);
+  args.PutString("gossip");
+  Receipt receipt = Run(Transaction::Make(
+      consumer_, Nonce(consumer_), Address{}, kPool / 2, kGas,
+      CallPayload{"workload", 0, "deploy", args.Take()}));
+  EXPECT_FALSE(receipt.success);
+  // Escrowed half must have been returned by the rollback.
+  EXPECT_EQ(chain_.GetBalance(ContractAddress("workload", 1)), 0u);
+}
+
+TEST_F(WorkloadContractTest, ExecutorRegistrationVerifiesCertificates) {
+  const uint64_t inst = DeployWorkload();
+  auto cert0 = MakeCert(inst, providers_[0], executor_, 100);
+  auto cert1 = MakeCert(inst, providers_[1], executor_, 50);
+  Receipt receipt = RegisterExecutor(inst, executor_, {cert0, cert1});
+  EXPECT_TRUE(receipt.success) << receipt.error;
+
+  Writer q;
+  q.PutBytes(Addr(providers_[0]));
+  auto records = chain_.Query("workload", inst, "provider_records", q.Take());
+  ASSERT_TRUE(records.ok());
+  Reader r(*records);
+  EXPECT_EQ(r.GetU64().value(), 100u);
+}
+
+TEST_F(WorkloadContractTest, ForgedCertificateRejected) {
+  const uint64_t inst = DeployWorkload();
+  auto cert = MakeCert(inst, providers_[0], executor_, 100);
+  cert.num_records = 100000;  // tamper after signing
+  Receipt receipt = RegisterExecutor(inst, executor_, {cert});
+  EXPECT_FALSE(receipt.success);
+  EXPECT_NE(receipt.error.find("Unauthenticated"), std::string::npos);
+}
+
+TEST_F(WorkloadContractTest, CertificateForOtherWorkloadRejected) {
+  const uint64_t inst_a = DeployWorkload();
+  const uint64_t inst_b = DeployWorkload();
+  auto cert = MakeCert(inst_a, providers_[0], executor_, 10);
+  Writer args;
+  args.PutBytes(executor_.PublicKey());
+  args.PutU32(1);
+  args.PutBytes(cert.Serialize());
+  Receipt receipt = Run(Transaction::Make(
+      executor_, Nonce(executor_), Address{}, 0, kGas,
+      CallPayload{"workload", inst_b, "register_executor", args.Take()}));
+  EXPECT_FALSE(receipt.success);
+}
+
+TEST_F(WorkloadContractTest, CertificateForOtherExecutorRejected) {
+  const uint64_t inst = DeployWorkload();
+  auto cert = MakeCert(inst, providers_[0], executor2_, 10);
+  Receipt receipt = RegisterExecutor(inst, executor_, {cert});
+  EXPECT_FALSE(receipt.success);
+}
+
+TEST_F(WorkloadContractTest, DuplicateProviderRejected) {
+  const uint64_t inst = DeployWorkload();
+  auto cert = MakeCert(inst, providers_[0], executor_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert}).success);
+  auto cert2 = MakeCert(inst, providers_[0], executor2_, 20);
+  Receipt receipt = RegisterExecutor(inst, executor2_, {cert2});
+  EXPECT_FALSE(receipt.success);
+}
+
+TEST_F(WorkloadContractTest, ProviderLimitEnforced) {
+  const uint64_t inst = DeployWorkload(/*min=*/1, /*max=*/2);
+  std::vector<ParticipationCert> certs;
+  for (int i = 0; i < 3; ++i) {
+    certs.push_back(MakeCert(inst, providers_[i], executor_, 10));
+  }
+  Receipt receipt = RegisterExecutor(inst, executor_, certs);
+  EXPECT_FALSE(receipt.success);  // third provider exceeds max
+}
+
+TEST_F(WorkloadContractTest, StartRequiresMinProviders) {
+  const uint64_t inst = DeployWorkload(/*min=*/2);
+  auto cert = MakeCert(inst, providers_[0], executor_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert}).success);
+  EXPECT_FALSE(CallSimple(consumer_, inst, "start").success);
+
+  auto cert2 = MakeCert(inst, providers_[1], executor2_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor2_, {cert2}).success);
+  EXPECT_TRUE(CallSimple(consumer_, inst, "start").success);
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kRunning);
+}
+
+TEST_F(WorkloadContractTest, ResultQuorumAndFullSettlement) {
+  const uint64_t inst = DeployWorkload(/*min=*/2, /*max=*/10,
+                                       /*exec_permille=*/200);
+  auto cert0 = MakeCert(inst, providers_[0], executor_, 100);
+  auto cert1 = MakeCert(inst, providers_[1], executor2_, 300);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert0}).success);
+  ASSERT_TRUE(RegisterExecutor(inst, executor2_, {cert1}).success);
+  ASSERT_TRUE(CallSimple(consumer_, inst, "start").success);
+
+  // Non-executor cannot submit.
+  Writer bogus;
+  bogus.PutBytes(crypto::Sha256::Hash("fake"));
+  EXPECT_FALSE(
+      CallSimple(consumer_, inst, "submit_result", bogus.Take()).success);
+
+  const Bytes result_hash = crypto::Sha256::Hash("model-params");
+  Writer r1;
+  r1.PutBytes(result_hash);
+  ASSERT_TRUE(CallSimple(executor_, inst, "submit_result", r1.Take()).success);
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kRunning);  // 1 of 2 is no majority
+
+  Writer r2;
+  r2.PutBytes(result_hash);
+  ASSERT_TRUE(CallSimple(executor2_, inst, "submit_result", r2.Take()).success);
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kCompleted);
+
+  auto agreed = chain_.Query("workload", inst, "result", {});
+  ASSERT_TRUE(agreed.ok());
+  EXPECT_EQ(*agreed, result_hash);
+
+  // Finalize with Shapley-style weights 1:3.
+  const uint64_t p0_before = chain_.GetBalance(Addr(providers_[0]));
+  const uint64_t p1_before = chain_.GetBalance(Addr(providers_[1]));
+  const uint64_t e0_before = chain_.GetBalance(Addr(executor_));
+  const uint64_t e1_before = chain_.GetBalance(Addr(executor2_));
+  const uint64_t c_before = chain_.GetBalance(Addr(consumer_));
+
+  Writer fin;
+  fin.PutU32(2);
+  fin.PutBytes(Addr(providers_[0]));
+  fin.PutU64(1);
+  fin.PutBytes(Addr(providers_[1]));
+  fin.PutU64(3);
+  Receipt fr = CallSimple(consumer_, inst, "finalize", fin.Take());
+  ASSERT_TRUE(fr.success) << fr.error;
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kPaid);
+
+  const uint64_t exec_pool = kPool * 200 / 1000;  // 200000
+  const uint64_t prov_pool = kPool - exec_pool;   // 800000
+  EXPECT_EQ(chain_.GetBalance(Addr(executor_)) - e0_before, exec_pool / 2);
+  EXPECT_EQ(chain_.GetBalance(Addr(executor2_)) - e1_before, exec_pool / 2);
+  EXPECT_EQ(chain_.GetBalance(Addr(providers_[0])), p0_before + prov_pool / 4);
+  EXPECT_EQ(chain_.GetBalance(Addr(providers_[1])),
+            p1_before + prov_pool * 3 / 4);
+  // Escrow fully discharged: no tokens stuck in the contract.
+  EXPECT_EQ(chain_.GetBalance(ContractAddress("workload", inst)), 0u);
+  // Consumer only paid gas beyond the pool (dust was zero here).
+  EXPECT_GE(chain_.GetBalance(Addr(consumer_)) + fr.gas_used, c_before);
+}
+
+TEST_F(WorkloadContractTest, ConflictingResultsBlockCompletion) {
+  const uint64_t inst = DeployWorkload(/*min=*/1);
+  auto cert0 = MakeCert(inst, providers_[0], executor_, 10);
+  auto cert1 = MakeCert(inst, providers_[1], executor2_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert0}).success);
+  ASSERT_TRUE(RegisterExecutor(inst, executor2_, {cert1}).success);
+  ASSERT_TRUE(CallSimple(consumer_, inst, "start").success);
+
+  Writer r1;
+  r1.PutBytes(crypto::Sha256::Hash("honest result"));
+  ASSERT_TRUE(CallSimple(executor_, inst, "submit_result", r1.Take()).success);
+  Writer r2;
+  r2.PutBytes(crypto::Sha256::Hash("tampered result"));
+  ASSERT_TRUE(CallSimple(executor2_, inst, "submit_result", r2.Take()).success);
+  // 1-1 split: no strict majority, workload stays running (audit catches
+  // the divergence rather than paying out).
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kRunning);
+}
+
+TEST_F(WorkloadContractTest, FinalizeRequiresWeightsForEveryProvider) {
+  const uint64_t inst = DeployWorkload(/*min=*/1);
+  auto cert0 = MakeCert(inst, providers_[0], executor_, 10);
+  auto cert1 = MakeCert(inst, providers_[1], executor_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert0, cert1}).success);
+  ASSERT_TRUE(CallSimple(consumer_, inst, "start").success);
+  Writer r1;
+  r1.PutBytes(crypto::Sha256::Hash("result"));
+  ASSERT_TRUE(CallSimple(executor_, inst, "submit_result", r1.Take()).success);
+
+  Writer missing;
+  missing.PutU32(1);
+  missing.PutBytes(Addr(providers_[0]));
+  missing.PutU64(1);
+  EXPECT_FALSE(CallSimple(consumer_, inst, "finalize", missing.Take()).success);
+
+  Writer duplicate;
+  duplicate.PutU32(2);
+  duplicate.PutBytes(Addr(providers_[0]));
+  duplicate.PutU64(1);
+  duplicate.PutBytes(Addr(providers_[0]));
+  duplicate.PutU64(1);
+  EXPECT_FALSE(
+      CallSimple(consumer_, inst, "finalize", duplicate.Take()).success);
+}
+
+TEST_F(WorkloadContractTest, OnlyConsumerFinalizes) {
+  const uint64_t inst = DeployWorkload(/*min=*/1);
+  auto cert = MakeCert(inst, providers_[0], executor_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert}).success);
+  ASSERT_TRUE(CallSimple(consumer_, inst, "start").success);
+  Writer r1;
+  r1.PutBytes(crypto::Sha256::Hash("result"));
+  ASSERT_TRUE(CallSimple(executor_, inst, "submit_result", r1.Take()).success);
+
+  Writer fin;
+  fin.PutU32(1);
+  fin.PutBytes(Addr(providers_[0]));
+  fin.PutU64(1);
+  EXPECT_FALSE(CallSimple(executor_, inst, "finalize", fin.Take()).success);
+}
+
+TEST_F(WorkloadContractTest, AbortInAcceptingRefundsConsumer) {
+  const uint64_t inst = DeployWorkload();
+  const uint64_t before = chain_.GetBalance(Addr(consumer_));
+  Receipt receipt = CallSimple(consumer_, inst, "abort");
+  ASSERT_TRUE(receipt.success) << receipt.error;
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kAborted);
+  EXPECT_EQ(chain_.GetBalance(Addr(consumer_)),
+            before + kPool - receipt.gas_used);
+  EXPECT_EQ(chain_.GetBalance(ContractAddress("workload", inst)), 0u);
+}
+
+TEST_F(WorkloadContractTest, RunningWorkloadAbortOnlyPastDeadline) {
+  const uint64_t inst = DeployWorkload(/*min=*/1, /*max=*/10,
+                                       /*exec_permille=*/0,
+                                       /*deadline=*/1000);
+  auto cert = MakeCert(inst, providers_[0], executor_, 10);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert}).success);
+  ASSERT_TRUE(CallSimple(consumer_, inst, "start").success);
+  // Block timestamps are still < deadline.
+  EXPECT_FALSE(CallSimple(consumer_, inst, "abort").success);
+  now_ = 2000;  // jump past the deadline
+  EXPECT_TRUE(CallSimple(consumer_, inst, "abort").success);
+  EXPECT_EQ(Phase(inst), WorkloadPhase::kAborted);
+}
+
+TEST_F(WorkloadContractTest, StrangerCannotAbort) {
+  const uint64_t inst = DeployWorkload();
+  EXPECT_FALSE(CallSimple(executor_, inst, "abort").success);
+}
+
+TEST_F(WorkloadContractTest, ParticipantsQuery) {
+  const uint64_t inst = DeployWorkload(/*min=*/1);
+  auto cert0 = MakeCert(inst, providers_[0], executor_, 10);
+  auto cert1 = MakeCert(inst, providers_[1], executor_, 20);
+  ASSERT_TRUE(RegisterExecutor(inst, executor_, {cert0, cert1}).success);
+  auto result = chain_.Query("workload", inst, "participants", {});
+  ASSERT_TRUE(result.ok());
+  Reader r(*result);
+  EXPECT_EQ(r.GetU32().value(), 2u);  // providers
+  (void)r.GetBytes();
+  (void)r.GetBytes();
+  EXPECT_EQ(r.GetU32().value(), 1u);  // executors
+}
+
+}  // namespace
+}  // namespace pds2::chain

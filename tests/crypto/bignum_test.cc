@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bignum.h"
+
+namespace pds2::crypto {
+namespace {
+
+using common::Rng;
+
+TEST(BigUintTest, ZeroProperties) {
+  BigUint z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_EQ(z.ToDecimal(), "0");
+  EXPECT_TRUE(z.ToBytesBE().empty());
+}
+
+TEST(BigUintTest, SmallValueRoundTrips) {
+  BigUint v(0xdeadbeefULL);
+  EXPECT_EQ(v.ToHex(), "deadbeef");
+  EXPECT_EQ(v.Low64(), 0xdeadbeefULL);
+  EXPECT_EQ(v.BitLength(), 32u);
+}
+
+TEST(BigUintTest, DecimalRoundTrip) {
+  const std::string dec = "123456789012345678901234567890123456789";
+  auto v = BigUint::FromDecimal(dec);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToDecimal(), dec);
+}
+
+TEST(BigUintTest, HexRoundTrip) {
+  const std::string hex = "abcdef0123456789abcdef0123456789ff";
+  auto v = BigUint::FromHex(hex);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), hex);
+}
+
+TEST(BigUintTest, FromDecimalRejectsGarbage) {
+  EXPECT_FALSE(BigUint::FromDecimal("12a").ok());
+  EXPECT_FALSE(BigUint::FromDecimal("").ok());
+  EXPECT_FALSE(BigUint::FromHex("xyz").ok());
+}
+
+TEST(BigUintTest, BytesBERoundTrip) {
+  common::Bytes be = {0x01, 0x00, 0xff, 0xee};
+  BigUint v = BigUint::FromBytesBE(be);
+  EXPECT_EQ(v.ToBytesBE(), be);
+  // Leading zeros are dropped in the canonical encoding.
+  common::Bytes padded = {0x00, 0x00, 0x01, 0x00, 0xff, 0xee};
+  EXPECT_EQ(BigUint::FromBytesBE(padded).ToBytesBE(), be);
+}
+
+TEST(BigUintTest, PaddedBytes) {
+  BigUint v(0x1234);
+  auto padded = v.ToBytesBEPadded(4);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(*padded, common::Bytes({0x00, 0x00, 0x12, 0x34}));
+  EXPECT_FALSE(v.ToBytesBEPadded(1).ok());
+}
+
+TEST(BigUintTest, AddSubAgainstU64Reference) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.NextU64() >> 1;  // avoid u64 overflow in reference
+    const uint64_t b = rng.NextU64() >> 1;
+    EXPECT_EQ(BigUint(a).Add(BigUint(b)).Low64(), a + b);
+    const uint64_t hi = std::max(a, b), lo = std::min(a, b);
+    EXPECT_EQ(BigUint(hi).Sub(BigUint(lo)).Low64(), hi - lo);
+  }
+}
+
+TEST(BigUintTest, MulAgainstU128Reference) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.NextU64();
+    const uint64_t b = rng.NextU64();
+    unsigned __int128 ref = static_cast<unsigned __int128>(a) * b;
+    BigUint prod = BigUint(a).Mul(BigUint(b));
+    EXPECT_EQ(prod.Low64(), static_cast<uint64_t>(ref));
+    EXPECT_EQ(prod.ShiftRight(64).Low64(), static_cast<uint64_t>(ref >> 64));
+  }
+}
+
+TEST(BigUintTest, AdditionCarriesAcrossLimbs) {
+  auto a = BigUint::FromHex("ffffffffffffffffffffffffffffffff");
+  ASSERT_TRUE(a.ok());
+  BigUint sum = a->Add(BigUint(1));
+  EXPECT_EQ(sum.ToHex(), "100000000000000000000000000000000");
+  EXPECT_EQ(sum.Sub(BigUint(1)), *a);
+}
+
+TEST(BigUintTest, DivModInvariantRandomized) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const size_t n_bits = 64 + rng.NextU64(512);
+    const size_t d_bits = 8 + rng.NextU64(n_bits);
+    BigUint n = BigUint::RandomBits(n_bits, rng);
+    BigUint d = BigUint::RandomBits(d_bits, rng);
+    auto [q, r] = n.DivMod(d);
+    EXPECT_TRUE(r < d);
+    EXPECT_EQ(q.Mul(d).Add(r), n);
+  }
+}
+
+TEST(BigUintTest, DivModSmallDivisorFastPath) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    BigUint n = BigUint::RandomBits(200, rng);
+    const uint64_t d = 1 + rng.NextU64(1000000);
+    auto [q, r] = n.DivMod(BigUint(d));
+    EXPECT_EQ(q.Mul(BigUint(d)).Add(r), n);
+    EXPECT_LT(r.Low64(), d);
+  }
+}
+
+TEST(BigUintTest, ShiftRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    BigUint v = BigUint::RandomBits(100 + rng.NextU64(200), rng);
+    const size_t s = rng.NextU64(130);
+    EXPECT_EQ(v.ShiftLeft(s).ShiftRight(s), v);
+  }
+}
+
+TEST(BigUintTest, PowModSmallCases) {
+  EXPECT_EQ(BigUint::PowMod(BigUint(3), BigUint(5), BigUint(7)).Low64(),
+            243 % 7);
+  EXPECT_EQ(BigUint::PowMod(BigUint(2), BigUint(10), BigUint(1000)).Low64(),
+            24u);
+  EXPECT_EQ(BigUint::PowMod(BigUint(5), BigUint(0), BigUint(13)).Low64(), 1u);
+}
+
+TEST(BigUintTest, FermatLittleTheoremProperty) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+  Rng rng(6);
+  const BigUint p = BigUint::RandomPrime(128, rng);
+  for (int i = 0; i < 10; ++i) {
+    BigUint a = BigUint::RandomBelow(p, rng);
+    if (a.IsZero()) continue;
+    EXPECT_TRUE(BigUint::PowMod(a, p.Sub(BigUint(1)), p).IsOne());
+  }
+}
+
+TEST(BigUintTest, GcdLcm) {
+  EXPECT_EQ(BigUint::Gcd(BigUint(12), BigUint(18)).Low64(), 6u);
+  EXPECT_EQ(BigUint::Gcd(BigUint(17), BigUint(13)).Low64(), 1u);
+  EXPECT_EQ(BigUint::Lcm(BigUint(4), BigUint(6)).Low64(), 12u);
+  EXPECT_TRUE(BigUint::Gcd(BigUint(0), BigUint(5)) == BigUint(5));
+}
+
+TEST(BigUintTest, InvModProperty) {
+  Rng rng(7);
+  const BigUint m = BigUint::RandomPrime(128, rng);
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = BigUint::RandomBelow(m, rng);
+    if (a.IsZero()) continue;
+    auto inv = BigUint::InvMod(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE(BigUint::MulMod(a, *inv, m).IsOne());
+  }
+}
+
+TEST(BigUintTest, InvModFailsForNonCoprime) {
+  EXPECT_FALSE(BigUint::InvMod(BigUint(6), BigUint(9)).ok());
+  EXPECT_FALSE(BigUint::InvMod(BigUint(0), BigUint(7)).ok());
+}
+
+TEST(BigUintTest, PrimalityKnownValues) {
+  Rng rng(8);
+  // Known primes.
+  for (uint64_t p : {2ULL, 3ULL, 97ULL, 7919ULL, 104729ULL, 2147483647ULL}) {
+    EXPECT_TRUE(BigUint::IsProbablePrime(BigUint(p), rng)) << p;
+  }
+  // Known composites, including Carmichael numbers.
+  for (uint64_t c : {1ULL, 4ULL, 561ULL, 1105ULL, 6601ULL, 1000000ULL}) {
+    EXPECT_FALSE(BigUint::IsProbablePrime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(BigUintTest, RandomPrimeHasRequestedWidthAndIsOdd) {
+  Rng rng(9);
+  BigUint p = BigUint::RandomPrime(96, rng);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(BigUint::IsProbablePrime(p, rng, 40));
+}
+
+TEST(BigUintTest, RandomBelowIsBelow) {
+  Rng rng(10);
+  BigUint bound = BigUint::RandomBits(150, rng);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(BigUint::RandomBelow(bound, rng) < bound);
+  }
+}
+
+TEST(BigUintTest, CompareOrdering) {
+  auto big = BigUint::FromHex("100000000000000000").value();
+  EXPECT_LT(BigUint(5).Compare(BigUint(6)), 0);
+  EXPECT_GT(big.Compare(BigUint(5)), 0);
+  EXPECT_EQ(BigUint(7).Compare(BigUint(7)), 0);
+  EXPECT_TRUE(BigUint(1) <= BigUint(1));
+  EXPECT_TRUE(BigUint(1) >= BigUint(1));
+  EXPECT_TRUE(BigUint(1) != BigUint(2));
+}
+
+TEST(BigUintTest, BitAccess) {
+  BigUint v(0b1010);
+  EXPECT_FALSE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_FALSE(v.Bit(100));
+}
+
+// Property sweep: (a*b) mod m computed two ways across operand widths.
+class BigUintMulModSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigUintMulModSweep, MulModMatchesMulThenMod) {
+  Rng rng(GetParam());
+  const size_t bits = 32 + GetParam() * 64;
+  BigUint m = BigUint::RandomBits(bits, rng);
+  BigUint a = BigUint::RandomBelow(m, rng);
+  BigUint b = BigUint::RandomBelow(m, rng);
+  EXPECT_EQ(BigUint::MulMod(a, b, m), a.Mul(b).Mod(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigUintMulModSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace pds2::crypto

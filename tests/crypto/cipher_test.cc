@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/cipher.h"
+
+namespace pds2::crypto {
+namespace {
+
+using common::Bytes;
+using common::StatusCode;
+using common::ToBytes;
+
+TEST(AuthCipherTest, SealOpenRoundTrip) {
+  AuthCipher cipher(ToBytes("shared secret"));
+  Bytes plaintext = ToBytes("sensor reading batch #42");
+  Bytes sealed = cipher.Seal(plaintext, ToBytes("nonce-1"));
+  auto opened = cipher.Open(sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AuthCipherTest, EmptyPlaintext) {
+  AuthCipher cipher(ToBytes("k"));
+  Bytes sealed = cipher.Seal({}, ToBytes("n"));
+  auto opened = cipher.Open(sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(AuthCipherTest, LargePayloadRoundTrip) {
+  common::Rng rng(1);
+  AuthCipher cipher(rng.NextBytes(32));
+  Bytes plaintext = rng.NextBytes(100000);
+  Bytes sealed = cipher.Seal(plaintext, rng.NextBytes(16));
+  auto opened = cipher.Open(sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AuthCipherTest, TamperedCiphertextRejected) {
+  AuthCipher cipher(ToBytes("key"));
+  Bytes sealed = cipher.Seal(ToBytes("payload"), ToBytes("n"));
+  for (size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes tampered = sealed;
+    tampered[i] ^= 0x01;
+    auto opened = cipher.Open(tampered);
+    EXPECT_FALSE(opened.ok()) << "byte " << i;
+    EXPECT_EQ(opened.status().code(), StatusCode::kUnauthenticated);
+  }
+}
+
+TEST(AuthCipherTest, TruncatedBlobRejectedAsCorruption) {
+  AuthCipher cipher(ToBytes("key"));
+  Bytes tiny = {1, 2, 3};
+  auto opened = cipher.Open(tiny);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AuthCipherTest, WrongKeyRejected) {
+  AuthCipher alice(ToBytes("alice key"));
+  AuthCipher mallory(ToBytes("mallory key"));
+  Bytes sealed = alice.Seal(ToBytes("secret"), ToBytes("n"));
+  EXPECT_FALSE(mallory.Open(sealed).ok());
+}
+
+TEST(AuthCipherTest, DistinctNoncesGiveDistinctCiphertexts) {
+  AuthCipher cipher(ToBytes("key"));
+  Bytes p = ToBytes("same plaintext");
+  Bytes s1 = cipher.Seal(p, ToBytes("nonce-a"));
+  Bytes s2 = cipher.Seal(p, ToBytes("nonce-b"));
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(*cipher.Open(s1), p);
+  EXPECT_EQ(*cipher.Open(s2), p);
+}
+
+TEST(AuthCipherTest, CiphertextHidesPlaintextPatterns) {
+  AuthCipher cipher(ToBytes("key"));
+  Bytes zeros(1024, 0x00);
+  Bytes sealed = cipher.Seal(zeros, ToBytes("n"));
+  // Keystream output should look random: count zero bytes in the body.
+  int zero_count = 0;
+  for (size_t i = 16; i < 16 + 1024; ++i) {
+    if (sealed[i] == 0) ++zero_count;
+  }
+  EXPECT_LT(zero_count, 24);  // ~4 expected for uniform bytes
+}
+
+}  // namespace
+}  // namespace pds2::crypto

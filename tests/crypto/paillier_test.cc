@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/paillier.h"
+
+namespace pds2::crypto {
+namespace {
+
+using common::Rng;
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  // One shared 512-bit key for the whole suite (keygen is the slow part).
+  static PaillierKeyPair& Key() {
+    static PaillierKeyPair* kp = [] {
+      Rng rng(42);
+      return new PaillierKeyPair(PaillierKeyPair::Generate(512, rng));
+    }();
+    return *kp;
+  }
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  Rng rng(1);
+  const auto& pub = Key().public_key();
+  for (int i = 0; i < 10; ++i) {
+    BigUint m = BigUint::RandomBelow(pub.n(), rng);
+    auto c = pub.Encrypt(m, rng);
+    ASSERT_TRUE(c.ok());
+    auto dec = Key().Decrypt(*c);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  Rng rng(2);
+  const auto& pub = Key().public_key();
+  BigUint m(777);
+  auto c1 = pub.Encrypt(m, rng);
+  auto c2 = pub.Encrypt(m, rng);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  EXPECT_EQ(*Key().Decrypt(*c1), *Key().Decrypt(*c2));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  Rng rng(3);
+  const auto& pub = Key().public_key();
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t a = rng.NextU64(1u << 30);
+    const uint64_t b = rng.NextU64(1u << 30);
+    auto ca = pub.Encrypt(BigUint(a), rng);
+    auto cb = pub.Encrypt(BigUint(b), rng);
+    ASSERT_TRUE(ca.ok() && cb.ok());
+    BigUint sum_ct = pub.AddCiphertexts(*ca, *cb);
+    EXPECT_EQ(Key().Decrypt(sum_ct)->Low64(), a + b);
+  }
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiplication) {
+  Rng rng(4);
+  const auto& pub = Key().public_key();
+  const uint64_t m = 12345;
+  const uint64_t k = 678;
+  auto c = pub.Encrypt(BigUint(m), rng);
+  ASSERT_TRUE(c.ok());
+  BigUint scaled = pub.ScalarMul(*c, BigUint(k));
+  EXPECT_EQ(Key().Decrypt(scaled)->Low64(), m * k);
+}
+
+TEST_F(PaillierTest, EncryptRejectsOversizedPlaintext) {
+  Rng rng(5);
+  const auto& pub = Key().public_key();
+  EXPECT_FALSE(pub.Encrypt(pub.n(), rng).ok());
+  EXPECT_FALSE(pub.Encrypt(pub.n().Add(BigUint(1)), rng).ok());
+}
+
+TEST_F(PaillierTest, DecryptRejectsOversizedCiphertext) {
+  EXPECT_FALSE(Key().Decrypt(Key().public_key().n_squared()).ok());
+}
+
+TEST_F(PaillierTest, SignedEncodingRoundTrip) {
+  const auto& pub = Key().public_key();
+  for (int64_t v : {0L, 1L, -1L, 123456L, -987654L,
+                    static_cast<long>(1) << 40, -(static_cast<long>(1) << 40)}) {
+    auto decoded = pub.DecodeSigned(pub.EncodeSigned(v));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+  }
+}
+
+TEST_F(PaillierTest, SignedHomomorphicSumCrossesZero) {
+  Rng rng(6);
+  const auto& pub = Key().public_key();
+  auto ca = pub.Encrypt(pub.EncodeSigned(100), rng);
+  auto cb = pub.Encrypt(pub.EncodeSigned(-250), rng);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  BigUint sum_ct = pub.AddCiphertexts(*ca, *cb);
+  auto decoded = pub.DecodeSigned(*Key().Decrypt(sum_ct));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, -150);
+}
+
+TEST_F(PaillierTest, ZeroPlaintext) {
+  Rng rng(7);
+  const auto& pub = Key().public_key();
+  auto c = pub.Encrypt(BigUint(), rng);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(Key().Decrypt(*c)->IsZero());
+}
+
+TEST(PaillierKeygenTest, SmallKeyWorksEndToEnd) {
+  Rng rng(99);
+  PaillierKeyPair kp = PaillierKeyPair::Generate(128, rng);
+  auto c = kp.public_key().Encrypt(BigUint(31337), rng);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(kp.Decrypt(*c)->Low64(), 31337u);
+}
+
+}  // namespace
+}  // namespace pds2::crypto

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+#include "crypto/schnorr.h"
+
+namespace pds2::crypto {
+namespace {
+
+using common::Bytes;
+using common::Rng;
+using common::ToBytes;
+
+TEST(Fe25519Test, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Fe25519 a = Fe25519::FromBytes(rng.NextBytes(32));
+    Fe25519 b = Fe25519::FromBytes(rng.NextBytes(32));
+    EXPECT_TRUE(Fe25519::Sub(Fe25519::Add(a, b), b).Equals(a));
+  }
+}
+
+TEST(Fe25519Test, MulCommutativeAndAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = Fe25519::FromBytes(rng.NextBytes(32));
+    Fe25519 b = Fe25519::FromBytes(rng.NextBytes(32));
+    Fe25519 c = Fe25519::FromBytes(rng.NextBytes(32));
+    EXPECT_TRUE(Fe25519::Mul(a, b).Equals(Fe25519::Mul(b, a)));
+    EXPECT_TRUE(Fe25519::Mul(Fe25519::Mul(a, b), c)
+                    .Equals(Fe25519::Mul(a, Fe25519::Mul(b, c))));
+  }
+}
+
+TEST(Fe25519Test, MulDistributesOverAdd) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = Fe25519::FromBytes(rng.NextBytes(32));
+    Fe25519 b = Fe25519::FromBytes(rng.NextBytes(32));
+    Fe25519 c = Fe25519::FromBytes(rng.NextBytes(32));
+    Fe25519 lhs = Fe25519::Mul(a, Fe25519::Add(b, c));
+    Fe25519 rhs = Fe25519::Add(Fe25519::Mul(a, b), Fe25519::Mul(a, c));
+    EXPECT_TRUE(lhs.Equals(rhs));
+  }
+}
+
+TEST(Fe25519Test, InvertIsMultiplicativeInverse) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = Fe25519::FromBytes(rng.NextBytes(32));
+    if (a.IsZero()) continue;
+    Fe25519 prod = Fe25519::Mul(a, Fe25519::Invert(a));
+    EXPECT_TRUE(prod.Equals(Fe25519::FromU64(1)));
+  }
+}
+
+TEST(Fe25519Test, BytesRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Bytes b = rng.NextBytes(32);
+    b[31] &= 0x3f;  // keep the value comfortably below p
+    Fe25519 fe = Fe25519::FromBytes(b);
+    EXPECT_EQ(fe.ToBytes(), b);
+  }
+}
+
+TEST(Fe25519Test, CanonicalReductionOfP) {
+  // p itself must encode as zero.
+  Bytes p_bytes(32, 0xff);
+  p_bytes[0] = 0xed;
+  p_bytes[31] = 0x7f;
+  Fe25519 fe = Fe25519::FromBytes(p_bytes);
+  EXPECT_TRUE(fe.IsZero());
+}
+
+TEST(EdPointTest, BasePointIsOnCurveAndHasGroupOrder) {
+  const EdPoint& base = EdPoint::Base();
+  Fe25519 x, y;
+  base.ToAffine(&x, &y);
+  EXPECT_TRUE(EdPoint::OnCurve(x, y));
+  EXPECT_FALSE(base.IsIdentity());
+  // l * B must be the identity.
+  EdPoint lB = EdPoint::ScalarMul(EdPoint::GroupOrder(), base);
+  EXPECT_TRUE(lB.IsIdentity());
+}
+
+TEST(EdPointTest, AdditionMatchesScalarMultiples) {
+  const EdPoint& base = EdPoint::Base();
+  EdPoint two_b = EdPoint::Add(base, base);
+  EXPECT_TRUE(two_b.Equals(EdPoint::Double(base)));
+  EXPECT_TRUE(two_b.Equals(EdPoint::ScalarBaseMul(BigUint(2))));
+  EdPoint five_b = EdPoint::ScalarBaseMul(BigUint(5));
+  EdPoint sum = EdPoint::Add(EdPoint::ScalarBaseMul(BigUint(2)),
+                             EdPoint::ScalarBaseMul(BigUint(3)));
+  EXPECT_TRUE(sum.Equals(five_b));
+}
+
+TEST(EdPointTest, IdentityIsNeutral) {
+  const EdPoint& base = EdPoint::Base();
+  EXPECT_TRUE(EdPoint::Add(base, EdPoint::Identity()).Equals(base));
+  EXPECT_TRUE(EdPoint::ScalarBaseMul(BigUint()).IsIdentity());
+}
+
+TEST(EdPointTest, ScalarMulIsHomomorphic) {
+  Rng rng(6);
+  BigUint a = BigUint::RandomBelow(EdPoint::GroupOrder(), rng);
+  BigUint b = BigUint::RandomBelow(EdPoint::GroupOrder(), rng);
+  const BigUint sum = a.Add(b).Mod(EdPoint::GroupOrder());
+  EdPoint lhs = EdPoint::ScalarBaseMul(sum);
+  EdPoint rhs =
+      EdPoint::Add(EdPoint::ScalarBaseMul(a), EdPoint::ScalarBaseMul(b));
+  EXPECT_TRUE(lhs.Equals(rhs));
+}
+
+TEST(EdPointTest, EncodeDecodeRoundTrip) {
+  EdPoint p = EdPoint::ScalarBaseMul(BigUint(12345));
+  Bytes enc = p.Encode();
+  ASSERT_EQ(enc.size(), 64u);
+  auto decoded = EdPoint::Decode(enc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->Equals(p));
+}
+
+TEST(EdPointTest, DecodeRejectsOffCurvePoints) {
+  Bytes bad(64, 0x07);
+  EXPECT_FALSE(EdPoint::Decode(bad).ok());
+  EXPECT_FALSE(EdPoint::Decode(Bytes(10, 0)).ok());
+}
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  Rng rng(7);
+  SigningKey key = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("transfer 100 tokens to provider 7");
+  Bytes sig = key.Sign(msg);
+  EXPECT_EQ(sig.size(), kSignatureSize);
+  EXPECT_TRUE(VerifySignature(key.PublicKey(), msg, sig).ok());
+}
+
+TEST(SchnorrTest, DeterministicSignatures) {
+  SigningKey key = SigningKey::FromSeed(ToBytes("device-001"));
+  Bytes msg = ToBytes("reading");
+  EXPECT_EQ(key.Sign(msg), key.Sign(msg));
+}
+
+TEST(SchnorrTest, SeedGivesStableIdentity) {
+  SigningKey k1 = SigningKey::FromSeed(ToBytes("device-001"));
+  SigningKey k2 = SigningKey::FromSeed(ToBytes("device-001"));
+  SigningKey k3 = SigningKey::FromSeed(ToBytes("device-002"));
+  EXPECT_EQ(k1.PublicKey(), k2.PublicKey());
+  EXPECT_NE(k1.PublicKey(), k3.PublicKey());
+}
+
+TEST(SchnorrTest, TamperedMessageRejected) {
+  Rng rng(8);
+  SigningKey key = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("pay 10");
+  Bytes sig = key.Sign(msg);
+  EXPECT_FALSE(VerifySignature(key.PublicKey(), ToBytes("pay 99"), sig).ok());
+}
+
+TEST(SchnorrTest, TamperedSignatureRejected) {
+  Rng rng(9);
+  SigningKey key = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("msg");
+  Bytes sig = key.Sign(msg);
+  for (size_t i = 0; i < sig.size(); i += 11) {
+    Bytes bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(VerifySignature(key.PublicKey(), msg, bad).ok()) << i;
+  }
+}
+
+TEST(SchnorrTest, WrongKeyRejected) {
+  Rng rng(10);
+  SigningKey alice = SigningKey::Generate(rng);
+  SigningKey bob = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("msg");
+  EXPECT_FALSE(VerifySignature(bob.PublicKey(), msg, alice.Sign(msg)).ok());
+}
+
+TEST(SchnorrTest, MalformedInputsRejectedNotCrashed) {
+  Rng rng(11);
+  SigningKey key = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("m");
+  Bytes sig = key.Sign(msg);
+  EXPECT_FALSE(VerifySignature(Bytes(3, 1), msg, sig).ok());
+  EXPECT_FALSE(VerifySignature(key.PublicKey(), msg, Bytes(5, 1)).ok());
+  EXPECT_FALSE(VerifySignature(Bytes(64, 0xee), msg, sig).ok());
+}
+
+TEST(SchnorrTest, DomainSeparationPreventsCrossContextReplay) {
+  Rng rng(12);
+  SigningKey key = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("payload");
+  Bytes tx_sig = key.SignWithDomain("pds2.tx", msg);
+  EXPECT_TRUE(
+      VerifySignatureWithDomain(key.PublicKey(), "pds2.tx", msg, tx_sig).ok());
+  EXPECT_FALSE(
+      VerifySignatureWithDomain(key.PublicKey(), "pds2.block", msg, tx_sig)
+          .ok());
+}
+
+TEST(SchnorrTest, SRangeChecked) {
+  Rng rng(13);
+  SigningKey key = SigningKey::Generate(rng);
+  Bytes msg = ToBytes("m");
+  Bytes sig = key.Sign(msg);
+  // Force s out of range (>= group order): set all s bytes to 0xff.
+  for (size_t i = 64; i < sig.size(); ++i) sig[i] = 0xff;
+  EXPECT_FALSE(VerifySignature(key.PublicKey(), msg, sig).ok());
+}
+
+}  // namespace
+}  // namespace pds2::crypto

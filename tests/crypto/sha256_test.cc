@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace pds2::crypto {
+namespace {
+
+using common::Bytes;
+using common::HexEncode;
+using common::ToBytes;
+
+TEST(Sha256Test, EmptyStringKat) {
+  EXPECT_EQ(HexEncode(Sha256::Hash(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcKat) {
+  EXPECT_EQ(HexEncode(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockKat) {
+  EXPECT_EQ(HexEncode(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAKat) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the provider signs each reading before upload";
+  Sha256 h;
+  for (char c : msg) h.Update(std::string_view(&c, 1));
+  EXPECT_EQ(h.Finish(), Sha256::Hash(msg));
+}
+
+TEST(Sha256Test, BoundaryLengthsAroundBlockSize) {
+  // Exercise the padding logic at every length near the 64-byte block
+  // boundary; digests must be distinct and stable across chunkings.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    Bytes msg(len, 0x5a);
+    Bytes one_shot = Sha256::Hash(msg);
+    Sha256 h;
+    h.Update(msg.data(), len / 2);
+    h.Update(msg.data() + len / 2, len - len / 2);
+    EXPECT_EQ(h.Finish(), one_shot) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, AvalancheOnSingleBitFlip) {
+  Bytes a(32, 0);
+  Bytes b = a;
+  b[0] ^= 1;
+  Bytes ha = Sha256::Hash(a);
+  Bytes hb = Sha256::Hash(b);
+  int differing_bits = 0;
+  for (size_t i = 0; i < ha.size(); ++i) {
+    differing_bits += __builtin_popcount(ha[i] ^ hb[i]);
+  }
+  // ~128 expected; anything above 80 shows strong diffusion.
+  EXPECT_GT(differing_bits, 80);
+}
+
+TEST(Sha256Test, Hash2ConcatenatesInputs) {
+  Bytes a = ToBytes("left");
+  Bytes b = ToBytes("right");
+  Bytes cat = a;
+  common::Append(cat, b);
+  EXPECT_EQ(Sha256::Hash2(a, b), Sha256::Hash(cat));
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha256(key, ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(
+      HexEncode(HmacSha256(ToBytes("Jefe"),
+                           ToBytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes long_key(200, 0xaa);
+  Bytes msg = ToBytes("data");
+  // Must not crash and must differ from using the raw truncated key.
+  Bytes mac1 = HmacSha256(long_key, msg);
+  Bytes truncated(long_key.begin(), long_key.begin() + 64);
+  Bytes mac2 = HmacSha256(truncated, msg);
+  EXPECT_NE(mac1, mac2);
+}
+
+TEST(HmacTest, KeySeparation) {
+  Bytes msg = ToBytes("same message");
+  EXPECT_NE(HmacSha256(ToBytes("key1"), msg), HmacSha256(ToBytes("key2"), msg));
+}
+
+TEST(DeriveKeyTest, ProducesRequestedLength) {
+  Bytes key = ToBytes("master");
+  EXPECT_EQ(DeriveKey(key, "ctx", 16).size(), 16u);
+  EXPECT_EQ(DeriveKey(key, "ctx", 32).size(), 32u);
+  EXPECT_EQ(DeriveKey(key, "ctx", 100).size(), 100u);
+}
+
+TEST(DeriveKeyTest, ContextSeparation) {
+  Bytes key = ToBytes("master");
+  EXPECT_NE(DeriveKey(key, "enc", 32), DeriveKey(key, "mac", 32));
+}
+
+TEST(DeriveKeyTest, PrefixConsistency) {
+  // Longer outputs extend shorter ones (counter-mode expansion).
+  Bytes key = ToBytes("master");
+  Bytes short_out = DeriveKey(key, "ctx", 16);
+  Bytes long_out = DeriveKey(key, "ctx", 64);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+}  // namespace
+}  // namespace pds2::crypto

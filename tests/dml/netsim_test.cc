@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "dml/netsim.h"
+
+namespace pds2::dml {
+namespace {
+
+using common::Bytes;
+using common::SimTime;
+using common::ToBytes;
+
+// Test node that records everything it sees and can echo.
+class ProbeNode : public Node {
+ public:
+  struct Received {
+    SimTime time;
+    size_t from;
+    Bytes payload;
+  };
+
+  void OnStart(NodeContext& ctx) override {
+    ++starts;
+    (void)ctx;
+  }
+  void OnMessage(NodeContext& ctx, size_t from, const Bytes& payload) override {
+    received.push_back({ctx.Now(), from, payload});
+    if (echo && payload != ToBytes("echo")) ctx.Send(from, ToBytes("echo"));
+  }
+  void OnTimer(NodeContext& ctx, uint64_t timer_id) override {
+    timers.push_back({ctx.Now(), timer_id, 0});
+    if (rearm_interval > 0) ctx.SetTimer(rearm_interval, timer_id);
+  }
+
+  int starts = 0;
+  bool echo = false;
+  SimTime rearm_interval = 0;
+  std::vector<Received> received;
+  struct TimerFire {
+    SimTime time;
+    uint64_t id;
+    int pad;
+  };
+  std::vector<TimerFire> timers;
+};
+
+// A node that sends one message to node 1 at start.
+class SenderNode : public ProbeNode {
+ public:
+  explicit SenderNode(Bytes payload) : payload_(std::move(payload)) {}
+  void OnStart(NodeContext& ctx) override {
+    ProbeNode::OnStart(ctx);
+    ctx.Send(1, payload_);
+  }
+
+ private:
+  Bytes payload_;
+};
+
+TEST(NetSimTest, MessageDeliveredWithLatency) {
+  NetConfig config;
+  config.base_latency = 1000;
+  config.latency_jitter = 0;
+  config.bandwidth_bytes_per_sec = 0;  // disable serialization delay
+  NetSim sim(config, 1);
+  sim.AddNode(std::make_unique<SenderNode>(ToBytes("hi")));
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  sim.RunUntil(10000);
+  ASSERT_EQ(p->received.size(), 1u);
+  EXPECT_EQ(p->received[0].time, 1000u);
+  EXPECT_EQ(p->received[0].from, 0u);
+  EXPECT_EQ(p->received[0].payload, ToBytes("hi"));
+  EXPECT_EQ(sim.stats().messages_delivered, 1u);
+}
+
+TEST(NetSimTest, BandwidthAddsSerializationDelay) {
+  NetConfig config;
+  config.base_latency = 0;
+  config.latency_jitter = 0;
+  config.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s
+  NetSim sim(config, 1);
+  sim.AddNode(std::make_unique<SenderNode>(Bytes(500, 0x55)));
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  sim.RunUntil(common::kMicrosPerSecond);
+  ASSERT_EQ(p->received.size(), 1u);
+  // 500 bytes at 1000 B/s = 0.5 s.
+  EXPECT_EQ(p->received[0].time, common::kMicrosPerSecond / 2);
+}
+
+TEST(NetSimTest, DropRateLosesMessages) {
+  NetConfig config;
+  config.drop_rate = 1.0;
+  NetSim sim(config, 1);
+  sim.AddNode(std::make_unique<SenderNode>(ToBytes("x")));
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  sim.RunUntil(common::kMicrosPerSecond);
+  EXPECT_TRUE(p->received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+}
+
+TEST(NetSimTest, OfflineReceiverDropsMessages) {
+  NetConfig config;
+  config.drop_rate = 0.0;
+  NetSim sim(config, 1);
+  sim.AddNode(std::make_unique<SenderNode>(ToBytes("x")));
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  sim.SetOnline(1, false);
+  sim.RunUntil(common::kMicrosPerSecond);
+  EXPECT_TRUE(p->received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+}
+
+TEST(NetSimTest, RejoiningNodeRestartsProtocol) {
+  NetSim sim(NetConfig{}, 1);
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  EXPECT_EQ(p->starts, 1);
+  sim.SetOnline(0, false);
+  sim.SetOnline(0, true);
+  EXPECT_EQ(p->starts, 2);
+  // Going online while already online must not restart.
+  sim.SetOnline(0, true);
+  EXPECT_EQ(p->starts, 2);
+}
+
+TEST(NetSimTest, TimersFireInOrderAndRearm) {
+  NetSim sim(NetConfig{}, 1);
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  p->rearm_interval = 100;
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  NodeContext ctx(sim, 0);
+  sim.SetTimerFor(0, 100, 42);
+  sim.RunUntil(1000);
+  ASSERT_EQ(p->timers.size(), 10u);
+  for (size_t i = 0; i < p->timers.size(); ++i) {
+    EXPECT_EQ(p->timers[i].time, (i + 1) * 100);
+    EXPECT_EQ(p->timers[i].id, 42u);
+  }
+}
+
+TEST(NetSimTest, StatsTrackBytes) {
+  NetConfig config;
+  NetSim sim(config, 1);
+  sim.AddNode(std::make_unique<SenderNode>(Bytes(123, 1)));
+  auto probe = std::make_unique<ProbeNode>();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  sim.RunUntil(common::kMicrosPerSecond);
+  EXPECT_EQ(sim.stats().bytes_sent, 123u);
+  EXPECT_EQ(sim.stats().bytes_received_per_node[1], 123u);
+  EXPECT_EQ(sim.stats().bytes_received_per_node[0], 0u);
+}
+
+TEST(NetSimTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    NetConfig config;
+    config.latency_jitter = 5000;
+    NetSim sim(config, seed);
+    sim.AddNode(std::make_unique<SenderNode>(ToBytes("a")));
+    auto probe = std::make_unique<ProbeNode>();
+    ProbeNode* p = probe.get();
+    p->echo = true;
+    sim.AddNode(std::move(probe));
+    sim.Start();
+    sim.RunUntil(common::kMicrosPerSecond);
+    return p->received.empty() ? 0 : p->received[0].time;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+}  // namespace
+}  // namespace pds2::dml

@@ -1,0 +1,261 @@
+// Adversarial scenarios the governance layer must survive: dishonest
+// executors, attestation failures, certificate replay, deadline aborts.
+// These drive the marketplace below the RunWorkload facade, through the
+// same chain and enclave APIs a malicious implementation would use.
+
+#include <gtest/gtest.h>
+
+#include "chain/contracts/workload.h"
+#include "crypto/sha256.h"
+#include "market/marketplace.h"
+
+namespace pds2::market {
+namespace {
+
+using chain::contracts::ParticipationCert;
+using chain::contracts::WorkloadPhase;
+using common::Bytes;
+using common::Rng;
+using common::ToBytes;
+using common::Writer;
+
+constexpr uint64_t kGas = 20'000'000;
+
+storage::SemanticMetadata Meta() {
+  storage::SemanticMetadata meta;
+  meta.types = {"iot/sensor/temperature"};
+  return meta;
+}
+
+class AdversarialTest : public ::testing::Test {
+ protected:
+  AdversarialTest() : rng_(3) {
+    ml::Dataset data = ml::MakeTwoGaussians(300, 4, 3.0, rng_);
+    auto parts = ml::PartitionIid(data, 3, rng_);
+    for (int i = 0; i < 3; ++i) {
+      auto& p = market_.AddProvider("p" + std::to_string(i));
+      EXPECT_TRUE(p.store().AddDataset("d", parts[i], Meta()).ok());
+    }
+    market_.AddExecutor("honest-0");
+    market_.AddExecutor("honest-1");
+    market_.AddExecutor("malicious");
+    consumer_ = &market_.AddConsumer("consumer");
+  }
+
+  WorkloadSpec Spec() {
+    WorkloadSpec spec;
+    spec.name = "adversarial";
+    spec.requirement.required_types = {"iot/sensor"};
+    spec.model_kind = "logistic";
+    spec.features = 4;
+    spec.epochs = 2;
+    spec.reward_pool = 300'000;
+    spec.min_providers = 3;
+    spec.deadline = 50 * common::kMicrosPerSecond;
+    return spec;
+  }
+
+  // Deploys a workload and registers all three executors with one provider
+  // each; returns the instance.
+  uint64_t SetupRunningWorkload() {
+    WorkloadSpec spec = Spec();
+    Writer deploy_args;
+    deploy_args.PutBytes(spec.SpecHash());
+    deploy_args.PutU64(spec.reward_pool);
+    deploy_args.PutU64(3);
+    deploy_args.PutU64(16);
+    deploy_args.PutU64(100);
+    deploy_args.PutU64(spec.deadline);
+    deploy_args.PutString("gossip");
+    auto deploy = market_.Execute(
+        consumer_->key(), {}, spec.reward_pool, kGas,
+        chain::CallPayload{"workload", 0, "deploy", deploy_args.Take()});
+    EXPECT_TRUE(deploy.ok() && deploy->success);
+    const uint64_t instance = *chain::InstanceIdFromReceipt(*deploy);
+
+    for (int i = 0; i < 3; ++i) {
+      ProviderAgent& provider = *market_.providers()[i];
+      ExecutorAgent& executor = *market_.executors()[i];
+      EXPECT_TRUE(executor.Setup(spec).ok());
+      auto offer = provider.EvaluateWorkload(market_.ontology(), spec);
+      EXPECT_TRUE(offer.has_value());
+      auto contribution = provider.PrepareContribution(
+          *offer, spec, instance, executor.QuoteFor(instance),
+          market_.attestation().RootPublicKey(),
+          executor.enclave().Measurement(), executor.key().PublicKey());
+      EXPECT_TRUE(contribution.ok());
+      EXPECT_TRUE(executor.AcceptContribution(*contribution).ok());
+
+      Writer args;
+      args.PutBytes(executor.key().PublicKey());
+      args.PutU32(1);
+      args.PutBytes(contribution->cert.Serialize());
+      auto receipt = market_.Execute(
+          executor.key(), {}, 0, kGas,
+          chain::CallPayload{"workload", instance, "register_executor",
+                             args.Take()});
+      EXPECT_TRUE(receipt.ok() && receipt->success)
+          << (receipt.ok() ? receipt->error : receipt.status().ToString());
+    }
+    auto start = market_.Execute(
+        consumer_->key(), {}, 0, kGas,
+        chain::CallPayload{"workload", instance, "start", {}});
+    EXPECT_TRUE(start.ok() && start->success);
+    return instance;
+  }
+
+  WorkloadPhase Phase(uint64_t instance) {
+    auto result = market_.chain().Query("workload", instance, "phase", {});
+    return static_cast<WorkloadPhase>((*result)[0]);
+  }
+
+  chain::Receipt SubmitResult(ExecutorAgent& executor, uint64_t instance,
+                              const Bytes& hash) {
+    Writer args;
+    args.PutBytes(hash);
+    auto receipt = market_.Execute(
+        executor.key(), {}, 0, kGas,
+        chain::CallPayload{"workload", instance, "submit_result",
+                           args.Take()});
+    EXPECT_TRUE(receipt.ok());
+    return *receipt;
+  }
+
+  Marketplace market_;
+  Rng rng_;
+  ConsumerAgent* consumer_;
+};
+
+TEST_F(AdversarialTest, MinorityDishonestExecutorIsOutvoted) {
+  const uint64_t instance = SetupRunningWorkload();
+  const Bytes honest_hash = crypto::Sha256::Hash("honest");
+  const Bytes forged_hash = crypto::Sha256::Hash("forged");
+
+  EXPECT_TRUE(
+      SubmitResult(*market_.executors()[2], instance, forged_hash).success);
+  EXPECT_EQ(Phase(instance), WorkloadPhase::kRunning);
+  EXPECT_TRUE(
+      SubmitResult(*market_.executors()[0], instance, honest_hash).success);
+  EXPECT_EQ(Phase(instance), WorkloadPhase::kRunning);  // 1-1-... no majority
+  EXPECT_TRUE(
+      SubmitResult(*market_.executors()[1], instance, honest_hash).success);
+  // 2 of 3 on the honest hash: completed with the honest result.
+  EXPECT_EQ(Phase(instance), WorkloadPhase::kCompleted);
+  auto agreed = market_.chain().Query("workload", instance, "result", {});
+  EXPECT_EQ(*agreed, honest_hash);
+}
+
+TEST_F(AdversarialTest, SplitVoteStallsUntilDeadlineAbort) {
+  const uint64_t instance = SetupRunningWorkload();
+  SubmitResult(*market_.executors()[0], instance, crypto::Sha256::Hash("a"));
+  SubmitResult(*market_.executors()[1], instance, crypto::Sha256::Hash("b"));
+  SubmitResult(*market_.executors()[2], instance, crypto::Sha256::Hash("c"));
+  EXPECT_EQ(Phase(instance), WorkloadPhase::kRunning);  // 1-1-1 stall
+
+  // Before the deadline the consumer cannot pull the escrow.
+  auto early = market_.Execute(
+      consumer_->key(), {}, 0, kGas,
+      chain::CallPayload{"workload", instance, "abort", {}});
+  EXPECT_FALSE(early->success);
+
+  // Advance chain time past the deadline, then abort refunds.
+  while (market_.Now() <= 50 * common::kMicrosPerSecond) {
+    ASSERT_TRUE(market_.Tick().ok());
+  }
+  const uint64_t before = market_.chain().GetBalance(consumer_->address());
+  auto late = market_.Execute(
+      consumer_->key(), {}, 0, kGas,
+      chain::CallPayload{"workload", instance, "abort", {}});
+  ASSERT_TRUE(late->success) << late->error;
+  EXPECT_EQ(Phase(instance), WorkloadPhase::kAborted);
+  EXPECT_EQ(market_.chain().GetBalance(consumer_->address()),
+            before + 300'000 - late->gas_used);
+}
+
+TEST_F(AdversarialTest, DoubleVoteRejected) {
+  const uint64_t instance = SetupRunningWorkload();
+  const Bytes hash = crypto::Sha256::Hash("r");
+  EXPECT_TRUE(SubmitResult(*market_.executors()[0], instance, hash).success);
+  EXPECT_FALSE(SubmitResult(*market_.executors()[0], instance, hash).success);
+}
+
+TEST_F(AdversarialTest, ProviderRefusesUnattestedEnclave) {
+  WorkloadSpec spec = Spec();
+  ProviderAgent& provider = *market_.providers()[0];
+  ExecutorAgent& executor = *market_.executors()[0];
+  ASSERT_TRUE(executor.Setup(spec).ok());
+  auto offer = provider.EvaluateWorkload(market_.ontology(), spec);
+  ASSERT_TRUE(offer.has_value());
+
+  // Quote verified against the WRONG root of trust: no data leaves.
+  tee::AttestationService rogue_root(999);
+  auto refused = provider.PrepareContribution(
+      *offer, spec, 1, executor.QuoteFor(1), rogue_root.RootPublicKey(),
+      executor.enclave().Measurement(), executor.key().PublicKey());
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), common::StatusCode::kUnauthenticated);
+
+  // Wrong expected measurement (different workload code): also refused.
+  auto wrong_code = provider.PrepareContribution(
+      *offer, spec, 1, executor.QuoteFor(1),
+      market_.attestation().RootPublicKey(), Bytes(32, 0xee),
+      executor.key().PublicKey());
+  EXPECT_FALSE(wrong_code.ok());
+}
+
+TEST_F(AdversarialTest, CertificateCannotBeReplayedAcrossWorkloads) {
+  WorkloadSpec spec = Spec();
+  const uint64_t instance_a = SetupRunningWorkload();
+  (void)instance_a;
+
+  // Deploy a second workload and try to reuse a certificate issued for the
+  // first one.
+  Writer deploy_args;
+  deploy_args.PutBytes(spec.SpecHash());
+  deploy_args.PutU64(spec.reward_pool);
+  deploy_args.PutU64(1);
+  deploy_args.PutU64(16);
+  deploy_args.PutU64(100);
+  deploy_args.PutU64(spec.deadline);
+  deploy_args.PutString("gossip");
+  auto deploy = market_.Execute(
+      consumer_->key(), {}, spec.reward_pool, kGas,
+      chain::CallPayload{"workload", 0, "deploy", deploy_args.Take()});
+  const uint64_t instance_b = *chain::InstanceIdFromReceipt(*deploy);
+
+  ExecutorAgent& executor = *market_.executors()[0];
+  ASSERT_FALSE(executor.contributions().empty());
+  const ParticipationCert& old_cert = executor.contributions()[0].cert;
+
+  Writer args;
+  args.PutBytes(executor.key().PublicKey());
+  args.PutU32(1);
+  args.PutBytes(old_cert.Serialize());
+  auto receipt = market_.Execute(
+      executor.key(), {}, 0, kGas,
+      chain::CallPayload{"workload", instance_b, "register_executor",
+                         args.Take()});
+  EXPECT_FALSE(receipt->success);
+}
+
+TEST_F(AdversarialTest, TamperedSealedDataRejectedInsideEnclave) {
+  WorkloadSpec spec = Spec();
+  ProviderAgent& provider = *market_.providers()[0];
+  ExecutorAgent& executor = *market_.executors()[0];
+  ASSERT_TRUE(executor.Setup(spec).ok());
+  auto offer = provider.EvaluateWorkload(market_.ontology(), spec);
+  auto contribution = provider.PrepareContribution(
+      *offer, spec, 1, executor.QuoteFor(1),
+      market_.attestation().RootPublicKey(), executor.enclave().Measurement(),
+      executor.key().PublicKey());
+  ASSERT_TRUE(contribution.ok());
+
+  // A malicious host flips bytes in transit.
+  SealedContribution tampered = *contribution;
+  tampered.sealed_data[tampered.sealed_data.size() / 2] ^= 0x01;
+  auto result = executor.AcceptContribution(tampered);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace pds2::market

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "ml/linalg.h"
+
+namespace pds2::ml {
+namespace {
+
+TEST(LinalgTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(LinalgTest, AxpyAccumulates) {
+  Vec y = {1, 1, 1};
+  Axpy(2.0, {1, 2, 3}, y);
+  EXPECT_EQ(y, Vec({3, 5, 7}));
+}
+
+TEST(LinalgTest, ScaleInPlace) {
+  Vec x = {2, -4};
+  Scale(0.5, x);
+  EXPECT_EQ(x, Vec({1, -2}));
+}
+
+TEST(LinalgTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({}), 0.0);
+}
+
+TEST(LinalgTest, LerpEndpointsAndMidpoint) {
+  Vec a = {0, 10};
+  Vec b = {10, 20};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), Vec({5, 15}));
+}
+
+TEST(LinalgTest, WeightedAverageUnnormalizedWeights) {
+  std::vector<Vec> vecs = {{0, 0}, {10, 20}};
+  Vec avg = WeightedAverage(vecs, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(avg[0], 7.5);
+  EXPECT_DOUBLE_EQ(avg[1], 15.0);
+}
+
+TEST(LinalgTest, WeightedAverageSingleVector) {
+  Vec avg = WeightedAverage({{1, 2, 3}}, {42.0});
+  EXPECT_EQ(avg, Vec({1, 2, 3}));
+}
+
+TEST(LinalgTest, MatVec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = vals[r * 3 + c];
+  }
+  EXPECT_EQ(m.MatVec({1, 1, 1}), Vec({6, 15}));
+  EXPECT_EQ(m.MatVecTransposed({1, 1}), Vec({5, 7, 9}));
+}
+
+TEST(LinalgTest, MatrixAccessors) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  m.At(2, 3) = 1.5;
+  EXPECT_DOUBLE_EQ(m.At(2, 3), 1.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace pds2::ml

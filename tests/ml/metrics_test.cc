@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/sgd.h"
+
+namespace pds2::ml {
+namespace {
+
+using common::Rng;
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.x.push_back({static_cast<double>(i)});
+    data.y.push_back(i < 5 ? 0.0 : 1.0);
+  }
+  // Score = feature: positives all score higher.
+  EXPECT_DOUBLE_EQ(AucRoc(data, [](const Vec& x) { return x[0]; }), 1.0);
+}
+
+TEST(AucTest, ReversedScorerIsZero) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.x.push_back({static_cast<double>(i)});
+    data.y.push_back(i < 5 ? 0.0 : 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AucRoc(data, [](const Vec& x) { return -x[0]; }), 0.0);
+}
+
+TEST(AucTest, RandomScorerNearHalf) {
+  Rng rng(1);
+  Dataset data = MakeTwoGaussians(4000, 3, 1.0, rng);
+  Rng score_rng(2);
+  const double auc =
+      AucRoc(data, [&score_rng](const Vec&) { return score_rng.NextDouble(); });
+  EXPECT_NEAR(auc, 0.5, 0.05);
+}
+
+TEST(AucTest, ConstantScorerTiesGiveHalf) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.x.push_back({0.0});
+    data.y.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AucRoc(data, [](const Vec&) { return 7.0; }), 0.5);
+}
+
+TEST(AucTest, DegenerateClassesGiveHalf) {
+  Dataset all_positive;
+  all_positive.x.push_back({1.0});
+  all_positive.y.push_back(1.0);
+  EXPECT_DOUBLE_EQ(AucRoc(all_positive, [](const Vec& x) { return x[0]; }),
+                   0.5);
+  EXPECT_DOUBLE_EQ(AucRoc(Dataset{}, [](const Vec&) { return 0.0; }), 0.5);
+}
+
+TEST(AucTest, TrainedModelBeatsChanceAndTracksAccuracy) {
+  Rng rng(3);
+  Dataset all = MakeTwoGaussians(2000, 4, 3.0, rng);
+  auto [train, test] = TrainTestSplit(all, 0.3, rng);
+  LogisticRegressionModel model(4);
+  SgdConfig config;
+  config.epochs = 15;
+  Train(model, train, config, rng);
+  const double auc = AucRoc(model, test);
+  EXPECT_GT(auc, 0.95);
+  EXPECT_GT(auc, Accuracy(model, test) - 0.05);
+}
+
+TEST(AucTest, InvariantUnderMonotoneScoreTransform) {
+  Rng rng(4);
+  Dataset data = MakeTwoGaussians(500, 3, 2.0, rng);
+  LogisticRegressionModel model(3);
+  SgdConfig config;
+  Train(model, data, config, rng);
+  const double auc_prob = AucRoc(model, data);
+  // Logit (monotone in the probability) must give the same AUC.
+  const double auc_logit = AucRoc(data, [&model](const Vec& x) {
+    const double p = model.PredictProbability(x);
+    return std::log(p / (1.0 - p + 1e-12) + 1e-12);
+  });
+  EXPECT_NEAR(auc_prob, auc_logit, 1e-9);
+}
+
+}  // namespace
+}  // namespace pds2::ml

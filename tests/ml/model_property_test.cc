@@ -1,0 +1,158 @@
+// Property sweeps across every model type: parameter-vector round trips,
+// clone isolation, gradient/loss consistency, and SGD convergence across
+// hyper-parameter ranges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "ml/sgd.h"
+
+namespace pds2::ml {
+namespace {
+
+using common::Rng;
+
+struct ModelCase {
+  std::string name;
+  size_t features;
+  std::function<std::unique_ptr<Model>(Rng&)> make;
+  bool classifier;  // uses 0/1 (or class-index) labels
+};
+
+std::vector<ModelCase> AllModels() {
+  return {
+      {"linear", 5,
+       [](Rng&) { return std::make_unique<LinearRegressionModel>(5); }, false},
+      {"logistic", 5,
+       [](Rng&) { return std::make_unique<LogisticRegressionModel>(5); },
+       true},
+      {"softmax3", 5,
+       [](Rng&) { return std::make_unique<SoftmaxRegressionModel>(5, 3); },
+       true},
+      {"mlp", 5, [](Rng& rng) { return std::make_unique<MlpModel>(5, 4, rng); },
+       true},
+  };
+}
+
+class ModelSweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  ModelCase Case() const { return AllModels()[GetParam()]; }
+};
+
+TEST_P(ModelSweep, ParamsRoundTrip) {
+  Rng rng(1);
+  auto model = Case().make(rng);
+  Vec params(model->NumParams());
+  for (double& p : params) p = rng.NextGaussian();
+  model->SetParams(params);
+  EXPECT_EQ(model->GetParams(), params);
+}
+
+TEST_P(ModelSweep, CloneIsIndependent) {
+  Rng rng(2);
+  auto model = Case().make(rng);
+  Vec params(model->NumParams(), 0.5);
+  model->SetParams(params);
+  auto clone = model->Clone();
+  EXPECT_EQ(clone->GetParams(), params);
+  Vec other(model->NumParams(), -1.0);
+  clone->SetParams(other);
+  EXPECT_EQ(model->GetParams(), params);
+}
+
+TEST_P(ModelSweep, LossIsNonNegative) {
+  Rng rng(3);
+  auto model = Case().make(rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec x(Case().features);
+    for (double& v : x) v = rng.NextGaussian();
+    const double y =
+        Case().classifier ? static_cast<double>(rng.NextU64(2)) : rng.NextGaussian();
+    EXPECT_GE(model->ExampleLoss(x, y), 0.0);
+  }
+}
+
+TEST_P(ModelSweep, GradientDescendsLoss) {
+  // One gradient step with a small learning rate must not increase the
+  // loss of the example it was computed on.
+  Rng rng(4);
+  auto model = Case().make(rng);
+  Vec init(model->NumParams());
+  for (double& p : init) p = rng.NextGaussian(0.0, 0.3);
+  model->SetParams(init);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec x(Case().features);
+    for (double& v : x) v = rng.NextGaussian();
+    const double y =
+        Case().classifier ? static_cast<double>(rng.NextU64(2)) : rng.NextGaussian();
+    const double before = model->ExampleLoss(x, y);
+    Vec grad(model->NumParams(), 0.0);
+    model->AccumulateGradient(x, y, grad);
+    Vec params = model->GetParams();
+    Axpy(-1e-4, grad, params);
+    auto probe = model->Clone();
+    probe->SetParams(params);
+    EXPECT_LE(probe->ExampleLoss(x, y), before + 1e-9) << Case().name;
+  }
+}
+
+TEST_P(ModelSweep, ZeroGradientAccumulationLeavesGradUntouched) {
+  Rng rng(5);
+  auto model = Case().make(rng);
+  Vec grad(model->NumParams(), 7.0);
+  Vec x(Case().features, 0.0);
+  // Accumulation adds; preexisting content must be preserved additively.
+  model->AccumulateGradient(x, Case().classifier ? 1.0 : 0.0, grad);
+  Vec grad2(model->NumParams(), 0.0);
+  model->AccumulateGradient(x, Case().classifier ? 1.0 : 0.0, grad2);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(grad[i], 7.0 + grad2[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+class LearningRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LearningRateSweep, LogisticConvergesAcrossReasonableRates) {
+  Rng rng(6);
+  Dataset data = MakeTwoGaussians(800, 4, 5.0, rng);
+  LogisticRegressionModel model(4);
+  SgdConfig config;
+  config.learning_rate = GetParam();
+  config.epochs = 30;
+  Train(model, data, config, rng);
+  EXPECT_GT(Accuracy(model, data), 0.9) << "lr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LearningRateSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.5, 1.0));
+
+class BatchSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchSizeSweep, ConvergenceIsBatchSizeRobust) {
+  Rng rng(7);
+  Dataset data = MakeTwoGaussians(600, 4, 5.0, rng);
+  LogisticRegressionModel model(4);
+  SgdConfig config;
+  config.batch_size = GetParam();
+  config.epochs = 25;
+  Train(model, data, config, rng);
+  EXPECT_GT(Accuracy(model, data), 0.9) << "batch=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeSweep,
+                         ::testing::Values(1, 4, 16, 64, 600));
+
+}  // namespace
+}  // namespace pds2::ml

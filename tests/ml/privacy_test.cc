@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/privacy.h"
+#include "ml/sgd.h"
+
+namespace pds2::ml {
+namespace {
+
+using common::Rng;
+
+TEST(GaussianDpTest, ZeroNoiseIsInfiniteEpsilon) {
+  EXPECT_TRUE(std::isinf(GaussianDpEpsilon(0.0, 100, 1e-5)));
+  EXPECT_TRUE(std::isinf(GaussianDpEpsilon(1.0, 0, 1e-5)));
+}
+
+TEST(GaussianDpTest, MoreNoiseMeansSmallerEpsilon) {
+  const double eps_low_noise = GaussianDpEpsilon(0.5, 100, 1e-5);
+  const double eps_high_noise = GaussianDpEpsilon(4.0, 100, 1e-5);
+  EXPECT_GT(eps_low_noise, eps_high_noise);
+  EXPECT_GT(eps_high_noise, 0.0);
+}
+
+TEST(GaussianDpTest, MoreStepsMeansLargerEpsilon) {
+  EXPECT_LT(GaussianDpEpsilon(2.0, 10, 1e-5), GaussianDpEpsilon(2.0, 1000, 1e-5));
+}
+
+TEST(MembershipInferenceTest, OverfitModelLeaksMembership) {
+  Rng rng(1);
+  // Small training set + many epochs => overfitting => attack succeeds.
+  Dataset data = MakeTwoGaussians(200, 8, 1.0, rng);
+  auto [train, test] = TrainTestSplit(data, 0.5, rng);
+  LogisticRegressionModel model(8);
+  SgdConfig config;
+  config.epochs = 400;
+  config.learning_rate = 0.5;
+  Train(model, train, config, rng);
+
+  auto result = MembershipInferenceAttack(model, train, test);
+  EXPECT_GT(result.advantage, 0.05);
+  EXPECT_LT(result.mean_member_loss, result.mean_nonmember_loss);
+}
+
+TEST(MembershipInferenceTest, DpTrainingReducesLeakage) {
+  // High-dimensional, tiny training set, many epochs: a regime built to
+  // memorize. Averaged over seeds to keep the comparison stable.
+  double plain_total = 0.0, dp_total = 0.0;
+  for (uint64_t seed : {2u, 20u, 200u}) {
+    Rng rng(seed);
+    Dataset data = MakeTwoGaussians(120, 30, 0.5, rng);
+    auto [train, test] = TrainTestSplit(data, 0.5, rng);
+
+    SgdConfig config;
+    config.epochs = 800;
+    config.learning_rate = 1.0;
+
+    Rng rng_plain(seed + 1), rng_dp(seed + 1);
+    LogisticRegressionModel plain(30);
+    Train(plain, train, config, rng_plain);
+    plain_total += MembershipInferenceAttack(plain, train, test).advantage;
+
+    LogisticRegressionModel dp_model(30);
+    DpConfig dp;
+    dp.enabled = true;
+    dp.clip_norm = 1.0;
+    dp.noise_multiplier = 4.0;
+    Train(dp_model, train, config, rng_dp, dp);
+    dp_total += MembershipInferenceAttack(dp_model, train, test).advantage;
+  }
+  EXPECT_GT(plain_total / 3.0, 0.25);  // the overfit model leaks a lot
+  EXPECT_LT(dp_total, plain_total);
+}
+
+TEST(MembershipInferenceTest, EmptySetsGiveNeutralResult) {
+  LogisticRegressionModel model(2);
+  auto result = MembershipInferenceAttack(model, Dataset{}, Dataset{});
+  EXPECT_DOUBLE_EQ(result.attack_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(result.advantage, 0.0);
+}
+
+TEST(MembershipInferenceTest, AdvantageBounded) {
+  Rng rng(4);
+  Dataset data = MakeTwoGaussians(100, 4, 2.0, rng);
+  auto [train, test] = TrainTestSplit(data, 0.5, rng);
+  LogisticRegressionModel model(4);
+  SgdConfig config;
+  Train(model, train, config, rng);
+  auto result = MembershipInferenceAttack(model, train, test);
+  EXPECT_GE(result.advantage, 0.0);
+  EXPECT_LE(result.advantage, 1.0);
+  EXPECT_GE(result.attack_accuracy, 0.5);
+  EXPECT_LE(result.attack_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace pds2::ml

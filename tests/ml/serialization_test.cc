@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "ml/serialization.h"
+
+namespace pds2::ml {
+namespace {
+
+using common::Rng;
+
+TEST(ModelSerializationTest, RoundTripEveryArchitecture) {
+  Rng rng(1);
+  std::vector<std::pair<std::unique_ptr<Model>, size_t>> models;
+  models.emplace_back(std::make_unique<LinearRegressionModel>(5), 5);
+  models.emplace_back(std::make_unique<LogisticRegressionModel>(7), 7);
+  models.emplace_back(std::make_unique<SoftmaxRegressionModel>(4, 3), 4);
+  models.emplace_back(std::make_unique<MlpModel>(6, 4, rng), 6);
+
+  for (auto& [model, features] : models) {
+    Vec params(model->NumParams());
+    for (double& p : params) p = rng.NextGaussian();
+    model->SetParams(params);
+
+    auto rehydrated = DeserializeModel(SerializeModel(*model));
+    ASSERT_TRUE(rehydrated.ok()) << model->Architecture();
+    EXPECT_EQ((*rehydrated)->Architecture(), model->Architecture());
+    EXPECT_EQ((*rehydrated)->GetParams(), params);
+
+    // Predictions agree on random inputs.
+    for (int trial = 0; trial < 10; ++trial) {
+      Vec x(features);
+      for (double& v : x) v = rng.NextGaussian();
+      EXPECT_DOUBLE_EQ((*rehydrated)->PredictLabel(x), model->PredictLabel(x));
+    }
+  }
+}
+
+TEST(ModelSerializationTest, ArchitectureStringsAreStable) {
+  Rng rng(2);
+  EXPECT_EQ(LinearRegressionModel(3).Architecture(), "linear:3");
+  EXPECT_EQ(LogisticRegressionModel(9).Architecture(), "logistic:9");
+  EXPECT_EQ(SoftmaxRegressionModel(4, 5).Architecture(), "softmax:4:5");
+  EXPECT_EQ(MlpModel(8, 2, rng).Architecture(), "mlp:8:2");
+}
+
+TEST(ModelSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeModel(common::ToBytes("junk")).ok());
+  EXPECT_FALSE(DeserializeModel({}).ok());
+}
+
+TEST(ModelSerializationTest, RejectsUnknownArchitecture) {
+  common::Writer w;
+  w.PutString("pds2.model.v1");
+  w.PutString("transformer:9000");
+  w.PutDoubleVector({1.0});
+  auto result = DeserializeModel(w.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(ModelSerializationTest, RejectsParamCountMismatch) {
+  common::Writer w;
+  w.PutString("pds2.model.v1");
+  w.PutString("logistic:4");
+  w.PutDoubleVector({1.0, 2.0});  // needs 5
+  auto result = DeserializeModel(w.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kCorruption);
+}
+
+TEST(ModelSerializationTest, RejectsTrailingBytes) {
+  LinearRegressionModel model(2);
+  common::Bytes blob = SerializeModel(model);
+  blob.push_back(0xff);
+  EXPECT_FALSE(DeserializeModel(blob).ok());
+}
+
+TEST(ModelSerializationTest, RejectsAbsurdDimensions) {
+  common::Writer w;
+  w.PutString("pds2.model.v1");
+  w.PutString("logistic:99999999999");
+  w.PutDoubleVector({});
+  EXPECT_FALSE(DeserializeModel(w.Take()).ok());
+}
+
+}  // namespace
+}  // namespace pds2::ml

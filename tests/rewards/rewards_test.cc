@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/sgd.h"
+#include "rewards/pricing.h"
+#include "rewards/shapley.h"
+
+namespace pds2::rewards {
+namespace {
+
+using common::Rng;
+
+// Additive game: v(S) = sum of per-player worths — Shapley must recover
+// exactly the worths.
+UtilityFn AdditiveGame(const std::vector<double>& worths) {
+  return [worths](const std::vector<size_t>& coalition) {
+    double total = 0.0;
+    for (size_t i : coalition) total += worths[i];
+    return total;
+  };
+}
+
+TEST(ExactShapleyTest, AdditiveGameRecoversWorths) {
+  const std::vector<double> worths = {1.0, 5.0, 2.5, 0.0};
+  auto values = ExactShapley(4, AdditiveGame(worths));
+  ASSERT_TRUE(values.ok());
+  for (size_t i = 0; i < worths.size(); ++i) {
+    EXPECT_NEAR((*values)[i], worths[i], 1e-9) << i;
+  }
+}
+
+TEST(ExactShapleyTest, EfficiencyAxiom) {
+  // Sum of Shapley values equals v(grand coalition) - v(empty).
+  Rng rng(1);
+  std::vector<double> table(1 << 5);
+  for (double& v : table) v = rng.NextDouble();
+  table[0] = 0.0;
+  UtilityFn game = [&table](const std::vector<size_t>& coalition) {
+    uint64_t mask = 0;
+    for (size_t i : coalition) mask |= uint64_t{1} << i;
+    return table[mask];
+  };
+  auto values = ExactShapley(5, game);
+  ASSERT_TRUE(values.ok());
+  const double sum = std::accumulate(values->begin(), values->end(), 0.0);
+  std::vector<size_t> grand = {0, 1, 2, 3, 4};
+  EXPECT_NEAR(sum, game(grand), 1e-9);
+}
+
+TEST(ExactShapleyTest, SymmetryAxiom) {
+  // Two players that are interchangeable get identical values.
+  UtilityFn game = [](const std::vector<size_t>& coalition) {
+    // v(S) = 1 if S contains player 0 or player 1, else 0.
+    for (size_t i : coalition) {
+      if (i == 0 || i == 1) return 1.0;
+    }
+    return 0.0;
+  };
+  auto values = ExactShapley(3, game);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR((*values)[0], (*values)[1], 1e-9);
+  EXPECT_NEAR((*values)[2], 0.0, 1e-9);  // null player axiom
+}
+
+TEST(ExactShapleyTest, GloveGame) {
+  // Classic: player 0 owns a left glove, players 1 and 2 right gloves.
+  // v(S) = 1 if S has both kinds. Known values: 2/3, 1/6, 1/6.
+  UtilityFn game = [](const std::vector<size_t>& coalition) {
+    bool left = false, right = false;
+    for (size_t i : coalition) {
+      if (i == 0) left = true;
+      else right = true;
+    }
+    return left && right ? 1.0 : 0.0;
+  };
+  auto values = ExactShapley(3, game);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR((*values)[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR((*values)[1], 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR((*values)[2], 1.0 / 6.0, 1e-9);
+}
+
+TEST(ExactShapleyTest, RefusesLargeN) {
+  auto result = ExactShapley(21, AdditiveGame(std::vector<double>(21, 1.0)));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MonteCarloShapleyTest, ConvergesToExact) {
+  Rng rng(2);
+  const std::vector<double> worths = {3.0, 1.0, 0.5, 2.0};
+  UtilityFn game = AdditiveGame(worths);
+  auto mc = MonteCarloShapley(4, game, 400, rng);
+  for (size_t i = 0; i < worths.size(); ++i) {
+    EXPECT_NEAR(mc[i], worths[i], 1e-9);  // additive games are exact per-permutation
+  }
+}
+
+TEST(MonteCarloShapleyTest, NonAdditiveGameApproximation) {
+  Rng rng(3);
+  UtilityFn game = [](const std::vector<size_t>& coalition) {
+    return std::sqrt(static_cast<double>(coalition.size()));
+  };
+  auto exact = ExactShapley(6, game);
+  ASSERT_TRUE(exact.ok());
+  auto mc = MonteCarloShapley(6, game, 3000, rng);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(mc[i], (*exact)[i], 0.05) << i;
+  }
+}
+
+TEST(TruncatedMonteCarloTest, FewerCallsSimilarValues) {
+  Rng rng_a(4), rng_b(4);
+  // Diminishing-returns game: truncation should kick in.
+  UtilityFn base = [](const std::vector<size_t>& coalition) {
+    return 1.0 - std::pow(0.3, static_cast<double>(coalition.size()));
+  };
+  size_t plain_calls = 0;
+  UtilityFn counted = [&](const std::vector<size_t>& c) {
+    ++plain_calls;
+    return base(c);
+  };
+  const size_t n = 10, perms = 100;
+  auto plain = MonteCarloShapley(n, counted, perms, rng_a);
+  auto tmc = TruncatedMonteCarloShapley(n, base, perms, 0.01, rng_b);
+  EXPECT_LT(tmc.utility_calls, plain_calls / 2);  // big savings
+  double plain_sum = std::accumulate(plain.begin(), plain.end(), 0.0);
+  double tmc_sum =
+      std::accumulate(tmc.values.begin(), tmc.values.end(), 0.0);
+  EXPECT_NEAR(tmc_sum, plain_sum, 0.05);
+}
+
+TEST(CachedUtilityTest, MemoizesCoalitions) {
+  size_t calls = 0;
+  CachedUtility cached([&calls](const std::vector<size_t>&) {
+    ++calls;
+    return 1.0;
+  });
+  std::vector<size_t> c = {0, 2};
+  EXPECT_EQ(cached(c), 1.0);
+  EXPECT_EQ(cached(c), 1.0);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(cached.misses(), 1u);
+  std::vector<size_t> d = {1};
+  (void)cached(d);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(SizeProportionalTest, SplitsBySize) {
+  auto shares = SizeProportionalShares({10, 30, 60}, 1000.0);
+  EXPECT_DOUBLE_EQ(shares[0], 100.0);
+  EXPECT_DOUBLE_EQ(shares[1], 300.0);
+  EXPECT_DOUBLE_EQ(shares[2], 600.0);
+  auto zero = SizeProportionalShares({0, 0}, 100.0);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(NormalizeToRewardsTest, ClampsNegativesAndSums) {
+  auto rewards = NormalizeToRewards({2.0, -1.0, 2.0}, 100.0);
+  EXPECT_DOUBLE_EQ(rewards[0], 50.0);
+  EXPECT_DOUBLE_EQ(rewards[1], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[2], 50.0);
+  auto degenerate = NormalizeToRewards({-1.0, -2.0}, 100.0);
+  EXPECT_DOUBLE_EQ(degenerate[0], 50.0);
+}
+
+TEST(MlUtilityTest, QualityProviderWorthMoreThanNoiseProvider) {
+  Rng rng(5);
+  ml::Dataset all = ml::MakeTwoGaussians(1200, 4, 3.0, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.3, rng);
+  auto parts = ml::PartitionIid(train, 3, rng);
+  // Provider 2's labels are garbage.
+  ml::CorruptLabels(parts[2], 0.5, rng);
+
+  CachedUtility utility(MakeMlUtility(parts, test, 99));
+  auto values = ExactShapley(3, std::ref(utility));
+  ASSERT_TRUE(values.ok());
+  // Clean providers beat the corrupted one — the §IV-A point that equal
+  // sizes do not mean equal value.
+  EXPECT_GT((*values)[0], (*values)[2]);
+  EXPECT_GT((*values)[1], (*values)[2]);
+}
+
+TEST(ModelPricerTest, FullBudgetIsNoiseFree) {
+  Rng rng(6);
+  ml::Dataset data = ml::MakeTwoGaussians(600, 4, 4.0, rng);
+  ml::LogisticRegressionModel model(4);
+  ml::SgdConfig config;
+  config.epochs = 10;
+  ml::Train(model, data, config, rng);
+
+  ModelPricer pricer(model, 1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(pricer.NoiseStddev(1000.0), 0.0);
+  auto bought = pricer.PriceOut(1000.0, rng);
+  EXPECT_EQ(bought->GetParams(), model.GetParams());
+}
+
+TEST(ModelPricerTest, AccuracyIncreasesWithBudget) {
+  Rng rng(7);
+  ml::Dataset all = ml::MakeTwoGaussians(1500, 4, 4.0, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.3, rng);
+  ml::LogisticRegressionModel model(4);
+  ml::SgdConfig config;
+  config.epochs = 10;
+  ml::Train(model, train, config, rng);
+
+  ModelPricer pricer(model, 1000.0, 2.0);
+  auto curve = PriceAccuracyCurve(pricer, test, {50, 200, 500, 1000}, 20, rng);
+  ASSERT_EQ(curve.size(), 4u);
+  // Noise shrinks with budget; accuracy rises (allow small MC wobble).
+  EXPECT_GT(curve[0].noise_stddev, curve[1].noise_stddev);
+  EXPECT_GT(curve[2].noise_stddev, curve[3].noise_stddev);
+  EXPECT_LT(curve[0].accuracy, curve[3].accuracy - 0.05);
+  EXPECT_GT(curve[3].accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace pds2::rewards

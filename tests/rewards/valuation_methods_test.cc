@@ -1,0 +1,125 @@
+// Comparison suite for the alternative valuation schemes: leave-one-out
+// and the Banzhaf index vs exact Shapley.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "rewards/shapley.h"
+
+namespace pds2::rewards {
+namespace {
+
+using common::Rng;
+
+UtilityFn AdditiveGame(const std::vector<double>& worths) {
+  return [worths](const std::vector<size_t>& coalition) {
+    double total = 0.0;
+    for (size_t i : coalition) total += worths[i];
+    return total;
+  };
+}
+
+TEST(LeaveOneOutTest, AdditiveGameMatchesShapley) {
+  const std::vector<double> worths = {2.0, 0.0, 5.0};
+  auto loo = LeaveOneOut(3, AdditiveGame(worths));
+  for (size_t i = 0; i < worths.size(); ++i) {
+    EXPECT_NEAR(loo[i], worths[i], 1e-12);
+  }
+}
+
+TEST(LeaveOneOutTest, UsesExactlyNPlusOneCalls) {
+  size_t calls = 0;
+  UtilityFn counted = [&calls](const std::vector<size_t>& c) {
+    ++calls;
+    return static_cast<double>(c.size());
+  };
+  (void)LeaveOneOut(6, counted);
+  EXPECT_EQ(calls, 7u);
+}
+
+TEST(LeaveOneOutTest, BlindToRedundancy) {
+  // Two players carrying the same information: LOO gives both ~0 while
+  // Shapley splits the credit — the reason LOO underpays duplicated data.
+  UtilityFn game = [](const std::vector<size_t>& coalition) {
+    for (size_t i : coalition) {
+      if (i == 0 || i == 1) return 1.0;  // either redundant player suffices
+    }
+    return 0.0;
+  };
+  auto loo = LeaveOneOut(2, game);
+  EXPECT_NEAR(loo[0], 0.0, 1e-12);
+  EXPECT_NEAR(loo[1], 0.0, 1e-12);
+  auto shapley = ExactShapley(2, game);
+  ASSERT_TRUE(shapley.ok());
+  EXPECT_NEAR((*shapley)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*shapley)[1], 0.5, 1e-12);
+}
+
+TEST(LeaveOneOutTest, EmptyGame) {
+  EXPECT_TRUE(LeaveOneOut(0, AdditiveGame({})).empty());
+}
+
+TEST(BanzhafTest, AdditiveGameRecoversWorths) {
+  Rng rng(1);
+  const std::vector<double> worths = {1.0, 4.0, 0.5};
+  auto banzhaf = BanzhafIndex(3, AdditiveGame(worths), 200, rng);
+  for (size_t i = 0; i < worths.size(); ++i) {
+    EXPECT_NEAR(banzhaf[i], worths[i], 1e-9);  // additive: exact per sample
+  }
+}
+
+TEST(BanzhafTest, SymmetricPlayersGetEqualIndex) {
+  Rng rng(2);
+  UtilityFn majority = [](const std::vector<size_t>& coalition) {
+    return coalition.size() >= 2 ? 1.0 : 0.0;  // 2-of-3 majority game
+  };
+  auto banzhaf = BanzhafIndex(3, majority, 4000, rng);
+  EXPECT_NEAR(banzhaf[0], banzhaf[1], 0.05);
+  EXPECT_NEAR(banzhaf[1], banzhaf[2], 0.05);
+  // Known Banzhaf index of the 2-of-3 majority game: each player swings
+  // half of the 4 coalitions of the others -> 0.5.
+  EXPECT_NEAR(banzhaf[0], 0.5, 0.05);
+}
+
+TEST(BanzhafTest, NotNecessarilyEfficient) {
+  Rng rng(3);
+  UtilityFn majority = [](const std::vector<size_t>& coalition) {
+    return coalition.size() >= 2 ? 1.0 : 0.0;
+  };
+  auto banzhaf = BanzhafIndex(3, majority, 4000, rng);
+  const double total =
+      std::accumulate(banzhaf.begin(), banzhaf.end(), 0.0);
+  // Sum ~1.5 here, not v(N)=1 — the documented non-efficiency.
+  EXPECT_GT(total, 1.2);
+}
+
+TEST(ValuationMethodAgreementTest, AllMethodsRankNoisyProviderLast) {
+  Rng rng(4);
+  ml::Dataset all = ml::MakeTwoGaussians(1200, 5, 3.0, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.3, rng);
+  auto parts = ml::PartitionIid(train, 4, rng);
+  ml::CorruptLabels(parts[3], 0.5, rng);
+
+  CachedUtility utility(MakeMlUtility(parts, test, 12));
+  auto shapley = ExactShapley(4, std::ref(utility));
+  ASSERT_TRUE(shapley.ok());
+  auto loo = LeaveOneOut(4, std::ref(utility));
+  Rng brng(5);
+  auto banzhaf = BanzhafIndex(4, std::ref(utility), 40, brng);
+
+  auto rank_of_noisy_is_last = [](const std::vector<double>& values) {
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      if (values[3] >= values[i]) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(rank_of_noisy_is_last(*shapley)) << "shapley";
+  EXPECT_TRUE(rank_of_noisy_is_last(loo)) << "leave-one-out";
+  EXPECT_TRUE(rank_of_noisy_is_last(banzhaf)) << "banzhaf";
+}
+
+}  // namespace
+}  // namespace pds2::rewards
