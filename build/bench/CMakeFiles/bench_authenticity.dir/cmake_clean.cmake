@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_authenticity.dir/bench_authenticity.cpp.o"
+  "CMakeFiles/bench_authenticity.dir/bench_authenticity.cpp.o.d"
+  "bench_authenticity"
+  "bench_authenticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_authenticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

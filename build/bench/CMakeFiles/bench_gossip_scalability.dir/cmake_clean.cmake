@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gossip_scalability.dir/bench_gossip_scalability.cpp.o"
+  "CMakeFiles/bench_gossip_scalability.dir/bench_gossip_scalability.cpp.o.d"
+  "bench_gossip_scalability"
+  "bench_gossip_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gossip_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gossip_vs_fed.dir/bench_gossip_vs_fed.cpp.o"
+  "CMakeFiles/bench_gossip_vs_fed.dir/bench_gossip_vs_fed.cpp.o.d"
+  "bench_gossip_vs_fed"
+  "bench_gossip_vs_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gossip_vs_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

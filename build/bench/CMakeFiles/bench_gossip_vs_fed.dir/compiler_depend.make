@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_gossip_vs_fed.
+# This may be replaced when dependencies are built.

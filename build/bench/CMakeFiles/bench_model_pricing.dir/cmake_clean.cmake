@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_pricing.dir/bench_model_pricing.cpp.o"
+  "CMakeFiles/bench_model_pricing.dir/bench_model_pricing.cpp.o.d"
+  "bench_model_pricing"
+  "bench_model_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

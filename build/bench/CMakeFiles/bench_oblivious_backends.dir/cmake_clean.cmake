@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oblivious_backends.dir/bench_oblivious_backends.cpp.o"
+  "CMakeFiles/bench_oblivious_backends.dir/bench_oblivious_backends.cpp.o.d"
+  "bench_oblivious_backends"
+  "bench_oblivious_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oblivious_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oblivious_primitives.dir/bench_oblivious_primitives.cpp.o"
+  "CMakeFiles/bench_oblivious_primitives.dir/bench_oblivious_primitives.cpp.o.d"
+  "bench_oblivious_primitives"
+  "bench_oblivious_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oblivious_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

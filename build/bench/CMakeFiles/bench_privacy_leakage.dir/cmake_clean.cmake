@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_leakage.dir/bench_privacy_leakage.cpp.o"
+  "CMakeFiles/bench_privacy_leakage.dir/bench_privacy_leakage.cpp.o.d"
+  "bench_privacy_leakage"
+  "bench_privacy_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shapley.dir/bench_shapley.cpp.o"
+  "CMakeFiles/bench_shapley.dir/bench_shapley.cpp.o.d"
+  "bench_shapley"
+  "bench_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_economics.dir/marketplace_economics.cpp.o"
+  "CMakeFiles/marketplace_economics.dir/marketplace_economics.cpp.o.d"
+  "marketplace_economics"
+  "marketplace_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

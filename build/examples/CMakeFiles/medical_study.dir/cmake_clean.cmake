@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_study.dir/medical_study.cpp.o"
+  "CMakeFiles/medical_study.dir/medical_study.cpp.o.d"
+  "medical_study"
+  "medical_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

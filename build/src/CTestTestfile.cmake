@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("ml")
+subdirs("chain")
+subdirs("storage")
+subdirs("tee")
+subdirs("dml")
+subdirs("rewards")
+subdirs("auth")
+subdirs("market")
+subdirs("p2p")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_auth.dir/device.cc.o"
+  "CMakeFiles/pds2_auth.dir/device.cc.o.d"
+  "libpds2_auth.a"
+  "libpds2_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cc" "src/chain/CMakeFiles/pds2_chain.dir/block.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/block.cc.o.d"
+  "/root/repo/src/chain/chain.cc" "src/chain/CMakeFiles/pds2_chain.dir/chain.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/chain.cc.o.d"
+  "/root/repo/src/chain/contract.cc" "src/chain/CMakeFiles/pds2_chain.dir/contract.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/contract.cc.o.d"
+  "/root/repo/src/chain/contracts/actor_registry.cc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/actor_registry.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/actor_registry.cc.o.d"
+  "/root/repo/src/chain/contracts/erc20.cc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/erc20.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/erc20.cc.o.d"
+  "/root/repo/src/chain/contracts/erc721.cc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/erc721.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/erc721.cc.o.d"
+  "/root/repo/src/chain/contracts/workload.cc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/workload.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/contracts/workload.cc.o.d"
+  "/root/repo/src/chain/gas.cc" "src/chain/CMakeFiles/pds2_chain.dir/gas.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/gas.cc.o.d"
+  "/root/repo/src/chain/state.cc" "src/chain/CMakeFiles/pds2_chain.dir/state.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/state.cc.o.d"
+  "/root/repo/src/chain/transaction.cc" "src/chain/CMakeFiles/pds2_chain.dir/transaction.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/transaction.cc.o.d"
+  "/root/repo/src/chain/types.cc" "src/chain/CMakeFiles/pds2_chain.dir/types.cc.o" "gcc" "src/chain/CMakeFiles/pds2_chain.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pds2_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_chain.dir/block.cc.o"
+  "CMakeFiles/pds2_chain.dir/block.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/chain.cc.o"
+  "CMakeFiles/pds2_chain.dir/chain.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/contract.cc.o"
+  "CMakeFiles/pds2_chain.dir/contract.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/contracts/actor_registry.cc.o"
+  "CMakeFiles/pds2_chain.dir/contracts/actor_registry.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/contracts/erc20.cc.o"
+  "CMakeFiles/pds2_chain.dir/contracts/erc20.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/contracts/erc721.cc.o"
+  "CMakeFiles/pds2_chain.dir/contracts/erc721.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/contracts/workload.cc.o"
+  "CMakeFiles/pds2_chain.dir/contracts/workload.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/gas.cc.o"
+  "CMakeFiles/pds2_chain.dir/gas.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/state.cc.o"
+  "CMakeFiles/pds2_chain.dir/state.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/transaction.cc.o"
+  "CMakeFiles/pds2_chain.dir/transaction.cc.o.d"
+  "CMakeFiles/pds2_chain.dir/types.cc.o"
+  "CMakeFiles/pds2_chain.dir/types.cc.o.d"
+  "libpds2_chain.a"
+  "libpds2_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_common.dir/bytes.cc.o"
+  "CMakeFiles/pds2_common.dir/bytes.cc.o.d"
+  "CMakeFiles/pds2_common.dir/hex.cc.o"
+  "CMakeFiles/pds2_common.dir/hex.cc.o.d"
+  "CMakeFiles/pds2_common.dir/logging.cc.o"
+  "CMakeFiles/pds2_common.dir/logging.cc.o.d"
+  "CMakeFiles/pds2_common.dir/rng.cc.o"
+  "CMakeFiles/pds2_common.dir/rng.cc.o.d"
+  "CMakeFiles/pds2_common.dir/serial.cc.o"
+  "CMakeFiles/pds2_common.dir/serial.cc.o.d"
+  "CMakeFiles/pds2_common.dir/status.cc.o"
+  "CMakeFiles/pds2_common.dir/status.cc.o.d"
+  "libpds2_common.a"
+  "libpds2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

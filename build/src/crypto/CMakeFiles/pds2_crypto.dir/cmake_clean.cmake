@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_crypto.dir/bignum.cc.o"
+  "CMakeFiles/pds2_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/cipher.cc.o"
+  "CMakeFiles/pds2_crypto.dir/cipher.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/ed25519.cc.o"
+  "CMakeFiles/pds2_crypto.dir/ed25519.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/merkle.cc.o"
+  "CMakeFiles/pds2_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/paillier.cc.o"
+  "CMakeFiles/pds2_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/schnorr.cc.o"
+  "CMakeFiles/pds2_crypto.dir/schnorr.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/secret_sharing.cc.o"
+  "CMakeFiles/pds2_crypto.dir/secret_sharing.cc.o.d"
+  "CMakeFiles/pds2_crypto.dir/sha256.cc.o"
+  "CMakeFiles/pds2_crypto.dir/sha256.cc.o.d"
+  "libpds2_crypto.a"
+  "libpds2_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dml/experiment.cc" "src/dml/CMakeFiles/pds2_dml.dir/experiment.cc.o" "gcc" "src/dml/CMakeFiles/pds2_dml.dir/experiment.cc.o.d"
+  "/root/repo/src/dml/fedavg.cc" "src/dml/CMakeFiles/pds2_dml.dir/fedavg.cc.o" "gcc" "src/dml/CMakeFiles/pds2_dml.dir/fedavg.cc.o.d"
+  "/root/repo/src/dml/gossip.cc" "src/dml/CMakeFiles/pds2_dml.dir/gossip.cc.o" "gcc" "src/dml/CMakeFiles/pds2_dml.dir/gossip.cc.o.d"
+  "/root/repo/src/dml/netsim.cc" "src/dml/CMakeFiles/pds2_dml.dir/netsim.cc.o" "gcc" "src/dml/CMakeFiles/pds2_dml.dir/netsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pds2_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_dml.dir/experiment.cc.o"
+  "CMakeFiles/pds2_dml.dir/experiment.cc.o.d"
+  "CMakeFiles/pds2_dml.dir/fedavg.cc.o"
+  "CMakeFiles/pds2_dml.dir/fedavg.cc.o.d"
+  "CMakeFiles/pds2_dml.dir/gossip.cc.o"
+  "CMakeFiles/pds2_dml.dir/gossip.cc.o.d"
+  "CMakeFiles/pds2_dml.dir/netsim.cc.o"
+  "CMakeFiles/pds2_dml.dir/netsim.cc.o.d"
+  "libpds2_dml.a"
+  "libpds2_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

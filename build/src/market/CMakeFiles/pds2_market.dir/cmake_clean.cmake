@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_market.dir/actors.cc.o"
+  "CMakeFiles/pds2_market.dir/actors.cc.o.d"
+  "CMakeFiles/pds2_market.dir/marketplace.cc.o"
+  "CMakeFiles/pds2_market.dir/marketplace.cc.o.d"
+  "CMakeFiles/pds2_market.dir/spec.cc.o"
+  "CMakeFiles/pds2_market.dir/spec.cc.o.d"
+  "CMakeFiles/pds2_market.dir/valuation.cc.o"
+  "CMakeFiles/pds2_market.dir/valuation.cc.o.d"
+  "libpds2_market.a"
+  "libpds2_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

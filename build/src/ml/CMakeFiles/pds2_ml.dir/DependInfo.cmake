@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/pds2_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/pds2_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/pds2_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/pds2_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/privacy.cc" "src/ml/CMakeFiles/pds2_ml.dir/privacy.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/privacy.cc.o.d"
+  "/root/repo/src/ml/serialization.cc" "src/ml/CMakeFiles/pds2_ml.dir/serialization.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/serialization.cc.o.d"
+  "/root/repo/src/ml/sgd.cc" "src/ml/CMakeFiles/pds2_ml.dir/sgd.cc.o" "gcc" "src/ml/CMakeFiles/pds2_ml.dir/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_ml.dir/dataset.cc.o"
+  "CMakeFiles/pds2_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/pds2_ml.dir/linalg.cc.o"
+  "CMakeFiles/pds2_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/pds2_ml.dir/metrics.cc.o"
+  "CMakeFiles/pds2_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/pds2_ml.dir/model.cc.o"
+  "CMakeFiles/pds2_ml.dir/model.cc.o.d"
+  "CMakeFiles/pds2_ml.dir/privacy.cc.o"
+  "CMakeFiles/pds2_ml.dir/privacy.cc.o.d"
+  "CMakeFiles/pds2_ml.dir/serialization.cc.o"
+  "CMakeFiles/pds2_ml.dir/serialization.cc.o.d"
+  "CMakeFiles/pds2_ml.dir/sgd.cc.o"
+  "CMakeFiles/pds2_ml.dir/sgd.cc.o.d"
+  "libpds2_ml.a"
+  "libpds2_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

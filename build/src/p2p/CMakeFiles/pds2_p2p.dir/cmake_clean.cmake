@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_p2p.dir/validator_network.cc.o"
+  "CMakeFiles/pds2_p2p.dir/validator_network.cc.o.d"
+  "libpds2_p2p.a"
+  "libpds2_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_rewards.dir/pricing.cc.o"
+  "CMakeFiles/pds2_rewards.dir/pricing.cc.o.d"
+  "CMakeFiles/pds2_rewards.dir/shapley.cc.o"
+  "CMakeFiles/pds2_rewards.dir/shapley.cc.o.d"
+  "libpds2_rewards.a"
+  "libpds2_rewards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/content_store.cc" "src/storage/CMakeFiles/pds2_storage.dir/content_store.cc.o" "gcc" "src/storage/CMakeFiles/pds2_storage.dir/content_store.cc.o.d"
+  "/root/repo/src/storage/key_escrow.cc" "src/storage/CMakeFiles/pds2_storage.dir/key_escrow.cc.o" "gcc" "src/storage/CMakeFiles/pds2_storage.dir/key_escrow.cc.o.d"
+  "/root/repo/src/storage/provider_store.cc" "src/storage/CMakeFiles/pds2_storage.dir/provider_store.cc.o" "gcc" "src/storage/CMakeFiles/pds2_storage.dir/provider_store.cc.o.d"
+  "/root/repo/src/storage/semantic.cc" "src/storage/CMakeFiles/pds2_storage.dir/semantic.cc.o" "gcc" "src/storage/CMakeFiles/pds2_storage.dir/semantic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pds2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pds2_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

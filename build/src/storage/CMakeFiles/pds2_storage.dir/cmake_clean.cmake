@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_storage.dir/content_store.cc.o"
+  "CMakeFiles/pds2_storage.dir/content_store.cc.o.d"
+  "CMakeFiles/pds2_storage.dir/key_escrow.cc.o"
+  "CMakeFiles/pds2_storage.dir/key_escrow.cc.o.d"
+  "CMakeFiles/pds2_storage.dir/provider_store.cc.o"
+  "CMakeFiles/pds2_storage.dir/provider_store.cc.o.d"
+  "CMakeFiles/pds2_storage.dir/semantic.cc.o"
+  "CMakeFiles/pds2_storage.dir/semantic.cc.o.d"
+  "libpds2_storage.a"
+  "libpds2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

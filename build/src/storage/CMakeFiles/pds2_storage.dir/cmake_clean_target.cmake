@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpds2_storage.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/attestation.cc" "src/tee/CMakeFiles/pds2_tee.dir/attestation.cc.o" "gcc" "src/tee/CMakeFiles/pds2_tee.dir/attestation.cc.o.d"
+  "/root/repo/src/tee/enclave.cc" "src/tee/CMakeFiles/pds2_tee.dir/enclave.cc.o" "gcc" "src/tee/CMakeFiles/pds2_tee.dir/enclave.cc.o.d"
+  "/root/repo/src/tee/oblivious.cc" "src/tee/CMakeFiles/pds2_tee.dir/oblivious.cc.o" "gcc" "src/tee/CMakeFiles/pds2_tee.dir/oblivious.cc.o.d"
+  "/root/repo/src/tee/training_kernel.cc" "src/tee/CMakeFiles/pds2_tee.dir/training_kernel.cc.o" "gcc" "src/tee/CMakeFiles/pds2_tee.dir/training_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pds2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pds2_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pds2_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds2_tee.dir/attestation.cc.o"
+  "CMakeFiles/pds2_tee.dir/attestation.cc.o.d"
+  "CMakeFiles/pds2_tee.dir/enclave.cc.o"
+  "CMakeFiles/pds2_tee.dir/enclave.cc.o.d"
+  "CMakeFiles/pds2_tee.dir/oblivious.cc.o"
+  "CMakeFiles/pds2_tee.dir/oblivious.cc.o.d"
+  "CMakeFiles/pds2_tee.dir/training_kernel.cc.o"
+  "CMakeFiles/pds2_tee.dir/training_kernel.cc.o.d"
+  "libpds2_tee.a"
+  "libpds2_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds2_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

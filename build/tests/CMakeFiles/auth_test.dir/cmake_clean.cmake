@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_test.dir/auth/auth_test.cc.o"
+  "CMakeFiles/auth_test.dir/auth/auth_test.cc.o.d"
+  "auth_test"
+  "auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cipher_test.dir/crypto/cipher_test.cc.o"
+  "CMakeFiles/cipher_test.dir/crypto/cipher_test.cc.o.d"
+  "cipher_test"
+  "cipher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cipher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chain/gas_test.cc" "tests/CMakeFiles/gas_test.dir/chain/gas_test.cc.o" "gcc" "tests/CMakeFiles/gas_test.dir/chain/gas_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/pds2_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pds2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

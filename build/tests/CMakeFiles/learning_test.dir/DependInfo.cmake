@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dml/learning_test.cc" "tests/CMakeFiles/learning_test.dir/dml/learning_test.cc.o" "gcc" "tests/CMakeFiles/learning_test.dir/dml/learning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dml/CMakeFiles/pds2_dml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pds2_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_test.dir/dml/learning_test.cc.o"
+  "CMakeFiles/learning_test.dir/dml/learning_test.cc.o.d"
+  "learning_test"
+  "learning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewards_test.dir/rewards/rewards_test.cc.o"
+  "CMakeFiles/rewards_test.dir/rewards/rewards_test.cc.o.d"
+  "rewards_test"
+  "rewards_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

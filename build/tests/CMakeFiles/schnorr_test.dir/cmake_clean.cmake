@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schnorr_test.dir/crypto/schnorr_test.cc.o"
+  "CMakeFiles/schnorr_test.dir/crypto/schnorr_test.cc.o.d"
+  "schnorr_test"
+  "schnorr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schnorr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_network_test.dir/p2p/validator_network_test.cc.o"
+  "CMakeFiles/validator_network_test.dir/p2p/validator_network_test.cc.o.d"
+  "validator_network_test"
+  "validator_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

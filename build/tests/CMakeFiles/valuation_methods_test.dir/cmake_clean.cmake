@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valuation_methods_test.dir/rewards/valuation_methods_test.cc.o"
+  "CMakeFiles/valuation_methods_test.dir/rewards/valuation_methods_test.cc.o.d"
+  "valuation_methods_test"
+  "valuation_methods_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valuation_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/market/valuation_test.cc" "tests/CMakeFiles/valuation_test.dir/market/valuation_test.cc.o" "gcc" "tests/CMakeFiles/valuation_test.dir/market/valuation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/pds2_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/pds2_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/pds2_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/dml/CMakeFiles/pds2_dml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewards/CMakeFiles/pds2_rewards.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/pds2_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pds2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pds2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pds2_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pds2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

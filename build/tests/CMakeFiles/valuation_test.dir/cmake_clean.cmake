@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valuation_test.dir/market/valuation_test.cc.o"
+  "CMakeFiles/valuation_test.dir/market/valuation_test.cc.o.d"
+  "valuation_test"
+  "valuation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valuation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

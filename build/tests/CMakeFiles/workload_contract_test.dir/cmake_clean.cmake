@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_contract_test.dir/chain/workload_contract_test.cc.o"
+  "CMakeFiles/workload_contract_test.dir/chain/workload_contract_test.cc.o.d"
+  "workload_contract_test"
+  "workload_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
