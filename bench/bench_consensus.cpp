@@ -4,12 +4,17 @@
 // over a lossy wide-area network. This harness runs the full-mesh PoA
 // validator network over the DES and reports chain progress, replica
 // divergence and sync-protocol activity across packet-loss rates, plus
-// block propagation under growing validator sets.
+// block propagation under growing validator sets. Section (c) sweeps the
+// thread count of parallel block validation (signature batch + tx root)
+// and appends the "consensus" section of BENCH_parallel.json.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
+#include "chain/chain.h"
+#include "common/thread_pool.h"
 #include "p2p/validator_network.h"
 
 namespace {
@@ -101,5 +106,106 @@ int main() {
   }
   std::printf("\n(full-mesh broadcast: traffic grows quadratically in the "
               "validator count — PoA committees stay small)\n");
+
+  // --- (c) parallel block validation thread sweep. --------------------------
+  std::printf("\n-- (c) parallel block validation (128 transfers/block) --\n");
+  {
+    using namespace pds2;
+    using chain::Blockchain;
+    using chain::ChainConfig;
+    using chain::ContractRegistry;
+
+    constexpr size_t kTxs = 128;
+    constexpr int kReps = 3;
+    crypto::SigningKey validator =
+        crypto::SigningKey::FromSeed(common::ToBytes("validator-0"));
+    crypto::SigningKey alice =
+        crypto::SigningKey::FromSeed(common::ToBytes("alice"));
+    const chain::Address bob = chain::AddressFromPublicKey(
+        crypto::SigningKey::FromSeed(common::ToBytes("bob")).PublicKey());
+    const chain::Address alice_addr =
+        chain::AddressFromPublicKey(alice.PublicKey());
+
+    Blockchain producer({validator.PublicKey()},
+                        ContractRegistry::CreateDefault());
+    (void)producer.CreditGenesis(alice_addr, 1'000'000'000'000ULL);
+    std::vector<chain::Transaction> txs;
+    for (size_t i = 0; i < kTxs; ++i) {
+      txs.push_back(chain::Transaction::Make(alice, i, bob, 1, 100000,
+                                             chain::CallPayload{}));
+      (void)producer.SubmitTransaction(txs.back());
+    }
+    auto block = producer.ProduceBlock(validator, 1);
+    if (!block.ok()) {
+      std::printf("block production failed: %s\n",
+                  block.status().ToString().c_str());
+      return 1;
+    }
+
+    std::vector<size_t> thread_counts = {
+        1, 2, 4, common::ThreadPool::DefaultThreadCount()};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+
+    std::printf("%10s %14s %10s\n", "threads", "apply ms", "speedup");
+    double base_ms = 0.0;
+    std::string sweep_json;
+    for (size_t threads : thread_counts) {
+      common::ThreadPool pool(threads);
+      ChainConfig config;
+      config.thread_pool = &pool;
+      double best_ms = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        // Fresh replica each repetition: the signature cache is cold, so
+        // every signature in the block is actually checked on the pool.
+        Blockchain replica({validator.PublicKey()},
+                           ContractRegistry::CreateDefault(), config);
+        (void)replica.CreditGenesis(alice_addr, 1'000'000'000'000ULL);
+        bench::Timer timer;
+        if (!replica.ApplyExternalBlock(*block).ok()) {
+          std::printf("replica rejected the block\n");
+          return 1;
+        }
+        const double ms = timer.ElapsedMs();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (base_ms == 0.0) base_ms = best_ms;
+      const double speedup = best_ms > 0.0 ? base_ms / best_ms : 0.0;
+      std::printf("%10zu %14.2f %10.2f\n", threads, best_ms, speedup);
+      char entry[128];
+      std::snprintf(entry, sizeof(entry),
+                    "%s\n      {\"threads\": %zu, \"apply_ms\": %.3f, "
+                    "\"speedup\": %.3f}",
+                    sweep_json.empty() ? "" : ",", threads, best_ms, speedup);
+      sweep_json += entry;
+    }
+
+    // The shared verification cache: a replica that already admitted every
+    // transaction to its mempool re-checks nothing at block arrival.
+    Blockchain warm({validator.PublicKey()}, ContractRegistry::CreateDefault());
+    (void)warm.CreditGenesis(alice_addr, 1'000'000'000'000ULL);
+    for (const auto& tx : txs) (void)warm.SubmitTransaction(tx);
+    const uint64_t before = warm.SignatureVerifications();
+    bench::Timer warm_timer;
+    const bool warm_ok = warm.ApplyExternalBlock(*block).ok();
+    const double warm_ms = warm_timer.ElapsedMs();
+    const uint64_t extra = warm.SignatureVerifications() - before;
+    std::printf("cached path: apply after submitting all %zu txs -> %llu "
+                "extra verifies, %.2f ms%s\n",
+                kTxs, static_cast<unsigned long long>(extra), warm_ms,
+                warm_ok ? "" : " (REJECTED)");
+
+    char section[256];
+    std::snprintf(section, sizeof(section),
+                  "{\n    \"txs_per_block\": %zu,\n"
+                  "    \"cached_apply_extra_verifies\": %llu,\n"
+                  "    \"cached_apply_ms\": %.3f,\n    \"sweep\": [",
+                  kTxs, static_cast<unsigned long long>(extra), warm_ms);
+    bench::MergeParallelReport(
+        "consensus", std::string(section) + sweep_json + "\n    ]\n  }");
+    std::printf("wrote BENCH_parallel.json (consensus section)\n");
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "chain/chain.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "crypto/merkle.h"
 #include "crypto/paillier.h"
 #include "crypto/schnorr.h"
@@ -73,6 +74,57 @@ void BM_MerkleBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MerkleBuild)->Arg(64)->Arg(1024);
+
+void BM_MerkleBuildParallel(benchmark::State& state) {
+  // Args: {leaves, threads}. threads=1 is the inline sequential path — the
+  // baseline the speedup of wider pools is read against.
+  common::Rng rng(5);
+  std::vector<common::Bytes> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(rng.NextBytes(64));
+  }
+  common::ThreadPool pool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    crypto::MerkleTree tree(leaves, &pool);
+    benchmark::DoNotOptimize(tree.Root());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuildParallel)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
+
+void BM_SchnorrVerifyBatchParallel(benchmark::State& state) {
+  // Args: {signatures, threads}. The block-validation hot loop: verify a
+  // batch of independent (pubkey, msg, sig) triples on the pool.
+  common::Rng rng(7);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<crypto::SigningKey> keys;
+  std::vector<common::Bytes> msgs;
+  std::vector<common::Bytes> sigs;
+  for (size_t i = 0; i < batch; ++i) {
+    keys.push_back(crypto::SigningKey::Generate(rng));
+    msgs.push_back(rng.NextBytes(128));
+    sigs.push_back(keys.back().Sign(msgs.back()));
+  }
+  common::ThreadPool pool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    std::vector<uint8_t> ok(batch, 0);
+    pool.ParallelFor(0, batch, [&](size_t i) {
+      ok[i] = crypto::VerifySignature(keys[i].PublicKey(), msgs[i], sigs[i])
+                  .ok();
+    });
+    benchmark::DoNotOptimize(ok.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchnorrVerifyBatchParallel)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4});
 
 void BM_ObliviousSort(benchmark::State& state) {
   common::Rng rng(6);

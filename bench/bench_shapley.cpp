@@ -1,19 +1,25 @@
 // E4 — Reward schemes (paper §IV-A).
 //
-// Three measurements:
+// Measurements:
 //  (a) cost of exact Shapley vs provider count — the exponential wall;
 //  (b) accuracy/cost of the Monte-Carlo and truncated-MC approximations;
 //  (c) misallocation of the naive size-proportional split when one provider
 //      contributes label noise ("monetization of data based on size does
-//      not work well", [27]).
+//      not work well", [27]);
+//  (e) thread-count sweep of the parallel Monte-Carlo estimator; results
+//      must be bit-identical at every pool size. Appends the "shapley"
+//      section of BENCH_parallel.json.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <functional>
 #include <numeric>
+#include <string>
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "rewards/shapley.h"
 
 int main() {
@@ -105,5 +111,66 @@ int main() {
   }
   std::printf("(LOO costs n+1 utility calls but cannot see redundancy; "
               "Banzhaf weights all coalition sizes equally)\n");
+
+  // --- (e): parallel Monte-Carlo thread sweep. ------------------------------
+  std::printf("\n-- parallel MC Shapley (n=12 providers, 32 permutations) --\n");
+  const size_t pn = 12;
+  const size_t pperms = 32;
+  common::Rng pdata_rng(200);
+  ml::Dataset pall = ml::MakeTwoGaussians(200 * pn + 600, 6, 2.5, pdata_rng);
+  auto [ptrain, ptest] =
+      ml::TrainTestSplit(pall, 600.0 / pall.Size(), pdata_rng);
+  auto pparts = ml::PartitionIid(ptrain, pn, pdata_rng);
+  // Raw (uncached) utility: every permutation retrains from scratch, so the
+  // sweep measures genuine parallel scaling, not cache-hit luck.
+  rewards::UtilityFn putility = rewards::MakeMlUtility(pparts, ptest, 7);
+
+  std::vector<size_t> thread_counts = {1, 2, 4,
+                                       common::ThreadPool::DefaultThreadCount()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::printf("%10s %12s %10s %12s\n", "threads", "ms", "speedup",
+              "identical");
+  std::vector<double> reference;
+  double base_ms = 0.0;
+  bool all_identical = true;
+  std::string sweep_json;
+  for (size_t threads : thread_counts) {
+    common::ThreadPool pool(threads);
+    bench::Timer timer;
+    auto values = rewards::ParallelMonteCarloShapley(pn, putility, pperms,
+                                                     /*seed=*/9, &pool);
+    const double ms = timer.ElapsedMs();
+    if (reference.empty()) {
+      reference = values;
+      base_ms = ms;
+    }
+    const bool identical = values == reference;
+    all_identical = all_identical && identical;
+    const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
+    std::printf("%10zu %12.1f %10.2f %12s\n", threads, ms, speedup,
+                identical ? "yes" : "NO");
+    char entry[160];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\n      {\"threads\": %zu, \"ms\": %.3f, "
+                  "\"speedup\": %.3f, \"identical\": %s}",
+                  sweep_json.empty() ? "" : ",", threads, ms, speedup,
+                  identical ? "true" : "false");
+    sweep_json += entry;
+  }
+  std::printf("(bit-identical results at every pool size is the determinism "
+              "contract, not a tolerance)\n");
+
+  char section[256];
+  std::snprintf(section, sizeof(section),
+                "{\n    \"providers\": %zu,\n    \"permutations\": %zu,\n"
+                "    \"all_identical\": %s,\n    \"sweep\": [",
+                pn, pperms, all_identical ? "true" : "false");
+  bench::MergeParallelReport("shapley",
+                             std::string(section) + sweep_json + "\n    ]\n  }");
+  std::printf("wrote BENCH_parallel.json (shapley section)\n");
   return 0;
 }

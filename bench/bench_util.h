@@ -1,8 +1,14 @@
 #ifndef PDS2_BENCH_BENCH_UTIL_H_
 #define PDS2_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace pds2::bench {
 
@@ -37,6 +43,91 @@ inline void Banner(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("paper claim: %s\n", claim);
   std::printf("==========================================================\n");
+}
+
+/// Replaces (or appends) one named top-level section of the shared
+/// BENCH_parallel.json report, preserving sections written by the other
+/// bench binaries. The file is a flat object {"name": {...}, ...}; a
+/// malformed file is discarded and the report starts fresh. The scanner is
+/// a brace-depth walk that respects string literals, not a full JSON
+/// parser — exactly enough for the reports these binaries emit.
+inline void MergeParallelReport(const std::string& section,
+                                const std::string& object_json,
+                                const std::string& path =
+                                    "BENCH_parallel.json") {
+  std::vector<std::pair<std::string, std::string>> sections;
+
+  std::ifstream in(path);
+  if (in) {
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[i]))) {
+        ++i;
+      }
+    };
+    bool ok = false;
+    skip_ws();
+    if (i < text.size() && text[i] == '{') {
+      ++i;
+      ok = true;
+      while (ok) {
+        skip_ws();
+        if (i < text.size() && text[i] == '}') break;  // end of report
+        if (i >= text.size() || text[i] != '"') { ok = false; break; }
+        const size_t key_begin = ++i;
+        while (i < text.size() && text[i] != '"') ++i;
+        if (i >= text.size()) { ok = false; break; }
+        const std::string key = text.substr(key_begin, i - key_begin);
+        ++i;
+        skip_ws();
+        if (i >= text.size() || text[i] != ':') { ok = false; break; }
+        ++i;
+        skip_ws();
+        if (i >= text.size() || text[i] != '{') { ok = false; break; }
+        const size_t value_begin = i;
+        int depth = 0;
+        bool in_string = false;
+        for (; i < text.size(); ++i) {
+          const char c = text[i];
+          if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+          } else if (c == '"') {
+            in_string = true;
+          } else if (c == '{') {
+            ++depth;
+          } else if (c == '}') {
+            if (--depth == 0) { ++i; break; }
+          }
+        }
+        if (depth != 0) { ok = false; break; }
+        sections.emplace_back(key, text.substr(value_begin, i - value_begin));
+        skip_ws();
+        if (i < text.size() && text[i] == ',') ++i;
+      }
+    }
+    if (!ok) sections.clear();
+  }
+
+  bool replaced = false;
+  for (auto& [key, value] : sections) {
+    if (key == section) {
+      value = object_json;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, object_json);
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (size_t s = 0; s < sections.size(); ++s) {
+    out << "  \"" << sections[s].first << "\": " << sections[s].second
+        << (s + 1 < sections.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
 }
 
 }  // namespace pds2::bench

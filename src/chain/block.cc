@@ -1,5 +1,6 @@
 #include "chain/block.h"
 
+#include "common/thread_pool.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 
@@ -69,11 +70,16 @@ Result<Block> Block::Deserialize(const Bytes& data) {
   return block;
 }
 
-Hash Block::ComputeTxRoot(const std::vector<Transaction>& txs) {
-  std::vector<Bytes> leaves;
-  leaves.reserve(txs.size());
-  for (const Transaction& tx : txs) leaves.push_back(tx.Id());
-  return crypto::MerkleTree(leaves).Root();
+Hash Block::ComputeTxRoot(const std::vector<Transaction>& txs,
+                          common::ThreadPool* pool) {
+  std::vector<Bytes> leaves(txs.size());
+  if (pool != nullptr && pool->NumThreads() > 1 && txs.size() >= 16) {
+    pool->ParallelFor(0, txs.size(),
+                      [&](size_t i) { leaves[i] = txs[i].Id(); });
+  } else {
+    for (size_t i = 0; i < txs.size(); ++i) leaves[i] = txs[i].Id();
+  }
+  return crypto::MerkleTree(leaves, pool).Root();
 }
 
 }  // namespace pds2::chain

@@ -9,6 +9,10 @@
 #include "common/sim_clock.h"
 #include "crypto/schnorr.h"
 
+namespace pds2::common {
+class ThreadPool;
+}  // namespace pds2::common
+
 namespace pds2::chain {
 
 /// Block header, signed by the proposing validator (domain "pds2.block").
@@ -41,7 +45,10 @@ struct Block {
   static common::Result<Block> Deserialize(const common::Bytes& data);
 
   /// Merkle root over the transaction ids, as committed in the header.
-  static Hash ComputeTxRoot(const std::vector<Transaction>& txs);
+  /// With a pool, transaction ids and tree levels are computed in parallel;
+  /// the root is bit-identical for every pool size.
+  static Hash ComputeTxRoot(const std::vector<Transaction>& txs,
+                            common::ThreadPool* pool = nullptr);
 };
 
 }  // namespace pds2::chain

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/serial.h"
+#include "common/thread_pool.h"
 
 namespace pds2::chain {
 
@@ -32,8 +33,75 @@ Status Blockchain::CreditGenesis(const Address& addr, uint64_t amount) {
   return Status::Ok();
 }
 
-Status Blockchain::SubmitTransaction(const Transaction& tx) {
+namespace {
+
+// Bound on the verification cache; far above any realistic working set
+// (mempool + a few blocks in flight). On overflow the cache resets — the
+// only cost is re-verifying, never a correctness change.
+constexpr size_t kMaxVerifiedTxCacheEntries = 1 << 17;
+
+// Below this many uncached signatures the pool dispatch overhead exceeds
+// the win; verify inline.
+constexpr size_t kParallelVerifyThreshold = 4;
+
+}  // namespace
+
+void Blockchain::CacheVerified(Hash tx_id) {
+  if (verified_txs_.size() >= kMaxVerifiedTxCacheEntries) {
+    verified_txs_.clear();
+  }
+  verified_txs_.insert(std::move(tx_id));
+}
+
+Status Blockchain::VerifyTransactionCached(const Transaction& tx) {
+  Hash id = tx.Id();
+  if (verified_txs_.count(id) > 0) return Status::Ok();
+  ++signature_verifications_;
   PDS2_RETURN_IF_ERROR(tx.VerifySignature());
+  CacheVerified(std::move(id));
+  return Status::Ok();
+}
+
+Status Blockchain::VerifyBlockSignatures(
+    const std::vector<Transaction>& txs) {
+  // Partition into cached and still-unverified transactions. The id covers
+  // the signature bytes, so a cache hit certifies this exact (tx, sig) pair.
+  std::vector<size_t> unverified;
+  std::vector<Hash> unverified_ids;
+  for (size_t i = 0; i < txs.size(); ++i) {
+    Hash id = txs[i].Id();
+    if (verified_txs_.count(id) == 0) {
+      unverified.push_back(i);
+      unverified_ids.push_back(std::move(id));
+    }
+  }
+
+  std::vector<Status> statuses(unverified.size(), Status::Ok());
+  auto verify_one = [&](size_t k) {
+    statuses[k] = txs[unverified[k]].VerifySignature();
+  };
+  common::ThreadPool* pool = config_.thread_pool;
+  if (pool != nullptr && pool->NumThreads() > 1 &&
+      unverified.size() >= kParallelVerifyThreshold) {
+    pool->ParallelFor(0, unverified.size(), verify_one);
+  } else {
+    for (size_t k = 0; k < unverified.size(); ++k) verify_one(k);
+  }
+  signature_verifications_ += unverified.size();
+
+  Status first_failure = Status::Ok();
+  for (size_t k = 0; k < unverified.size(); ++k) {
+    if (statuses[k].ok()) {
+      CacheVerified(std::move(unverified_ids[k]));
+    } else if (first_failure.ok()) {
+      first_failure = statuses[k];
+    }
+  }
+  return first_failure;
+}
+
+Status Blockchain::SubmitTransaction(const Transaction& tx) {
+  PDS2_RETURN_IF_ERROR(VerifyTransactionCached(tx));
   const auto& schedule = DefaultGasSchedule();
   const uint64_t floor_cost =
       schedule.tx_base + schedule.tx_payload_byte * tx.payload().args.size();
@@ -221,7 +289,8 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
   block.header.parent_hash = LastBlockHash();
   block.header.number = block_number;
   block.header.timestamp = timestamp;
-  block.header.tx_root = Block::ComputeTxRoot(block.transactions);
+  block.header.tx_root =
+      Block::ComputeTxRoot(block.transactions, config_.thread_pool);
   block.header.state_root = state_.Digest();
   block.header.proposer_public_key = proposer.PublicKey();
   block.header.signature = proposer.SignWithDomain(
@@ -251,12 +320,11 @@ Status Blockchain::ApplyExternalBlock(const Block& block) {
   PDS2_RETURN_IF_ERROR(crypto::VerifySignatureWithDomain(
       block.header.proposer_public_key, BlockHeader::Domain(),
       block.header.SigningBytes(), block.header.signature));
-  if (block.header.tx_root != Block::ComputeTxRoot(block.transactions)) {
+  if (block.header.tx_root !=
+      Block::ComputeTxRoot(block.transactions, config_.thread_pool)) {
     return Status::Corruption("transaction root mismatch");
   }
-  for (const Transaction& tx : block.transactions) {
-    PDS2_RETURN_IF_ERROR(tx.VerifySignature());
-  }
+  PDS2_RETURN_IF_ERROR(VerifyBlockSignatures(block.transactions));
 
   // Execute and check the resulting state commitment.
   uint64_t fees = 0;

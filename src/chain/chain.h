@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,10 @@
 #include "chain/state.h"
 #include "chain/transaction.h"
 #include "common/result.h"
+
+namespace pds2::common {
+class ThreadPool;
+}  // namespace pds2::common
 
 namespace pds2::chain {
 
@@ -32,13 +37,19 @@ struct Receipt {
 struct ChainConfig {
   uint64_t gas_price = 1;                  // native tokens per gas unit
   uint64_t block_gas_limit = 100'000'000;  // per-block execution budget
+  /// Optional pool for parallel block validation (signature batch + tx
+  /// root). nullptr (or a 1-thread pool) follows the sequential code path
+  /// exactly; any pool size yields bit-identical blocks and state.
+  common::ThreadPool* thread_pool = nullptr;
 };
 
 /// The PDS2 governance blockchain: an account-based ledger with
 /// proof-of-authority consensus (a fixed validator set proposing in
 /// round-robin order) executing native C++ contracts with Ethereum-style
-/// gas accounting. Single-threaded and deterministic by design — it is the
-/// ground truth of the marketplace simulation.
+/// gas accounting. Execution is sequential and deterministic by design — it
+/// is the ground truth of the marketplace simulation. Validation (signature
+/// batches, Merkle roots) may run on a ThreadPool without affecting any
+/// output: see ChainConfig::thread_pool.
 class Blockchain {
  public:
   Blockchain(std::vector<common::Bytes> validator_public_keys,
@@ -92,6 +103,13 @@ class Blockchain {
   /// Total gas consumed by all executed transactions (experiment E6).
   uint64_t TotalGasUsed() const { return total_gas_used_; }
 
+  /// Number of Schnorr signature checks actually performed on transactions.
+  /// A (tx, signature) pair is verified at most once: SubmitTransaction and
+  /// ApplyExternalBlock share a verification cache keyed by tx id (which
+  /// covers the signature bytes), eliminating the historical double-verify
+  /// on the submit→validate path.
+  uint64_t SignatureVerifications() const { return signature_verifications_; }
+
   /// Circulating native supply (see WorldState::TotalBalance).
   uint64_t TotalSupply() const { return state_.TotalBalance(); }
 
@@ -105,6 +123,16 @@ class Blockchain {
   Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number,
                              common::SimTime timestamp);
 
+  /// Verifies one signature through the cache (submit path).
+  common::Status VerifyTransactionCached(const Transaction& tx);
+
+  /// Verifies a block's signatures, skipping cached ones and checking the
+  /// rest on the configured pool. Returns the first failure in tx order —
+  /// the same status the sequential loop produced.
+  common::Status VerifyBlockSignatures(const std::vector<Transaction>& txs);
+
+  void CacheVerified(Hash tx_id);
+
   std::vector<common::Bytes> validators_;
   std::unique_ptr<ContractRegistry> registry_;
   ChainConfig config_;
@@ -115,6 +143,8 @@ class Blockchain {
   std::map<Hash, Receipt> receipts_;
   uint64_t next_instance_id_ = 1;
   uint64_t total_gas_used_ = 0;
+  std::set<Hash> verified_txs_;  // successful signature checks, by tx id
+  uint64_t signature_verifications_ = 0;
 };
 
 /// Helper for reading a deploy receipt's output as the new instance id.

@@ -1,5 +1,6 @@
 #include "crypto/merkle.h"
 
+#include "common/thread_pool.h"
 #include "crypto/sha256.h"
 
 namespace pds2::crypto {
@@ -10,6 +11,10 @@ using common::Status;
 
 namespace {
 
+// Below this many nodes a level is hashed inline; pool dispatch overhead
+// would swamp the SHA-256 work.
+constexpr size_t kParallelLevelThreshold = 32;
+
 Bytes HashNode(const Bytes& left, const Bytes& right) {
   Sha256 h;
   const uint8_t prefix = 0x01;
@@ -17,6 +22,18 @@ Bytes HashNode(const Bytes& left, const Bytes& right) {
   h.Update(left);
   h.Update(right);
   return h.Finish();
+}
+
+// Fills out[i] = fn(i) for i in [0, count), on the pool when it pays off.
+void FillLevel(std::vector<Bytes>& out, size_t count,
+               common::ThreadPool* pool,
+               const std::function<Bytes(size_t)>& fn) {
+  if (pool != nullptr && pool->NumThreads() > 1 &&
+      count >= kParallelLevelThreshold) {
+    pool->ParallelFor(0, count, [&](size_t i) { out[i] = fn(i); });
+  } else {
+    for (size_t i = 0; i < count; ++i) out[i] = fn(i);
+  }
 }
 
 }  // namespace
@@ -29,24 +46,25 @@ Bytes MerkleTree::HashLeaf(const Bytes& data) {
   return h.Finish();
 }
 
-MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves,
+                       common::ThreadPool* pool)
     : leaf_count_(leaves.size()) {
   if (leaves.empty()) {
     root_ = Sha256::Hash(Bytes{});
     return;
   }
-  std::vector<Bytes> level;
-  level.reserve(leaves.size());
-  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
-  levels_.push_back(level);
+  std::vector<Bytes> level(leaves.size());
+  FillLevel(level, leaves.size(), pool,
+            [&](size_t i) { return HashLeaf(leaves[i]); });
+  levels_.push_back(std::move(level));
 
   while (levels_.back().size() > 1) {
     const std::vector<Bytes>& prev = levels_.back();
-    std::vector<Bytes> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (size_t i = 0; i + 1 < prev.size(); i += 2) {
-      next.push_back(HashNode(prev[i], prev[i + 1]));
-    }
+    const size_t pairs = prev.size() / 2;
+    std::vector<Bytes> next(pairs);
+    FillLevel(next, pairs, pool, [&](size_t i) {
+      return HashNode(prev[2 * i], prev[2 * i + 1]);
+    });
     if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote odd node
     levels_.push_back(std::move(next));
   }

@@ -6,6 +6,10 @@
 #include "common/bytes.h"
 #include "common/result.h"
 
+namespace pds2::common {
+class ThreadPool;
+}  // namespace pds2::common
+
 namespace pds2::crypto {
 
 /// One step of a Merkle inclusion proof: the sibling hash and whether it
@@ -26,8 +30,12 @@ using MerkleProof = std::vector<MerkleStep>;
 class MerkleTree {
  public:
   /// Builds the tree. An empty input yields the hash of the empty string as
-  /// root (a defined sentinel).
-  explicit MerkleTree(const std::vector<common::Bytes>& leaves);
+  /// root (a defined sentinel). With a pool, each level is hashed
+  /// level-parallel (nodes within a level are independent); the resulting
+  /// tree is bit-identical for every pool size because node positions are
+  /// fixed by the input alone.
+  explicit MerkleTree(const std::vector<common::Bytes>& leaves,
+                      common::ThreadPool* pool = nullptr);
 
   const common::Bytes& Root() const { return root_; }
   size_t LeafCount() const { return leaf_count_; }

@@ -1,6 +1,9 @@
 #include "dml/netsim.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/thread_pool.h"
 
 namespace pds2::dml {
 
@@ -11,15 +14,36 @@ SimTime NodeContext::Now() const { return sim_.Now(); }
 size_t NodeContext::NumNodes() const { return sim_.NumNodes(); }
 bool NodeContext::IsOnline(size_t node) const { return sim_.IsOnline(node); }
 void NodeContext::Send(size_t to, Bytes payload) {
+  if (outbox_ != nullptr) {
+    outbox_->sends.push_back({to, std::move(payload)});
+    return;
+  }
   sim_.SendFrom(self_, to, std::move(payload));
 }
 void NodeContext::SetTimer(SimTime delay, uint64_t timer_id) {
+  if (outbox_ != nullptr) {
+    outbox_->timers.push_back({delay, timer_id});
+    return;
+  }
   sim_.SetTimerFor(self_, delay, timer_id);
 }
-common::Rng& NodeContext::rng() { return sim_.rng(); }
+common::Rng& NodeContext::rng() { return sim_.RngFor(self_); }
 
 NetSim::NetSim(NetConfig config, uint64_t seed)
     : config_(config), rng_(seed) {}
+
+void NetSim::EnableParallel(common::ThreadPool* pool, SimTime batch_window) {
+  assert(!started_);
+  assert(pool != nullptr);
+  pool_ = pool;
+  batch_window_ = batch_window;
+}
+
+common::Rng& NetSim::RngFor(size_t node) {
+  if (pool_ == nullptr) return rng_;
+  assert(node < node_rngs_.size());
+  return node_rngs_[node];
+}
 
 size_t NetSim::AddNode(std::unique_ptr<Node> node) {
   assert(!started_);
@@ -32,6 +56,12 @@ size_t NetSim::AddNode(std::unique_ptr<Node> node) {
 void NetSim::Start() {
   assert(!started_);
   started_ = true;
+  if (pool_ != nullptr) {
+    // Per-node streams forked in index order: every node's randomness is a
+    // pure function of (seed, node index), independent of scheduling.
+    node_rngs_.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) node_rngs_.push_back(rng_.Fork());
+  }
   for (size_t i = 0; i < nodes_.size(); ++i) {
     NodeContext ctx(*this, i);
     nodes_[i]->OnStart(ctx);
@@ -92,6 +122,10 @@ void NetSim::SetOnline(size_t node, bool online) {
 
 void NetSim::RunUntil(SimTime t) {
   assert(started_);
+  if (pool_ != nullptr) {
+    RunUntilParallel(t);
+    return;
+  }
   while (!queue_.empty() && queue_.top().time <= t) {
     PdsEvent event = queue_.top();
     queue_.pop();
@@ -107,6 +141,87 @@ void NetSim::RunUntil(SimTime t) {
       nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
     } else {
       nodes_[event.target]->OnTimer(ctx, event.timer_id);
+    }
+  }
+  clock_.AdvanceTo(t);
+}
+
+void NetSim::RunUntilParallel(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    // One batch: every pending event within `batch_window_` of the earliest
+    // one, treated as concurrent and stamped at the batch start time. New
+    // events produced by the batch are scheduled relative to that stamp, so
+    // an event can fire at most `batch_window_` early — the bounded
+    // approximation that buys parallelism (0 = exact-tie batching only).
+    const SimTime batch_time = queue_.top().time;
+    const SimTime horizon = std::min(batch_time + batch_window_, t);
+    clock_.AdvanceTo(batch_time);
+
+    std::vector<PdsEvent> batch;
+    while (!queue_.empty() && queue_.top().time <= horizon) {
+      batch.push_back(queue_.top());
+      queue_.pop();
+    }
+
+    // Offline filtering and delivery accounting stay sequential, in event
+    // order, exactly as in the sequential loop.
+    std::vector<PdsEvent*> live;
+    live.reserve(batch.size());
+    for (PdsEvent& event : batch) {
+      if (!online_[event.target]) {
+        if (event.kind == PdsEvent::Kind::kMessage) ++stats_.messages_dropped;
+        continue;
+      }
+      if (event.kind == PdsEvent::Kind::kMessage) {
+        ++stats_.messages_delivered;
+        stats_.bytes_received_per_node[event.target] += event.payload.size();
+      }
+      live.push_back(&event);
+    }
+
+    // Group events by target node, preserving sequence order inside each
+    // group: one task per node, so a node's handlers never run concurrently
+    // with themselves and only ever touch that node's state and RNG.
+    std::vector<std::vector<size_t>> groups;
+    std::vector<size_t> group_of_node(nodes_.size(), SIZE_MAX);
+    for (size_t idx = 0; idx < live.size(); ++idx) {
+      const size_t target = live[idx]->target;
+      if (group_of_node[target] == SIZE_MAX) {
+        group_of_node[target] = groups.size();
+        groups.emplace_back();
+      }
+      groups[group_of_node[target]].push_back(idx);
+    }
+
+    std::vector<NodeContext::Outbox> outboxes(live.size());
+    auto run_group = [&](size_t g) {
+      for (size_t idx : groups[g]) {
+        PdsEvent& event = *live[idx];
+        NodeContext ctx(*this, event.target, &outboxes[idx]);
+        if (event.kind == PdsEvent::Kind::kMessage) {
+          nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
+        } else {
+          nodes_[event.target]->OnTimer(ctx, event.timer_id);
+        }
+      }
+    };
+    if (pool_->NumThreads() > 1 && groups.size() > 1) {
+      pool_->ParallelFor(0, groups.size(), run_group);
+    } else {
+      for (size_t g = 0; g < groups.size(); ++g) run_group(g);
+    }
+
+    // Apply buffered side effects in event-sequence order. All shared-RNG
+    // draws (drop, jitter) happen here, sequentially — deterministic for
+    // any pool size.
+    for (size_t idx = 0; idx < live.size(); ++idx) {
+      for (NodeContext::Outbox::PendingSend& send : outboxes[idx].sends) {
+        SendFrom(live[idx]->target, send.to, std::move(send.payload));
+      }
+      for (const NodeContext::Outbox::PendingTimer& timer :
+           outboxes[idx].timers) {
+        SetTimerFor(live[idx]->target, timer.delay, timer.timer_id);
+      }
     }
   }
   clock_.AdvanceTo(t);

@@ -9,6 +9,10 @@
 #include "common/rng.h"
 #include "common/sim_clock.h"
 
+namespace pds2::common {
+class ThreadPool;
+}  // namespace pds2::common
+
 namespace pds2::dml {
 
 /// Link model of the simulated network.
@@ -48,11 +52,34 @@ class NodeContext {
   /// Arms a one-shot timer that fires OnTimer(timer_id) after `delay`.
   void SetTimer(common::SimTime delay, uint64_t timer_id);
 
+  /// The simulator-wide RNG in sequential mode; this node's private stream
+  /// in parallel mode (see NetSim::EnableParallel).
   common::Rng& rng();
 
  private:
+  friend class NetSim;
+
+  /// Side effects buffered during a parallel batch; the simulator applies
+  /// them in deterministic event order after the batch joins.
+  struct Outbox {
+    struct PendingSend {
+      size_t to;
+      common::Bytes payload;
+    };
+    struct PendingTimer {
+      common::SimTime delay;
+      uint64_t timer_id;
+    };
+    std::vector<PendingSend> sends;
+    std::vector<PendingTimer> timers;
+  };
+
+  NodeContext(NetSim& sim, size_t self, Outbox* outbox)
+      : sim_(sim), self_(self), outbox_(outbox) {}
+
   NetSim& sim_;
   size_t self_;
+  Outbox* outbox_ = nullptr;  // non-null only inside a parallel batch
 };
 
 /// A protocol endpoint. Implementations: GossipNode, FedServerNode,
@@ -73,17 +100,35 @@ class Node {
   }
 };
 
-/// Deterministic discrete-event network simulator. Single-threaded: events
-/// (message deliveries, timers) execute in timestamp order, ties broken by
-/// insertion sequence. Nodes can be taken offline and back online to model
-/// churn; messages to offline nodes are lost (no retransmission — protocol
-/// robustness under loss is part of what the experiments measure).
+/// Deterministic discrete-event network simulator. By default
+/// single-threaded: events (message deliveries, timers) execute in
+/// timestamp order, ties broken by insertion sequence. Nodes can be taken
+/// offline and back online to model churn; messages to offline nodes are
+/// lost (no retransmission — protocol robustness under loss is part of what
+/// the experiments measure).
+///
+/// Parallel mode (EnableParallel): events inside a small time window are
+/// treated as concurrent and their per-node handlers — the LocalUpdate /
+/// gossip-push steps that dominate DML round cost — run on a ThreadPool.
+/// Determinism is preserved at any pool size: each node draws from its own
+/// RNG stream, handlers buffer their sends/timers in per-event outboxes,
+/// and the simulator applies those outboxes (and all shared-RNG draws for
+/// drop/jitter) in event-sequence order after the batch joins.
 class NetSim {
  public:
   NetSim(NetConfig config, uint64_t seed);
 
   /// Registers a node; returns its index.
   size_t AddNode(std::unique_ptr<Node> node);
+
+  /// Opts into parallel batch execution on `pool`. Must be called before
+  /// Start(). Events whose timestamps fall within `batch_window` of the
+  /// earliest pending event execute as one concurrent batch stamped at the
+  /// batch's start time (0 = only exact timestamp ties batch together).
+  /// Results are identical for every pool size, including 1; they differ
+  /// from sequential mode only because nodes use private RNG streams.
+  void EnableParallel(common::ThreadPool* pool,
+                      common::SimTime batch_window = 0);
 
   /// Delivers OnStart to every node. Call once, after adding all nodes.
   void Start();
@@ -106,6 +151,7 @@ class NetSim {
   // Internal API used by NodeContext.
   void SendFrom(size_t from, size_t to, common::Bytes payload);
   void SetTimerFor(size_t node, common::SimTime delay, uint64_t timer_id);
+  common::Rng& RngFor(size_t node);
 
  private:
   struct PdsEvent {
@@ -124,6 +170,8 @@ class NetSim {
     }
   };
 
+  void RunUntilParallel(common::SimTime t);
+
   NetConfig config_;
   common::Rng rng_;
   common::SimClock clock_;
@@ -133,6 +181,11 @@ class NetSim {
   NetStats stats_;
   uint64_t seq_ = 0;
   bool started_ = false;
+
+  // Parallel-mode state (EnableParallel).
+  common::ThreadPool* pool_ = nullptr;
+  common::SimTime batch_window_ = 0;
+  std::vector<common::Rng> node_rngs_;  // one private stream per node
 };
 
 }  // namespace pds2::dml

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 #include "ml/model.h"
 #include "ml/sgd.h"
@@ -43,12 +44,24 @@ double CachedUtility::operator()(const std::vector<size_t>& coalition) const {
     assert(i < 64);
     mask |= uint64_t{1} << i;
   }
-  auto it = cache_.find(mask);
-  if (it != cache_.end()) return it->second;
-  ++misses_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(mask);
+    if (it != cache_.end()) return it->second;
+  }
+  // The utility is a pure set function, so concurrent misses on the same
+  // mask compute the same value; the first insert wins and the duplicate
+  // work is bounded by the number of workers.
   const double value = inner_(coalition);
-  cache_.emplace(mask, value);
-  return value;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(mask, value);
+  if (inserted) ++misses_;
+  return it->second;
+}
+
+size_t CachedUtility::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 Result<std::vector<double>> ExactShapley(size_t n, const UtilityFn& utility) {
@@ -105,6 +118,54 @@ std::vector<double> MonteCarloShapley(size_t n, const UtilityFn& utility,
       shapley[i] += current - previous;
       previous = current;
     }
+  }
+  for (double& v : shapley) v /= static_cast<double>(permutations);
+  return shapley;
+}
+
+std::vector<double> ParallelMonteCarloShapley(size_t n,
+                                              const UtilityFn& utility,
+                                              size_t permutations,
+                                              uint64_t seed,
+                                              common::ThreadPool* pool) {
+  std::vector<double> shapley(n, 0.0);
+  if (n == 0 || permutations == 0) return shapley;
+
+  const double empty_value = utility({});
+
+  // Marginal contributions indexed (permutation, player). Execution order
+  // never matters: permutation p's stream depends only on (seed, p), each
+  // worker writes a disjoint row, and the reduction below runs in fixed
+  // permutation order — hence bit-identical results at any pool size.
+  std::vector<double> deltas(permutations * n, 0.0);
+  auto run_permutation = [&](size_t p) {
+    uint64_t stream = seed + 0x9e3779b97f4a7c15ULL * (p + 1);
+    common::Rng rng(common::SplitMix64(stream));
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+
+    std::vector<size_t> coalition;
+    coalition.reserve(n);
+    double previous = empty_value;
+    for (size_t i : order) {
+      coalition.push_back(i);
+      std::vector<size_t> sorted = coalition;
+      std::sort(sorted.begin(), sorted.end());
+      const double current = utility(sorted);
+      deltas[p * n + i] = current - previous;
+      previous = current;
+    }
+  };
+
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->ParallelFor(0, permutations, run_permutation);
+  } else {
+    for (size_t p = 0; p < permutations; ++p) run_permutation(p);
+  }
+
+  for (size_t p = 0; p < permutations; ++p) {
+    for (size_t i = 0; i < n; ++i) shapley[i] += deltas[p * n + i];
   }
   for (double& v : shapley) v /= static_cast<double>(permutations);
   return shapley;

@@ -4,11 +4,16 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "ml/dataset.h"
+
+namespace pds2::common {
+class ThreadPool;
+}  // namespace pds2::common
 
 namespace pds2::rewards {
 
@@ -28,6 +33,18 @@ common::Result<std::vector<double>> ExactShapley(size_t n,
 /// 1/sqrt(permutations).
 std::vector<double> MonteCarloShapley(size_t n, const UtilityFn& utility,
                                       size_t permutations, common::Rng& rng);
+
+/// Monte-Carlo permutation estimator parallelized over permutations. Each
+/// permutation p draws from its own RNG stream derived from (seed, p), and
+/// marginal contributions are reduced in permutation order, so the result is
+/// bit-identical for every pool size — pool == nullptr (or 1 thread) IS the
+/// sequential reference. `utility` must be safe to call concurrently
+/// (CachedUtility is; MakeMlUtility's closure is pure).
+std::vector<double> ParallelMonteCarloShapley(size_t n,
+                                              const UtilityFn& utility,
+                                              size_t permutations,
+                                              uint64_t seed,
+                                              common::ThreadPool* pool);
 
 /// Truncated Monte-Carlo (Ghorbani & Zou [30]): within each sampled
 /// permutation, stops scanning once the running coalition's utility is
@@ -67,16 +84,21 @@ std::vector<double> NormalizeToRewards(const std::vector<double>& values,
 
 /// Caching wrapper: memoizes coalition utilities by bitmask (n <= 63) so
 /// repeated evaluations (exact enumeration, MC permutations) pay for each
-/// distinct coalition once.
+/// distinct coalition once. Safe to call from multiple pool workers: the
+/// cache is mutex-guarded and the (pure) inner utility is evaluated outside
+/// the lock, so concurrent misses on the same coalition may compute twice
+/// but always store the same value. misses() counts distinct coalitions
+/// inserted.
 class CachedUtility {
  public:
   explicit CachedUtility(UtilityFn inner) : inner_(std::move(inner)) {}
 
   double operator()(const std::vector<size_t>& coalition) const;
-  size_t misses() const { return misses_; }
+  size_t misses() const;
 
  private:
   UtilityFn inner_;
+  mutable std::mutex mu_;
   mutable std::map<uint64_t, double> cache_;
   mutable size_t misses_ = 0;
 };

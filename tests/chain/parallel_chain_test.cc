@@ -1,0 +1,187 @@
+// Parallel block validation and the shared signature-verification cache:
+// one Schnorr check per (tx, signature) across the submit -> validate path,
+// and bit-identical blocks for every thread-pool size.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::Bytes;
+using common::ThreadPool;
+using common::ToBytes;
+using crypto::SigningKey;
+
+constexpr uint64_t kGas = 2'000'000;
+constexpr size_t kNumTxs = 24;
+
+class ParallelChainTest : public ::testing::Test {
+ protected:
+  ParallelChainTest()
+      : validator_(SigningKey::FromSeed(ToBytes("validator-0"))),
+        alice_(SigningKey::FromSeed(ToBytes("alice"))),
+        bob_(AddressFromPublicKey(
+            SigningKey::FromSeed(ToBytes("bob")).PublicKey())) {}
+
+  Blockchain MakeChain(ChainConfig config = {}) {
+    Blockchain chain({validator_.PublicKey()},
+                     ContractRegistry::CreateDefault(), config);
+    EXPECT_TRUE(
+        chain
+            .CreditGenesis(AddressFromPublicKey(alice_.PublicKey()),
+                           10'000'000'000)
+            .ok());
+    return chain;
+  }
+
+  std::vector<Transaction> MakeTransfers(size_t count) {
+    std::vector<Transaction> txs;
+    for (size_t i = 0; i < count; ++i) {
+      txs.push_back(Transaction::Make(alice_, i, bob_, 1 + i, kGas,
+                                      CallPayload{}));
+    }
+    return txs;
+  }
+
+  SigningKey validator_;
+  SigningKey alice_;
+  Address bob_;
+};
+
+TEST_F(ParallelChainTest, OneVerifyPerTransactionAcrossSubmitAndProduce) {
+  Blockchain chain = MakeChain();
+  for (const Transaction& tx : MakeTransfers(kNumTxs)) {
+    ASSERT_TRUE(chain.SubmitTransaction(tx).ok());
+  }
+  EXPECT_EQ(chain.SignatureVerifications(), kNumTxs);
+  ASSERT_TRUE(chain.ProduceBlock(validator_, 1).ok());
+  // Producing never re-verifies what submission already checked.
+  EXPECT_EQ(chain.SignatureVerifications(), kNumTxs);
+}
+
+TEST_F(ParallelChainTest, OneVerifyPerTransactionAcrossSubmitAndApply) {
+  // Producer makes the block; the replica first learns the transactions via
+  // gossip (SubmitTransaction) and then receives the full block — the path
+  // that historically verified every signature twice.
+  Blockchain producer = MakeChain();
+  std::vector<Transaction> txs = MakeTransfers(kNumTxs);
+  for (const Transaction& tx : txs) {
+    ASSERT_TRUE(producer.SubmitTransaction(tx).ok());
+  }
+  auto block = producer.ProduceBlock(validator_, 1);
+  ASSERT_TRUE(block.ok());
+
+  Blockchain replica = MakeChain();
+  for (const Transaction& tx : txs) {
+    ASSERT_TRUE(replica.SubmitTransaction(tx).ok());
+  }
+  EXPECT_EQ(replica.SignatureVerifications(), kNumTxs);
+  ASSERT_TRUE(replica.ApplyExternalBlock(*block).ok());
+  EXPECT_EQ(replica.SignatureVerifications(), kNumTxs);  // not 2 * kNumTxs
+
+  // A cold replica that never saw the mempool pays exactly once too.
+  Blockchain cold = MakeChain();
+  ASSERT_TRUE(cold.ApplyExternalBlock(*block).ok());
+  EXPECT_EQ(cold.SignatureVerifications(), kNumTxs);
+}
+
+TEST_F(ParallelChainTest, FailedVerificationIsNeverCached) {
+  Blockchain chain = MakeChain();
+  Transaction tx = MakeTransfers(1)[0];
+  Bytes raw = tx.Serialize();
+  raw[raw.size() - 10] ^= 0xff;  // corrupt the signature bytes
+  auto tampered = Transaction::Deserialize(raw);
+  ASSERT_TRUE(tampered.ok());
+
+  EXPECT_FALSE(chain.SubmitTransaction(*tampered).ok());
+  EXPECT_FALSE(chain.SubmitTransaction(*tampered).ok());
+  // Both rejections performed a real check: failures must not populate the
+  // cache, or a later identical submission would sail through.
+  EXPECT_EQ(chain.SignatureVerifications(), 2u);
+}
+
+TEST_F(ParallelChainTest, BlockHashesIdenticalAcrossThreadCounts) {
+  std::vector<Transaction> txs = MakeTransfers(kNumTxs);
+
+  Blockchain sequential = MakeChain();
+  for (const Transaction& tx : txs) {
+    ASSERT_TRUE(sequential.SubmitTransaction(tx).ok());
+  }
+  auto seq_block = sequential.ProduceBlock(validator_, 1);
+  ASSERT_TRUE(seq_block.ok());
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    ChainConfig config;
+    config.thread_pool = &pool;
+    Blockchain parallel = MakeChain(config);
+    for (const Transaction& tx : txs) {
+      ASSERT_TRUE(parallel.SubmitTransaction(tx).ok());
+    }
+    auto par_block = parallel.ProduceBlock(validator_, 1);
+    ASSERT_TRUE(par_block.ok());
+    // Identical header hash => identical tx root, state root, everything.
+    EXPECT_EQ(par_block->header.Id(), seq_block->header.Id())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelChainTest, ParallelReplicaAcceptsBlockAndConvergesState) {
+  Blockchain producer = MakeChain();
+  std::vector<Transaction> txs = MakeTransfers(kNumTxs);
+  for (const Transaction& tx : txs) {
+    ASSERT_TRUE(producer.SubmitTransaction(tx).ok());
+  }
+  auto block = producer.ProduceBlock(validator_, 1);
+  ASSERT_TRUE(block.ok());
+
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    ChainConfig config;
+    config.thread_pool = &pool;
+    Blockchain replica = MakeChain(config);
+    ASSERT_TRUE(replica.ApplyExternalBlock(*block).ok());
+    EXPECT_EQ(replica.Height(), 1u);
+    EXPECT_EQ(replica.LastBlockHash(), producer.LastBlockHash());
+    EXPECT_EQ(replica.GetBalance(bob_), producer.GetBalance(bob_));
+  }
+}
+
+TEST_F(ParallelChainTest, ParallelValidationRejectsBadSignatureInBlock) {
+  Blockchain producer = MakeChain();
+  std::vector<Transaction> txs = MakeTransfers(kNumTxs);
+  for (const Transaction& tx : txs) {
+    ASSERT_TRUE(producer.SubmitTransaction(tx).ok());
+  }
+  auto block = producer.ProduceBlock(validator_, 1);
+  ASSERT_TRUE(block.ok());
+
+  // Swap one transaction for a signature-corrupted twin and rebuild a
+  // consistently-signed header, so signature verification (not the tx root
+  // or header checks) is what must catch the forgery.
+  Block forged = *block;
+  Bytes raw = forged.transactions[kNumTxs / 2].Serialize();
+  raw[raw.size() - 10] ^= 0xff;
+  auto tampered = Transaction::Deserialize(raw);
+  ASSERT_TRUE(tampered.ok());
+  forged.transactions[kNumTxs / 2] = *tampered;
+  forged.header.tx_root = Block::ComputeTxRoot(forged.transactions);
+  forged.header.signature = validator_.SignWithDomain(
+      BlockHeader::Domain(), forged.header.SigningBytes());
+
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    ChainConfig config;
+    config.thread_pool = &pool;
+    Blockchain replica = MakeChain(config);
+    EXPECT_FALSE(replica.ApplyExternalBlock(forged).ok());
+    EXPECT_EQ(replica.Height(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pds2::chain
