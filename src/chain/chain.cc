@@ -125,6 +125,18 @@ const Bytes& Blockchain::NextProposer() const {
   return validators_[blocks_.size() % validators_.size()];
 }
 
+const Bytes& Blockchain::ProposerAt(common::SimTime timestamp) const {
+  if (config_.proposer_grace == 0) return NextProposer();
+  const common::SimTime parent_ts =
+      blocks_.empty() ? 0 : blocks_.back().header.timestamp;
+  const common::SimTime elapsed =
+      timestamp > parent_ts ? timestamp - parent_ts : 0;
+  // One allowed proposer per grace window: the primary for the first
+  // window, then the rotation shifts one position per elapsed window.
+  const uint64_t shift = elapsed / config_.proposer_grace;
+  return validators_[(blocks_.size() + shift) % validators_.size()];
+}
+
 Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
                                        uint64_t block_number,
                                        common::SimTime timestamp) {
@@ -241,7 +253,7 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
 
 Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
                                        common::SimTime timestamp) {
-  if (proposer.PublicKey() != NextProposer()) {
+  if (proposer.PublicKey() != ProposerAt(timestamp)) {
     return Status::PermissionDenied("not this validator's turn to propose");
   }
   if (!blocks_.empty() && timestamp <= blocks_.back().header.timestamp) {
@@ -310,7 +322,7 @@ Status Blockchain::ApplyExternalBlock(const Block& block) {
   if (block.header.parent_hash != LastBlockHash()) {
     return Status::InvalidArgument("parent hash mismatch");
   }
-  if (block.header.proposer_public_key != NextProposer()) {
+  if (block.header.proposer_public_key != ProposerAt(block.header.timestamp)) {
     return Status::PermissionDenied("proposer out of turn");
   }
   if (!blocks_.empty() &&

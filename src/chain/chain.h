@@ -41,6 +41,17 @@ struct ChainConfig {
   /// root). nullptr (or a 1-thread pool) follows the sequential code path
   /// exactly; any pool size yields bit-identical blocks and state.
   common::ThreadPool* thread_pool = nullptr;
+  /// Crash tolerance of the PoA rotation. 0 = strict round-robin: only
+  /// validators_[height % n] may propose, so an offline proposer stalls the
+  /// chain forever. > 0 = deadline fallback: for every `proposer_grace` of
+  /// sim-time that elapses after the parent block's timestamp, the right to
+  /// propose shifts to the next validator in rotation order. The rule is a
+  /// pure function of (height, parent timestamp, block timestamp), so every
+  /// replica accepts exactly the same proposer for a given block — but two
+  /// proposers CAN now legitimately build at the same height in different
+  /// windows (e.g. the primary's block was lost in a partition), so
+  /// replicas need a fork-choice rule (see p2p::ValidatorNode).
+  common::SimTime proposer_grace = 0;
 };
 
 /// The PDS2 governance blockchain: an account-based ledger with
@@ -99,6 +110,11 @@ class Blockchain {
   const std::vector<common::Bytes>& validators() const { return validators_; }
   /// Validator whose turn it is to propose the next block.
   const common::Bytes& NextProposer() const;
+
+  /// Validator allowed to propose the next block at `timestamp` under the
+  /// proposer_grace fallback rule (equals NextProposer() when grace is 0 or
+  /// within the primary's window).
+  const common::Bytes& ProposerAt(common::SimTime timestamp) const;
 
   /// Total gas consumed by all executed transactions (experiment E6).
   uint64_t TotalGasUsed() const { return total_gas_used_; }

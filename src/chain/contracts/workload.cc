@@ -252,7 +252,12 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
 
   if (method == "submit_result") {
     PDS2_ASSIGN_OR_RETURN(WorkloadPhase phase, ReadPhase(ctx));
-    if (phase != WorkloadPhase::kRunning) {
+    // Votes are accepted while running AND after completion (until payout):
+    // an executor that did the work but whose vote arrived after the quorum
+    // formed must still be able to put its vote on record, because finalize
+    // pays only executors whose recorded vote matches the agreed result.
+    if (phase != WorkloadPhase::kRunning &&
+        phase != WorkloadPhase::kCompleted) {
       return Status::FailedPrecondition("workload is not running");
     }
     PDS2_ASSIGN_OR_RETURN(Bytes result_hash, r.GetBytes());
@@ -282,8 +287,9 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
 
     PDS2_ASSIGN_OR_RETURN(uint64_t n_exec, ReadCounter(ctx, "n_executors"));
     // Strict majority of registered executors agreeing completes the
-    // workload; a lone executor needs only its own vote.
-    if (tally * 2 > n_exec) {
+    // workload; a lone executor needs only its own vote. Late votes (phase
+    // already kCompleted) are recorded above but cannot re-agree.
+    if (phase == WorkloadPhase::kRunning && tally * 2 > n_exec) {
       PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("result"), result_hash));
       PDS2_RETURN_IF_ERROR(WritePhase(ctx, WorkloadPhase::kCompleted));
       PDS2_RETURN_IF_ERROR(ctx.Emit("ResultAgreed", result_hash));
@@ -335,17 +341,30 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     PDS2_ASSIGN_OR_RETURN(uint64_t exec_permille, AsU64(*permille_bytes));
     PDS2_ASSIGN_OR_RETURN(uint64_t n_exec, ReadCounter(ctx, "n_executors"));
 
-    // Executor pool, split evenly (paper §II-B: infrastructure actors
-    // receive a share of the sellers' rewards).
+    // Executor pool, split evenly among the executors whose recorded vote
+    // matches the agreed result (paper §II-B: infrastructure actors receive
+    // a share of the sellers' rewards). An executor that crashed before
+    // voting — or voted for a different result — earns nothing; its share
+    // goes to the survivors, so faults never strand tokens in escrow.
     const uint64_t executor_pool = pool * exec_permille / 1000;
     uint64_t paid = 0;
     if (n_exec > 0 && executor_pool > 0) {
-      const uint64_t per_executor = executor_pool / n_exec;
+      PDS2_ASSIGN_OR_RETURN(auto agreed, ctx.Read(ToBytes("result")));
       PDS2_ASSIGN_OR_RETURN(auto executors, ctx.Scan(ToBytes("exec/")));
+      std::vector<Address> survivors;
       for (const auto& [key, _] : executors) {
         const Address executor(key.begin() + 5, key.end());
-        PDS2_RETURN_IF_ERROR(ctx.PayOut(executor, per_executor));
-        paid += per_executor;
+        PDS2_ASSIGN_OR_RETURN(auto vote, ctx.Read(ResultVoteKey(executor)));
+        if (vote.has_value() && agreed.has_value() && *vote == *agreed) {
+          survivors.push_back(executor);
+        }
+      }
+      if (!survivors.empty()) {
+        const uint64_t per_executor = executor_pool / survivors.size();
+        for (const Address& executor : survivors) {
+          PDS2_RETURN_IF_ERROR(ctx.PayOut(executor, per_executor));
+          paid += per_executor;
+        }
       }
     }
 

@@ -1,0 +1,96 @@
+#ifndef PDS2_COMMON_FAULT_H_
+#define PDS2_COMMON_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace pds2::common {
+
+/// One scheduled churn transition of a node.
+struct ChurnEvent {
+  SimTime at = 0;
+  size_t node = 0;
+  bool restart = false;  // false = crash (go offline), true = come back
+};
+
+/// A group-based network partition: while active, messages between nodes in
+/// different groups are silently blocked (both directions are governed by
+/// their own send-time check, so asymmetric heal ordering is well defined).
+/// Nodes not listed in `group_of_node` (index >= size) are in group 0.
+struct PartitionEvent {
+  SimTime start = 0;
+  SimTime heal = 0;                   // exclusive: healed at `heal`
+  std::vector<size_t> group_of_node;  // group id per node index
+};
+
+/// Directed per-link degradation active during [start, end): extra
+/// independent loss and a latency multiplier, modelling a congested or
+/// flapping route that plain NetConfig (one homogeneous link model) cannot.
+struct LinkFault {
+  size_t from = 0;
+  size_t to = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  double extra_drop = 0.0;    // additional loss probability on this link
+  double latency_mult = 1.0;  // multiplies the delivery latency
+};
+
+/// Knobs for FaultPlan::Random. All times are absolute sim-time spans.
+struct FaultProfile {
+  /// Fraction of nodes that crash (and later restart) at least once.
+  double crash_fraction = 0.5;
+  SimTime min_downtime = 2 * kMicrosPerSecond;
+  SimTime max_downtime = 8 * kMicrosPerSecond;
+  /// Number of two-group partition episodes.
+  size_t num_partitions = 1;
+  SimTime min_partition = 3 * kMicrosPerSecond;
+  SimTime max_partition = 10 * kMicrosPerSecond;
+  /// Probability that a directed link gets a degradation window.
+  double link_fault_rate = 0.0;
+  double max_extra_drop = 0.5;
+  double max_latency_mult = 4.0;
+  /// Probability that a delivered payload has one byte flipped in flight.
+  double corrupt_rate = 0.0;
+};
+
+/// A deterministic, replayable schedule of faults. The plan is pure data:
+/// the same plan applied to the same simulation seed reproduces the same
+/// run bit for bit. Generated plans derive every choice from a single seed
+/// (FaultPlan::Random), hand-written plans are just brace-initialized.
+struct FaultPlan {
+  std::vector<ChurnEvent> churn;  // kept sorted by `at`
+  std::vector<PartitionEvent> partitions;
+  std::vector<LinkFault> link_faults;
+  double corrupt_rate = 0.0;  // network-wide payload corruption probability
+
+  /// Aggregate effect of the plan on one directed link at time `now`.
+  struct LinkEffect {
+    bool blocked = false;       // partitioned: message silently dropped
+    double extra_drop = 0.0;    // combined independent extra loss
+    double latency_mult = 1.0;  // combined latency multiplier
+    double corrupt_rate = 0.0;  // payload corruption probability
+  };
+  LinkEffect EffectAt(size_t from, size_t to, SimTime now) const;
+
+  /// True when no active partition separates `from` and `to` at `now`.
+  bool Reachable(size_t from, size_t to, SimTime now) const;
+
+  /// The sim-time of the last scheduled fault transition (0 for an empty
+  /// plan). Chaos harnesses run past this point to give protocols time to
+  /// recover before asserting convergence.
+  SimTime LastTransition() const;
+
+  /// Seed-driven schedule over `num_nodes` nodes and `duration` sim-time.
+  /// Every crash gets a matching restart no later than 90% of `duration`,
+  /// and every partition heals within the run, so liveness assertions stay
+  /// meaningful. The result is a pure function of the arguments.
+  static FaultPlan Random(uint64_t seed, size_t num_nodes, SimTime duration,
+                          const FaultProfile& profile = {});
+};
+
+}  // namespace pds2::common
+
+#endif  // PDS2_COMMON_FAULT_H_

@@ -26,6 +26,9 @@ class FedServerNode : public Node {
                 std::vector<size_t> client_ids);
 
   void OnStart(NodeContext& ctx) override;
+  /// A restarted server abandons the in-flight round (its timeout timer
+  /// died with the crash) and opens a new one.
+  void OnRestart(NodeContext& ctx) override { BeginRound(ctx); }
   void OnMessage(NodeContext& ctx, size_t from,
                  const common::Bytes& payload) override;
   void OnTimer(NodeContext& ctx, uint64_t timer_id) override;

@@ -38,6 +38,10 @@ class GossipNode : public Node {
              GossipConfig config);
 
   void OnStart(NodeContext& ctx) override;
+  /// Rejoin after churn: the push-timer chain died with the crash, so the
+  /// node re-desynchronizes and starts a fresh one (model state survives —
+  /// churn costs rounds, not learned progress).
+  void OnRestart(NodeContext& ctx) override { OnStart(ctx); }
   void OnMessage(NodeContext& ctx, size_t from,
                  const common::Bytes& payload) override;
   void OnTimer(NodeContext& ctx, uint64_t timer_id) override;

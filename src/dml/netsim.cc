@@ -28,6 +28,13 @@ void NodeContext::SetTimer(SimTime delay, uint64_t timer_id) {
   sim_.SetTimerFor(self_, delay, timer_id);
 }
 common::Rng& NodeContext::rng() { return sim_.RngFor(self_); }
+void NodeContext::CountRetry() {
+  if (outbox_ != nullptr) {
+    ++outbox_->retries;
+    return;
+  }
+  sim_.CountRetryFor();
+}
 
 NetSim::NetSim(NetConfig config, uint64_t seed)
     : config_(config), rng_(seed) {}
@@ -49,9 +56,12 @@ size_t NetSim::AddNode(std::unique_ptr<Node> node) {
   assert(!started_);
   nodes_.push_back(std::move(node));
   online_.push_back(true);
+  epoch_.push_back(0);
   stats_.bytes_received_per_node.push_back(0);
   return nodes_.size() - 1;
 }
+
+void NetSim::CountRetryFor() { ++stats_.retries; }
 
 void NetSim::Start() {
   assert(!started_);
@@ -73,7 +83,25 @@ void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
 
+  // The installed fault model is consulted first: a partition blocks the
+  // link outright; link faults stack extra loss / latency / corruption on
+  // top of the homogeneous NetConfig link. All RNG draws below are gated on
+  // their probability being positive so that runs without faults consume
+  // the exact same stream as before the fault layer existed.
+  LinkFaultHook::Effect effect;
+  if (fault_hook_ != nullptr) {
+    effect = fault_hook_->OnLink(from, to, clock_.Now());
+  }
+  if (effect.blocked) {
+    ++stats_.partition_drops;
+    ++stats_.messages_dropped;
+    return;
+  }
   if (config_.drop_rate > 0.0 && rng_.NextBool(config_.drop_rate)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (effect.extra_drop > 0.0 && rng_.NextBool(effect.extra_drop)) {
     ++stats_.messages_dropped;
     return;
   }
@@ -87,6 +115,17 @@ void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
         static_cast<double>(payload.size()) /
         config_.bandwidth_bytes_per_sec * common::kMicrosPerSecond);
   }
+  if (effect.latency_mult != 1.0) {
+    latency = static_cast<SimTime>(static_cast<double>(latency) *
+                                   effect.latency_mult);
+  }
+
+  if (effect.corrupt_rate > 0.0 && !payload.empty() &&
+      rng_.NextBool(effect.corrupt_rate)) {
+    payload[rng_.NextU64(payload.size())] ^=
+        static_cast<uint8_t>(1 + rng_.NextU64(255));
+    ++stats_.messages_corrupted;
+  }
 
   PdsEvent event;
   event.time = clock_.Now() + latency;
@@ -95,6 +134,7 @@ void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
   event.target = to;
   event.from = from;
   event.payload = std::move(payload);
+  event.target_epoch = epoch_[to];
   queue_.push(std::move(event));
 }
 
@@ -105,6 +145,7 @@ void NetSim::SetTimerFor(size_t node, SimTime delay, uint64_t timer_id) {
   event.kind = PdsEvent::Kind::kTimer;
   event.target = node;
   event.timer_id = timer_id;
+  event.target_epoch = epoch_[node];
   queue_.push(std::move(event));
 }
 
@@ -112,12 +153,26 @@ void NetSim::SetOnline(size_t node, bool online) {
   assert(node < online_.size());
   const bool was_online = online_[node];
   online_[node] = online;
-  // A node rejoining after churn restarts its protocol (its pending timers
-  // were dropped while offline).
+  if (!online && was_online) {
+    // Crash: start a new life. Everything scheduled against the old life
+    // (timers, in-flight messages) is dropped at fire time via AdmitEvent.
+    ++epoch_[node];
+  }
   if (started_ && online && !was_online) {
     NodeContext ctx(*this, node);
-    nodes_[node]->OnStart(ctx);
+    nodes_[node]->OnRestart(ctx);
   }
+}
+
+bool NetSim::AdmitEvent(const PdsEvent& event) {
+  const bool stale = event.target_epoch != epoch_[event.target];
+  if (online_[event.target] && !stale) return true;
+  if (event.kind == PdsEvent::Kind::kMessage) {
+    ++stats_.messages_dropped;
+  } else {
+    ++stats_.timers_dropped_offline;
+  }
+  return false;
 }
 
 void NetSim::RunUntil(SimTime t) {
@@ -130,13 +185,13 @@ void NetSim::RunUntil(SimTime t) {
     PdsEvent event = queue_.top();
     queue_.pop();
     clock_.AdvanceTo(event.time);
-    if (!online_[event.target]) {
-      if (event.kind == PdsEvent::Kind::kMessage) ++stats_.messages_dropped;
-      continue;
-    }
+    if (!AdmitEvent(event)) continue;
     NodeContext ctx(*this, event.target);
     if (event.kind == PdsEvent::Kind::kMessage) {
       ++stats_.messages_delivered;
+      if (event.target >= stats_.bytes_received_per_node.size()) {
+        stats_.bytes_received_per_node.resize(event.target + 1, 0);
+      }
       stats_.bytes_received_per_node[event.target] += event.payload.size();
       nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
     } else {
@@ -168,12 +223,12 @@ void NetSim::RunUntilParallel(SimTime t) {
     std::vector<PdsEvent*> live;
     live.reserve(batch.size());
     for (PdsEvent& event : batch) {
-      if (!online_[event.target]) {
-        if (event.kind == PdsEvent::Kind::kMessage) ++stats_.messages_dropped;
-        continue;
-      }
+      if (!AdmitEvent(event)) continue;
       if (event.kind == PdsEvent::Kind::kMessage) {
         ++stats_.messages_delivered;
+        if (event.target >= stats_.bytes_received_per_node.size()) {
+          stats_.bytes_received_per_node.resize(event.target + 1, 0);
+        }
         stats_.bytes_received_per_node[event.target] += event.payload.size();
       }
       live.push_back(&event);
@@ -222,6 +277,7 @@ void NetSim::RunUntilParallel(SimTime t) {
            outboxes[idx].timers) {
         SetTimerFor(live[idx]->target, timer.delay, timer.timer_id);
       }
+      stats_.retries += outboxes[idx].retries;
     }
   }
   clock_.AdvanceTo(t);

@@ -23,17 +23,41 @@ struct NetConfig {
   double bandwidth_bytes_per_sec = 1.0e6;    // serialization delay per link
 };
 
-/// Network-wide counters (experiments E2/E3 read these).
+/// Network-wide counters (experiments E2/E3 and the chaos harness read
+/// these).
 struct NetStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;     // by loss or offline receiver
   uint64_t bytes_sent = 0;
+  // Fault-injection visibility (see LinkFaultHook / FaultInjector).
+  uint64_t partition_drops = 0;          // blocked by an active partition
+  uint64_t messages_corrupted = 0;       // payload flipped in flight
+  uint64_t retries = 0;                  // protocol-reported retransmissions
+  uint64_t timers_dropped_offline = 0;   // timers lost to an offline node
   /// Bytes received per node — exposes hotspots (the federated server).
   std::vector<uint64_t> bytes_received_per_node;
 };
 
 class NetSim;
+
+/// Per-link fault model consulted on every send. Implementations (e.g.
+/// FaultInjector) derive the effect from sim-time alone so that replaying
+/// the same seed reproduces the same run. The hook must be deterministic:
+/// it is called once per send, in event order, and must not draw from any
+/// RNG itself (the simulator makes all randomized decisions from the
+/// returned probabilities).
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook() = default;
+  struct Effect {
+    bool blocked = false;       // partitioned: drop silently at send time
+    double extra_drop = 0.0;    // extra independent loss probability
+    double latency_mult = 1.0;  // multiplies the delivery latency
+    double corrupt_rate = 0.0;  // probability of flipping one payload byte
+  };
+  virtual Effect OnLink(size_t from, size_t to, common::SimTime now) = 0;
+};
 
 /// The facilities a node may use from inside a callback.
 class NodeContext {
@@ -51,6 +75,11 @@ class NodeContext {
 
   /// Arms a one-shot timer that fires OnTimer(timer_id) after `delay`.
   void SetTimer(common::SimTime delay, uint64_t timer_id);
+
+  /// Records one protocol-level retransmission in NetStats::retries —
+  /// called by protocols (e.g. the validator sync backoff) so experiment
+  /// harnesses can see recovery effort without reaching into the protocol.
+  void CountRetry();
 
   /// The simulator-wide RNG in sequential mode; this node's private stream
   /// in parallel mode (see NetSim::EnableParallel).
@@ -72,6 +101,7 @@ class NodeContext {
     };
     std::vector<PendingSend> sends;
     std::vector<PendingTimer> timers;
+    uint64_t retries = 0;
   };
 
   NodeContext(NetSim& sim, size_t self, Outbox* outbox)
@@ -90,6 +120,11 @@ class Node {
   virtual ~Node() = default;
   /// Called once when the simulation starts.
   virtual void OnStart(NodeContext& ctx) { (void)ctx; }
+  /// Called when the node rejoins after churn (SetOnline false -> true).
+  /// A crash invalidates every timer the node had armed (counted in
+  /// NetStats::timers_dropped_offline), so timer-driven protocols must
+  /// re-arm here or stay silent forever. Default: no-op.
+  virtual void OnRestart(NodeContext& ctx) { (void)ctx; }
   /// Called when a message addressed to this node is delivered.
   virtual void OnMessage(NodeContext& ctx, size_t from,
                          const common::Bytes& payload) = 0;
@@ -137,10 +172,19 @@ class NetSim {
   /// are processed).
   void RunUntil(common::SimTime t);
 
-  /// Churn control. An offline node receives neither messages nor timers;
-  /// timers that fire while offline are silently dropped.
+  /// Churn control. An offline node receives neither messages nor timers.
+  /// A crash (online -> offline) starts a new life for the node: timers
+  /// armed — and messages addressed to it — before the crash are dropped
+  /// even if they come due after the restart, exactly as a real process
+  /// loses its state when it dies. Drops are counted in NetStats
+  /// (timers_dropped_offline / messages_dropped). On rejoin the node's
+  /// OnRestart hook runs so protocols can re-arm.
   void SetOnline(size_t node, bool online);
   bool IsOnline(size_t node) const { return online_[node]; }
+
+  /// Installs a per-link fault model (partitions, asymmetric degradation,
+  /// payload corruption). Call before Start(). nullptr disables.
+  void SetLinkFaultHook(LinkFaultHook* hook) { fault_hook_ = hook; }
 
   common::SimTime Now() const { return clock_.Now(); }
   size_t NumNodes() const { return nodes_.size(); }
@@ -152,6 +196,7 @@ class NetSim {
   void SendFrom(size_t from, size_t to, common::Bytes payload);
   void SetTimerFor(size_t node, common::SimTime delay, uint64_t timer_id);
   common::Rng& RngFor(size_t node);
+  void CountRetryFor();
 
  private:
   struct PdsEvent {
@@ -162,6 +207,7 @@ class NetSim {
     size_t from = 0;        // messages
     common::Bytes payload;
     uint64_t timer_id = 0;  // timers
+    uint64_t target_epoch = 0;  // target's life at schedule time
   };
   struct EventLater {
     bool operator()(const PdsEvent& a, const PdsEvent& b) const {
@@ -172,11 +218,17 @@ class NetSim {
 
   void RunUntilParallel(common::SimTime t);
 
+  /// True when `event` is addressed to a live target (online and same
+  /// life); otherwise records the drop in stats and returns false.
+  bool AdmitEvent(const PdsEvent& event);
+
   NetConfig config_;
   common::Rng rng_;
   common::SimClock clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<bool> online_;
+  std::vector<uint64_t> epoch_;  // bumped on every crash
+  LinkFaultHook* fault_hook_ = nullptr;
   std::priority_queue<PdsEvent, std::vector<PdsEvent>, EventLater> queue_;
   NetStats stats_;
   uint64_t seq_ = 0;

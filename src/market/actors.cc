@@ -100,10 +100,19 @@ ExecutorAgent::ExecutorAgent(std::string name, uint64_t seed,
 tee::AttestationQuote ExecutorAgent::QuoteFor(uint64_t workload_instance) const {
   Writer w;
   w.PutU64(workload_instance);
-  return enclave_->GenerateQuote(w.Take());
+  tee::AttestationQuote quote = enclave_->GenerateQuote(w.Take());
+  if (fault_ == ExecutorFault::kAttestation && !quote.signature.empty()) {
+    // A compromised / rolled-back enclave cannot produce a quote the root
+    // of trust vouches for; one flipped bit is how providers see that.
+    quote.signature[0] ^= 0x01;
+  }
+  return quote;
 }
 
 Status ExecutorAgent::Setup(const WorkloadSpec& spec) {
+  if (fault_ == ExecutorFault::kSetup) {
+    return Status::Unavailable("executor " + name_ + " crashed during setup");
+  }
   Writer w;
   w.PutString(spec.model_kind);
   w.PutU64(spec.features);
@@ -138,6 +147,9 @@ Result<uint64_t> ExecutorAgent::AcceptContribution(
 }
 
 Result<ml::Vec> ExecutorAgent::Train() {
+  if (fault_ == ExecutorFault::kTrain) {
+    return Status::Unavailable("executor " + name_ + " crashed mid-training");
+  }
   PDS2_ASSIGN_OR_RETURN(Bytes out, enclave_->Ecall("train", {}));
   Reader r(out);
   PDS2_ASSIGN_OR_RETURN(ml::Vec params, r.GetDoubleVector());

@@ -76,6 +76,18 @@ class ProviderAgent {
   std::string preferred_executor_;
 };
 
+/// Lifecycle stage at which an executor is scripted to fail — the chaos
+/// harness's model of a crashed or compromised compute node. The stage
+/// determines what the rest of the marketplace observes: a bad quote, a
+/// dead enclave, or a registered executor that never votes.
+enum class ExecutorFault {
+  kNone = 0,
+  kAttestation,  // quote signature corrupt: providers refuse to seal data
+  kSetup,        // crashes when the enclave is configured
+  kTrain,        // crashes mid-training, after on-chain registration
+  kVote,         // trains, then crashes before submitting its result
+};
+
 /// An executor: TEE-equipped compute node. Holds a chain identity (for
 /// registration and rewards) and an enclave running the training kernel.
 class ExecutorAgent {
@@ -112,11 +124,17 @@ class ExecutorAgent {
   common::Result<ml::Vec> MergeAll(
       const std::vector<std::pair<ml::Vec, uint64_t>>& peer_states);
 
+  /// Scripts this executor to fail at the given lifecycle stage (chaos
+  /// testing). kNone restores normal operation.
+  void InjectFault(ExecutorFault fault) { fault_ = fault; }
+  ExecutorFault injected_fault() const { return fault_; }
+
  private:
   std::string name_;
   crypto::SigningKey key_;
   mutable std::unique_ptr<tee::Enclave> enclave_;
   std::vector<SealedContribution> contributions_;
+  ExecutorFault fault_ = ExecutorFault::kNone;
 };
 
 /// A consumer (buyer): just a funded chain identity plus the workload it

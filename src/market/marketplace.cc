@@ -1,6 +1,7 @@
 #include "market/marketplace.h"
 
 #include <algorithm>
+#include <set>
 
 #include "chain/contracts/actor_registry.h"
 #include "common/hex.h"
@@ -189,8 +190,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   deploy_args.PutU64(spec.min_providers);
   deploy_args.PutU64(spec.max_providers);
   deploy_args.PutU64(spec.executor_reward_permille);
-  deploy_args.PutU64(spec.deadline == 0 ? now_ + 3600 * common::kMicrosPerSecond
-                                        : spec.deadline);
+  const common::SimTime deadline =
+      spec.deadline == 0 ? now_ + 3600 * common::kMicrosPerSecond
+                         : spec.deadline;
+  deploy_args.PutU64(deadline);
   deploy_args.PutString("gossip");
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt deploy_receipt,
@@ -205,10 +208,23 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         std::to_string(report.instance) + ", escrow " +
         std::to_string(spec.reward_pool));
 
-  // Abort helper used on every failure past this point.
+  // Abort helper used on every failure past this point. The contract only
+  // lets a consumer reclaim a *running* workload's escrow past its
+  // deadline (executors who did honest work must not be rug-pulled), so if
+  // the immediate abort is refused the marketplace waits the deadline out
+  // in simulated time and claims the refund then — every failed run ends
+  // refunded, never with tokens stranded in the contract.
   auto abort_and_fail = [&](const Status& cause) -> Status {
-    (void)Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
-                  chain::CallPayload{"workload", report.instance, "abort", {}});
+    auto aborted =
+        Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
+                chain::CallPayload{"workload", report.instance, "abort", {}});
+    if (aborted.ok() && !aborted->success && now_ <= deadline) {
+      now_ = deadline;  // the next block's timestamp lands past the deadline
+      (void)Execute(
+          consumer.key(), chain::Address{}, 0, kDefaultGas,
+          chain::CallPayload{"workload", report.instance, "abort", {}});
+      audit("abort deferred to the workload deadline; escrow reclaimed");
+    }
     return cause;
   };
 
@@ -238,46 +254,85 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
 
   // --- Phase 3: providers pick executors, verify attestation, send data.
   // Providers with their own hardware (Fig. 3) pin their preferred
-  // executor; the rest are assigned round-robin across third parties.
+  // executor; the rest are assigned round-robin across third parties. An
+  // executor that crashes during setup or fails attestation is dropped and
+  // its providers re-assigned to surviving executors — their sealed shards
+  // simply go to a different attested enclave; a dead compute node costs
+  // its own reward, not the workload.
   std::map<ExecutorAgent*, std::vector<SealedContribution>> per_executor;
+  std::set<ExecutorAgent*> failed_executors;
+  auto drop_executor = [&](ExecutorAgent* executor, const Status& cause) {
+    failed_executors.insert(executor);
+    per_executor.erase(executor);
+    report.dropped_executors.push_back(executor->name());
+    audit("dropped executor " + executor->name() + ": " + cause.ToString());
+  };
   for (size_t i = 0; i < participations.size(); ++i) {
     Participation& p = participations[i];
-    p.executor = executors_[i % executors_.size()].get();
+    // Candidate order: the pinned executor first (if any), then round-robin
+    // over the full set so a drop falls back to the next healthy one.
+    std::vector<ExecutorAgent*> candidates;
     if (!p.provider->preferred_executor().empty()) {
       for (auto& candidate : executors_) {
         if (candidate->name() == p.provider->preferred_executor()) {
-          p.executor = candidate.get();
+          candidates.push_back(candidate.get());
           break;
         }
       }
     }
-    if (per_executor.find(p.executor) == per_executor.end()) {
-      PDS2_RETURN_IF_ERROR(p.executor->Setup(spec));
-      per_executor[p.executor] = {};
+    for (size_t k = 0; k < executors_.size(); ++k) {
+      ExecutorAgent* candidate = executors_[(i + k) % executors_.size()].get();
+      if (candidates.empty() || candidates[0] != candidate) {
+        candidates.push_back(candidate);
+      }
     }
-    const tee::AttestationQuote quote = p.executor->QuoteFor(report.instance);
-    auto contribution = p.provider->PrepareContribution(
-        p.offer, spec, report.instance, quote, attestation_.RootPublicKey(),
-        p.executor->enclave().Measurement(), p.executor->key().PublicKey());
-    if (!contribution.ok()) return abort_and_fail(contribution.status());
-    auto loaded = p.executor->AcceptContribution(*contribution);
-    if (!loaded.ok()) {
-      // In-enclave validation (§IV-C) may reject the data; the provider is
-      // excluded rather than the workload failing.
-      audit("excluded " + p.provider->name() + ": " +
-            loaded.status().ToString());
-      p.executor = nullptr;
-      continue;
+    p.executor = nullptr;
+    for (ExecutorAgent* candidate : candidates) {
+      if (failed_executors.count(candidate) > 0) continue;
+      if (per_executor.find(candidate) == per_executor.end()) {
+        Status setup = candidate->Setup(spec);
+        if (!setup.ok()) {
+          drop_executor(candidate, setup);
+          continue;
+        }
+        per_executor[candidate] = {};
+      }
+      const tee::AttestationQuote quote = candidate->QuoteFor(report.instance);
+      auto contribution = p.provider->PrepareContribution(
+          p.offer, spec, report.instance, quote, attestation_.RootPublicKey(),
+          candidate->enclave().Measurement(), candidate->key().PublicKey());
+      if (!contribution.ok()) {
+        // The provider refused to release data: the quote did not verify.
+        // The provider's trust decision is authoritative (§II-E) — the
+        // executor is dropped, and this provider tries the next one.
+        drop_executor(candidate, contribution.status());
+        continue;
+      }
+      auto loaded = candidate->AcceptContribution(*contribution);
+      if (!loaded.ok()) {
+        // In-enclave validation (§IV-C) may reject the data; the provider
+        // is excluded rather than the workload failing.
+        audit("excluded " + p.provider->name() + ": " +
+              loaded.status().ToString());
+        break;
+      }
+      per_executor[candidate].push_back(std::move(*contribution));
+      p.executor = candidate;
+      break;
     }
-    per_executor[p.executor].push_back(std::move(*contribution));
   }
   participations.erase(
       std::remove_if(participations.begin(), participations.end(),
-                     [](const Participation& p) { return p.executor == nullptr; }),
+                     [&](const Participation& p) {
+                       return p.executor == nullptr ||
+                              failed_executors.count(p.executor) > 0;
+                     }),
       participations.end());
   if (participations.size() < spec.min_providers) {
     return abort_and_fail(Status::FailedPrecondition(
-        "too few providers passed in-enclave validation"));
+        failed_executors.size() == executors_.size()
+            ? "no executor passed attestation and setup"
+            : "too few providers passed in-enclave validation"));
   }
   // Executors whose every assigned provider was excluded sit this one out.
   for (auto it = per_executor.begin(); it != per_executor.end();) {
@@ -316,45 +371,97 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   }
   audit("workload started");
 
-  // --- Phase 6: in-enclave training + decentralized aggregation. ----------
+  // --- Phase 6: in-enclave training + decentralized aggregation. An
+  // executor that crashes here is already registered on-chain: it is
+  // dropped from the run (its reward share passes to the survivors at
+  // finalize) and the remaining quorum carries the workload. Only losing
+  // the whole quorum aborts.
   std::vector<ExecutorAgent*> active;
   for (auto& [executor, _] : per_executor) active.push_back(executor);
   std::sort(active.begin(), active.end(),
             [](const ExecutorAgent* a, const ExecutorAgent* b) {
               return a->name() < b->name();  // canonical order
             });
-  for (ExecutorAgent* executor : active) {
-    auto trained = executor->Train();
-    if (!trained.ok()) return abort_and_fail(trained.status());
-  }
+  // Registration-time roster, kept for the reward report (phase 8):
+  // executors dropped from here on still appear there, with 0 tokens.
+  const std::vector<ExecutorAgent*> registered = active;
+  auto drop_lost = [&](ExecutorAgent* executor, const Status& cause) {
+    report.dropped_executors.push_back(executor->name());
+    audit("lost executor " + executor->name() + ": " + cause.ToString());
+  };
   std::vector<std::pair<ml::Vec, uint64_t>> states;
-  for (ExecutorAgent* executor : active) {
-    PDS2_ASSIGN_OR_RETURN(ml::Vec params, executor->Params());
-    PDS2_ASSIGN_OR_RETURN(uint64_t samples, executor->SampleCount());
-    states.emplace_back(std::move(params), samples);
+  {
+    std::vector<ExecutorAgent*> live;
+    for (ExecutorAgent* executor : active) {
+      auto trained = executor->Train();
+      if (!trained.ok()) {
+        drop_lost(executor, trained.status());
+        continue;
+      }
+      auto params = executor->Params();
+      auto samples = executor->SampleCount();
+      if (!params.ok() || !samples.ok()) {
+        drop_lost(executor,
+                  params.ok() ? samples.status() : params.status());
+        continue;
+      }
+      live.push_back(executor);
+      states.emplace_back(std::move(*params), *samples);
+    }
+    active = std::move(live);
+  }
+  if (active.empty()) {
+    return abort_and_fail(Status::FailedPrecondition(
+        "every executor crashed before training completed"));
   }
   ml::Vec final_params;
   if (spec.aggregation == AggregationMethod::kTeeStar && active.size() > 1) {
-    // Star topology: the first (canonical) executor's enclave aggregates;
-    // everyone else adopts the distributed result.
-    auto merged = active[0]->MergeAll(states);
-    if (!merged.ok()) return abort_and_fail(merged.status());
-    final_params = *merged;
+    // Star topology: the first (canonical) live executor's enclave
+    // aggregates; everyone else adopts the distributed result. If the
+    // aggregator dies, the next live executor takes over the star center.
+    while (!active.empty()) {
+      auto merged = active[0]->MergeAll(states);
+      if (merged.ok()) {
+        final_params = *merged;
+        break;
+      }
+      drop_lost(active[0], merged.status());
+      active.erase(active.begin());
+    }
+    if (active.empty()) {
+      return abort_and_fail(Status::FailedPrecondition(
+          "every executor crashed during aggregation"));
+    }
     uint64_t total_samples = 0;
     for (const auto& [_, samples] : states) total_samples += samples;
+    std::vector<ExecutorAgent*> adopted_ok = {active[0]};
     for (size_t i = 1; i < active.size(); ++i) {
-      auto adopted =
-          active[i]->MergeAll({{final_params, total_samples}});
-      if (!adopted.ok()) return abort_and_fail(adopted.status());
+      auto adopted = active[i]->MergeAll({{final_params, total_samples}});
+      if (!adopted.ok()) {
+        drop_lost(active[i], adopted.status());
+        continue;
+      }
+      adopted_ok.push_back(active[i]);
     }
     audit("aggregation: TEE-hosted star via " + active[0]->name());
+    active = std::move(adopted_ok);
   } else {
     // Deterministic all-reduce: every executor merges the same state list.
+    std::vector<ExecutorAgent*> merged_ok;
     for (ExecutorAgent* executor : active) {
       auto merged = executor->MergeAll(states);
-      if (!merged.ok()) return abort_and_fail(merged.status());
+      if (!merged.ok()) {
+        drop_lost(executor, merged.status());
+        continue;
+      }
       final_params = *merged;
+      merged_ok.push_back(executor);
     }
+    if (merged_ok.empty()) {
+      return abort_and_fail(Status::FailedPrecondition(
+          "every executor crashed during aggregation"));
+    }
+    active = std::move(merged_ok);
   }
   Writer params_writer;
   params_writer.PutDoubleVector(final_params);
@@ -366,16 +473,16 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   audit("decentralized aggregation complete; result " +
         common::HexPrefix(result_hash, 12));
 
-  // --- Phase 7: executors submit the agreed result. Submissions stop as
-  // soon as a strict majority completes the workload (the contract rejects
-  // votes after completion).
+  // --- Phase 7: every surviving executor puts its vote on record (the
+  // contract accepts late votes after the quorum completes the workload,
+  // because finalize pays only executors whose vote matches the result).
+  // An executor that crashes before voting forfeits its reward share; only
+  // an unattainable quorum aborts the run.
   for (ExecutorAgent* executor : active) {
-    auto phase_bytes = chain_->Query("workload", report.instance, "phase", {});
-    if (phase_bytes.ok() && !phase_bytes->empty() &&
-        (*phase_bytes)[0] ==
-            static_cast<uint8_t>(
-                chain::contracts::WorkloadPhase::kCompleted)) {
-      break;
+    if (executor->injected_fault() == ExecutorFault::kVote) {
+      drop_lost(executor,
+                Status::Unavailable("crashed before submitting its result"));
+      continue;
     }
     Writer args;
     args.PutBytes(result_hash);
@@ -385,14 +492,14 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
                 chain::CallPayload{"workload", report.instance,
                                    "submit_result", args.Take()}));
     if (!receipt.success) {
-      return abort_and_fail(
-          Status::Internal("result submission failed: " + receipt.error));
+      drop_lost(executor, Status::Internal("result submission failed: " +
+                                           receipt.error));
     }
   }
   auto agreed = chain_->Query("workload", report.instance, "result", {});
   if (!agreed.ok() || *agreed != result_hash) {
-    return abort_and_fail(
-        Status::Internal("no on-chain result agreement reached"));
+    return abort_and_fail(Status::Internal(
+        "no on-chain result agreement reached (quorum unattainable)"));
   }
   report.result_hash = result_hash;
   report.model_params = final_params;
@@ -404,7 +511,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     balances_before[p.provider->name()] =
         chain_->GetBalance(p.provider->address());
   }
-  for (ExecutorAgent* executor : active) {
+  for (ExecutorAgent* executor : registered) {
     balances_before[executor->name()] = chain_->GetBalance(executor->address());
   }
 
@@ -432,7 +539,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         chain_->GetBalance(p.provider->address()) -
         balances_before[p.provider->name()];
   }
-  for (ExecutorAgent* executor : active) {
+  for (ExecutorAgent* executor : registered) {
     report.executor_rewards[executor->name()] =
         chain_->GetBalance(executor->address()) -
         balances_before[executor->name()];

@@ -44,6 +44,10 @@ struct RunReport {
   std::map<std::string, uint64_t> executor_rewards;  // name -> tokens
   uint64_t gas_used = 0;        // chain gas consumed by this run's txs
   uint64_t blocks_produced = 0; // chain progress during the run
+  /// Executors lost along the way (failed attestation, crashed during
+  /// setup/training, or never voted). Registered-but-dropped executors
+  /// appear in executor_rewards with 0 tokens.
+  std::vector<std::string> dropped_executors;
   std::vector<std::string> audit_log;
 };
 

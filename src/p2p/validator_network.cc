@@ -1,5 +1,7 @@
 #include "p2p/validator_network.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/serial.h"
 
@@ -13,6 +15,7 @@ using common::Writer;
 namespace {
 
 constexpr uint64_t kSlotTimer = 1;
+constexpr uint64_t kSyncTimer = 2;
 
 // Wire message kinds.
 constexpr uint8_t kMsgTx = 1;
@@ -20,6 +23,18 @@ constexpr uint8_t kMsgBlock = 2;
 constexpr uint8_t kMsgSyncRequest = 3;
 constexpr uint8_t kMsgSyncResponse = 4;
 constexpr uint8_t kMsgHeadAnnounce = 5;
+constexpr uint8_t kMsgChainRequest = 6;
+constexpr uint8_t kMsgChainResponse = 7;
+
+// Out-of-order block window. Anything farther ahead is evicted and
+// re-fetched by the sync protocol once the gap in front is filled.
+constexpr size_t kMaxFutureBlocks = 32;
+
+// Sync retry backoff doubles from one block interval up to this many.
+constexpr uint64_t kMaxSyncBackoffIntervals = 8;
+
+// Sanity cap when decoding a full-chain snapshot.
+constexpr uint64_t kMaxSnapshotBlocks = 1 << 20;
 
 Bytes EncodeTx(const chain::Transaction& tx) {
   Writer w;
@@ -41,11 +56,17 @@ ValidatorNode::ValidatorNode(size_t index,
                              std::vector<Bytes> validator_keys,
                              crypto::SigningKey key,
                              const std::vector<GenesisAlloc>& genesis,
-                             common::SimTime block_interval)
-    : index_(index), key_(std::move(key)), block_interval_(block_interval) {
+                             common::SimTime block_interval,
+                             chain::ChainConfig chain_config)
+    : index_(index),
+      key_(std::move(key)),
+      validator_keys_(std::move(validator_keys)),
+      genesis_(genesis),
+      chain_config_(chain_config),
+      block_interval_(block_interval) {
   chain_ = std::make_unique<chain::Blockchain>(
-      std::move(validator_keys), chain::ContractRegistry::CreateDefault());
-  for (const GenesisAlloc& alloc : genesis) {
+      validator_keys_, chain::ContractRegistry::CreateDefault(), chain_config_);
+  for (const GenesisAlloc& alloc : genesis_) {
     (void)chain_->CreditGenesis(alloc.address, alloc.amount);
   }
 }
@@ -54,6 +75,16 @@ void ValidatorNode::OnStart(dml::NodeContext& ctx) {
   // Stagger slot timers slightly by index so a round-robin slot's proposer
   // usually fires first.
   ctx.SetTimer(block_interval_ + index_ * 199, kSlotTimer);
+}
+
+void ValidatorNode::OnRestart(dml::NodeContext& ctx) {
+  // The crash destroyed every armed timer and all in-memory buffers; the
+  // chain itself survives (a real validator replays it from disk). Re-arm
+  // the slot chain and let head announces re-trigger sync.
+  future_blocks_.clear();
+  sync_timer_armed_ = false;
+  sync_backoff_ = 0;
+  OnStart(ctx);
 }
 
 void ValidatorNode::Broadcast(dml::NodeContext& ctx, const Bytes& payload) {
@@ -71,7 +102,7 @@ Status ValidatorNode::SubmitTransaction(const chain::Transaction& tx,
 }
 
 void ValidatorNode::TryProduce(dml::NodeContext& ctx) {
-  if (chain_->NextProposer() != key_.PublicKey()) return;
+  if (chain_->ProposerAt(ctx.Now()) != key_.PublicKey()) return;
   auto block = chain_->ProduceBlock(key_, ctx.Now());
   if (!block.ok()) return;  // e.g. non-monotonic timestamp: wait a slot
   ++blocks_produced_;
@@ -79,15 +110,69 @@ void ValidatorNode::TryProduce(dml::NodeContext& ctx) {
   DrainBuffer();
 }
 
+void ValidatorNode::SendSyncRequest(dml::NodeContext& ctx, size_t to) {
+  Writer w;
+  w.PutU8(kMsgSyncRequest);
+  w.PutU64(chain_->Height());
+  ctx.Send(to, w.Take());
+  ++sync_requests_sent_;
+}
+
+void ValidatorNode::RequestChain(dml::NodeContext& ctx, size_t from) {
+  Writer w;
+  w.PutU8(kMsgChainRequest);
+  ctx.Send(from, w.Take());
+}
+
+void ValidatorNode::NoteRemoteHead(dml::NodeContext& ctx, size_t from,
+                                   uint64_t height) {
+  sync_target_ = std::max(sync_target_, height);
+  if (chain_->Height() >= sync_target_) return;
+  // Ask the peer that revealed the gap right away — redundant requests are
+  // cheap and stale responses are ignored, so eagerness buys catch-up speed
+  // under loss. The backoff timer is the safety net for when requests or
+  // responses themselves are lost (or the responder is partitioned away).
+  SendSyncRequest(ctx, from);
+  if (sync_timer_armed_) return;
+  sync_backoff_ = block_interval_;
+  sync_timer_armed_ = true;
+  ctx.SetTimer(sync_backoff_, kSyncTimer);
+}
+
 void ValidatorNode::OnTimer(dml::NodeContext& ctx, uint64_t timer_id) {
+  if (timer_id == kSyncTimer) {
+    sync_timer_armed_ = false;
+    if (chain_->Height() >= sync_target_) {
+      sync_backoff_ = 0;  // caught up; next gap starts fresh
+      return;
+    }
+    // Still behind: retry against a random peer (the original responder may
+    // be the one that is partitioned away from us).
+    size_t peer = ctx.self();
+    for (int tries = 0; tries < 8 && peer == ctx.self(); ++tries) {
+      peer = peers_[ctx.rng().NextU64(peers_.size())];
+    }
+    if (peer != ctx.self()) {
+      SendSyncRequest(ctx, peer);
+      ++sync_retries_;
+      ctx.CountRetry();
+    }
+    sync_backoff_ = std::min(sync_backoff_ * 2,
+                             block_interval_ * kMaxSyncBackoffIntervals);
+    sync_timer_armed_ = true;
+    ctx.SetTimer(sync_backoff_, kSyncTimer);
+    return;
+  }
   if (timer_id != kSlotTimer) return;
   TryProduce(ctx);
   // Head announcement every slot: lets peers that missed a block (lossy
-  // links) discover the gap and pull it via the sync protocol, so the
-  // round-robin rotation can never deadlock on a single lost broadcast.
+  // links) discover the gap and pull it via the sync protocol, and carries
+  // the head hash so same-height divergence (a fork from a proposer_grace
+  // takeover) is detected and resolved.
   Writer w;
   w.PutU8(kMsgHeadAnnounce);
   w.PutU64(chain_->Height());
+  w.PutBytes(chain_->LastBlockHash());
   Broadcast(ctx, w.Take());
   ctx.SetTimer(block_interval_, kSlotTimer);
 }
@@ -97,19 +182,35 @@ void ValidatorNode::ApplyOrBuffer(dml::NodeContext& ctx, size_t from,
   const uint64_t height = chain_->Height();
   if (block.header.number < height) return;  // stale duplicate
   if (block.header.number > height) {
-    // A gap: buffer the block and ask the sender for what we miss.
-    future_blocks_.emplace(block.header.number, std::move(block));
-    Writer w;
-    w.PutU8(kMsgSyncRequest);
-    w.PutU64(height);
-    ctx.Send(from, w.Take());
-    ++sync_requests_sent_;
+    // A gap: buffer the block (within the window) and pull what we miss.
+    const uint64_t number = block.header.number;
+    if (future_blocks_.count(number) == 0) {
+      if (future_blocks_.size() >= kMaxFutureBlocks) {
+        // Full: keep the window closest to our height — those blocks are
+        // consumed first; the far end is cheap for sync to re-fetch.
+        auto last = std::prev(future_blocks_.end());
+        if (number >= last->first) {
+          ++future_blocks_evicted_;
+          NoteRemoteHead(ctx, from, number);
+          return;
+        }
+        future_blocks_.erase(last);
+        ++future_blocks_evicted_;
+      }
+      future_blocks_.emplace(number, std::move(block));
+    }
+    NoteRemoteHead(ctx, from, number);
     return;
   }
   Status status = chain_->ApplyExternalBlock(block);
   if (!status.ok()) {
+    // Same height but unappliable: either garbage (corrupted in flight) or
+    // a legitimate fork — a proposer_grace fallback built on a head we did
+    // not keep. A full snapshot lets the fork-choice rule decide; garbage
+    // snapshots simply fail validation and change nothing.
     PDS2_LOG(kWarn) << "validator " << index_ << " rejected block "
                     << block.header.number << ": " << status.ToString();
+    RequestChain(ctx, from);
     return;
   }
   DrainBuffer();
@@ -128,6 +229,45 @@ void ValidatorNode::DrainBuffer() {
          future_blocks_.begin()->first < chain_->Height()) {
     future_blocks_.erase(future_blocks_.begin());
   }
+}
+
+void ValidatorNode::MaybeAdoptChain(const std::vector<chain::Block>& blocks) {
+  const uint64_t ours = chain_->Height();
+  // Fast path: the snapshot extends the chain we already have — apply the
+  // suffix in place, keeping mempool and receipts.
+  if (blocks.size() > ours &&
+      (ours == 0 || blocks[ours - 1].header.Id() == chain_->LastBlockHash())) {
+    for (uint64_t h = ours; h < blocks.size(); ++h) {
+      if (!chain_->ApplyExternalBlock(blocks[h]).ok()) return;
+    }
+    DrainBuffer();
+    return;
+  }
+  // Divergent history. Deterministic fork choice: adopt iff strictly
+  // longer, or equally long with a lexicographically smaller head hash —
+  // a total order every replica applies identically, so both sides of a
+  // fork settle on the same branch.
+  if (blocks.size() < ours) return;
+  if (blocks.size() == ours) {
+    if (ours == 0) return;
+    if (!(blocks.back().header.Id() < chain_->LastBlockHash())) return;
+  }
+  auto candidate = std::make_unique<chain::Blockchain>(
+      validator_keys_, chain::ContractRegistry::CreateDefault(),
+      chain_config_);
+  for (const GenesisAlloc& alloc : genesis_) {
+    (void)candidate->CreditGenesis(alloc.address, alloc.amount);
+  }
+  for (const chain::Block& block : blocks) {
+    if (!candidate->ApplyExternalBlock(block).ok()) return;  // invalid snapshot
+  }
+  // Local mempool content is not carried over: pending txs were gossiped
+  // to every replica when submitted, so the network still holds them.
+  chain_ = std::move(candidate);
+  future_blocks_.clear();
+  ++forks_resolved_;
+  PDS2_LOG(kInfo) << "validator " << index_ << " adopted fork at height "
+                  << chain_->Height();
 }
 
 void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
@@ -171,12 +311,14 @@ void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
     case kMsgHeadAnnounce: {
       auto peer_height = r.GetU64();
       if (!peer_height.ok()) return;
+      auto peer_hash = r.GetBytes();
+      if (!peer_hash.ok()) return;
       if (*peer_height > chain_->Height()) {
-        Writer w;
-        w.PutU8(kMsgSyncRequest);
-        w.PutU64(chain_->Height());
-        ctx.Send(from, w.Take());
-        ++sync_requests_sent_;
+        NoteRemoteHead(ctx, from, *peer_height);
+      } else if (*peer_height == chain_->Height() && *peer_height > 0 &&
+                 *peer_hash != chain_->LastBlockHash()) {
+        // Same height, different head: we are on one side of a fork.
+        RequestChain(ctx, from);
       }
       break;
     }
@@ -188,6 +330,32 @@ void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
       ApplyOrBuffer(ctx, from, std::move(*block));
       break;
     }
+    case kMsgChainRequest: {
+      const auto& blocks = chain_->blocks();
+      Writer w;
+      w.PutU8(kMsgChainResponse);
+      w.PutU64(blocks.size());
+      for (const chain::Block& block : blocks) {
+        w.PutBytes(block.Serialize());
+      }
+      ctx.Send(from, w.Take());
+      break;
+    }
+    case kMsgChainResponse: {
+      auto count = r.GetU64();
+      if (!count.ok() || *count > kMaxSnapshotBlocks) return;
+      std::vector<chain::Block> blocks;
+      blocks.reserve(*count);
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto block_bytes = r.GetBytes();
+        if (!block_bytes.ok()) return;
+        auto block = chain::Block::Deserialize(*block_bytes);
+        if (!block.ok()) return;
+        blocks.push_back(std::move(*block));
+      }
+      MaybeAdoptChain(blocks);
+      break;
+    }
     default:
       break;
   }
@@ -196,7 +364,8 @@ void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
 std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
     size_t n, const std::vector<GenesisAlloc>& genesis,
     common::SimTime block_interval, const dml::NetConfig& net_config,
-    uint64_t seed, std::vector<ValidatorNode*>* nodes) {
+    uint64_t seed, std::vector<ValidatorNode*>* nodes,
+    chain::ChainConfig chain_config) {
   std::vector<crypto::SigningKey> keys;
   std::vector<Bytes> public_keys;
   for (size_t i = 0; i < n; ++i) {
@@ -211,7 +380,8 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
   std::vector<ValidatorNode*> raw_nodes;
   for (size_t i = 0; i < n; ++i) {
     auto node = std::make_unique<ValidatorNode>(
-        i, public_keys, std::move(keys[i]), genesis, block_interval);
+        i, public_keys, std::move(keys[i]), genesis, block_interval,
+        chain_config);
     raw_nodes.push_back(node.get());
     ids.push_back(sim->AddNode(std::move(node)));
   }

@@ -20,9 +20,17 @@ struct GenesisAlloc {
 ///  - gossips transactions submitted to it,
 ///  - produces a block when the PoA rotation reaches it (timer-driven) and
 ///    broadcasts it,
-///  - applies peer blocks in order, buffering out-of-order arrivals,
-///  - recovers from message loss with an explicit sync protocol (a node
-///    that sees a block from the future asks the sender for the gap).
+///  - applies peer blocks in order, buffering a bounded window of
+///    out-of-order arrivals,
+///  - recovers from message loss with an explicit sync protocol: a node
+///    that sees a block or head from the future asks for the gap, and
+///    retries with capped exponential backoff until it catches up,
+///  - resolves forks (possible when ChainConfig::proposer_grace lets a
+///    fallback proposer take over a dead primary's slot) by exchanging full
+///    chain snapshots and deterministically preferring the longer chain,
+///    ties broken toward the lexicographically smaller head hash,
+///  - survives crash/restart: OnRestart re-arms the timer chains the crash
+///    destroyed.
 ///
 /// Every replica executes every block, so the network converges to one
 /// state without any node trusting another's execution — the §II-E
@@ -35,9 +43,11 @@ class ValidatorNode : public dml::Node {
   ValidatorNode(size_t index, std::vector<common::Bytes> validator_keys,
                 crypto::SigningKey key,
                 const std::vector<GenesisAlloc>& genesis,
-                common::SimTime block_interval);
+                common::SimTime block_interval,
+                chain::ChainConfig chain_config = {});
 
   void OnStart(dml::NodeContext& ctx) override;
+  void OnRestart(dml::NodeContext& ctx) override;
   void OnMessage(dml::NodeContext& ctx, size_t from,
                  const common::Bytes& payload) override;
   void OnTimer(dml::NodeContext& ctx, uint64_t timer_id) override;
@@ -55,26 +65,53 @@ class ValidatorNode : public dml::Node {
 
   uint64_t blocks_produced() const { return blocks_produced_; }
   uint64_t sync_requests_sent() const { return sync_requests_sent_; }
+  uint64_t sync_retries() const { return sync_retries_; }
+  uint64_t forks_resolved() const { return forks_resolved_; }
+  uint64_t future_blocks_evicted() const { return future_blocks_evicted_; }
 
  private:
   void Broadcast(dml::NodeContext& ctx, const common::Bytes& payload);
   void TryProduce(dml::NodeContext& ctx);
   void ApplyOrBuffer(dml::NodeContext& ctx, size_t from, chain::Block block);
   void DrainBuffer();
+  /// Records interest in blocks up to `height` (seen on a peer) and starts
+  /// the sync retry loop if it is not already running.
+  void NoteRemoteHead(dml::NodeContext& ctx, size_t from, uint64_t height);
+  void SendSyncRequest(dml::NodeContext& ctx, size_t to);
+  void RequestChain(dml::NodeContext& ctx, size_t from);
+  /// Rebuilds a candidate replica from a full snapshot and swaps it in if
+  /// it is valid and strictly preferred by the fork-choice rule.
+  void MaybeAdoptChain(const std::vector<chain::Block>& blocks);
 
   size_t index_;
   crypto::SigningKey key_;
+  std::vector<common::Bytes> validator_keys_;  // kept for chain rebuilds
+  std::vector<GenesisAlloc> genesis_;          // kept for chain rebuilds
+  chain::ChainConfig chain_config_;
   std::unique_ptr<chain::Blockchain> chain_;
   std::vector<size_t> peers_;
   common::SimTime block_interval_;
 
-  // Blocks that arrived ahead of our height, keyed by number.
+  // Blocks that arrived ahead of our height, keyed by number. Bounded: on
+  // overflow the farthest-ahead block is evicted (it is the cheapest to
+  // re-fetch, since sync fills the gap front first).
   std::map<uint64_t, chain::Block> future_blocks_;
   // Tx ids already seen, to stop gossip loops.
   std::map<chain::Hash, bool> seen_txs_;
 
+  // Sync retry state. `sync_target_` is the highest peer height observed;
+  // while behind it, a kSyncTimer fires with exponential backoff (capped)
+  // and re-asks a random peer, so one lost sync exchange cannot strand the
+  // replica until the next head announce.
+  uint64_t sync_target_ = 0;
+  bool sync_timer_armed_ = false;
+  common::SimTime sync_backoff_ = 0;
+
   uint64_t blocks_produced_ = 0;
   uint64_t sync_requests_sent_ = 0;
+  uint64_t sync_retries_ = 0;
+  uint64_t forks_resolved_ = 0;
+  uint64_t future_blocks_evicted_ = 0;
 };
 
 /// Convenience: builds a NetSim with `n` validators wired as full mesh.
@@ -82,7 +119,8 @@ class ValidatorNode : public dml::Node {
 std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
     size_t n, const std::vector<GenesisAlloc>& genesis,
     common::SimTime block_interval, const dml::NetConfig& net_config,
-    uint64_t seed, std::vector<ValidatorNode*>* nodes);
+    uint64_t seed, std::vector<ValidatorNode*>* nodes,
+    chain::ChainConfig chain_config = {});
 
 }  // namespace pds2::p2p
 

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "dml/fault_injector.h"
+
+namespace pds2::dml {
+namespace {
+
+using common::Bytes;
+using common::ChurnEvent;
+using common::FaultPlan;
+using common::FaultProfile;
+using common::kMicrosPerSecond;
+using common::PartitionEvent;
+using common::SimTime;
+
+// A minimal chatty protocol: every node pings the next chatter node on a
+// fixed period with a fixed payload. Enough traffic to observe partitions,
+// corruption and churn without any learning machinery in the way.
+class ChatterNode : public Node {
+ public:
+  ChatterNode(size_t num_chatters, SimTime period)
+      : num_chatters_(num_chatters), period_(period) {}
+
+  void OnStart(NodeContext& ctx) override {
+    ++starts;
+    ctx.SetTimer(period_, 0);
+  }
+  void OnRestart(NodeContext& ctx) override {
+    ++restarts;
+    ctx.SetTimer(period_, 0);
+  }
+  void OnMessage(NodeContext& ctx, size_t from,
+                 const Bytes& payload) override {
+    (void)ctx;
+    (void)from;
+    ++received;
+    last_payload = payload;
+  }
+  void OnTimer(NodeContext& ctx, uint64_t timer_id) override {
+    (void)timer_id;
+    ctx.Send((ctx.self() + 1) % num_chatters_, Bytes{'p', 'i', 'n', 'g'});
+    ctx.SetTimer(period_, 0);
+  }
+
+  int starts = 0;
+  int restarts = 0;
+  int received = 0;
+  Bytes last_payload;
+
+ private:
+  size_t num_chatters_;
+  SimTime period_;
+};
+
+// Builds a sim with `n` chatter nodes and returns the raw node pointers.
+std::unique_ptr<NetSim> BuildChatter(size_t n, uint64_t seed,
+                                     std::vector<ChatterNode*>* nodes) {
+  NetConfig net;
+  net.base_latency = 10 * common::kMicrosPerMilli;
+  net.latency_jitter = 0;
+  auto sim = std::make_unique<NetSim>(net, seed);
+  for (size_t i = 0; i < n; ++i) {
+    auto node =
+        std::make_unique<ChatterNode>(n, kMicrosPerSecond / 5);
+    nodes->push_back(node.get());
+    sim->AddNode(std::move(node));
+  }
+  return sim;
+}
+
+TEST(FaultPlanTest, RandomIsAPureFunctionOfTheSeed) {
+  const FaultPlan a = FaultPlan::Random(42, 8, 30 * kMicrosPerSecond);
+  const FaultPlan b = FaultPlan::Random(42, 8, 30 * kMicrosPerSecond);
+  ASSERT_EQ(a.churn.size(), b.churn.size());
+  for (size_t i = 0; i < a.churn.size(); ++i) {
+    EXPECT_EQ(a.churn[i].at, b.churn[i].at);
+    EXPECT_EQ(a.churn[i].node, b.churn[i].node);
+    EXPECT_EQ(a.churn[i].restart, b.churn[i].restart);
+  }
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (size_t i = 0; i < a.partitions.size(); ++i) {
+    EXPECT_EQ(a.partitions[i].start, b.partitions[i].start);
+    EXPECT_EQ(a.partitions[i].heal, b.partitions[i].heal);
+    EXPECT_EQ(a.partitions[i].group_of_node, b.partitions[i].group_of_node);
+  }
+  EXPECT_EQ(a.LastTransition(), b.LastTransition());
+
+  const FaultPlan c = FaultPlan::Random(43, 8, 30 * kMicrosPerSecond);
+  const bool differs = a.churn.size() != c.churn.size() ||
+                       a.partitions[0].start != c.partitions[0].start;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, EveryCrashRestartsWithinTheRun) {
+  const SimTime duration = 40 * kMicrosPerSecond;
+  FaultProfile profile;
+  profile.crash_fraction = 1.0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultPlan plan = FaultPlan::Random(seed, 6, duration, profile);
+    std::vector<bool> online(6, true);
+    SimTime prev = 0;
+    for (const ChurnEvent& event : plan.churn) {
+      EXPECT_GE(event.at, prev);  // sorted
+      prev = event.at;
+      EXPECT_LE(event.at, duration - duration / 10);
+      online[event.node] = event.restart;
+    }
+    for (size_t i = 0; i < online.size(); ++i) {
+      EXPECT_TRUE(online[i]) << "seed " << seed << " node " << i
+                             << " never restarted";
+    }
+    for (const PartitionEvent& partition : plan.partitions) {
+      EXPECT_GT(partition.heal, partition.start);
+      EXPECT_LE(partition.heal, duration);
+    }
+  }
+}
+
+TEST(FaultPlanTest, EffectAtBlocksOnlyAcrossActivePartitions) {
+  FaultPlan plan;
+  PartitionEvent partition;
+  partition.start = 100;
+  partition.heal = 200;
+  partition.group_of_node = {0, 0, 1, 1};
+  plan.partitions.push_back(partition);
+
+  EXPECT_TRUE(plan.EffectAt(0, 2, 150).blocked);   // across the cut
+  EXPECT_TRUE(plan.EffectAt(3, 1, 150).blocked);   // other direction too
+  EXPECT_FALSE(plan.EffectAt(0, 1, 150).blocked);  // same group
+  EXPECT_FALSE(plan.EffectAt(2, 3, 150).blocked);
+  EXPECT_FALSE(plan.EffectAt(0, 2, 99).blocked);   // before it starts
+  EXPECT_FALSE(plan.EffectAt(0, 2, 200).blocked);  // heal is exclusive
+  EXPECT_FALSE(plan.Reachable(0, 2, 150));
+  EXPECT_TRUE(plan.Reachable(0, 2, 200));
+  // A node index beyond group_of_node defaults to group 0.
+  EXPECT_TRUE(plan.EffectAt(7, 2, 150).blocked);
+  EXPECT_FALSE(plan.EffectAt(7, 0, 150).blocked);
+}
+
+TEST(FaultInjectorTest, AppliesTheChurnScheduleAtTheScheduledTimes) {
+  std::vector<ChatterNode*> nodes;
+  auto sim = BuildChatter(2, /*seed=*/1, &nodes);
+
+  FaultPlan plan;
+  plan.churn.push_back({1 * kMicrosPerSecond, 1, false});
+  plan.churn.push_back({3 * kMicrosPerSecond, 1, true});
+  FaultInjector::Install(*sim, plan);
+  sim->Start();
+
+  sim->RunUntil(2 * kMicrosPerSecond);
+  EXPECT_FALSE(sim->IsOnline(1));
+  EXPECT_TRUE(sim->IsOnline(0));
+
+  sim->RunUntil(4 * kMicrosPerSecond);
+  EXPECT_TRUE(sim->IsOnline(1));
+  EXPECT_EQ(nodes[1]->starts, 1);
+  EXPECT_EQ(nodes[1]->restarts, 1);  // rejoin went through OnRestart
+  // The chatter timer armed before the crash died with the old life.
+  EXPECT_GE(sim->stats().timers_dropped_offline, 1u);
+  // And the re-armed timer chain keeps the node chatting after rejoin.
+  const int received_at_restart = nodes[0]->received;
+  sim->RunUntil(6 * kMicrosPerSecond);
+  EXPECT_GT(nodes[0]->received, received_at_restart);
+}
+
+TEST(FaultInjectorTest, PartitionBlocksTrafficAndCountsDrops) {
+  std::vector<ChatterNode*> nodes;
+  auto sim = BuildChatter(2, /*seed=*/1, &nodes);
+
+  FaultPlan plan;
+  PartitionEvent partition;
+  partition.start = 1 * kMicrosPerSecond;
+  partition.heal = 3 * kMicrosPerSecond;
+  partition.group_of_node = {0, 1};
+  plan.partitions.push_back(partition);
+  FaultInjector::Install(*sim, plan);
+  sim->Start();
+
+  sim->RunUntil(1 * kMicrosPerSecond);
+  const int received_before = nodes[0]->received + nodes[1]->received;
+  EXPECT_GT(received_before, 0);
+
+  // Inside the window nothing crosses the cut (all traffic crosses it here).
+  sim->RunUntil(3 * kMicrosPerSecond - 1);
+  EXPECT_EQ(nodes[0]->received + nodes[1]->received, received_before);
+  EXPECT_GT(sim->stats().partition_drops, 0u);
+
+  // After healing, chatter resumes.
+  sim->RunUntil(5 * kMicrosPerSecond);
+  EXPECT_GT(nodes[0]->received + nodes[1]->received, received_before);
+}
+
+TEST(FaultInjectorTest, CorruptionFlipsDeliveredPayloads) {
+  std::vector<ChatterNode*> nodes;
+  auto sim = BuildChatter(2, /*seed=*/3, &nodes);
+
+  FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  FaultInjector::Install(*sim, plan);
+  sim->Start();
+  sim->RunUntil(2 * kMicrosPerSecond);
+
+  ASSERT_GT(nodes[0]->received, 0);
+  EXPECT_NE(nodes[0]->last_payload, (Bytes{'p', 'i', 'n', 'g'}));
+  EXPECT_EQ(nodes[0]->last_payload.size(), 4u);  // same size, one byte off
+  // Corruption is decided at send time, so in-flight messages at the cut
+  // may be corrupted but not yet delivered.
+  EXPECT_GE(sim->stats().messages_corrupted,
+            sim->stats().messages_delivered);
+  EXPECT_GT(sim->stats().messages_delivered, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheIdenticalRun) {
+  FaultProfile profile;
+  profile.link_fault_rate = 0.3;
+  profile.corrupt_rate = 0.05;
+  auto run = [&profile](uint64_t seed) {
+    std::vector<ChatterNode*> nodes;
+    auto sim = BuildChatter(4, seed, &nodes);
+    FaultInjector::Install(
+        *sim, FaultPlan::Random(seed, 4, 20 * kMicrosPerSecond, profile));
+    sim->Start();
+    sim->RunUntil(25 * kMicrosPerSecond);
+    return sim->stats();
+  };
+
+  const NetStats a = run(11);
+  const NetStats b = run(11);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.partition_drops, b.partition_drops);
+  EXPECT_EQ(a.messages_corrupted, b.messages_corrupted);
+  EXPECT_EQ(a.timers_dropped_offline, b.timers_dropped_offline);
+  EXPECT_EQ(a.bytes_received_per_node, b.bytes_received_per_node);
+
+  const NetStats c = run(12);
+  const bool differs = a.messages_delivered != c.messages_delivered ||
+                       a.partition_drops != c.partition_drops ||
+                       a.timers_dropped_offline != c.timers_dropped_offline;
+  EXPECT_TRUE(differs);  // a different seed is a genuinely different run
+}
+
+}  // namespace
+}  // namespace pds2::dml

@@ -23,6 +23,10 @@ class ProbeNode : public Node {
     ++starts;
     (void)ctx;
   }
+  void OnRestart(NodeContext& ctx) override {
+    ++restarts;
+    (void)ctx;
+  }
   void OnMessage(NodeContext& ctx, size_t from, const Bytes& payload) override {
     received.push_back({ctx.Now(), from, payload});
     if (echo && payload != ToBytes("echo")) ctx.Send(from, ToBytes("echo"));
@@ -33,6 +37,7 @@ class ProbeNode : public Node {
   }
 
   int starts = 0;
+  int restarts = 0;
   bool echo = false;
   SimTime rearm_interval = 0;
   std::vector<Received> received;
@@ -122,19 +127,60 @@ TEST(NetSimTest, OfflineReceiverDropsMessages) {
   EXPECT_EQ(sim.stats().messages_dropped, 1u);
 }
 
-TEST(NetSimTest, RejoiningNodeRestartsProtocol) {
+TEST(NetSimTest, RejoiningNodeGetsRestartHookNotStart) {
   NetSim sim(NetConfig{}, 1);
   auto probe = std::make_unique<ProbeNode>();
   ProbeNode* p = probe.get();
   sim.AddNode(std::move(probe));
   sim.Start();
   EXPECT_EQ(p->starts, 1);
+  EXPECT_EQ(p->restarts, 0);
   sim.SetOnline(0, false);
   sim.SetOnline(0, true);
-  EXPECT_EQ(p->starts, 2);
+  EXPECT_EQ(p->starts, 1);  // OnStart is a once-per-run hook
+  EXPECT_EQ(p->restarts, 1);
   // Going online while already online must not restart.
   sim.SetOnline(0, true);
-  EXPECT_EQ(p->starts, 2);
+  EXPECT_EQ(p->restarts, 1);
+}
+
+TEST(NetSimTest, CrashInvalidatesArmedTimers) {
+  NetSim sim(NetConfig{}, 1);
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  p->rearm_interval = 100;
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  sim.SetTimerFor(0, 100, 7);
+  sim.RunUntil(250);  // fires at 100 and 200, re-arming each time
+  ASSERT_EQ(p->timers.size(), 2u);
+  // Crash and restart: the timer armed at t=200 (due t=300) belongs to the
+  // old life and must be dropped even though the node is back online.
+  sim.SetOnline(0, false);
+  sim.SetOnline(0, true);
+  sim.RunUntil(common::kMicrosPerSecond);
+  EXPECT_EQ(p->timers.size(), 2u);
+  EXPECT_EQ(sim.stats().timers_dropped_offline, 1u);
+}
+
+TEST(NetSimTest, CrashDropsInFlightMessagesToOldLife) {
+  NetConfig config;
+  config.base_latency = 1000;
+  config.latency_jitter = 0;
+  config.bandwidth_bytes_per_sec = 0;
+  NetSim sim(config, 1);
+  sim.AddNode(std::make_unique<SenderNode>(ToBytes("x")));  // sends at t=0
+  auto probe = std::make_unique<ProbeNode>();
+  ProbeNode* p = probe.get();
+  sim.AddNode(std::move(probe));
+  sim.Start();
+  // The message is in flight (due t=1000); receiver crashes and restarts
+  // before delivery. A real process would never see it.
+  sim.SetOnline(1, false);
+  sim.SetOnline(1, true);
+  sim.RunUntil(common::kMicrosPerSecond);
+  EXPECT_TRUE(p->received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
 }
 
 TEST(NetSimTest, TimersFireInOrderAndRearm) {

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/fault.h"
+#include "dml/fault_injector.h"
+#include "p2p/validator_network.h"
+
+namespace pds2::p2p {
+namespace {
+
+using common::Bytes;
+using common::FaultPlan;
+using common::FaultProfile;
+using common::SimTime;
+using common::ToBytes;
+using crypto::SigningKey;
+
+constexpr SimTime kBlockInterval = common::kMicrosPerSecond;
+constexpr uint64_t kGenesisSupply = 1'000'000'000;
+
+// Chaos fixture: a validator mesh with proposer-grace fallback enabled so
+// that a dead proposer's slot can be taken over, plus a FaultInjector
+// driving a seeded plan of churn and partitions.
+class ChaosConvergenceTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, uint64_t seed, const FaultPlan& plan,
+             double drop_rate = 0.0) {
+    alice_ = std::make_unique<SigningKey>(SigningKey::FromSeed(ToBytes("a")));
+    bob_addr_ = chain::AddressFromPublicKey(
+        SigningKey::FromSeed(ToBytes("b")).PublicKey());
+    std::vector<GenesisAlloc> genesis = {
+        {chain::AddressFromPublicKey(alice_->PublicKey()), kGenesisSupply}};
+    dml::NetConfig net;
+    net.base_latency = 20 * common::kMicrosPerMilli;
+    net.latency_jitter = 10 * common::kMicrosPerMilli;
+    net.drop_rate = drop_rate;
+    chain::ChainConfig chain_config;
+    chain_config.proposer_grace = 4 * kBlockInterval;
+    nodes_.clear();
+    sim_ = MakeValidatorNetwork(n, genesis, kBlockInterval, net, seed,
+                                &nodes_, chain_config);
+    dml::FaultInjector::Install(*sim_, plan);
+    sim_->Start();
+  }
+
+  void SubmitTransfer(size_t via, uint64_t nonce, uint64_t value) {
+    chain::Transaction tx = chain::Transaction::Make(
+        *alice_, nonce, bob_addr_, value, 100000, chain::CallPayload{});
+    dml::NodeContext ctx(*sim_, via);
+    ASSERT_TRUE(nodes_[via]->SubmitTransaction(tx, ctx).ok());
+  }
+
+  // Safety: every replica agrees on the common prefix, conserves supply,
+  // and carries the expected transfer total; heights differ by at most the
+  // currently propagating head. Liveness: the chain made progress.
+  void ExpectConverged(uint64_t min_expected_height,
+                       uint64_t expected_bob_balance) {
+    uint64_t min_height = UINT64_MAX, max_height = 0;
+    for (ValidatorNode* node : nodes_) {
+      min_height = std::min(min_height, node->chain().Height());
+      max_height = std::max(max_height, node->chain().Height());
+    }
+    EXPECT_GE(min_height, min_expected_height);
+    EXPECT_LE(max_height - min_height, 1u);
+
+    const auto& reference = nodes_[0]->chain().blocks();
+    for (ValidatorNode* node : nodes_) {
+      const auto& blocks = node->chain().blocks();
+      const size_t common_len =
+          std::min<size_t>({blocks.size(), reference.size(), min_height});
+      for (size_t i = 0; i < common_len; ++i) {
+        ASSERT_EQ(blocks[i].header.Id(), reference[i].header.Id())
+            << "divergent block " << i;
+      }
+      EXPECT_EQ(node->chain().TotalSupply(), kGenesisSupply);
+      EXPECT_EQ(node->chain().GetBalance(bob_addr_), expected_bob_balance);
+    }
+  }
+
+  std::unique_ptr<SigningKey> alice_;
+  chain::Address bob_addr_;
+  std::unique_ptr<dml::NetSim> sim_;
+  std::vector<ValidatorNode*> nodes_;
+};
+
+TEST_F(ChaosConvergenceTest, GraceFallbackSkipsAPermanentlyDeadProposer) {
+  // Node 0 crashes early and never comes back. Without the proposer-grace
+  // fallback the rotation would stall one slot in four forever; with it the
+  // next validator takes over after the grace window.
+  FaultPlan plan;
+  plan.churn.push_back({2 * kBlockInterval, 0, false});
+  Build(4, /*seed=*/5, plan);
+  SubmitTransfer(1, 0, 100);
+  sim_->RunUntil(40 * kBlockInterval);
+
+  // 38 intervals with one dead validator: strict rotation would cap the
+  // chain near 2 + 3/4 * 38 if it moved at all; with grace takeover every
+  // slot eventually produces. Require clear progress past the stall point.
+  uint64_t min_height = UINT64_MAX, max_height = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    min_height = std::min(min_height, nodes_[i]->chain().Height());
+    max_height = std::max(max_height, nodes_[i]->chain().Height());
+  }
+  EXPECT_GE(min_height, 15u);
+  EXPECT_LE(max_height - min_height, 1u);  // at most a propagating head
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    EXPECT_EQ(nodes_[i]->chain().GetBalance(bob_addr_), 100u);
+    EXPECT_EQ(nodes_[i]->chain().TotalSupply(), kGenesisSupply);
+  }
+}
+
+TEST_F(ChaosConvergenceTest, ReplicasRejoinAfterAScriptedPartition) {
+  // {0,1} vs {2,3} are cut off from each other for 10 intervals. Both
+  // sides keep producing under grace fallback, fork, and must reconcile to
+  // one chain after the heal.
+  FaultPlan plan;
+  common::PartitionEvent partition;
+  partition.start = 5 * kBlockInterval;
+  partition.heal = 15 * kBlockInterval;
+  partition.group_of_node = {0, 0, 1, 1};
+  plan.partitions.push_back(partition);
+  Build(4, /*seed=*/9, plan);
+  SubmitTransfer(0, 0, 50);
+  SubmitTransfer(3, 1, 70);
+  sim_->RunUntil(35 * kBlockInterval);
+
+  EXPECT_GT(sim_->stats().partition_drops, 0u);
+  ExpectConverged(/*min_expected_height=*/10, /*expected_bob_balance=*/120);
+}
+
+TEST_F(ChaosConvergenceTest, CrashedValidatorCatchesBackUpAfterRestart) {
+  FaultPlan plan;
+  plan.churn.push_back({3 * kBlockInterval, 2, false});
+  plan.churn.push_back({12 * kBlockInterval, 2, true});
+  Build(4, /*seed=*/13, plan);
+  SubmitTransfer(1, 0, 33);
+  sim_->RunUntil(30 * kBlockInterval);
+
+  // The restarted node was ~9 blocks behind; the sync path must close the
+  // gap, not just the freshest head.
+  ExpectConverged(/*min_expected_height=*/15, /*expected_bob_balance=*/33);
+  uint64_t syncs = 0;
+  for (ValidatorNode* node : nodes_) syncs += node->sync_requests_sent();
+  EXPECT_GT(syncs, 0u);
+}
+
+// The headline robustness claim: for many independently seeded schedules of
+// churn + partitions (on top of background message loss), every replica
+// network converges to one chain, conserves the token supply, and keeps
+// the submitted transfers. Together with the market-level chaos suite this
+// covers the >= 20 distinct fault seeds the robustness experiment demands.
+TEST_F(ChaosConvergenceTest, SeededFaultSchedulesAllConverge) {
+  FaultProfile profile;
+  profile.crash_fraction = 0.5;
+  profile.min_downtime = 2 * kBlockInterval;
+  profile.max_downtime = 6 * kBlockInterval;
+  profile.num_partitions = 1;
+  profile.min_partition = 3 * kBlockInterval;
+  profile.max_partition = 8 * kBlockInterval;
+
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const SimTime plan_span = 20 * kBlockInterval;
+    const FaultPlan plan = FaultPlan::Random(seed, 4, plan_span, profile);
+    Build(4, seed, plan, /*drop_rate=*/0.05);
+    SubmitTransfer(0, 0, 10);
+    SubmitTransfer(1, 1, 10);
+    // Run well past the last scheduled fault so recovery can finish.
+    sim_->RunUntil(plan.LastTransition() + 18 * kBlockInterval);
+    ExpectConverged(/*min_expected_height=*/8, /*expected_bob_balance=*/20);
+  }
+}
+
+}  // namespace
+}  // namespace pds2::p2p
