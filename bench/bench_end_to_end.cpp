@@ -1,15 +1,22 @@
 // E10 — End-to-end platform feasibility (paper §II-D, §VI).
+// E12 — Observability overhead on a full marketplace run.
 //
 // The future-work section asks for "an implementation that can be used to
 // test the feasibility of the platform". This harness runs the complete
 // marketplace at increasing scale and reports throughput, per-phase chain
 // activity, model quality and the settlement audit (escrow conservation).
+// E12 then repeats one mid-size run with metrics+tracing off and on and
+// reports the wall-clock delta into BENCH_observability.json.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "market/marketplace.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -19,6 +26,83 @@ storage::SemanticMetadata Meta() {
   storage::SemanticMetadata meta;
   meta.types = {"iot/sensor/temperature"};
   return meta;
+}
+
+// One full lifecycle at the E12 scale; returns wall-clock ms (negative on
+// failure).
+double OneLifecycleMs(uint64_t seed) {
+  constexpr size_t n = 8, n_exec = 2;
+  market::MarketConfig config;
+  config.seed = seed;
+  market::Marketplace m(config);
+
+  common::Rng rng(seed);
+  ml::Dataset world = ml::MakeTwoGaussians(60 * n + 500, 6, 3.5, rng);
+  auto [train, test] = ml::TrainTestSplit(
+      world, 500.0 / static_cast<double>(world.Size()), rng);
+  auto parts = ml::PartitionIid(train, n, rng);
+  for (size_t i = 0; i < n; ++i) {
+    auto& p = m.AddProvider("p" + std::to_string(i));
+    (void)p.store().AddDataset("d", parts[i], Meta());
+  }
+  for (size_t i = 0; i < n_exec; ++i) m.AddExecutor("e" + std::to_string(i));
+  auto& consumer = m.AddConsumer("c");
+
+  market::WorkloadSpec spec;
+  spec.name = "e12";
+  spec.requirement.required_types = {"iot/sensor"};
+  spec.model_kind = "logistic";
+  spec.features = 6;
+  spec.epochs = 5;
+  spec.reward_pool = 1'000'000;
+  spec.min_providers = n;
+  spec.max_providers = n;
+  spec.executor_reward_permille = 150;
+
+  bench::Timer timer;
+  auto report = m.RunWorkload(consumer, spec);
+  return report.ok() ? timer.ElapsedMs() : -1.0;
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+void RunE12() {
+  bench::Banner("E12: observability overhead on a full marketplace run",
+                "metrics+tracing add low-single-digit % to the lifecycle");
+  constexpr int kTrials = 7;
+  std::vector<double> off_ms, on_ms;
+  for (int t = 0; t < kTrials; ++t) {
+    obs::SetMetricsEnabled(false);
+    obs::SetTracingEnabled(false);
+    off_ms.push_back(OneLifecycleMs(4200 + t));
+    obs::SetMetricsEnabled(true);
+    obs::SetTracingEnabled(true);
+    on_ms.push_back(OneLifecycleMs(4200 + t));
+    obs::Tracer::Global().Reset();
+  }
+  obs::SetMetricsEnabled(false);
+  obs::SetTracingEnabled(false);
+  const double off = Median(off_ms);
+  const double on = Median(on_ms);
+  const double overhead_pct = off <= 0.0 ? 0.0 : (on - off) / off * 100.0;
+  std::printf("lifecycle median: %.1f ms off, %.1f ms on -> %.2f%% overhead "
+              "(%d trials)\n", off, on, overhead_pct, kTrials);
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "    \"trials\": %d,\n"
+                "    \"lifecycle_median_ms_obs_off\": %.2f,\n"
+                "    \"lifecycle_median_ms_obs_on\": %.2f,\n"
+                "    \"enabled_overhead_pct\": %.2f\n"
+                "  }",
+                kTrials, off, on, overhead_pct);
+  bench::MergeParallelReport("marketplace_lifecycle_overhead", json,
+                             "BENCH_observability.json");
+  std::printf("-> BENCH_observability.json\n");
 }
 
 }  // namespace
@@ -91,5 +175,7 @@ int main() {
   std::printf("\n(gas grows linearly in providers — certificate validation "
               "dominates; accuracy is flat: the same data, more finely "
               "sharded)\n");
+
+  RunE12();
   return 0;
 }

@@ -2,7 +2,6 @@
 #define PDS2_BENCH_BENCH_UTIL_H_
 
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -10,25 +9,14 @@
 #include <utility>
 #include <vector>
 
+#include "obs/stopwatch.h"
+
 namespace pds2::bench {
 
-/// Wall-clock stopwatch for experiment harnesses.
-class Timer {
- public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
-
-  void Reset() { start_ = std::chrono::steady_clock::now(); }
-
-  double ElapsedMs() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-  double ElapsedUs() const { return ElapsedMs() * 1000.0; }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Wall-clock stopwatch for experiment harnesses — the obs subsystem's
+/// Stopwatch, so bench numbers, metric histograms, and span traces all read
+/// the same steady clock.
+using Timer = obs::Stopwatch;
 
 /// Compiler barrier: forces `value` to be materialized, preventing the
 /// optimizer from hoisting or eliding the computation that produced it.

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/serial.h"
 #include "common/thread_pool.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace pds2::chain {
 
@@ -55,8 +57,12 @@ void Blockchain::CacheVerified(Hash tx_id) {
 
 Status Blockchain::VerifyTransactionCached(const Transaction& tx) {
   Hash id = tx.Id();
-  if (verified_txs_.count(id) > 0) return Status::Ok();
+  if (verified_txs_.count(id) > 0) {
+    PDS2_M_COUNT("chain.sig_cache_hits", 1);
+    return Status::Ok();
+  }
   ++signature_verifications_;
+  PDS2_M_COUNT("chain.sig_verifications", 1);
   PDS2_RETURN_IF_ERROR(tx.VerifySignature());
   CacheVerified(std::move(id));
   return Status::Ok();
@@ -64,6 +70,7 @@ Status Blockchain::VerifyTransactionCached(const Transaction& tx) {
 
 Status Blockchain::VerifyBlockSignatures(
     const std::vector<Transaction>& txs) {
+  PDS2_TRACE_SPAN("chain.verify_block_signatures");
   // Partition into cached and still-unverified transactions. The id covers
   // the signature bytes, so a cache hit certifies this exact (tx, sig) pair.
   std::vector<size_t> unverified;
@@ -88,6 +95,8 @@ Status Blockchain::VerifyBlockSignatures(
     for (size_t k = 0; k < unverified.size(); ++k) verify_one(k);
   }
   signature_verifications_ += unverified.size();
+  PDS2_M_COUNT("chain.sig_verifications", unverified.size());
+  PDS2_M_COUNT("chain.sig_cache_hits", txs.size() - unverified.size());
 
   Status first_failure = Status::Ok();
   for (size_t k = 0; k < unverified.size(); ++k) {
@@ -248,11 +257,15 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
     receipt.output = std::move(output);
     receipt.events = std::move(events);
   }
+  PDS2_M_COUNT("chain.txs_executed", 1);
+  PDS2_M_COUNT("chain.gas_used", receipt.gas_used);
   return receipt;
 }
 
 Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
                                        common::SimTime timestamp) {
+  PDS2_TRACE_SPAN("chain.produce_block");
+  PDS2_M_TIME_US("chain.produce_block_us");
   if (proposer.PublicKey() != ProposerAt(timestamp)) {
     return Status::PermissionDenied("not this validator's turn to propose");
   }
@@ -309,12 +322,25 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
       BlockHeader::Domain(), block.header.SigningBytes());
 
   blocks_.push_back(block);
+  PDS2_M_COUNT("chain.blocks_produced", 1);
   PDS2_LOG(kDebug) << "produced block " << block_number << " with "
                    << block.transactions.size() << " txs, gas " << block_gas;
   return block;
 }
 
 Status Blockchain::ApplyExternalBlock(const Block& block) {
+  PDS2_TRACE_SPAN("chain.apply_block");
+  PDS2_M_TIME_US("chain.apply_block_us");
+  Status status = ApplyExternalBlockInner(block);
+  if (status.ok()) {
+    PDS2_M_COUNT("chain.blocks_applied", 1);
+  } else {
+    PDS2_M_COUNT("chain.blocks_rejected", 1);
+  }
+  return status;
+}
+
+Status Blockchain::ApplyExternalBlockInner(const Block& block) {
   // Consensus validation.
   if (block.header.number != blocks_.size()) {
     return Status::InvalidArgument("block number out of sequence");

@@ -139,6 +139,10 @@ class Blockchain {
   Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number,
                              common::SimTime timestamp);
 
+  /// ApplyExternalBlock's validation/execution body; the public wrapper
+  /// adds the applied/rejected accounting around it.
+  common::Status ApplyExternalBlockInner(const Block& block);
+
   /// Verifies one signature through the cache (submit path).
   common::Status VerifyTransactionCached(const Transaction& tx);
 

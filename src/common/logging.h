@@ -1,8 +1,12 @@
 #ifndef PDS2_COMMON_LOGGING_H_
 #define PDS2_COMMON_LOGGING_H_
 
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pds2::common {
 
@@ -13,7 +17,79 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one formatted line to stderr (internal; use the PDS2_LOG macro).
+const char* LogLevelName(LogLevel level);
+
+/// One fully assembled log event, as handed to the active sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  // basename of the emitting source file
+  int line = 0;
+  std::string message;
+  /// Structured key=value fields attached via PDS2_LOG(...).Field(k, v).
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Destination for log records. Write() must be thread-safe: PDS2_LOG fires
+/// from ThreadPool workers.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Default sink: one formatted line per record to stderr, fields appended
+/// as key=value.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+};
+
+/// Test sink: captures records in memory for assertions.
+class CaptureLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
+
+  std::vector<LogRecord> Records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  size_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+  /// True if any captured message contains `needle`.
+  bool Contains(const std::string& needle) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const LogRecord& record : records_) {
+      if (record.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+/// Replaces the process-wide sink; pass nullptr to restore the default
+/// stderr sink. The previous sink is returned so tests can reinstall it.
+/// The caller keeps ownership of `sink` and must outlive its installation.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Routes one record through the active sink (internal; use PDS2_LOG).
+void LogDispatch(LogRecord&& record);
+
+/// Back-compat helper for direct callers.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);
 
@@ -22,9 +98,15 @@ namespace internal_logging {
 /// Stream-style collector used by the macro below.
 class LogLine {
  public:
-  LogLine(LogLevel level, const char* file, int line)
-      : level_(level), file_(file), line_(line) {}
-  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+  LogLine(LogLevel level, const char* file, int line) {
+    record_.level = level;
+    record_.file = file;
+    record_.line = line;
+  }
+  ~LogLine() {
+    record_.message = stream_.str();
+    LogDispatch(std::move(record_));
+  }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -32,10 +114,17 @@ class LogLine {
     return *this;
   }
 
+  /// Attaches a structured key=value field (value is streamed to string).
+  template <typename T>
+  LogLine& Field(const std::string& key, const T& value) {
+    std::ostringstream s;
+    s << value;
+    record_.fields.emplace_back(key, s.str());
+    return *this;
+  }
+
  private:
-  LogLevel level_;
-  const char* file_;
-  int line_;
+  LogRecord record_;
   std::ostringstream stream_;
 };
 

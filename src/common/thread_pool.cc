@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace pds2::common {
 
 namespace {
@@ -47,6 +49,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PDS2_M_GAUGE_ADD("pool.queue_depth", -1);
+    PDS2_M_COUNT("pool.tasks_executed", 1);
     task();
   }
 }
@@ -56,6 +60,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
   if (g_current_pool == this) {
+    PDS2_M_COUNT("pool.tasks_inline", 1);
     (*packaged)();
     return future;
   }
@@ -63,6 +68,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.emplace_back([packaged] { (*packaged)(); });
   }
+  PDS2_M_GAUGE_ADD("pool.queue_depth", 1);
   cv_.notify_one();
   return future;
 }
@@ -83,6 +89,7 @@ void ThreadPool::ParallelForChunks(
   };
 
   if (num_threads_ <= 1 || num_chunks == 1 || g_current_pool == this) {
+    PDS2_M_COUNT("pool.tasks_inline", num_chunks);
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) run_chunk(chunk);
     return;
   }
@@ -111,6 +118,8 @@ void ThreadPool::ParallelForChunks(
       });
     }
   }
+  PDS2_M_GAUGE_ADD("pool.queue_depth", num_chunks);
+  PDS2_M_COUNT("pool.parallel_for_calls", 1);
   cv_.notify_all();
 
   std::unique_lock<std::mutex> wait_lock(join.mu);

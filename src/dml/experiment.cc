@@ -78,10 +78,11 @@ DmlResult RunGossip(const DmlExperimentConfig& config) {
     DmlTimelinePoint point;
     point.time = t;
     point.accuracy = acc_sum / static_cast<double>(nodes.size());
-    point.bytes_sent = sim.stats().bytes_sent;
+    const NetStats stats = sim.stats();
+    point.bytes_sent = stats.bytes_sent;
     point.max_node_rx_bytes =
-        *std::max_element(sim.stats().bytes_received_per_node.begin(),
-                          sim.stats().bytes_received_per_node.end());
+        *std::max_element(stats.bytes_received_per_node.begin(),
+                          stats.bytes_received_per_node.end());
     result.timeline.push_back(point);
   }
   result.final_stats = sim.stats();
@@ -122,10 +123,11 @@ DmlResult RunFedAvg(const DmlExperimentConfig& config) {
     DmlTimelinePoint point;
     point.time = t;
     point.accuracy = ml::Accuracy(server_ptr->model(), task.test);
-    point.bytes_sent = sim.stats().bytes_sent;
+    const NetStats stats = sim.stats();
+    point.bytes_sent = stats.bytes_sent;
     point.max_node_rx_bytes =
-        *std::max_element(sim.stats().bytes_received_per_node.begin(),
-                          sim.stats().bytes_received_per_node.end());
+        *std::max_element(stats.bytes_received_per_node.begin(),
+                          stats.bytes_received_per_node.end());
     result.timeline.push_back(point);
   }
   result.final_stats = sim.stats();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serial.h"
+#include "obs/metrics.h"
 
 namespace pds2::dml {
 
@@ -61,6 +62,7 @@ void FedServerNode::FinishRound(NodeContext& ctx) {
   if (!round_params_.empty()) {
     model_->SetParams(ml::WeightedAverage(round_params_, round_weights_));
     ++rounds_completed_;
+    PDS2_M_COUNT("dml.fedavg.rounds_completed", 1);
   }
   BeginRound(ctx);
 }
@@ -79,6 +81,7 @@ void FedServerNode::OnMessage(NodeContext& ctx, size_t /*from*/,
 
   round_params_.push_back(std::move(*params));
   round_weights_.push_back(static_cast<double>(std::max<uint64_t>(1, *samples)));
+  PDS2_M_COUNT("dml.fedavg.responses", 1);
   if (round_params_.size() >= awaiting_) FinishRound(ctx);
 }
 

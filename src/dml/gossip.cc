@@ -1,6 +1,7 @@
 #include "dml/gossip.h"
 
 #include "common/serial.h"
+#include "obs/metrics.h"
 
 namespace pds2::dml {
 
@@ -48,6 +49,7 @@ void GossipNode::OnTimer(NodeContext& ctx, uint64_t timer_id) {
       size_t peer = ctx.rng().NextU64(n - 1);
       if (peer >= ctx.self()) ++peer;
       ctx.Send(peer, EncodeState());
+      PDS2_M_COUNT("dml.gossip.pushes", 1);
     }
   }
   ctx.SetTimer(config_.push_interval, kPushTimer);
@@ -85,6 +87,7 @@ void GossipNode::OnMessage(NodeContext& ctx, size_t /*from*/,
       break;
   }
   age_ = std::max(age_, *peer_age);
+  PDS2_M_COUNT("dml.gossip.merges", 1);
 
   // Local update on own data after absorbing the peer model.
   LocalUpdate(ctx);

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace pds2::dml {
 
@@ -57,11 +58,28 @@ size_t NetSim::AddNode(std::unique_ptr<Node> node) {
   nodes_.push_back(std::move(node));
   online_.push_back(true);
   epoch_.push_back(0);
-  stats_.bytes_received_per_node.push_back(0);
+  bytes_received_per_node_.push_back(0);
   return nodes_.size() - 1;
 }
 
-void NetSim::CountRetryFor() { ++stats_.retries; }
+NetStats NetSim::stats() const {
+  NetStats stats;
+  stats.messages_sent = live_stats_.messages_sent.Value();
+  stats.messages_delivered = live_stats_.messages_delivered.Value();
+  stats.messages_dropped = live_stats_.messages_dropped.Value();
+  stats.bytes_sent = live_stats_.bytes_sent.Value();
+  stats.partition_drops = live_stats_.partition_drops.Value();
+  stats.messages_corrupted = live_stats_.messages_corrupted.Value();
+  stats.retries = live_stats_.retries.Value();
+  stats.timers_dropped_offline = live_stats_.timers_dropped_offline.Value();
+  stats.bytes_received_per_node = bytes_received_per_node_;
+  return stats;
+}
+
+void NetSim::CountRetryFor() {
+  live_stats_.retries.Add(1);
+  PDS2_M_COUNT("dml.net.retries", 1);
+}
 
 void NetSim::Start() {
   assert(!started_);
@@ -80,8 +98,10 @@ void NetSim::Start() {
 
 void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
   assert(to < nodes_.size());
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  live_stats_.messages_sent.Add(1);
+  live_stats_.bytes_sent.Add(payload.size());
+  PDS2_M_COUNT("dml.net.messages_sent", 1);
+  PDS2_M_COUNT("dml.net.bytes_sent", payload.size());
 
   // The installed fault model is consulted first: a partition blocks the
   // link outright; link faults stack extra loss / latency / corruption on
@@ -93,16 +113,20 @@ void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
     effect = fault_hook_->OnLink(from, to, clock_.Now());
   }
   if (effect.blocked) {
-    ++stats_.partition_drops;
-    ++stats_.messages_dropped;
+    live_stats_.partition_drops.Add(1);
+    live_stats_.messages_dropped.Add(1);
+    PDS2_M_COUNT("dml.net.partition_drops", 1);
+    PDS2_M_COUNT("dml.net.messages_dropped", 1);
     return;
   }
   if (config_.drop_rate > 0.0 && rng_.NextBool(config_.drop_rate)) {
-    ++stats_.messages_dropped;
+    live_stats_.messages_dropped.Add(1);
+    PDS2_M_COUNT("dml.net.messages_dropped", 1);
     return;
   }
   if (effect.extra_drop > 0.0 && rng_.NextBool(effect.extra_drop)) {
-    ++stats_.messages_dropped;
+    live_stats_.messages_dropped.Add(1);
+    PDS2_M_COUNT("dml.net.messages_dropped", 1);
     return;
   }
 
@@ -124,7 +148,8 @@ void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
       rng_.NextBool(effect.corrupt_rate)) {
     payload[rng_.NextU64(payload.size())] ^=
         static_cast<uint8_t>(1 + rng_.NextU64(255));
-    ++stats_.messages_corrupted;
+    live_stats_.messages_corrupted.Add(1);
+    PDS2_M_COUNT("dml.net.messages_corrupted", 1);
   }
 
   PdsEvent event;
@@ -168,15 +193,18 @@ bool NetSim::AdmitEvent(const PdsEvent& event) {
   const bool stale = event.target_epoch != epoch_[event.target];
   if (online_[event.target] && !stale) return true;
   if (event.kind == PdsEvent::Kind::kMessage) {
-    ++stats_.messages_dropped;
+    live_stats_.messages_dropped.Add(1);
+    PDS2_M_COUNT("dml.net.messages_dropped", 1);
   } else {
-    ++stats_.timers_dropped_offline;
+    live_stats_.timers_dropped_offline.Add(1);
+    PDS2_M_COUNT("dml.net.timers_dropped_offline", 1);
   }
   return false;
 }
 
 void NetSim::RunUntil(SimTime t) {
   assert(started_);
+  PDS2_TRACE_SPAN_SIM("dml.net.run_until", &clock_);
   if (pool_ != nullptr) {
     RunUntilParallel(t);
     return;
@@ -188,11 +216,12 @@ void NetSim::RunUntil(SimTime t) {
     if (!AdmitEvent(event)) continue;
     NodeContext ctx(*this, event.target);
     if (event.kind == PdsEvent::Kind::kMessage) {
-      ++stats_.messages_delivered;
-      if (event.target >= stats_.bytes_received_per_node.size()) {
-        stats_.bytes_received_per_node.resize(event.target + 1, 0);
+      live_stats_.messages_delivered.Add(1);
+      PDS2_M_COUNT("dml.net.messages_delivered", 1);
+      if (event.target >= bytes_received_per_node_.size()) {
+        bytes_received_per_node_.resize(event.target + 1, 0);
       }
-      stats_.bytes_received_per_node[event.target] += event.payload.size();
+      bytes_received_per_node_[event.target] += event.payload.size();
       nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
     } else {
       nodes_[event.target]->OnTimer(ctx, event.timer_id);
@@ -225,11 +254,12 @@ void NetSim::RunUntilParallel(SimTime t) {
     for (PdsEvent& event : batch) {
       if (!AdmitEvent(event)) continue;
       if (event.kind == PdsEvent::Kind::kMessage) {
-        ++stats_.messages_delivered;
-        if (event.target >= stats_.bytes_received_per_node.size()) {
-          stats_.bytes_received_per_node.resize(event.target + 1, 0);
+        live_stats_.messages_delivered.Add(1);
+        PDS2_M_COUNT("dml.net.messages_delivered", 1);
+        if (event.target >= bytes_received_per_node_.size()) {
+          bytes_received_per_node_.resize(event.target + 1, 0);
         }
-        stats_.bytes_received_per_node[event.target] += event.payload.size();
+        bytes_received_per_node_[event.target] += event.payload.size();
       }
       live.push_back(&event);
     }
@@ -277,7 +307,10 @@ void NetSim::RunUntilParallel(SimTime t) {
            outboxes[idx].timers) {
         SetTimerFor(live[idx]->target, timer.delay, timer.timer_id);
       }
-      stats_.retries += outboxes[idx].retries;
+      if (outboxes[idx].retries > 0) {
+        live_stats_.retries.Add(outboxes[idx].retries);
+        PDS2_M_COUNT("dml.net.retries", outboxes[idx].retries);
+      }
     }
   }
   clock_.AdvanceTo(t);

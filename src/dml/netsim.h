@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
+#include "obs/metrics.h"
 
 namespace pds2::common {
 class ThreadPool;
@@ -24,7 +25,9 @@ struct NetConfig {
 };
 
 /// Network-wide counters (experiments E2/E3 and the chaos harness read
-/// these).
+/// these). Since PR 3 this is a point-in-time *view* materialized by
+/// NetSim::stats() from the simulator's live obs::Counter set; the same
+/// counts are mirrored into the global obs::Registry under "dml.net.*".
 struct NetStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
@@ -189,7 +192,11 @@ class NetSim {
   common::SimTime Now() const { return clock_.Now(); }
   size_t NumNodes() const { return nodes_.size(); }
   Node* node(size_t i) { return nodes_[i].get(); }
-  const NetStats& stats() const { return stats_; }
+  /// Point-in-time copy of the live counters (racy-but-consistent when the
+  /// parallel mode is active; exact between RunUntil calls).
+  NetStats stats() const;
+  /// The simulator clock, for sim-time spans (PDS2_TRACE_SPAN_SIM).
+  const common::SimClock* sim_clock() const { return &clock_; }
   common::Rng& rng() { return rng_; }
 
   // Internal API used by NodeContext.
@@ -230,7 +237,22 @@ class NetSim {
   std::vector<uint64_t> epoch_;  // bumped on every crash
   LinkFaultHook* fault_hook_ = nullptr;
   std::priority_queue<PdsEvent, std::vector<PdsEvent>, EventLater> queue_;
-  NetStats stats_;
+  /// Live per-simulator counters (NetStats is the snapshot view). Kept
+  /// per-instance so multiple sims in one process — the norm in tests —
+  /// never bleed counts into each other; increments are additionally
+  /// mirrored to the global registry for process-wide exports.
+  struct LiveStats {
+    obs::Counter messages_sent;
+    obs::Counter messages_delivered;
+    obs::Counter messages_dropped;
+    obs::Counter bytes_sent;
+    obs::Counter partition_drops;
+    obs::Counter messages_corrupted;
+    obs::Counter retries;
+    obs::Counter timers_dropped_offline;
+  };
+  LiveStats live_stats_;
+  std::vector<uint64_t> bytes_received_per_node_;
   uint64_t seq_ = 0;
   bool started_ = false;
 

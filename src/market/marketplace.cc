@@ -7,6 +7,8 @@
 #include "common/hex.h"
 #include "common/serial.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pds2::market {
 
@@ -176,6 +178,13 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     return Status::FailedPrecondition("no executors registered");
   }
 
+  // The whole lifecycle plus one span per Fig. 2 stage, all against the
+  // marketplace's simulated clock (now_ advances one block interval per
+  // produced block). Stage spans are closed explicitly at each phase
+  // boundary; an early return ends whichever are still open.
+  obs::ScopedSpan run_span("market.run_workload", &now_);
+  PDS2_M_COUNT("market.workloads_started", 1);
+
   RunReport report;
   const uint64_t gas_before = chain_->TotalGasUsed();
   const uint64_t height_before = chain_->Height();
@@ -184,6 +193,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   };
 
   // --- Phase 1 (Fig. 2): consumer submits the workload specification. ----
+  obs::ScopedSpan span_post("market.post", &now_);
   Writer deploy_args;
   deploy_args.PutBytes(spec.SpecHash());
   deploy_args.PutU64(spec.reward_pool);
@@ -215,6 +225,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   // in simulated time and claims the refund then — every failed run ends
   // refunded, never with tokens stranded in the contract.
   auto abort_and_fail = [&](const Status& cause) -> Status {
+    PDS2_M_COUNT("market.workloads_aborted", 1);
     auto aborted =
         Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
                 chain::CallPayload{"workload", report.instance, "abort", {}});
@@ -228,7 +239,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     return cause;
   };
 
+  span_post.End();
+
   // --- Phase 2: storage subsystems match data; providers decide. ---------
+  obs::ScopedSpan span_match("market.match", &now_);
   struct Participation {
     ProviderAgent* provider;
     storage::DatasetSummary offer;
@@ -252,6 +266,8 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         "); workload aborted and escrow refunded"));
   }
 
+  span_match.End();
+
   // --- Phase 3: providers pick executors, verify attestation, send data.
   // Providers with their own hardware (Fig. 3) pin their preferred
   // executor; the rest are assigned round-robin across third parties. An
@@ -259,12 +275,14 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   // its providers re-assigned to surviving executors — their sealed shards
   // simply go to a different attested enclave; a dead compute node costs
   // its own reward, not the workload.
+  obs::ScopedSpan span_attest("market.attest_seal", &now_);
   std::map<ExecutorAgent*, std::vector<SealedContribution>> per_executor;
   std::set<ExecutorAgent*> failed_executors;
   auto drop_executor = [&](ExecutorAgent* executor, const Status& cause) {
     failed_executors.insert(executor);
     per_executor.erase(executor);
     report.dropped_executors.push_back(executor->name());
+    PDS2_M_COUNT("market.executors_dropped", 1);
     audit("dropped executor " + executor->name() + ": " + cause.ToString());
   };
   for (size_t i = 0; i < participations.size(); ++i) {
@@ -342,8 +360,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   report.num_executors = per_executor.size();
   audit("data sealed to " + std::to_string(per_executor.size()) +
         " attested executors");
+  span_attest.End();
 
   // --- Phase 4: executors register participation (certs go on-chain). ----
+  obs::ScopedSpan span_register("market.register_executors", &now_);
   for (auto& [executor, contributions] : per_executor) {
     Writer args;
     args.PutBytes(executor->key().PublicKey());
@@ -360,8 +380,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     }
   }
   audit("all executor registrations validated on-chain");
+  span_register.End();
 
   // --- Phase 5: governance starts the workload. ---------------------------
+  obs::ScopedSpan span_start("market.start", &now_);
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt start_receipt,
       Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
@@ -370,7 +392,9 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     return abort_and_fail(Status::Internal(start_receipt.error));
   }
   audit("workload started");
+  span_start.End();
 
+  obs::ScopedSpan span_train("market.train_aggregate", &now_);
   // --- Phase 6: in-enclave training + decentralized aggregation. An
   // executor that crashes here is already registered on-chain: it is
   // dropped from the run (its reward share passes to the survivors at
@@ -387,6 +411,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   const std::vector<ExecutorAgent*> registered = active;
   auto drop_lost = [&](ExecutorAgent* executor, const Status& cause) {
     report.dropped_executors.push_back(executor->name());
+    PDS2_M_COUNT("market.executors_dropped", 1);
     audit("lost executor " + executor->name() + ": " + cause.ToString());
   };
   std::vector<std::pair<ml::Vec, uint64_t>> states;
@@ -472,7 +497,9 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   report.result_address = result_store_.Put(result_blob);
   audit("decentralized aggregation complete; result " +
         common::HexPrefix(result_hash, 12));
+  span_train.End();
 
+  obs::ScopedSpan span_vote("market.vote", &now_);
   // --- Phase 7: every surviving executor puts its vote on record (the
   // contract accepts late votes after the quorum completes the workload,
   // because finalize pays only executors whose vote matches the result).
@@ -504,8 +531,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   report.result_hash = result_hash;
   report.model_params = final_params;
   audit("executor quorum agreed on the result");
+  span_vote.End();
 
   // --- Phase 8: consumer finalizes; contract pays out. ---------------------
+  obs::ScopedSpan span_finalize("market.finalize", &now_);
   std::map<std::string, uint64_t> balances_before;
   for (const auto& p : participations) {
     balances_before[p.provider->name()] =
@@ -545,9 +574,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         balances_before[executor->name()];
   }
   audit("escrow discharged; rewards distributed");
+  span_finalize.End();
 
   report.gas_used = chain_->TotalGasUsed() - gas_before;
   report.blocks_produced = chain_->Height() - height_before;
+  PDS2_M_COUNT("market.workloads_completed", 1);
   return report;
 }
 

@@ -1,0 +1,103 @@
+#include "obs/export.h"
+
+#include <cctype>
+
+namespace pds2::obs {
+
+namespace {
+
+// Metric names are dotted identifiers chosen at the call sites; escaping
+// quotes/backslashes anyway keeps the emitted JSON well-formed for any name.
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void WriteHistogramFieldsJson(const HistogramSummary& summary,
+                              std::ostream& out) {
+  out << "\"count\":" << summary.count << ",\"sum\":" << summary.sum
+      << ",\"min\":" << summary.min << ",\"p50\":" << summary.p50
+      << ",\"p90\":" << summary.p90 << ",\"p99\":" << summary.p99
+      << ",\"max\":" << summary.max;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void WriteSnapshotJsonLines(const Snapshot& snapshot, std::ostream& out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "{\"type\":\"counter\",\"name\":\"" << EscapeJson(name)
+        << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << EscapeJson(name)
+        << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << EscapeJson(name) << "\",";
+    WriteHistogramFieldsJson(summary, out);
+    out << "}\n";
+  }
+}
+
+void WriteSnapshotJson(const Snapshot& snapshot, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+        << "\": " << value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& [name, value] = snapshot.gauges[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+        << "\": " << value;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, summary] = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(name) << "\": {";
+    WriteHistogramFieldsJson(summary, out);
+    out << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+void WriteSnapshotPrometheus(const Snapshot& snapshot, std::ostream& out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "{quantile=\"0.5\"} " << summary.p50 << "\n";
+    out << prom << "{quantile=\"0.9\"} " << summary.p90 << "\n";
+    out << prom << "{quantile=\"0.99\"} " << summary.p99 << "\n";
+    out << prom << "_sum " << summary.sum << "\n";
+    out << prom << "_count " << summary.count << "\n";
+  }
+}
+
+}  // namespace pds2::obs

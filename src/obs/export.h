@@ -1,0 +1,30 @@
+#ifndef PDS2_OBS_EXPORT_H_
+#define PDS2_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pds2::obs {
+
+/// Writes a snapshot as JSON lines: one {"type":...,"name":...,...} object
+/// per metric, suitable for appending per-run exports side by side.
+void WriteSnapshotJsonLines(const Snapshot& snapshot, std::ostream& out);
+
+/// Writes a snapshot as one self-contained JSON object
+/// {"counters":{...},"gauges":{...},"histograms":{...}}.
+void WriteSnapshotJson(const Snapshot& snapshot, std::ostream& out);
+
+/// Writes a snapshot in the Prometheus text exposition format (metric
+/// names sanitized: every character outside [a-zA-Z0-9_] becomes '_', so
+/// "chain.blocks_applied" exports as "chain_blocks_applied"). Histograms
+/// export as <name>_count / <name>_sum plus quantile gauges.
+void WriteSnapshotPrometheus(const Snapshot& snapshot, std::ostream& out);
+
+/// Prometheus-safe metric name ("chain.produce.us" -> "chain_produce_us").
+std::string PrometheusName(const std::string& name);
+
+}  // namespace pds2::obs
+
+#endif  // PDS2_OBS_EXPORT_H_

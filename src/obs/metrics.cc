@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pds2::obs {
+
+namespace internal_metrics {
+
+size_t ThisThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace internal_metrics
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the order statistic we are after, 1-based.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidpoint(i);
+  }
+  // A concurrent Observe bumped count_ before its bucket: fall back to the
+  // highest non-empty bucket.
+  return Max();
+}
+
+uint64_t Histogram::Min() const {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i].load(std::memory_order_relaxed) > 0) {
+      return BucketMidpoint(i);
+    }
+  }
+  return 0;
+}
+
+uint64_t Histogram::Max() const {
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed) > 0) {
+      return BucketMidpoint(i);
+    }
+  }
+  return 0;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+  return *registry;                            // outlive static teardown
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSummary summary;
+    summary.count = histogram->Count();
+    summary.sum = histogram->Sum();
+    summary.min = histogram->Min();
+    summary.p50 = histogram->ValueAtQuantile(0.50);
+    summary.p90 = histogram->ValueAtQuantile(0.90);
+    summary.p99 = histogram->ValueAtQuantile(0.99);
+    summary.max = histogram->Max();
+    snapshot.histograms.emplace_back(name, summary);
+  }
+  return snapshot;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace pds2::obs

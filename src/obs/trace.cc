@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace pds2::obs {
+
+namespace {
+
+// One open-span stack per thread; parent of a new span is the innermost
+// still-open span *on the same thread*. Entries carry the tracer epoch so
+// stale ids left behind by a Tracer::Reset are ignored.
+struct OpenSpan {
+  uint64_t id;
+  uint64_t epoch;
+};
+thread_local std::vector<OpenSpan> t_open_spans;
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t WallNowNs() {
+  static const auto process_epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_epoch)
+          .count());
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed, like the registry
+  return *tracer;
+}
+
+uint64_t Tracer::Begin(const char* name, bool has_sim,
+                       common::SimTime sim_start) {
+  const uint64_t now_ns = WallNowNs();
+  const uint64_t epoch = this->epoch();
+
+  uint64_t parent = 0;
+  while (!t_open_spans.empty() && t_open_spans.back().epoch != epoch) {
+    t_open_spans.pop_back();  // stack predates a Reset
+  }
+  if (!t_open_spans.empty()) parent = t_open_spans.back().id;
+
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<uint64_t>(records_.size()) + 1;
+    SpanRecord record;
+    record.id = id;
+    record.parent = parent;
+    record.name = name;
+    record.thread =
+        static_cast<uint32_t>(internal_metrics::ThisThreadIndex());
+    record.wall_start_ns = now_ns;
+    record.has_sim = has_sim;
+    record.sim_start = sim_start;
+    record.sim_end = sim_start;
+    records_.push_back(std::move(record));
+  }
+  t_open_spans.push_back({id, epoch});
+  return id;
+}
+
+void Tracer::End(uint64_t id, uint64_t epoch, bool has_sim,
+                 common::SimTime sim_end) {
+  // Pop this span from the thread's open stack. Sequential stage spans that
+  // call End() early always sit on top; tolerate out-of-order ends anyway.
+  for (size_t i = t_open_spans.size(); i-- > 0;) {
+    if (t_open_spans[i].id == id && t_open_spans[i].epoch == epoch) {
+      t_open_spans.erase(t_open_spans.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  if (epoch != this->epoch()) return;  // tracer was Reset since Begin
+  const uint64_t now_ns = WallNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > records_.size()) return;
+  SpanRecord& record = records_[id - 1];
+  record.wall_end_ns = now_ns;
+  if (has_sim && record.has_sim) record.sim_end = sim_end;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void Tracer::WriteJsonLines(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanRecord& record : records_) {
+    if (record.wall_end_ns == 0) continue;  // still open
+    out << "{\"id\":" << record.id << ",\"parent\":" << record.parent
+        << ",\"name\":\"" << EscapeJson(record.name) << "\""
+        << ",\"thread\":" << record.thread
+        << ",\"wall_start_ns\":" << record.wall_start_ns
+        << ",\"wall_dur_ns\":" << (record.wall_end_ns - record.wall_start_ns);
+    if (record.has_sim) {
+      out << ",\"sim_start_us\":" << record.sim_start
+          << ",\"sim_dur_us\":" << (record.sim_end - record.sim_start);
+    }
+    out << "}\n";
+  }
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScopedSpan::Start(const char* name, bool has_sim,
+                       common::SimTime sim_start) {
+  if (!TracingEnabled()) return;
+  Tracer& tracer = Tracer::Global();
+  epoch_ = tracer.epoch();
+  has_sim_ = has_sim;
+  id_ = tracer.Begin(name, has_sim, sim_start);
+}
+
+void ScopedSpan::End() {
+  if (id_ == 0) return;
+  common::SimTime sim_end = 0;
+  if (has_sim_) {
+    if (clock_ != nullptr) {
+      sim_end = clock_->Now();
+    } else if (sim_now_ != nullptr) {
+      sim_end = *sim_now_;
+    }
+  }
+  Tracer::Global().End(id_, epoch_, has_sim_, sim_end);
+  id_ = 0;
+}
+
+}  // namespace pds2::obs

@@ -1,0 +1,156 @@
+#ifndef PDS2_OBS_TRACE_H_
+#define PDS2_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "obs/metrics.h"  // PDS2_METRICS compile-out switch
+
+namespace pds2::obs {
+
+/// Runtime switch for span recording, independent of the metrics flag so a
+/// bench can measure counters without paying for traces (and vice versa).
+inline std::atomic<bool> g_tracing_enabled{false};
+
+inline bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+inline void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+/// Nanoseconds since an arbitrary process-wide steady-clock epoch.
+uint64_t WallNowNs();
+
+/// One recorded span. Spans carry wall-clock times always and simulated
+/// times when the span was opened against a SimClock / SimTime source —
+/// the DES advances sim time in jumps, so sim_start == sim_end for spans
+/// that complete within one event, while lifecycle-stage spans show the
+/// simulated latency the experiments care about.
+struct SpanRecord {
+  uint64_t id = 0;      // 1-based; 0 means "no parent"
+  uint64_t parent = 0;  // enclosing span on the same thread, 0 for roots
+  std::string name;
+  uint32_t thread = 0;  // small per-thread index (see ThisThreadIndex)
+  uint64_t wall_start_ns = 0;
+  uint64_t wall_end_ns = 0;  // 0 while the span is still open
+  bool has_sim = false;
+  common::SimTime sim_start = 0;
+  common::SimTime sim_end = 0;
+};
+
+/// Collects hierarchical spans. Parent linkage is tracked per thread (a
+/// span opened on a ThreadPool worker does not parent under a span opened
+/// on the main thread). Begin/End take one mutex each — spans mark
+/// millisecond-scale stages, not nanosecond-scale inner loops.
+class Tracer {
+ public:
+  /// The process-wide tracer every PDS2_TRACE_* macro records into.
+  static Tracer& Global();
+
+  /// Opens a span and returns its id. Call only while TracingEnabled().
+  uint64_t Begin(const char* name, bool has_sim, common::SimTime sim_start);
+
+  /// Closes span `id` opened in generation `epoch` (no-op if a Reset
+  /// happened in between).
+  void End(uint64_t id, uint64_t epoch, bool has_sim,
+           common::SimTime sim_end);
+
+  /// Generation stamp, bumped by Reset; guards ids across resets.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Copy of all recorded spans (open spans have wall_end_ns == 0).
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t SpanCount() const;
+
+  /// One JSON object per line per completed span — the per-run trace
+  /// export. Open spans are skipped.
+  void WriteJsonLines(std::ostream& out) const;
+
+  /// Drops every record and starts a new generation. Do not call while
+  /// spans are open (their End becomes a no-op and parentage of spans
+  /// opened before the reset is meaningless).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::atomic<uint64_t> epoch_{1};
+};
+
+/// RAII span handle. Construction is a single relaxed load + branch while
+/// tracing is disabled. `End()` may be called early to close the span
+/// before scope exit (used for sequential sibling stages inside one
+/// function); the destructor then does nothing.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) { Start(name, false, 0); }
+
+  /// Span whose sim times are read from `clock` at start and end.
+  ScopedSpan(const char* name, const common::SimClock* clock)
+      : clock_(clock) {
+    Start(name, clock != nullptr, clock != nullptr ? clock->Now() : 0);
+  }
+
+  /// Span whose sim times are read from `*sim_now` at start and end (for
+  /// owners that keep a bare SimTime instead of a SimClock).
+  ScopedSpan(const char* name, const common::SimTime* sim_now)
+      : sim_now_(sim_now) {
+    Start(name, sim_now != nullptr, sim_now != nullptr ? *sim_now : 0);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { End(); }
+
+  void End();
+
+  /// 0 when tracing was disabled at construction.
+  uint64_t id() const { return id_; }
+
+ private:
+  void Start(const char* name, bool has_sim, common::SimTime sim_start);
+
+  uint64_t id_ = 0;
+  uint64_t epoch_ = 0;
+  bool has_sim_ = false;
+  const common::SimClock* clock_ = nullptr;
+  const common::SimTime* sim_now_ = nullptr;
+};
+
+}  // namespace pds2::obs
+
+#if PDS2_METRICS
+
+#define PDS2_OBS_CONCAT_INNER(a, b) a##b
+#define PDS2_OBS_CONCAT(a, b) PDS2_OBS_CONCAT_INNER(a, b)
+
+/// Wall-clock-only span covering the rest of the enclosing scope.
+#define PDS2_TRACE_SPAN(name) \
+  ::pds2::obs::ScopedSpan PDS2_OBS_CONCAT(pds2_trace_span_, __COUNTER__)(name)
+
+/// Span that also records sim time from `sim` (a const SimClock* or a
+/// const SimTime*).
+#define PDS2_TRACE_SPAN_SIM(name, sim)                                \
+  ::pds2::obs::ScopedSpan PDS2_OBS_CONCAT(pds2_trace_span_,           \
+                                          __COUNTER__)(name, sim)
+
+#else  // !PDS2_METRICS
+
+#define PDS2_TRACE_SPAN(name) \
+  do {                        \
+  } while (0)
+#define PDS2_TRACE_SPAN_SIM(name, sim) \
+  do {                                 \
+  } while (0)
+
+#endif  // PDS2_METRICS
+
+#endif  // PDS2_OBS_TRACE_H_

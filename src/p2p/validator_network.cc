@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/serial.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pds2::p2p {
 
@@ -106,6 +108,7 @@ void ValidatorNode::TryProduce(dml::NodeContext& ctx) {
   auto block = chain_->ProduceBlock(key_, ctx.Now());
   if (!block.ok()) return;  // e.g. non-monotonic timestamp: wait a slot
   ++blocks_produced_;
+  PDS2_M_COUNT("p2p.blocks_produced", 1);
   Broadcast(ctx, EncodeBlock(kMsgBlock, *block));
   DrainBuffer();
 }
@@ -116,6 +119,7 @@ void ValidatorNode::SendSyncRequest(dml::NodeContext& ctx, size_t to) {
   w.PutU64(chain_->Height());
   ctx.Send(to, w.Take());
   ++sync_requests_sent_;
+  PDS2_M_COUNT("p2p.sync_requests_sent", 1);
 }
 
 void ValidatorNode::RequestChain(dml::NodeContext& ctx, size_t from) {
@@ -155,6 +159,7 @@ void ValidatorNode::OnTimer(dml::NodeContext& ctx, uint64_t timer_id) {
     if (peer != ctx.self()) {
       SendSyncRequest(ctx, peer);
       ++sync_retries_;
+      PDS2_M_COUNT("p2p.sync_retries", 1);
       ctx.CountRetry();
     }
     sync_backoff_ = std::min(sync_backoff_ * 2,
@@ -191,11 +196,13 @@ void ValidatorNode::ApplyOrBuffer(dml::NodeContext& ctx, size_t from,
         auto last = std::prev(future_blocks_.end());
         if (number >= last->first) {
           ++future_blocks_evicted_;
+          PDS2_M_COUNT("p2p.future_blocks_evicted", 1);
           NoteRemoteHead(ctx, from, number);
           return;
         }
         future_blocks_.erase(last);
         ++future_blocks_evicted_;
+        PDS2_M_COUNT("p2p.future_blocks_evicted", 1);
       }
       future_blocks_.emplace(number, std::move(block));
     }
@@ -208,6 +215,7 @@ void ValidatorNode::ApplyOrBuffer(dml::NodeContext& ctx, size_t from,
     // a legitimate fork — a proposer_grace fallback built on a head we did
     // not keep. A full snapshot lets the fork-choice rule decide; garbage
     // snapshots simply fail validation and change nothing.
+    PDS2_M_COUNT("p2p.blocks_rejected", 1);
     PDS2_LOG(kWarn) << "validator " << index_ << " rejected block "
                     << block.header.number << ": " << status.ToString();
     RequestChain(ctx, from);
@@ -232,6 +240,7 @@ void ValidatorNode::DrainBuffer() {
 }
 
 void ValidatorNode::MaybeAdoptChain(const std::vector<chain::Block>& blocks) {
+  PDS2_TRACE_SPAN("p2p.maybe_adopt_chain");
   const uint64_t ours = chain_->Height();
   // Fast path: the snapshot extends the chain we already have — apply the
   // suffix in place, keeping mempool and receipts.
@@ -266,6 +275,7 @@ void ValidatorNode::MaybeAdoptChain(const std::vector<chain::Block>& blocks) {
   chain_ = std::move(candidate);
   future_blocks_.clear();
   ++forks_resolved_;
+  PDS2_M_COUNT("p2p.forks_resolved", 1);
   PDS2_LOG(kInfo) << "validator " << index_ << " adopted fork at height "
                   << chain_->Height();
 }

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace pds2::obs {
+namespace {
+
+// The histogram's advertised accuracy: each bucket spans at most
+// value / kSubBuckets, so the midpoint is within half a bucket width of any
+// member — 1 / (2 * kSubBuckets) relative error.
+constexpr double kMaxRelativeError =
+    1.0 / (2.0 * static_cast<double>(Histogram::kSubBuckets));
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.Value(), -15);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, BucketIndexInvariants) {
+  // Every probed value must land in a bucket whose [lower, next-lower)
+  // range contains it, and bucket lower bounds must be monotone.
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 4 * Histogram::kSubBuckets; ++v) probes.push_back(v);
+  for (int shift = 6; shift < 63; ++shift) {
+    const uint64_t base = uint64_t{1} << shift;
+    probes.insert(probes.end(), {base - 1, base, base + 1, base + base / 3});
+  }
+  probes.push_back(UINT64_MAX);
+  for (uint64_t v : probes) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(index), v) << "value " << v;
+    if (index + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(index + 1)) << "value " << v;
+    }
+    EXPECT_GE(Histogram::BucketMidpoint(index),
+              Histogram::BucketLowerBound(index));
+  }
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    ASSERT_GT(Histogram::BucketLowerBound(i), Histogram::BucketLowerBound(i - 1))
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Below kSubBuckets every value has its own unit-width bucket.
+  Histogram h;
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) h.Observe(v);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), Histogram::kSubBuckets - 1);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), (Histogram::kSubBuckets - 1) / 2);
+  EXPECT_EQ(h.Count(), Histogram::kSubBuckets);
+}
+
+TEST(HistogramTest, EmptyHistogramReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+// Compares the histogram's quantile estimate against the exact order
+// statistic of the recorded sample.
+void ExpectQuantilesAccurate(Histogram& h, std::vector<uint64_t> values) {
+  for (uint64_t v : values) h.Observe(v);
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(h.Count(), values.size());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * values.size())));
+    const uint64_t exact = values[rank - 1];
+    const uint64_t estimate = h.ValueAtQuantile(q);
+    // Small exact values get exact answers; larger ones get the bounded
+    // relative error (plus one because midpoints round down).
+    const double tolerance =
+        std::max(1.0, kMaxRelativeError * static_cast<double>(exact));
+    EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(exact),
+                tolerance)
+        << "q=" << q << " over " << values.size() << " samples";
+  }
+}
+
+TEST(HistogramTest, QuantileAccuracyUniform) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<uint64_t> dist(0, 1'000'000);
+  std::vector<uint64_t> values(20'000);
+  for (uint64_t& v : values) v = dist(rng);
+  Histogram h;
+  ExpectQuantilesAccurate(h, std::move(values));
+}
+
+TEST(HistogramTest, QuantileAccuracyLognormal) {
+  // Heavy-tailed latencies are the histogram's real workload: microseconds
+  // spanning five orders of magnitude.
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> dist(5.0, 2.0);
+  std::vector<uint64_t> values(20'000);
+  for (uint64_t& v : values) v = static_cast<uint64_t>(dist(rng));
+  Histogram h;
+  ExpectQuantilesAccurate(h, std::move(values));
+}
+
+TEST(HistogramTest, SumAndMeanAreExact) {
+  Histogram h;
+  uint64_t expected_sum = 0;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Observe(v * 17);
+    expected_sum += v * 17;
+  }
+  EXPECT_EQ(h.Sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h.Mean(),
+                   static_cast<double>(expected_sum) / 1000.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+}
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  Registry registry;
+  Counter& a = registry.GetCounter("chain.test_counter");
+  Counter& b = registry.GetCounter("chain.test_counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+
+  Gauge& g = registry.GetGauge("pool.test_gauge");
+  g.Set(-7);
+  Histogram& h = registry.GetHistogram("chain.test_us");
+  h.Observe(100);
+
+  Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "chain.test_counter");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+
+  // ResetValues zeroes in place: the handles stay valid.
+  registry.ResetValues();
+  EXPECT_EQ(a.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.GetCounter("z.last").Add(1);
+  registry.GetCounter("a.first").Add(1);
+  registry.GetCounter("m.middle").Add(1);
+  Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+}
+
+// The macro-behavior tests only apply when the instrumentation is compiled
+// in; under -DPDS2_METRICS=OFF every macro is an empty statement and there
+// is nothing to observe.
+#if PDS2_METRICS
+TEST(MacroTest, DisabledMacroRecordsNothing) {
+  SetMetricsEnabled(false);
+  Registry::Global().ResetValues();
+  PDS2_M_COUNT("obs_test.disabled_counter", 1);
+  Snapshot snap = Registry::Global().TakeSnapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "obs_test.disabled_counter") {
+      EXPECT_EQ(value, 0u);  // may exist from a prior enabled pass, but zero
+    }
+  }
+}
+
+TEST(MacroTest, EnabledMacrosRecordIntoGlobalRegistry) {
+  SetMetricsEnabled(true);
+  Registry::Global().ResetValues();
+  for (int i = 0; i < 5; ++i) PDS2_M_COUNT("obs_test.counter", 2);
+  PDS2_M_GAUGE_SET("obs_test.gauge", 9);
+  PDS2_M_GAUGE_ADD("obs_test.gauge", -4);
+  PDS2_M_OBSERVE("obs_test.hist", 123);
+  SetMetricsEnabled(false);
+
+  EXPECT_EQ(Registry::Global().GetCounter("obs_test.counter").Value(), 10u);
+  EXPECT_EQ(Registry::Global().GetGauge("obs_test.gauge").Value(), 5);
+  EXPECT_EQ(Registry::Global().GetHistogram("obs_test.hist").Count(), 1u);
+}
+#endif  // PDS2_METRICS
+
+TEST(ExportTest, JsonAndJsonLinesContainEveryMetric) {
+  Registry registry;
+  registry.GetCounter("chain.blocks_applied").Add(12);
+  registry.GetGauge("pool.queue_depth").Set(3);
+  registry.GetHistogram("chain.apply_us").Observe(500);
+  Snapshot snap = registry.TakeSnapshot();
+
+  std::ostringstream json;
+  WriteSnapshotJson(snap, json);
+  EXPECT_NE(json.str().find("\"chain.blocks_applied\": 12"), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"pool.queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.str().find("\"chain.apply_us\""), std::string::npos);
+
+  std::ostringstream lines;
+  WriteSnapshotJsonLines(snap, lines);
+  // One object per line, each self-describing.
+  int line_count = 0;
+  std::string line;
+  std::istringstream in(lines.str());
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++line_count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\""), std::string::npos);
+  }
+  EXPECT_EQ(line_count, 3);
+}
+
+TEST(ExportTest, PrometheusNamesAndFormat) {
+  EXPECT_EQ(PrometheusName("chain.blocks_applied"), "chain_blocks_applied");
+  EXPECT_EQ(PrometheusName("a-b c.d"), "a_b_c_d");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+
+  Registry registry;
+  registry.GetCounter("chain.blocks_applied").Add(2);
+  registry.GetHistogram("chain.apply_us").Observe(100);
+  std::ostringstream out;
+  WriteSnapshotPrometheus(registry.TakeSnapshot(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE chain_blocks_applied counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("chain_blocks_applied 2"), std::string::npos);
+  EXPECT_NE(text.find("chain_apply_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pds2::obs
