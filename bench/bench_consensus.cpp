@@ -14,9 +14,14 @@
 // (e) sweeps the number of crash-scripted executors through the full
 // marketplace lifecycle and measures the completion / refund split. Both
 // write BENCH_robustness.json.
+//
+// Section (f) is the E13 durability experiment: recovery (reopen) time as
+// a function of chain length and snapshot cadence — genesis full replay vs
+// the snapshot-plus-log-tail shortcut. Writes BENCH_durability.json.
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bench_util.h"
@@ -26,6 +31,7 @@
 #include "dml/fault_injector.h"
 #include "market/marketplace.h"
 #include "p2p/validator_network.h"
+#include "storage/chain_store.h"
 
 namespace {
 
@@ -457,5 +463,118 @@ int main() {
               any_stranded
                   ? "WARNING: some failed runs did not refund the escrow"
                   : "liveness: every run completed or refunded the escrow");
+
+  // --- (f) E13 durability: recovery time vs chain length & cadence. ---------
+  std::printf("\n-- (f) E13 durability: recovery time vs chain length & "
+              "snapshot cadence --\n");
+  {
+    namespace fs = std::filesystem;
+    const std::string root =
+        (fs::temp_directory_path() / "pds2_bench_durability").string();
+    fs::remove_all(root);
+    crypto::SigningKey validator =
+        crypto::SigningKey::FromSeed(common::ToBytes("validator-0"));
+    crypto::SigningKey alice =
+        crypto::SigningKey::FromSeed(common::ToBytes("alice"));
+    const chain::Address alice_addr =
+        chain::AddressFromPublicKey(alice.PublicKey());
+    const chain::Address bob = chain::AddressFromPublicKey(
+        crypto::SigningKey::FromSeed(common::ToBytes("bob")).PublicKey());
+    constexpr int kTxsPerBlock = 4;
+
+    std::printf("%8s %10s %10s %10s %12s %10s\n", "blocks", "interval",
+                "snapshot", "replayed", "recover ms", "log KiB");
+    std::string cells;
+    double full_replay_ms = 0.0;  // same-length baseline for the speedup line
+    // Not multiples of the snapshot interval, so the snapshot cells also
+    // exercise the log-tail replay behind the newest snapshot.
+    for (uint64_t blocks : {60u, 250u, 500u}) {
+      for (uint64_t interval : {0u, 16u, 64u}) {
+        const std::string dir = root + "/n" + std::to_string(blocks) + "-k" +
+                                std::to_string(interval);
+        storage::ChainStoreOptions opts;
+        opts.snapshot_interval = interval;
+        // We time the replay, not the disk flushes, and measure the raw
+        // snapshot shortcut (the paranoid cross-check would re-replay).
+        opts.fsync = false;
+        opts.paranoid_recovery = false;
+        const std::vector<storage::GenesisAccount> genesis = {
+            {alice_addr, 1'000'000'000'000ULL}};
+        {
+          auto rec = storage::OpenBlockchain(dir, {validator.PublicKey()},
+                                             genesis, {}, opts);
+          if (!rec.ok()) {
+            std::printf("durable open failed: %s\n",
+                        rec.status().ToString().c_str());
+            return 1;
+          }
+          common::SimTime now = 0;
+          for (uint64_t b = 0; b < blocks; ++b) {
+            for (int t = 0; t < kTxsPerBlock; ++t) {
+              (void)rec->chain->SubmitTransaction(chain::Transaction::Make(
+                  alice, rec->chain->GetNonce(alice_addr) + t, bob, 1, 100000,
+                  chain::CallPayload{}));
+            }
+            auto block = rec->chain->ProduceBlock(validator, ++now);
+            if (!block.ok()) {
+              std::printf("block production failed: %s\n",
+                          block.status().ToString().c_str());
+              return 1;
+            }
+          }
+        }
+
+        bench::Timer timer;
+        auto rec = storage::OpenBlockchain(dir, {validator.PublicKey()},
+                                           genesis, {}, opts);
+        const double ms = timer.ElapsedMs();
+        if (!rec.ok() || rec->chain->Height() != blocks) {
+          std::printf("recovery failed for %llu blocks / interval %llu\n",
+                      static_cast<unsigned long long>(blocks),
+                      static_cast<unsigned long long>(interval));
+          return 1;
+        }
+        if (interval == 0) full_replay_ms = ms;
+        const double log_kib =
+            static_cast<double>(fs::file_size(dir + "/blocks.log")) / 1024.0;
+        double snapshot_kib = 0.0;
+        if (rec->info.used_snapshot) {
+          snapshot_kib = static_cast<double>(fs::file_size(
+                             dir + "/snapshot-" +
+                             std::to_string(rec->info.snapshot_height))) /
+                         1024.0;
+        }
+        std::printf("%8llu %10llu %10s %10llu %12.2f %10.1f\n",
+                    static_cast<unsigned long long>(blocks),
+                    static_cast<unsigned long long>(interval),
+                    rec->info.used_snapshot ? "yes" : "no",
+                    static_cast<unsigned long long>(rec->info.replayed_blocks),
+                    ms, log_kib);
+        char cell[256];
+        std::snprintf(
+            cell, sizeof(cell),
+            "%s\n      {\"blocks\": %llu, \"snapshot_interval\": %llu, "
+            "\"used_snapshot\": %s, \"replayed_blocks\": %llu, "
+            "\"recovery_ms\": %.3f, \"speedup_vs_full_replay\": %.2f, "
+            "\"log_kib\": %.1f, \"snapshot_kib\": %.1f}",
+            cells.empty() ? "" : ",", static_cast<unsigned long long>(blocks),
+            static_cast<unsigned long long>(interval),
+            rec->info.used_snapshot ? "true" : "false",
+            static_cast<unsigned long long>(rec->info.replayed_blocks), ms,
+            ms > 0.0 ? full_replay_ms / ms : 0.0, log_kib, snapshot_kib);
+        cells += cell;
+      }
+    }
+    fs::remove_all(root);
+    bench::MergeParallelReport(
+        "recovery_sweep",
+        "{\n    \"txs_per_block\": 4,\n    \"fsync\": false,\n"
+        "    \"paranoid_recovery\": false,\n    \"cells\": [" +
+            cells + "\n    ]\n  }",
+        "BENCH_durability.json");
+    std::printf("wrote BENCH_durability.json (recovery section)\n"
+                "(snapshots bound recovery to the log tail behind the newest "
+                "snapshot; full replay grows linearly with chain length)\n");
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 #include "common/serial.h"
 #include "common/thread_pool.h"
@@ -31,8 +32,15 @@ Status Blockchain::CreditGenesis(const Address& addr, uint64_t amount) {
     return Status::FailedPrecondition(
         "genesis allocation after the first block");
   }
-  state_.Credit(addr, amount);
-  return Status::Ok();
+  // Cap the minted supply below uint64 so conservation keeps every later
+  // balance, fee and TotalBalance() sum exactly representable: transfers
+  // and fee settlement only move existing tokens, so no account can ever
+  // reach a value the genesis total did not.
+  uint64_t new_supply;
+  if (!common::CheckedAdd(state_.TotalBalance(), amount, &new_supply)) {
+    return Status::InvalidArgument("genesis allocation overflows total supply");
+  }
+  return state_.Credit(addr, amount);
 }
 
 namespace {
@@ -111,17 +119,39 @@ Status Blockchain::VerifyBlockSignatures(
 
 Status Blockchain::SubmitTransaction(const Transaction& tx) {
   PDS2_RETURN_IF_ERROR(VerifyTransactionCached(tx));
+  // A tx id already queued or already executed is a duplicate: the
+  // signature cache would happily re-admit it (it only dedups the
+  // *verification*), so check the mempool and the receipt history before
+  // queueing a second copy that would burn the sender's fee twice.
+  const Hash id = tx.Id();
+  if (mempool_ids_.count(id) > 0) {
+    return Status::AlreadyExists("transaction already queued in mempool");
+  }
+  if (receipts_.count(id) > 0) {
+    return Status::AlreadyExists("transaction already executed");
+  }
   const auto& schedule = DefaultGasSchedule();
   const uint64_t floor_cost =
       schedule.tx_base + schedule.tx_payload_byte * tx.payload().args.size();
   if (tx.gas_limit() < floor_cost) {
     return Status::InvalidArgument("gas limit below intrinsic cost");
   }
+  // Reject settlement arithmetic the ledger cannot represent: a gas_limit
+  // whose worst-case fee (gas_limit * gas_price) or whose fee + value sum
+  // wraps uint64 would slip past the affordability check wrapped to a tiny
+  // number and be silently under-charged.
+  uint64_t max_fee, max_cost;
+  if (!common::CheckedMul(tx.gas_limit(), config_.gas_price, &max_fee) ||
+      !common::CheckedAdd(tx.value(), max_fee, &max_cost)) {
+    return Status::InvalidArgument(
+        "gas limit * gas price + value overflows settlement arithmetic");
+  }
   if (!tx.payload().IsPlainTransfer() &&
       registry_->Find(tx.payload().contract) == nullptr) {
     return Status::NotFound("unknown contract type: " + tx.payload().contract);
   }
   mempool_.push_back(tx);
+  mempool_ids_.insert(id);
   return Status::Ok();
 }
 
@@ -157,9 +187,23 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
   const auto& schedule = DefaultGasSchedule();
   GasMeter gas(tx.gas_limit());
 
-  // The sender must afford worst-case gas plus the transferred value.
-  const uint64_t max_fee = tx.gas_limit() * config_.gas_price;
-  if (state_.GetBalance(sender) < max_fee + tx.value()) {
+  // The sender must afford worst-case gas plus the transferred value. Both
+  // the fee multiply and the fee + value sum are overflow-checked: a
+  // wrapped max_fee would pass this check while the real worst-case cost
+  // exceeds any balance (SubmitTransaction rejects such txs up front, but
+  // blocks arriving via ApplyExternalBlock reach execution directly).
+  uint64_t max_fee, max_cost;
+  if (!common::CheckedMul(tx.gas_limit(), config_.gas_price, &max_fee) ||
+      !common::CheckedAdd(tx.value(), max_fee, &max_cost)) {
+    receipt.success = false;
+    receipt.error = Status::InvalidArgument(
+                        "gas limit * gas price + value overflows "
+                        "settlement arithmetic")
+                        .ToString();
+    receipt.gas_used = 0;
+    return receipt;
+  }
+  if (state_.GetBalance(sender) < max_cost) {
     receipt.success = false;
     receipt.error = "InsufficientFunds: cannot cover value + max gas fee";
     receipt.gas_used = 0;
@@ -290,6 +334,7 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
     for (auto it = mempool_.begin(); it != mempool_.end();) {
       const uint64_t account_nonce = state_.GetNonce(it->SenderAddress());
       if (it->nonce() < account_nonce) {
+        mempool_ids_.erase(it->Id());
         it = mempool_.erase(it);  // stale, superseded
         continue;
       }
@@ -303,13 +348,19 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
       fees += receipt.gas_used * config_.gas_price;
       receipts_[receipt.tx_id] = receipt;
       block.transactions.push_back(*it);
+      mempool_ids_.erase(receipt.tx_id);
       it = mempool_.erase(it);
       progressed = true;
     }
   }
 
-  // Fees go to the proposer.
-  if (fees > 0) state_.Credit(proposer_addr, fees);
+  // Fees go to the proposer. Cannot overflow: fees were just debited from
+  // senders, so crediting them merely moves supply (conservation).
+  if (fees > 0) {
+    Status credit_status = state_.Credit(proposer_addr, fees);
+    assert(credit_status.ok());
+    (void)credit_status;
+  }
 
   block.header.parent_hash = LastBlockHash();
   block.header.number = block_number;
@@ -325,6 +376,7 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
   PDS2_M_COUNT("chain.blocks_produced", 1);
   PDS2_LOG(kDebug) << "produced block " << block_number << " with "
                    << block.transactions.size() << " txs, gas " << block_gas;
+  if (listener_ != nullptr) listener_->OnBlockCommitted(*this, blocks_.back());
   return block;
 }
 
@@ -373,13 +425,16 @@ Status Blockchain::ApplyExternalBlockInner(const Block& block) {
     receipts_[receipt.tx_id] = receipt;
   }
   if (fees > 0) {
-    state_.Credit(AddressFromPublicKey(block.header.proposer_public_key),
-                  fees);
+    Status credit_status = state_.Credit(
+        AddressFromPublicKey(block.header.proposer_public_key), fees);
+    assert(credit_status.ok());  // fees were debited from senders above
+    (void)credit_status;
   }
   if (state_.Digest() != block.header.state_root) {
     return Status::Corruption("state root mismatch after execution");
   }
   blocks_.push_back(block);
+  if (listener_ != nullptr) listener_->OnBlockCommitted(*this, blocks_.back());
   return Status::Ok();
 }
 
@@ -429,6 +484,89 @@ Result<Bytes> Blockchain::Query(const std::string& contract, uint64_t instance,
   auto result = logic->Call(ctx, method, args);
   state.Rollback();
   return result;
+}
+
+Bytes Blockchain::EncodeSnapshotState() const {
+  Writer w;
+  w.PutU64(blocks_.size());  // snapshot height, for cross-checking
+  w.PutU64(next_instance_id_);
+  w.PutU64(total_gas_used_);
+  w.PutBytes(state_.SerializeSnapshot());
+  return w.Take();
+}
+
+Status Blockchain::RestoreFromSnapshot(const Bytes& snapshot_state,
+                                       std::vector<Block> history) {
+  if (!blocks_.empty() || !mempool_.empty() || state_.TotalBalance() != 0) {
+    return Status::FailedPrecondition(
+        "snapshot restore requires a freshly constructed chain");
+  }
+  if (history.empty()) {
+    return Status::InvalidArgument("snapshot restore needs a block history");
+  }
+
+  Reader r(snapshot_state);
+  PDS2_ASSIGN_OR_RETURN(uint64_t height, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(uint64_t next_instance_id, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(uint64_t total_gas_used, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(Bytes state_bytes, r.GetBytes());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in chain snapshot");
+  }
+  if (height != history.size()) {
+    return Status::Corruption("snapshot height does not match block history");
+  }
+  PDS2_ASSIGN_OR_RETURN(WorldState state,
+                        WorldState::DeserializeSnapshot(state_bytes));
+
+  // Verify the history's header chain: numbering, parent linkage, monotone
+  // timestamps, and each proposer's signature. Transaction execution and
+  // per-tx signatures are skipped — that is the whole point of a snapshot —
+  // but the final state_root must match the restored state's digest, so a
+  // snapshot can only reproduce a state some validator actually signed.
+  Hash parent = Hash(32, 0);  // genesis sentinel
+  common::SimTime last_ts = 0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const BlockHeader& header = history[i].header;
+    if (header.number != i) {
+      return Status::Corruption("snapshot history numbering out of sequence");
+    }
+    if (header.parent_hash != parent) {
+      return Status::Corruption("snapshot history parent hash mismatch");
+    }
+    if (i > 0 && header.timestamp <= last_ts) {
+      return Status::Corruption("snapshot history timestamps not increasing");
+    }
+    bool known_proposer = false;
+    for (const Bytes& validator : validators_) {
+      if (validator == header.proposer_public_key) {
+        known_proposer = true;
+        break;
+      }
+    }
+    if (!known_proposer) {
+      return Status::PermissionDenied("snapshot history proposer unknown");
+    }
+    PDS2_RETURN_IF_ERROR(crypto::VerifySignatureWithDomain(
+        header.proposer_public_key, BlockHeader::Domain(),
+        header.SigningBytes(), header.signature));
+    if (header.tx_root !=
+        Block::ComputeTxRoot(history[i].transactions, config_.thread_pool)) {
+      return Status::Corruption("snapshot history transaction root mismatch");
+    }
+    parent = header.Id();
+    last_ts = header.timestamp;
+  }
+  if (state.Digest() != history.back().header.state_root) {
+    return Status::Corruption(
+        "snapshot state digest does not match head state root");
+  }
+
+  state_ = std::move(state);
+  blocks_ = std::move(history);
+  next_instance_id_ = next_instance_id;
+  total_gas_used_ = total_gas_used;
+  return Status::Ok();
 }
 
 Result<uint64_t> InstanceIdFromReceipt(const Receipt& receipt) {

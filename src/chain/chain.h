@@ -33,6 +33,21 @@ struct Receipt {
   std::vector<Event> events;
 };
 
+class Blockchain;
+
+/// Observer of block commits, notified after a block has fully executed and
+/// joined the chain (ProduceBlock or ApplyExternalBlock). The durability
+/// layer (storage::ChainStore) implements this to append the block to its
+/// on-disk log and cut periodic state snapshots; chain stays independent of
+/// the storage module.
+class CommitListener {
+ public:
+  virtual ~CommitListener() = default;
+  /// `chain` is the chain that just committed `block` (its new head).
+  virtual void OnBlockCommitted(const Blockchain& chain,
+                                const Block& block) = 0;
+};
+
 /// Chain-wide parameters.
 struct ChainConfig {
   uint64_t gas_price = 1;                  // native tokens per gas unit
@@ -135,6 +150,32 @@ class Blockchain {
   std::vector<Event> EventsFor(const std::string& contract,
                                uint64_t instance) const;
 
+  /// Commitment to the current world state (equals the head block's
+  /// state_root right after a commit). Exposed for durability verification.
+  Hash StateDigest() const { return state_.Digest(); }
+
+  // --- Durability ----------------------------------------------------------
+
+  /// Registers (or clears, with nullptr) the observer notified after every
+  /// block commit. Not owned; must outlive the chain or be cleared first.
+  void SetCommitListener(CommitListener* listener) { listener_ = listener; }
+
+  /// Serializes everything a snapshot needs beyond the block history:
+  /// execution counters plus the full WorldState. Paired with
+  /// RestoreFromSnapshot; the byte format is versioned by the caller
+  /// (storage::ChainStore wraps it in a checksummed container).
+  common::Bytes EncodeSnapshotState() const;
+
+  /// Rebuilds a freshly constructed chain (no blocks, no genesis credits)
+  /// from a snapshot payload plus the block history up to the snapshot
+  /// height. Header linkage of `history` is verified and the restored
+  /// state's digest must equal the last history block's state_root — the
+  /// snapshot cannot smuggle in a state the chain never committed.
+  /// Receipts and mempool start empty (pre-snapshot receipts are gone, as
+  /// documented in DESIGN.md "Durability & recovery").
+  common::Status RestoreFromSnapshot(const common::Bytes& snapshot_state,
+                                     std::vector<Block> history);
+
  private:
   Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number,
                              common::SimTime timestamp);
@@ -160,7 +201,9 @@ class Blockchain {
   WorldState state_;
   std::vector<Block> blocks_;
   std::deque<Transaction> mempool_;
+  std::set<Hash> mempool_ids_;  // tx ids queued in mempool_ (dedup)
   std::map<Hash, Receipt> receipts_;
+  CommitListener* listener_ = nullptr;
   uint64_t next_instance_id_ = 1;
   uint64_t total_gas_used_ = 0;
   std::set<Hash> verified_txs_;  // successful signature checks, by tx id

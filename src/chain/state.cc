@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/checked_math.h"
 #include "common/serial.h"
 #include "crypto/sha256.h"
 
@@ -44,9 +45,14 @@ void WorldState::JournalStorage(const std::string& space, const Bytes& key) {
   journal_.push_back(std::move(entry));
 }
 
-void WorldState::Credit(const Address& addr, uint64_t amount) {
+Status WorldState::Credit(const Address& addr, uint64_t amount) {
+  uint64_t new_balance;
+  if (!common::CheckedAdd(GetBalance(addr), amount, &new_balance)) {
+    return Status::InvalidArgument("credit would overflow account balance");
+  }
   JournalAccount(addr);
-  accounts_[addr].balance += amount;
+  accounts_[addr].balance = new_balance;
+  return Status::Ok();
 }
 
 Status WorldState::Debit(const Address& addr, uint64_t amount) {
@@ -61,9 +67,15 @@ Status WorldState::Debit(const Address& addr, uint64_t amount) {
 
 Status WorldState::Transfer(const Address& from, const Address& to,
                             uint64_t amount) {
+  // Guard the credit side *before* debiting so a failed transfer has no
+  // side effects. With a capped total supply the credit cannot actually
+  // overflow, but the check keeps Transfer safe on its own terms.
+  uint64_t new_balance;
+  if (!common::CheckedAdd(GetBalance(to), amount, &new_balance)) {
+    return Status::InvalidArgument("transfer would overflow recipient");
+  }
   PDS2_RETURN_IF_ERROR(Debit(from, amount));
-  Credit(to, amount);
-  return Status::Ok();
+  return Credit(to, amount);
 }
 
 void WorldState::BumpNonce(const Address& addr) {
@@ -154,12 +166,73 @@ void WorldState::Rollback() {
 }
 
 uint64_t WorldState::TotalBalance() const {
+  // Saturating: CreditGenesis caps the minted supply below uint64, so in a
+  // well-formed chain the sum is exact; a hand-built state that exceeds the
+  // cap reads as uint64-max instead of a wrapped small number.
   uint64_t total = 0;
   for (const auto& [addr, account] : accounts_) {
     (void)addr;
-    total += account.balance;
+    total = common::SaturatingAdd(total, account.balance);
   }
   return total;
+}
+
+common::Bytes WorldState::SerializeSnapshot() const {
+  assert(checkpoints_.empty() && "snapshot inside an open transaction");
+  common::Writer w;
+  w.PutU64(accounts_.size());
+  for (const auto& [addr, account] : accounts_) {
+    w.PutBytes(addr);
+    w.PutU64(account.balance);
+    w.PutU64(account.nonce);
+  }
+  w.PutU64(storage_.size());
+  for (const auto& [space, kv] : storage_) {
+    w.PutString(space);
+    w.PutU64(kv.size());
+    for (const auto& [key, value] : kv) {
+      w.PutBytes(key);
+      w.PutBytes(value);
+    }
+  }
+  return w.Take();
+}
+
+common::Result<WorldState> WorldState::DeserializeSnapshot(
+    const common::Bytes& data) {
+  common::Reader r(data);
+  WorldState state;
+  PDS2_ASSIGN_OR_RETURN(uint64_t num_accounts, r.GetU64());
+  for (uint64_t i = 0; i < num_accounts; ++i) {
+    PDS2_ASSIGN_OR_RETURN(Address addr, r.GetBytes());
+    Account account;
+    PDS2_ASSIGN_OR_RETURN(account.balance, r.GetU64());
+    PDS2_ASSIGN_OR_RETURN(account.nonce, r.GetU64());
+    if (!state.accounts_.emplace(std::move(addr), account).second) {
+      return Status::Corruption("duplicate account in state snapshot");
+    }
+  }
+  PDS2_ASSIGN_OR_RETURN(uint64_t num_spaces, r.GetU64());
+  for (uint64_t i = 0; i < num_spaces; ++i) {
+    PDS2_ASSIGN_OR_RETURN(std::string space, r.GetString());
+    auto [space_it, space_inserted] = state.storage_.try_emplace(space);
+    if (!space_inserted) {
+      return Status::Corruption("duplicate storage space in state snapshot");
+    }
+    PDS2_ASSIGN_OR_RETURN(uint64_t num_slots, r.GetU64());
+    for (uint64_t j = 0; j < num_slots; ++j) {
+      PDS2_ASSIGN_OR_RETURN(Bytes key, r.GetBytes());
+      PDS2_ASSIGN_OR_RETURN(Bytes value, r.GetBytes());
+      if (!space_it->second.emplace(std::move(key), std::move(value))
+               .second) {
+        return Status::Corruption("duplicate storage key in state snapshot");
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in state snapshot");
+  }
+  return state;
 }
 
 Hash WorldState::Digest() const {

@@ -30,9 +30,13 @@ class WorldState {
   uint64_t GetBalance(const Address& addr) const;
   /// Current nonce of `addr` (0 for unknown accounts).
   uint64_t GetNonce(const Address& addr) const;
-  /// Unconditionally credits an account (used for genesis allocations,
-  /// block rewards and gas refunds).
-  void Credit(const Address& addr, uint64_t amount);
+  /// Credits an account (used for genesis allocations, block rewards and
+  /// gas refunds). Guarded: InvalidArgument when the credit would wrap the
+  /// balance past uint64, leaving the account untouched. Transfers and fee
+  /// credits can never trip the guard (conservation bounds every balance by
+  /// the total supply, which CreditGenesis caps below uint64), so callers
+  /// on those paths may assert success.
+  common::Status Credit(const Address& addr, uint64_t amount);
   /// Debits; InsufficientFunds if the balance is too small.
   common::Status Debit(const Address& addr, uint64_t amount);
   /// Atomic transfer from -> to.
@@ -78,6 +82,19 @@ class WorldState {
   /// transaction execution (fees merely move value to the proposer); the
   /// audit tests assert it.
   uint64_t TotalBalance() const;
+
+  // --- Snapshots ------------------------------------------------------------
+
+  /// Canonical byte serialization of the full state (accounts in address
+  /// order, then storage spaces in name/key order — the same iteration
+  /// order Digest() hashes, so a restored state digests identically).
+  /// Requires no open checkpoints.
+  common::Bytes SerializeSnapshot() const;
+
+  /// Rebuilds a state from SerializeSnapshot bytes. Corruption on any
+  /// malformed input; never crashes.
+  static common::Result<WorldState> DeserializeSnapshot(
+      const common::Bytes& data);
 
  private:
   struct JournalEntry {

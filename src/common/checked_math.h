@@ -1,0 +1,54 @@
+#ifndef PDS2_COMMON_CHECKED_MATH_H_
+#define PDS2_COMMON_CHECKED_MATH_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace pds2::common {
+
+/// Overflow-checked uint64 arithmetic for money paths (fees, balances,
+/// escrow). The ledger must never wrap: a gas_limit chosen so that
+/// `gas_limit * gas_price` overflows would otherwise wrap the worst-case
+/// fee to near zero and pass the affordability check. Every settlement
+/// computation goes through these helpers and rejects on overflow.
+
+/// `*out = a + b`; false (out untouched) when the sum exceeds uint64.
+inline bool CheckedAdd(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  uint64_t result;
+  if (__builtin_add_overflow(a, b, &result)) return false;
+  *out = result;
+  return true;
+#else
+  if (a > std::numeric_limits<uint64_t>::max() - b) return false;
+  *out = a + b;
+  return true;
+#endif
+}
+
+/// `*out = a * b`; false (out untouched) when the product exceeds uint64.
+inline bool CheckedMul(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  uint64_t result;
+  if (__builtin_mul_overflow(a, b, &result)) return false;
+  *out = result;
+  return true;
+#else
+  if (b != 0 && a > std::numeric_limits<uint64_t>::max() / b) return false;
+  *out = a * b;
+  return true;
+#endif
+}
+
+/// `a + b`, clamped to uint64 max instead of wrapping. For aggregate
+/// statistics where rejecting is not an option and wrap-around would be
+/// silently wrong.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t sum;
+  return CheckedAdd(a, b, &sum) ? sum
+                                : std::numeric_limits<uint64_t>::max();
+}
+
+}  // namespace pds2::common
+
+#endif  // PDS2_COMMON_CHECKED_MATH_H_

@@ -1,0 +1,23 @@
+#ifndef PDS2_COMMON_CRC32_H_
+#define PDS2_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace pds2::common {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum
+/// RocksDB and leveldb use for log records. Guards every block-log record
+/// and snapshot payload against torn writes and bit rot; it detects all
+/// single-bit errors and any truncation that chops a record mid-payload.
+uint32_t Crc32c(const uint8_t* data, size_t size);
+
+inline uint32_t Crc32c(const Bytes& data) {
+  return Crc32c(data.data(), data.size());
+}
+
+}  // namespace pds2::common
+
+#endif  // PDS2_COMMON_CRC32_H_

@@ -1,10 +1,44 @@
 #include "common/fault.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/rng.h"
 
 namespace pds2::common {
+
+namespace {
+
+// The armed scripted-crash point. Atomic so sanitizer builds running the
+// durability chaos suite under TSan see no race between the arming test
+// thread and a storage write on a pool thread.
+std::atomic<CrashPoint> g_armed_crash{CrashPoint::kNone};
+std::atomic<uint64_t> g_crashes_fired{0};
+
+}  // namespace
+
+void ArmCrash(CrashPoint point) {
+  g_armed_crash.store(point, std::memory_order_release);
+}
+
+void DisarmCrash() {
+  g_armed_crash.store(CrashPoint::kNone, std::memory_order_release);
+}
+
+bool CrashRequested(CrashPoint point) {
+  if (point == CrashPoint::kNone) return false;
+  CrashPoint expected = point;
+  if (g_armed_crash.compare_exchange_strong(expected, CrashPoint::kNone,
+                                            std::memory_order_acq_rel)) {
+    g_crashes_fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+uint64_t CrashesFired() {
+  return g_crashes_fired.load(std::memory_order_relaxed);
+}
 
 namespace {
 

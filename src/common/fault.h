@@ -9,6 +9,33 @@
 
 namespace pds2::common {
 
+/// Points inside the storage layer's durable-write protocols where a
+/// process crash leaves meaningfully different bytes on disk. Chaos tests
+/// arm one of these to kill the *process model* (not a simulated node):
+/// the write stops exactly as a SIGKILL would — possibly mid-record — and
+/// the store refuses all further I/O until it is reopened, so the test
+/// exercises the real recovery path against the torn on-disk state.
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  kLogMidAppend,        // half of a block-log record reached the disk
+  kLogPreFsync,         // full record written, crash before fsync
+  kSnapshotMidWrite,    // snapshot tmp file half-written, never renamed
+  kSnapshotPostRename,  // snapshot renamed in, crash before old-file GC
+};
+
+/// Arms a one-shot scripted crash: the next time the storage layer reaches
+/// `point` it simulates the kill and the armed point resets to kNone.
+/// Thread-compatible (tests arm from the driving thread only).
+void ArmCrash(CrashPoint point);
+void DisarmCrash();
+
+/// Called by the storage layer at each crash point. Returns true exactly
+/// once per ArmCrash when `point` matches the armed point (consuming it).
+bool CrashRequested(CrashPoint point);
+
+/// Number of scripted crashes fired since process start (test bookkeeping).
+uint64_t CrashesFired();
+
 /// One scheduled churn transition of a node.
 struct ChurnEvent {
   SimTime at = 0;

@@ -59,13 +59,42 @@ ValidatorNode::ValidatorNode(size_t index,
                              crypto::SigningKey key,
                              const std::vector<GenesisAlloc>& genesis,
                              common::SimTime block_interval,
-                             chain::ChainConfig chain_config)
+                             chain::ChainConfig chain_config,
+                             std::string store_dir,
+                             storage::ChainStoreOptions store_options)
     : index_(index),
       key_(std::move(key)),
       validator_keys_(std::move(validator_keys)),
       genesis_(genesis),
       chain_config_(chain_config),
+      store_dir_(std::move(store_dir)),
+      store_options_(store_options),
       block_interval_(block_interval) {
+  if (!store_dir_.empty()) {
+    std::vector<storage::GenesisAccount> accounts;
+    accounts.reserve(genesis_.size());
+    for (const GenesisAlloc& alloc : genesis_) {
+      accounts.push_back({alloc.address, alloc.amount});
+    }
+    auto recovered = storage::OpenBlockchain(
+        store_dir_, validator_keys_, accounts, chain_config_, store_options_);
+    if (recovered.ok()) {
+      chain_ = std::move(recovered->chain);
+      store_ = std::move(recovered->store);
+      recovered_height_ = recovered->info.snapshot_height +
+                          recovered->info.replayed_blocks;
+      if (recovered_height_ > 0) {
+        PDS2_LOG(kInfo) << "validator " << index_ << " resumed from "
+                        << store_dir_ << " at height " << recovered_height_;
+      }
+      return;
+    }
+    // An unrecoverable directory must not take the validator down with it:
+    // fall through to a fresh in-memory replica and let sync rebuild state.
+    PDS2_LOG(kWarn) << "validator " << index_ << " could not recover "
+                    << store_dir_ << ": " << recovered.status().ToString()
+                    << "; running in-memory";
+  }
   chain_ = std::make_unique<chain::Blockchain>(
       validator_keys_, chain::ContractRegistry::CreateDefault(), chain_config_);
   for (const GenesisAlloc& alloc : genesis_) {
@@ -274,6 +303,17 @@ void ValidatorNode::MaybeAdoptChain(const std::vector<chain::Block>& blocks) {
   // to every replica when submitted, so the network still holds them.
   chain_ = std::move(candidate);
   future_blocks_.clear();
+  if (store_ != nullptr) {
+    // The on-disk log describes the orphaned branch; atomically rewrite it
+    // with the adopted one, then resume persisting commits on it.
+    Status status = store_->Rewrite(*chain_);
+    if (!status.ok()) {
+      PDS2_LOG(kWarn) << "validator " << index_
+                      << " failed to persist adopted fork: "
+                      << status.ToString();
+    }
+    chain_->SetCommitListener(store_.get());
+  }
   ++forks_resolved_;
   PDS2_M_COUNT("p2p.forks_resolved", 1);
   PDS2_LOG(kInfo) << "validator " << index_ << " adopted fork at height "
@@ -375,7 +415,8 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
     size_t n, const std::vector<GenesisAlloc>& genesis,
     common::SimTime block_interval, const dml::NetConfig& net_config,
     uint64_t seed, std::vector<ValidatorNode*>* nodes,
-    chain::ChainConfig chain_config) {
+    chain::ChainConfig chain_config, const std::string& store_root,
+    storage::ChainStoreOptions store_options) {
   std::vector<crypto::SigningKey> keys;
   std::vector<Bytes> public_keys;
   for (size_t i = 0; i < n; ++i) {
@@ -389,9 +430,12 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
   std::vector<size_t> ids;
   std::vector<ValidatorNode*> raw_nodes;
   for (size_t i = 0; i < n; ++i) {
+    const std::string store_dir =
+        store_root.empty() ? ""
+                           : store_root + "/validator-" + std::to_string(i);
     auto node = std::make_unique<ValidatorNode>(
         i, public_keys, std::move(keys[i]), genesis, block_interval,
-        chain_config);
+        chain_config, store_dir, store_options);
     raw_nodes.push_back(node.get());
     ids.push_back(sim->AddNode(std::move(node)));
   }

@@ -7,6 +7,7 @@
 
 #include "chain/chain.h"
 #include "dml/netsim.h"
+#include "storage/chain_store.h"
 
 namespace pds2::p2p {
 
@@ -30,7 +31,12 @@ struct GenesisAlloc {
 ///    chain snapshots and deterministically preferring the longer chain,
 ///    ties broken toward the lexicographically smaller head hash,
 ///  - survives crash/restart: OnRestart re-arms the timer chains the crash
-///    destroyed.
+///    destroyed,
+///  - optionally persists its replica through a storage::ChainStore
+///    (`store_dir`): every committed block is appended to the on-disk log,
+///    periodic state snapshots are cut, and a node constructed over an
+///    existing directory resumes from disk at its old height instead of a
+///    genesis full-sync.
 ///
 /// Every replica executes every block, so the network converges to one
 /// state without any node trusting another's execution — the §II-E
@@ -39,12 +45,18 @@ class ValidatorNode : public dml::Node {
  public:
   /// `index` is this validator's position in `validator_keys` (its own
   /// signing key); `peers` are the NetSim ids of all validator nodes
-  /// (including self; self is skipped when broadcasting).
+  /// (including self; self is skipped when broadcasting). A non-empty
+  /// `store_dir` makes the replica durable: it is recovered from that
+  /// directory (snapshot + log-tail replay) if one exists, and every
+  /// commit is persisted there. An unrecoverable directory falls back to a
+  /// fresh in-memory replica (logged), keeping the node live.
   ValidatorNode(size_t index, std::vector<common::Bytes> validator_keys,
                 crypto::SigningKey key,
                 const std::vector<GenesisAlloc>& genesis,
                 common::SimTime block_interval,
-                chain::ChainConfig chain_config = {});
+                chain::ChainConfig chain_config = {},
+                std::string store_dir = "",
+                storage::ChainStoreOptions store_options = {});
 
   void OnStart(dml::NodeContext& ctx) override;
   void OnRestart(dml::NodeContext& ctx) override;
@@ -62,6 +74,11 @@ class ValidatorNode : public dml::Node {
 
   const chain::Blockchain& chain() const { return *chain_; }
   chain::Blockchain& chain() { return *chain_; }
+
+  /// The durability layer, nullptr for a pure in-memory node.
+  const storage::ChainStore* store() const { return store_.get(); }
+  /// Height at which this node resumed from disk (0 = fresh start).
+  uint64_t recovered_height() const { return recovered_height_; }
 
   uint64_t blocks_produced() const { return blocks_produced_; }
   uint64_t sync_requests_sent() const { return sync_requests_sent_; }
@@ -88,7 +105,11 @@ class ValidatorNode : public dml::Node {
   std::vector<common::Bytes> validator_keys_;  // kept for chain rebuilds
   std::vector<GenesisAlloc> genesis_;          // kept for chain rebuilds
   chain::ChainConfig chain_config_;
+  std::string store_dir_;  // "" = in-memory only
+  storage::ChainStoreOptions store_options_;
   std::unique_ptr<chain::Blockchain> chain_;
+  std::unique_ptr<storage::ChainStore> store_;  // after chain_: detach first
+  uint64_t recovered_height_ = 0;
   std::vector<size_t> peers_;
   common::SimTime block_interval_;
 
@@ -115,12 +136,16 @@ class ValidatorNode : public dml::Node {
 };
 
 /// Convenience: builds a NetSim with `n` validators wired as full mesh.
-/// Returns the sim; `nodes` receives non-owning pointers to the nodes.
+/// Returns the sim; `nodes` receives non-owning pointers to the nodes. A
+/// non-empty `store_root` gives validator i the durable directory
+/// `<store_root>/validator-<i>`; rebuilding the network over the same root
+/// resumes every replica from disk.
 std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
     size_t n, const std::vector<GenesisAlloc>& genesis,
     common::SimTime block_interval, const dml::NetConfig& net_config,
     uint64_t seed, std::vector<ValidatorNode*>* nodes,
-    chain::ChainConfig chain_config = {});
+    chain::ChainConfig chain_config = {}, const std::string& store_root = "",
+    storage::ChainStoreOptions store_options = {});
 
 }  // namespace pds2::p2p
 
