@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Validates PDS2 trace exports against the documented schema.
+
+Checks the JSON-lines span export written by obs::Tracer::WriteJsonLines
+and the Chrome trace_event document written by obs::WriteChromeTrace (see
+docs/PROTOCOL.md, "Trace export schema"). Wired into CTest under the
+`trace` label; also usable by hand:
+
+  check_trace_schema.py --tool build/tools/pds2_trace   # run the demo + check
+  check_trace_schema.py run.jsonl [--chrome run.json]   # check existing files
+
+Exits 0 when every check passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SPAN_REQUIRED = {
+    "id": int,
+    "parent": int,
+    "trace": int,
+    "name": str,
+    "node": str,
+    "thread": int,
+    "wall_start_ns": int,
+    "wall_dur_ns": int,
+}
+SPAN_OPTIONAL = {
+    "links": list,
+    "sim_start_us": int,
+    "sim_dur_us": int,
+}
+
+_errors = []
+
+
+def fail(msg):
+    _errors.append(msg)
+
+
+def check_span_line(line_no, obj):
+    where = "span line %d" % line_no
+    for key, kind in SPAN_REQUIRED.items():
+        if key not in obj:
+            fail("%s: missing required key %r" % (where, key))
+            return None
+        if not isinstance(obj[key], kind) or isinstance(obj[key], bool):
+            fail("%s: key %r must be %s" % (where, key, kind.__name__))
+            return None
+    for key in obj:
+        if key not in SPAN_REQUIRED and key not in SPAN_OPTIONAL:
+            fail("%s: unknown key %r" % (where, key))
+            return None
+    if obj["id"] < 1:
+        fail("%s: span ids are 1-based, got %d" % (where, obj["id"]))
+    if obj["parent"] < 0 or obj["trace"] < 1:
+        fail("%s: bad parent/trace id" % where)
+    if not obj["name"]:
+        fail("%s: empty span name" % where)
+    if "links" in obj:
+        if not all(isinstance(x, int) and x >= 1 for x in obj["links"]):
+            fail("%s: links must be positive span ids" % where)
+        if obj["id"] in obj["links"]:
+            fail("%s: span links to itself" % where)
+    # Sim fields travel as a pair.
+    if ("sim_start_us" in obj) != ("sim_dur_us" in obj):
+        fail("%s: sim_start_us and sim_dur_us must appear together" % where)
+    return obj
+
+
+def check_span_export(path):
+    """Parses and validates the JSON-lines export; returns span list."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail("span line %d: not valid JSON (%s)" % (line_no, e))
+                continue
+            if not isinstance(obj, dict):
+                fail("span line %d: not a JSON object" % line_no)
+                continue
+            obj = check_span_line(line_no, obj)
+            if obj is not None:
+                spans.append(obj)
+
+    ids = [s["id"] for s in spans]
+    id_set = set(ids)
+    if len(id_set) != len(ids):
+        fail("span export: duplicate span ids")
+    for s in spans:
+        if s["parent"] != 0 and s["parent"] not in id_set:
+            fail("span %d: parent %d not in export" % (s["id"], s["parent"]))
+        for link in s.get("links", []):
+            if link not in id_set:
+                fail("span %d: link %d not in export" % (s["id"], link))
+    # One trace id per connected parent chain: a child shares its parent's.
+    by_id = {s["id"]: s for s in spans}
+    for s in spans:
+        parent = by_id.get(s["parent"])
+        if parent is not None and s["trace"] != parent["trace"]:
+            fail("span %d: trace %d differs from parent's %d"
+                 % (s["id"], s["trace"], parent["trace"]))
+    return spans
+
+
+def check_demo_connectivity(spans):
+    """The seeded demo must export one connected workload DAG spanning
+    at least three node roles (the ISSUE's acceptance shape)."""
+    roots = [s for s in spans if s["name"] == "market.run_workload"]
+    if not roots:
+        fail("demo export: no market.run_workload span")
+        return
+    adjacency = {s["id"]: set() for s in spans}
+    for s in spans:
+        for other in [s["parent"]] + s.get("links", []):
+            if other in adjacency:
+                adjacency[s["id"]].add(other)
+                adjacency[other].add(s["id"])
+    seen = set()
+    frontier = [roots[0]["id"]]
+    while frontier:
+        cur = frontier.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        frontier.extend(adjacency[cur])
+    by_id = {s["id"]: s for s in spans}
+    roles = {by_id[i]["node"] for i in seen if by_id[i]["node"]}
+    if len(seen) < 10:
+        fail("demo export: workload component has only %d spans" % len(seen))
+    if len(roles) < 3:
+        fail("demo export: workload spans %d roles, need >= 3: %s"
+             % (len(roles), sorted(roles)))
+
+
+def check_chrome_trace(path, expect_spans=None):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail("chrome trace: not valid JSON (%s)" % e)
+            return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("chrome trace: missing traceEvents")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("chrome trace: traceEvents is not a list")
+        return
+
+    pids = set()
+    complete_ids = set()
+    flows = {}
+    for i, ev in enumerate(events):
+        where = "chrome event %d" % i
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail("%s: not an event object" % where)
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") != "process_name" or \
+                    not ev.get("args", {}).get("name"):
+                fail("%s: metadata event without a process name" % where)
+            pids.add(ev.get("pid"))
+        elif ph == "X":
+            for key in ("pid", "tid", "ts", "dur", "name", "cat", "args"):
+                if key not in ev:
+                    fail("%s: complete event missing %r" % (where, key))
+                    break
+            else:
+                if ev["pid"] not in pids:
+                    fail("%s: pid %r has no process_name metadata"
+                         % (where, ev["pid"]))
+                if "id" not in ev["args"]:
+                    fail("%s: args.id (span id) missing" % where)
+                else:
+                    complete_ids.add(ev["args"]["id"])
+                if ev["dur"] < 0 or ev["ts"] < 0:
+                    fail("%s: negative timestamp" % where)
+        elif ph in ("s", "f"):
+            flows.setdefault(ev.get("id"), []).append(ph)
+        else:
+            fail("%s: unexpected phase %r" % (where, ph))
+
+    for flow_id, phases in sorted(flows.items()):
+        if sorted(phases) != ["f", "s"]:
+            fail("chrome flow %r: needs exactly one 's' and one 'f', got %s"
+                 % (flow_id, phases))
+    if expect_spans is not None:
+        exportable = {s["id"] for s in expect_spans if "sim_start_us" in s}
+        if not exportable <= complete_ids:
+            missing = sorted(exportable - complete_ids)[:5]
+            fail("chrome trace: sim-time spans missing from export: %s..."
+                 % missing)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", nargs="?", help="span JSON-lines export")
+    parser.add_argument("--chrome", help="Chrome trace_event JSON to check")
+    parser.add_argument("--tool", help="pds2_trace binary: run its --demo "
+                        "and check both outputs")
+    args = parser.parse_args()
+
+    if bool(args.tool) == bool(args.jsonl):
+        parser.error("pass exactly one of --tool or a jsonl file")
+
+    if args.tool:
+        with tempfile.TemporaryDirectory(prefix="pds2-trace-") as tmp:
+            jsonl = os.path.join(tmp, "demo.jsonl")
+            chrome = os.path.join(tmp, "demo-chrome.json")
+            cmd = [args.tool, "--demo", "--demo-out", jsonl,
+                   "--chrome", chrome]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                fail("pds2_trace --demo failed (%d): %s"
+                     % (proc.returncode, proc.stderr.strip()))
+            else:
+                if "critical path (sim time)" not in proc.stdout:
+                    fail("pds2_trace report lacks a sim-time critical path")
+                spans = check_span_export(jsonl)
+                check_demo_connectivity(spans)
+                check_chrome_trace(chrome, expect_spans=spans)
+    else:
+        spans = check_span_export(args.jsonl)
+        if args.chrome:
+            check_chrome_trace(args.chrome, expect_spans=spans)
+
+    if _errors:
+        for msg in _errors:
+            print("FAIL: %s" % msg, file=sys.stderr)
+        print("%d schema violation(s)" % len(_errors), file=sys.stderr)
+        return 1
+    print("trace schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,7 @@ Status Blockchain::VerifyBlockSignatures(
 }
 
 Status Blockchain::SubmitTransaction(const Transaction& tx) {
+  obs::ScopedSpan span("chain.submit_tx");
   PDS2_RETURN_IF_ERROR(VerifyTransactionCached(tx));
   // A tx id already queued or already executed is a duplicate: the
   // signature cache would happily re-admit it (it only dedups the
@@ -152,7 +153,21 @@ Status Blockchain::SubmitTransaction(const Transaction& tx) {
   }
   mempool_.push_back(tx);
   mempool_ids_.insert(id);
+  // Remember where the tx came from so the block that executes it can
+  // link back to the submitter's span (the tx bytes stay trace-free).
+  if (span.id() != 0) tx_trace_ctx_[id] = span.context();
   return Status::Ok();
+}
+
+void Blockchain::LinkAndForgetTxContexts(const std::vector<Transaction>& txs,
+                                         obs::ScopedSpan* span) {
+  if (tx_trace_ctx_.empty()) return;
+  for (const Transaction& tx : txs) {
+    const auto it = tx_trace_ctx_.find(tx.Id());
+    if (it == tx_trace_ctx_.end()) continue;
+    span->AddLink(it->second);
+    tx_trace_ctx_.erase(it);
+  }
 }
 
 Hash Blockchain::LastBlockHash() const {
@@ -308,7 +323,10 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
 
 Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
                                        common::SimTime timestamp) {
-  PDS2_TRACE_SPAN("chain.produce_block");
+  // The block's own timestamp is the span's sim time: block production is
+  // instantaneous in simulated time but anchored where the block lands.
+  const common::SimTime span_sim = timestamp;
+  obs::ScopedSpan span("chain.produce_block", &span_sim);
   PDS2_M_TIME_US("chain.produce_block_us");
   if (proposer.PublicKey() != ProposerAt(timestamp)) {
     return Status::PermissionDenied("not this validator's turn to propose");
@@ -335,6 +353,7 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
       const uint64_t account_nonce = state_.GetNonce(it->SenderAddress());
       if (it->nonce() < account_nonce) {
         mempool_ids_.erase(it->Id());
+        tx_trace_ctx_.erase(it->Id());
         it = mempool_.erase(it);  // stale, superseded
         continue;
       }
@@ -373,6 +392,7 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
       BlockHeader::Domain(), block.header.SigningBytes());
 
   blocks_.push_back(block);
+  LinkAndForgetTxContexts(block.transactions, &span);
   PDS2_M_COUNT("chain.blocks_produced", 1);
   PDS2_LOG(kDebug) << "produced block " << block_number << " with "
                    << block.transactions.size() << " txs, gas " << block_gas;
@@ -381,11 +401,13 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
 }
 
 Status Blockchain::ApplyExternalBlock(const Block& block) {
-  PDS2_TRACE_SPAN("chain.apply_block");
+  const common::SimTime span_sim = block.header.timestamp;
+  obs::ScopedSpan span("chain.apply_block", &span_sim);
   PDS2_M_TIME_US("chain.apply_block_us");
   Status status = ApplyExternalBlockInner(block);
   if (status.ok()) {
     PDS2_M_COUNT("chain.blocks_applied", 1);
+    LinkAndForgetTxContexts(block.transactions, &span);
   } else {
     PDS2_M_COUNT("chain.blocks_rejected", 1);
   }

@@ -14,6 +14,7 @@
 #include "chain/state.h"
 #include "chain/transaction.h"
 #include "common/result.h"
+#include "obs/trace.h"
 
 namespace pds2::common {
 class ThreadPool;
@@ -194,6 +195,14 @@ class Blockchain {
 
   void CacheVerified(Hash tx_id);
 
+  /// Adds a causal link from `span` to the recorded submit context of every
+  /// transaction in `txs`, then forgets those contexts. The resulting trace
+  /// edge (submit -> block execution) is what connects a producer's
+  /// market.post span to the validator's block-apply span even though the
+  /// transaction itself carries no trace bytes.
+  void LinkAndForgetTxContexts(const std::vector<Transaction>& txs,
+                               obs::ScopedSpan* span);
+
   std::vector<common::Bytes> validators_;
   std::unique_ptr<ContractRegistry> registry_;
   ChainConfig config_;
@@ -208,6 +217,10 @@ class Blockchain {
   uint64_t total_gas_used_ = 0;
   std::set<Hash> verified_txs_;  // successful signature checks, by tx id
   uint64_t signature_verifications_ = 0;
+  /// Trace context active when each mempool tx was submitted (populated
+  /// only while tracing is enabled; entries are consumed when the tx is
+  /// executed or dropped as stale).
+  std::map<Hash, obs::TraceContext> tx_trace_ctx_;
 };
 
 /// Helper for reading a deploy receipt's output as the new instance id.

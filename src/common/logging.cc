@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace pds2::common {
@@ -45,20 +46,6 @@ void CountRecord(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
-const char* LogLevelName(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarn:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-  }
-  return "?";
-}
-
 void StderrLogSink::Write(const LogRecord& record) {
   std::string line = record.message;
   for (const auto& [key, value] : record.fields) {
@@ -78,6 +65,12 @@ LogSink* SetLogSink(LogSink* sink) {
 void LogDispatch(LogRecord&& record) {
   record.file = Basename(record.file);
   CountRecord(record.level);
+  {
+    // The flight recorder keeps the most recent log lines alongside spans
+    // so a post-mortem dump shows what the process was saying when it died.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (recorder.enabled()) recorder.OnLog(record);
+  }
   LogSink* sink = g_sink.load(std::memory_order_acquire);
   if (sink != nullptr) {
     sink->Write(record);

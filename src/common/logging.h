@@ -17,7 +17,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-const char* LogLevelName(LogLevel level);
+// Inline so header-only consumers (e.g. pds2_obs, which pds2_common links
+// against and therefore cannot depend on) can format levels without
+// pulling in logging.cc.
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
 
 /// One fully assembled log event, as handed to the active sink.
 struct LogRecord {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace pds2::dml {
 
 FaultInjector::FaultInjector(common::FaultPlan plan)
@@ -39,6 +41,17 @@ void FaultInjector::OnTimer(NodeContext& ctx, uint64_t timer_id) {
   assert(timer_id < plan_.churn.size());
   const common::ChurnEvent& event = plan_.churn[timer_id];
   sim_->SetOnline(event.node, event.restart);
+  if (!event.restart) {
+    // A node just died: dump the black box so the chaos run leaves a
+    // readable record of what that node (and the rest of the fleet) was
+    // doing in its final moments.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (recorder.enabled()) {
+      recorder.Note("fault injector crashed " + sim_->NodeName(event.node),
+                    /*has_sim=*/true, sim_->Now());
+      (void)recorder.DumpNow("node-crash-" + sim_->NodeName(event.node));
+    }
+  }
 }
 
 FaultInjector::Effect FaultInjector::OnLink(size_t from, size_t to,

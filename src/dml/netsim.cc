@@ -16,17 +16,18 @@ size_t NodeContext::NumNodes() const { return sim_.NumNodes(); }
 bool NodeContext::IsOnline(size_t node) const { return sim_.IsOnline(node); }
 void NodeContext::Send(size_t to, Bytes payload) {
   if (outbox_ != nullptr) {
-    outbox_->sends.push_back({to, std::move(payload)});
+    outbox_->sends.push_back(
+        {to, std::move(payload), obs::CurrentTraceContext()});
     return;
   }
-  sim_.SendFrom(self_, to, std::move(payload));
+  sim_.SendFrom(self_, to, std::move(payload), obs::CurrentTraceContext());
 }
 void NodeContext::SetTimer(SimTime delay, uint64_t timer_id) {
   if (outbox_ != nullptr) {
-    outbox_->timers.push_back({delay, timer_id});
+    outbox_->timers.push_back({delay, timer_id, obs::CurrentTraceContext()});
     return;
   }
-  sim_.SetTimerFor(self_, delay, timer_id);
+  sim_.SetTimerFor(self_, delay, timer_id, obs::CurrentTraceContext());
 }
 common::Rng& NodeContext::rng() { return sim_.RngFor(self_); }
 void NodeContext::CountRetry() {
@@ -56,10 +57,16 @@ common::Rng& NetSim::RngFor(size_t node) {
 size_t NetSim::AddNode(std::unique_ptr<Node> node) {
   assert(!started_);
   nodes_.push_back(std::move(node));
+  node_names_.push_back("node/" + std::to_string(nodes_.size() - 1));
   online_.push_back(true);
   epoch_.push_back(0);
   bytes_received_per_node_.push_back(0);
   return nodes_.size() - 1;
+}
+
+void NetSim::SetNodeName(size_t node, std::string name) {
+  assert(node < node_names_.size());
+  node_names_[node] = std::move(name);
 }
 
 NetStats NetSim::stats() const {
@@ -96,7 +103,8 @@ void NetSim::Start() {
   }
 }
 
-void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
+void NetSim::SendFrom(size_t from, size_t to, Bytes payload,
+                      obs::TraceContext trace) {
   assert(to < nodes_.size());
   live_stats_.messages_sent.Add(1);
   live_stats_.bytes_sent.Add(payload.size());
@@ -160,10 +168,12 @@ void NetSim::SendFrom(size_t from, size_t to, Bytes payload) {
   event.from = from;
   event.payload = std::move(payload);
   event.target_epoch = epoch_[to];
+  event.trace = trace;
   queue_.push(std::move(event));
 }
 
-void NetSim::SetTimerFor(size_t node, SimTime delay, uint64_t timer_id) {
+void NetSim::SetTimerFor(size_t node, SimTime delay, uint64_t timer_id,
+                         obs::TraceContext trace) {
   PdsEvent event;
   event.time = clock_.Now() + delay;
   event.seq = seq_++;
@@ -171,6 +181,7 @@ void NetSim::SetTimerFor(size_t node, SimTime delay, uint64_t timer_id) {
   event.target = node;
   event.timer_id = timer_id;
   event.target_epoch = epoch_[node];
+  event.trace = trace;
   queue_.push(std::move(event));
 }
 
@@ -215,6 +226,12 @@ void NetSim::RunUntil(SimTime t) {
     clock_.AdvanceTo(event.time);
     if (!AdmitEvent(event)) continue;
     NodeContext ctx(*this, event.target);
+    // Delivery re-establishes the sender's causal context: the handler
+    // span parents under the span that sent the message (or armed the
+    // timer), and is labeled with the receiving node's identity. All
+    // three scopes are single-branch no-ops while tracing is disabled.
+    obs::TraceContextScope trace_scope(event.trace);
+    obs::NodeScope node_scope("", node_names_[event.target]);
     if (event.kind == PdsEvent::Kind::kMessage) {
       live_stats_.messages_delivered.Add(1);
       PDS2_M_COUNT("dml.net.messages_delivered", 1);
@@ -222,8 +239,10 @@ void NetSim::RunUntil(SimTime t) {
         bytes_received_per_node_.resize(event.target + 1, 0);
       }
       bytes_received_per_node_[event.target] += event.payload.size();
+      obs::ScopedSpan span("dml.net.deliver", &clock_);
       nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
     } else {
+      obs::ScopedSpan span("dml.net.timer", &clock_);
       nodes_[event.target]->OnTimer(ctx, event.timer_id);
     }
   }
@@ -283,9 +302,17 @@ void NetSim::RunUntilParallel(SimTime t) {
       for (size_t idx : groups[g]) {
         PdsEvent& event = *live[idx];
         NodeContext ctx(*this, event.target, &outboxes[idx]);
+        // Same causal stitching as the sequential loop; each worker
+        // thread has its own open-span stack, so installing the remote
+        // context here is what parents this handler (and the sends it
+        // buffers in the outbox) under the sender's span.
+        obs::TraceContextScope trace_scope(event.trace);
+        obs::NodeScope node_scope("", node_names_[event.target]);
         if (event.kind == PdsEvent::Kind::kMessage) {
+          obs::ScopedSpan span("dml.net.deliver", &clock_);
           nodes_[event.target]->OnMessage(ctx, event.from, event.payload);
         } else {
+          obs::ScopedSpan span("dml.net.timer", &clock_);
           nodes_[event.target]->OnTimer(ctx, event.timer_id);
         }
       }
@@ -301,11 +328,13 @@ void NetSim::RunUntilParallel(SimTime t) {
     // any pool size.
     for (size_t idx = 0; idx < live.size(); ++idx) {
       for (NodeContext::Outbox::PendingSend& send : outboxes[idx].sends) {
-        SendFrom(live[idx]->target, send.to, std::move(send.payload));
+        SendFrom(live[idx]->target, send.to, std::move(send.payload),
+                 send.trace);
       }
       for (const NodeContext::Outbox::PendingTimer& timer :
            outboxes[idx].timers) {
-        SetTimerFor(live[idx]->target, timer.delay, timer.timer_id);
+        SetTimerFor(live[idx]->target, timer.delay, timer.timer_id,
+                    timer.trace);
       }
       if (outboxes[idx].retries > 0) {
         live_stats_.retries.Add(outboxes[idx].retries);

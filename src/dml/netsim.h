@@ -5,10 +5,13 @@
 #include <queue>
 #include <vector>
 
+#include <string>
+
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pds2::common {
 class ThreadPool;
@@ -92,15 +95,20 @@ class NodeContext {
   friend class NetSim;
 
   /// Side effects buffered during a parallel batch; the simulator applies
-  /// them in deterministic event order after the batch joins.
+  /// them in deterministic event order after the batch joins. The trace
+  /// context is captured here, on the worker thread, where the sender's
+  /// delivery span is still installed — by the time the outbox drains on
+  /// the main thread that context is gone.
   struct Outbox {
     struct PendingSend {
       size_t to;
       common::Bytes payload;
+      obs::TraceContext trace;
     };
     struct PendingTimer {
       common::SimTime delay;
       uint64_t timer_id;
+      obs::TraceContext trace;
     };
     std::vector<PendingSend> sends;
     std::vector<PendingTimer> timers;
@@ -192,6 +200,12 @@ class NetSim {
   common::SimTime Now() const { return clock_.Now(); }
   size_t NumNodes() const { return nodes_.size(); }
   Node* node(size_t i) { return nodes_[i].get(); }
+
+  /// Logical label used by the tracing layer for spans executed on this
+  /// node ("validator/2", defaults to "node/<i>"). Callable any time.
+  void SetNodeName(size_t node, std::string name);
+  const std::string& NodeName(size_t node) const { return node_names_[node]; }
+
   /// Point-in-time copy of the live counters (racy-but-consistent when the
   /// parallel mode is active; exact between RunUntil calls).
   NetStats stats() const;
@@ -199,9 +213,14 @@ class NetSim {
   const common::SimClock* sim_clock() const { return &clock_; }
   common::Rng& rng() { return rng_; }
 
-  // Internal API used by NodeContext.
-  void SendFrom(size_t from, size_t to, common::Bytes payload);
-  void SetTimerFor(size_t node, common::SimTime delay, uint64_t timer_id);
+  // Internal API used by NodeContext. The trace context rides the message
+  // envelope (never the payload): delivery installs it as the remote
+  // parent of the receiver's handler span, which is how one marketplace
+  // trace stays connected across simulated nodes.
+  void SendFrom(size_t from, size_t to, common::Bytes payload,
+                obs::TraceContext trace = {});
+  void SetTimerFor(size_t node, common::SimTime delay, uint64_t timer_id,
+                   obs::TraceContext trace = {});
   common::Rng& RngFor(size_t node);
   void CountRetryFor();
 
@@ -215,6 +234,7 @@ class NetSim {
     common::Bytes payload;
     uint64_t timer_id = 0;  // timers
     uint64_t target_epoch = 0;  // target's life at schedule time
+    obs::TraceContext trace;    // sender's span at schedule time
   };
   struct EventLater {
     bool operator()(const PdsEvent& a, const PdsEvent& b) const {
@@ -233,6 +253,7 @@ class NetSim {
   common::Rng rng_;
   common::SimClock clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::string> node_names_;
   std::vector<bool> online_;
   std::vector<uint64_t> epoch_;  // bumped on every crash
   LinkFaultHook* fault_hook_ = nullptr;

@@ -51,6 +51,10 @@ Marketplace::Marketplace(MarketConfig config)
 Status Marketplace::Tick() {
   now_ += config_.block_interval;
   const size_t turn = chain_->Height() % validators_.size();
+  // Block production is the proposing validator's work, whoever's span we
+  // are inside: the chain.produce_block span carries that validator's
+  // identity while staying parented under the submitting actor's stage.
+  obs::NodeScope node_scope("validator/", turn);
   auto block = chain_->ProduceBlock(validators_[turn], now_);
   return block.ok() ? Status::Ok() : block.status();
 }
@@ -191,6 +195,17 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   auto audit = [&report](std::string line) {
     report.audit_log.push_back(std::move(line));
   };
+  // Execute() with the acting role's node identity installed, so the
+  // chain.submit_tx span (and through its link, the block that executes
+  // the tx) is attributed to the consumer/provider/executor that acted —
+  // Tick() re-labels the production itself with the proposing validator.
+  auto execute_as = [&](const char* role, const std::string& actor,
+                        const crypto::SigningKey& sender,
+                        const chain::Address& to, uint64_t value,
+                        uint64_t gas_limit, chain::CallPayload payload) {
+    obs::NodeScope scope(role, actor);
+    return Execute(sender, to, value, gas_limit, std::move(payload));
+  };
 
   // --- Phase 1 (Fig. 2): consumer submits the workload specification. ----
   obs::ScopedSpan span_post("market.post", &now_);
@@ -207,8 +222,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   deploy_args.PutString("gossip");
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt deploy_receipt,
-      Execute(consumer.key(), chain::Address{}, spec.reward_pool, kDefaultGas,
-              chain::CallPayload{"workload", 0, "deploy", deploy_args.Take()}));
+      execute_as("consumer/", consumer.name(), consumer.key(),
+                 chain::Address{}, spec.reward_pool, kDefaultGas,
+                 chain::CallPayload{"workload", 0, "deploy",
+                                    deploy_args.Take()}));
   if (!deploy_receipt.success) {
     return Status::Internal("workload deploy failed: " + deploy_receipt.error);
   }
@@ -226,13 +243,15 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   // refunded, never with tokens stranded in the contract.
   auto abort_and_fail = [&](const Status& cause) -> Status {
     PDS2_M_COUNT("market.workloads_aborted", 1);
-    auto aborted =
-        Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
-                chain::CallPayload{"workload", report.instance, "abort", {}});
+    auto aborted = execute_as(
+        "consumer/", consumer.name(), consumer.key(), chain::Address{}, 0,
+        kDefaultGas,
+        chain::CallPayload{"workload", report.instance, "abort", {}});
     if (aborted.ok() && !aborted->success && now_ <= deadline) {
       now_ = deadline;  // the next block's timestamp lands past the deadline
-      (void)Execute(
-          consumer.key(), chain::Address{}, 0, kDefaultGas,
+      (void)execute_as(
+          "consumer/", consumer.name(), consumer.key(), chain::Address{}, 0,
+          kDefaultGas,
           chain::CallPayload{"workload", report.instance, "abort", {}});
       audit("abort deferred to the workload deadline; escrow reclaimed");
     }
@@ -254,7 +273,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         static_cast<size_t>(spec.max_providers)) {
       break;
     }
-    auto offer = provider->EvaluateWorkload(config_.ontology, spec);
+    auto offer = [&] {
+      obs::NodeScope scope("provider/", provider->name());
+      obs::ScopedSpan span("market.provider.evaluate", &now_);
+      return provider->EvaluateWorkload(config_.ontology, spec);
+    }();
     if (!offer.has_value()) continue;
     participations.push_back({provider.get(), std::move(*offer), nullptr});
   }
@@ -308,7 +331,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     for (ExecutorAgent* candidate : candidates) {
       if (failed_executors.count(candidate) > 0) continue;
       if (per_executor.find(candidate) == per_executor.end()) {
-        Status setup = candidate->Setup(spec);
+        Status setup = [&] {
+          obs::NodeScope scope("executor/", candidate->name());
+          obs::ScopedSpan span("market.executor.setup", &now_);
+          return candidate->Setup(spec);
+        }();
         if (!setup.ok()) {
           drop_executor(candidate, setup);
           continue;
@@ -316,9 +343,14 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         per_executor[candidate] = {};
       }
       const tee::AttestationQuote quote = candidate->QuoteFor(report.instance);
-      auto contribution = p.provider->PrepareContribution(
-          p.offer, spec, report.instance, quote, attestation_.RootPublicKey(),
-          candidate->enclave().Measurement(), candidate->key().PublicKey());
+      auto contribution = [&] {
+        obs::NodeScope scope("provider/", p.provider->name());
+        obs::ScopedSpan span("market.provider.prepare", &now_);
+        return p.provider->PrepareContribution(
+            p.offer, spec, report.instance, quote,
+            attestation_.RootPublicKey(), candidate->enclave().Measurement(),
+            candidate->key().PublicKey());
+      }();
       if (!contribution.ok()) {
         // The provider refused to release data: the quote did not verify.
         // The provider's trust decision is authoritative (§II-E) — the
@@ -326,7 +358,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
         drop_executor(candidate, contribution.status());
         continue;
       }
-      auto loaded = candidate->AcceptContribution(*contribution);
+      auto loaded = [&] {
+        obs::NodeScope scope("executor/", candidate->name());
+        obs::ScopedSpan span("market.executor.accept", &now_);
+        return candidate->AcceptContribution(*contribution);
+      }();
       if (!loaded.ok()) {
         // In-enclave validation (§IV-C) may reject the data; the provider
         // is excluded rather than the workload failing.
@@ -371,9 +407,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     for (const auto& c : contributions) args.PutBytes(c.cert.Serialize());
     PDS2_ASSIGN_OR_RETURN(
         chain::Receipt receipt,
-        Execute(executor->key(), chain::Address{}, 0, kDefaultGas,
-                chain::CallPayload{"workload", report.instance,
-                                   "register_executor", args.Take()}));
+        execute_as("executor/", executor->name(), executor->key(),
+                   chain::Address{}, 0, kDefaultGas,
+                   chain::CallPayload{"workload", report.instance,
+                                      "register_executor", args.Take()}));
     if (!receipt.success) {
       return abort_and_fail(
           Status::Internal("executor registration failed: " + receipt.error));
@@ -386,8 +423,9 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   obs::ScopedSpan span_start("market.start", &now_);
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt start_receipt,
-      Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
-              chain::CallPayload{"workload", report.instance, "start", {}}));
+      execute_as("consumer/", consumer.name(), consumer.key(),
+                 chain::Address{}, 0, kDefaultGas,
+                 chain::CallPayload{"workload", report.instance, "start", {}}));
   if (!start_receipt.success) {
     return abort_and_fail(Status::Internal(start_receipt.error));
   }
@@ -418,7 +456,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   {
     std::vector<ExecutorAgent*> live;
     for (ExecutorAgent* executor : active) {
-      auto trained = executor->Train();
+      auto trained = [&] {
+        obs::NodeScope scope("executor/", executor->name());
+        obs::ScopedSpan span("market.executor.train", &now_);
+        return executor->Train();
+      }();
       if (!trained.ok()) {
         drop_lost(executor, trained.status());
         continue;
@@ -445,7 +487,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     // aggregates; everyone else adopts the distributed result. If the
     // aggregator dies, the next live executor takes over the star center.
     while (!active.empty()) {
-      auto merged = active[0]->MergeAll(states);
+      auto merged = [&] {
+        obs::NodeScope scope("executor/", active[0]->name());
+        obs::ScopedSpan span("market.executor.merge", &now_);
+        return active[0]->MergeAll(states);
+      }();
       if (merged.ok()) {
         final_params = *merged;
         break;
@@ -461,7 +507,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     for (const auto& [_, samples] : states) total_samples += samples;
     std::vector<ExecutorAgent*> adopted_ok = {active[0]};
     for (size_t i = 1; i < active.size(); ++i) {
-      auto adopted = active[i]->MergeAll({{final_params, total_samples}});
+      auto adopted = [&] {
+        obs::NodeScope scope("executor/", active[i]->name());
+        obs::ScopedSpan span("market.executor.merge", &now_);
+        return active[i]->MergeAll({{final_params, total_samples}});
+      }();
       if (!adopted.ok()) {
         drop_lost(active[i], adopted.status());
         continue;
@@ -474,7 +524,11 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     // Deterministic all-reduce: every executor merges the same state list.
     std::vector<ExecutorAgent*> merged_ok;
     for (ExecutorAgent* executor : active) {
-      auto merged = executor->MergeAll(states);
+      auto merged = [&] {
+        obs::NodeScope scope("executor/", executor->name());
+        obs::ScopedSpan span("market.executor.merge", &now_);
+        return executor->MergeAll(states);
+      }();
       if (!merged.ok()) {
         drop_lost(executor, merged.status());
         continue;
@@ -515,9 +569,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     args.PutBytes(result_hash);
     PDS2_ASSIGN_OR_RETURN(
         chain::Receipt receipt,
-        Execute(executor->key(), chain::Address{}, 0, kDefaultGas,
-                chain::CallPayload{"workload", report.instance,
-                                   "submit_result", args.Take()}));
+        execute_as("executor/", executor->name(), executor->key(),
+                   chain::Address{}, 0, kDefaultGas,
+                   chain::CallPayload{"workload", report.instance,
+                                      "submit_result", args.Take()}));
     if (!receipt.success) {
       drop_lost(executor, Status::Internal("result submission failed: " +
                                            receipt.error));
@@ -557,9 +612,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   }
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt fin_receipt,
-      Execute(consumer.key(), chain::Address{}, 0, kDefaultGas,
-              chain::CallPayload{"workload", report.instance, "finalize",
-                                 fin.Take()}));
+      execute_as("consumer/", consumer.name(), consumer.key(),
+                 chain::Address{}, 0, kDefaultGas,
+                 chain::CallPayload{"workload", report.instance, "finalize",
+                                    fin.Take()}));
   if (!fin_receipt.success) {
     return abort_and_fail(Status::Internal(fin_receipt.error));
   }

@@ -1,0 +1,561 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pds2::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal parser for the flat one-object-per-line span schema. Not a general
+// JSON parser: objects are flat, keys are from a fixed set, values are
+// unsigned integers, strings, or arrays of unsigned integers — exactly what
+// Tracer::WriteJsonLines emits.
+// ---------------------------------------------------------------------------
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  bool Fail(std::string* error, const std::string& what) {
+    if (error != nullptr) {
+      *error = what + " at offset " + std::to_string(i_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return i_ >= s_.size();
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (!Consume('"')) return Fail(error, "expected string");
+    out->clear();
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c == '\\') {
+        if (i_ >= s_.size()) return Fail(error, "bad escape");
+        char e = s_[i_++];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          default:
+            return Fail(error, "unsupported escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (i_ >= s_.size()) return Fail(error, "unterminated string");
+    ++i_;  // closing quote
+    return true;
+  }
+
+  bool ParseUint(uint64_t* out, std::string* error) {
+    SkipSpace();
+    if (i_ >= s_.size() || s_[i_] < '0' || s_[i_] > '9') {
+      return Fail(error, "expected number");
+    }
+    uint64_t value = 0;
+    while (i_ < s_.size() && s_[i_] >= '0' && s_[i_] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(s_[i_] - '0');
+      ++i_;
+    }
+    *out = value;
+    return true;
+  }
+
+  bool ParseUintArray(std::vector<uint64_t>* out, std::string* error) {
+    if (!Consume('[')) return Fail(error, "expected array");
+    out->clear();
+    if (Consume(']')) return true;
+    while (true) {
+      uint64_t value = 0;
+      if (!ParseUint(&value, error)) return false;
+      out->push_back(value);
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail(error, "expected ',' in array");
+    }
+  }
+
+ private:
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+bool ParseSpanLine(const std::string& line, SpanRecord* record,
+                   std::string* error) {
+  LineParser p(line);
+  if (!p.Consume('{')) return p.Fail(error, "expected '{'");
+  bool saw_id = false;
+  bool saw_name = false;
+  uint64_t wall_dur = 0;
+  common::SimTime sim_dur = 0;
+  bool saw_sim_start = false;
+  bool first = true;
+  while (!p.Consume('}')) {
+    if (!first && !p.Consume(',')) return p.Fail(error, "expected ','");
+    first = false;
+    std::string key;
+    if (!p.ParseString(&key, error)) return false;
+    if (!p.Consume(':')) return p.Fail(error, "expected ':'");
+    if (key == "name") {
+      if (!p.ParseString(&record->name, error)) return false;
+      saw_name = true;
+    } else if (key == "node") {
+      if (!p.ParseString(&record->node, error)) return false;
+    } else if (key == "links") {
+      if (!p.ParseUintArray(&record->links, error)) return false;
+    } else {
+      uint64_t value = 0;
+      if (!p.ParseUint(&value, error)) return false;
+      if (key == "id") {
+        record->id = value;
+        saw_id = true;
+      } else if (key == "parent") {
+        record->parent = value;
+      } else if (key == "trace") {
+        record->trace_id = value;
+      } else if (key == "thread") {
+        record->thread = static_cast<uint32_t>(value);
+      } else if (key == "wall_start_ns") {
+        record->wall_start_ns = value;
+      } else if (key == "wall_dur_ns") {
+        wall_dur = value;
+      } else if (key == "sim_start_us") {
+        record->sim_start = static_cast<common::SimTime>(value);
+        record->has_sim = true;
+        saw_sim_start = true;
+      } else if (key == "sim_dur_us") {
+        sim_dur = static_cast<common::SimTime>(value);
+      } else {
+        return p.Fail(error, "unknown key \"" + key + "\"");
+      }
+    }
+  }
+  if (!p.AtEnd()) return p.Fail(error, "trailing characters");
+  if (!saw_id || record->id == 0) return p.Fail(error, "missing span id");
+  if (!saw_name) return p.Fail(error, "missing span name");
+  record->wall_end_ns = record->wall_start_ns + wall_dur;
+  if (saw_sim_start) record->sim_end = record->sim_start + sim_dur;
+  return true;
+}
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseSpanJsonLines(std::istream& in, std::vector<SpanRecord>* out,
+                        std::string* error) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    SpanRecord record;
+    std::string line_error;
+    if (!ParseSpanLine(line, &record, &line_error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + line_error;
+      }
+      return false;
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+TraceDag::TraceDag(std::vector<SpanRecord> spans) : spans_(std::move(spans)) {
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    index_[spans_[i].id] = i;
+  }
+  for (const SpanRecord& span : spans_) {
+    if (span.parent != 0 && index_.count(span.parent) != 0) {
+      children_[span.parent].push_back(span.id);
+    }
+    for (uint64_t link : span.links) {
+      if (link != span.parent && index_.count(link) != 0) {
+        children_[link].push_back(span.id);
+      }
+    }
+  }
+  for (auto& [id, kids] : children_) {
+    std::sort(kids.begin(), kids.end());
+    kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+  }
+}
+
+const SpanRecord* TraceDag::Get(uint64_t id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+const SpanRecord* TraceDag::Find(const std::string& name) const {
+  const SpanRecord* best = nullptr;
+  for (const SpanRecord& span : spans_) {
+    if (span.name == name && (best == nullptr || span.id < best->id)) {
+      best = &span;
+    }
+  }
+  return best;
+}
+
+std::vector<uint64_t> TraceDag::Children(uint64_t id) const {
+  const auto it = children_.find(id);
+  return it == children_.end() ? std::vector<uint64_t>{} : it->second;
+}
+
+namespace {
+
+// Causal parents of `span` that exist in `index`.
+std::vector<uint64_t> PresentParents(
+    const SpanRecord& span, const std::map<uint64_t, size_t>& index) {
+  std::vector<uint64_t> parents;
+  if (span.parent != 0 && index.count(span.parent) != 0) {
+    parents.push_back(span.parent);
+  }
+  for (uint64_t link : span.links) {
+    if (link != span.parent && index.count(link) != 0) {
+      parents.push_back(link);
+    }
+  }
+  return parents;
+}
+
+}  // namespace
+
+std::vector<uint64_t> TraceDag::Roots() const {
+  std::vector<uint64_t> roots;
+  for (const SpanRecord& span : spans_) {
+    if (PresentParents(span, index_).empty()) roots.push_back(span.id);
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+std::vector<uint64_t> TraceDag::Component(uint64_t id) const {
+  std::vector<uint64_t> component;
+  if (index_.count(id) == 0) return component;
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> frontier{id};
+  seen.insert(id);
+  while (!frontier.empty()) {
+    const uint64_t cur = frontier.back();
+    frontier.pop_back();
+    component.push_back(cur);
+    std::vector<uint64_t> neighbors = Children(cur);
+    const std::vector<uint64_t> parents =
+        PresentParents(spans_[index_.at(cur)], index_);
+    neighbors.insert(neighbors.end(), parents.begin(), parents.end());
+    for (uint64_t next : neighbors) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+size_t TraceDag::NumComponents() const {
+  std::set<uint64_t> assigned;
+  size_t components = 0;
+  for (const SpanRecord& span : spans_) {
+    if (assigned.count(span.id) != 0) continue;
+    ++components;
+    for (uint64_t id : Component(span.id)) assigned.insert(id);
+  }
+  return components;
+}
+
+std::vector<std::string> TraceDag::NodesInComponent(uint64_t id) const {
+  std::set<std::string> nodes;
+  for (uint64_t member : Component(id)) {
+    const std::string& node = spans_[index_.at(member)].node;
+    if (!node.empty()) nodes.insert(node);
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+std::vector<uint64_t> TraceDag::Descendants(uint64_t root) const {
+  std::vector<uint64_t> result;
+  if (index_.count(root) == 0) return result;
+  std::set<uint64_t> seen{root};
+  std::vector<uint64_t> frontier{root};
+  while (!frontier.empty()) {
+    const uint64_t cur = frontier.back();
+    frontier.pop_back();
+    result.push_back(cur);
+    for (uint64_t child : Children(cur)) {
+      if (seen.insert(child).second) frontier.push_back(child);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<CriticalPathStep> TraceDag::CriticalPathSim(uint64_t root) const {
+  std::vector<CriticalPathStep> path;
+  const std::vector<uint64_t> down = Descendants(root);
+  if (down.empty()) return path;
+  const std::set<uint64_t> down_set(down.begin(), down.end());
+
+  // Predecessor of each descendant: the causal parent (within the
+  // descendant set) whose sim_end is largest — the edge that gated it.
+  std::map<uint64_t, uint64_t> pred;
+  for (uint64_t id : down) {
+    if (id == root) continue;
+    uint64_t best = 0;
+    common::SimTime best_end = 0;
+    for (uint64_t parent : PresentParents(spans_[index_.at(id)], index_)) {
+      if (down_set.count(parent) == 0) continue;
+      const SpanRecord& p = spans_[index_.at(parent)];
+      const common::SimTime end = p.has_sim ? p.sim_end : 0;
+      if (best == 0 || end > best_end || (end == best_end && parent > best)) {
+        best = parent;
+        best_end = end;
+      }
+    }
+    if (best != 0) pred[id] = best;
+  }
+
+  // The path endpoint: descendant whose sim_end is latest. On ties the
+  // LARGER id wins — it began later, so it sits deeper in the DAG and the
+  // walk back yields the most informative chain (an enclosing stage span
+  // and its last gating child end at the same instant; we want the child).
+  uint64_t endpoint = root;
+  common::SimTime endpoint_end =
+      spans_[index_.at(root)].has_sim ? spans_[index_.at(root)].sim_end : 0;
+  for (uint64_t id : down) {
+    const SpanRecord& span = spans_[index_.at(id)];
+    const common::SimTime end = span.has_sim ? span.sim_end : 0;
+    if (end > endpoint_end || (end == endpoint_end && id > endpoint)) {
+      endpoint = id;
+      endpoint_end = end;
+    }
+  }
+
+  std::vector<uint64_t> chain;
+  std::set<uint64_t> walked;
+  for (uint64_t cur = endpoint;; ) {
+    if (!walked.insert(cur).second) break;  // cycle guard (malformed links)
+    chain.push_back(cur);
+    if (cur == root) break;
+    const auto it = pred.find(cur);
+    if (it == pred.end()) break;
+    cur = it->second;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  common::SimTime prev_end = 0;
+  bool have_prev = false;
+  for (uint64_t id : chain) {
+    const SpanRecord& span = spans_[index_.at(id)];
+    CriticalPathStep step;
+    step.id = span.id;
+    step.name = span.name;
+    step.node = span.node;
+    step.sim_start = span.has_sim ? span.sim_start : 0;
+    step.sim_end = span.has_sim ? span.sim_end : 0;
+    step.wall_dur_ns = span.wall_end_ns >= span.wall_start_ns
+                           ? span.wall_end_ns - span.wall_start_ns
+                           : 0;
+    const common::SimTime base = have_prev ? prev_end : step.sim_start;
+    step.charged_sim_us = step.sim_end > base ? step.sim_end - base : 0;
+    prev_end = step.sim_end > base ? step.sim_end : base;
+    have_prev = true;
+    path.push_back(std::move(step));
+  }
+  return path;
+}
+
+std::vector<StageStat> TraceDag::StageStats() const {
+  std::map<std::string, StageStat> by_name;
+  for (const SpanRecord& span : spans_) {
+    StageStat& stat = by_name[span.name];
+    stat.name = span.name;
+    stat.count += 1;
+    const uint64_t wall = span.wall_end_ns >= span.wall_start_ns
+                              ? span.wall_end_ns - span.wall_start_ns
+                              : 0;
+    stat.total_wall_ns += wall;
+    stat.max_wall_ns = std::max(stat.max_wall_ns, wall);
+    if (span.has_sim && span.sim_end >= span.sim_start) {
+      const common::SimTime sim = span.sim_end - span.sim_start;
+      stat.total_sim_us += sim;
+      stat.max_sim_us = std::max(stat.max_sim_us, sim);
+    }
+  }
+  std::vector<StageStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) stats.push_back(std::move(stat));
+  std::sort(stats.begin(), stats.end(),
+            [](const StageStat& a, const StageStat& b) {
+              if (a.total_sim_us != b.total_sim_us) {
+                return a.total_sim_us > b.total_sim_us;
+              }
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+FanOutStats TraceDag::FanOut() const {
+  FanOutStats stats;
+  stats.spans = spans_.size();
+  for (const SpanRecord& span : spans_) {
+    const auto it = children_.find(span.id);
+    const size_t degree = it == children_.end() ? 0 : it->second.size();
+    stats.edges += degree;
+    if (degree == 0) ++stats.leaves;
+    if (degree > stats.max_out_degree) {
+      stats.max_out_degree = degree;
+      stats.max_out_degree_span = span.id;
+    }
+  }
+  stats.mean_out_degree =
+      stats.spans == 0
+          ? 0.0
+          : static_cast<double>(stats.edges) / static_cast<double>(stats.spans);
+  return stats;
+}
+
+void WriteChromeTrace(const std::vector<SpanRecord>& spans, std::ostream& out,
+                      bool use_sim_time) {
+  // One Chrome "process" per node label so Perfetto groups tracks by role.
+  std::map<std::string, uint64_t> pid_of;
+  for (const SpanRecord& span : spans) {
+    pid_of.emplace(span.node, 0);
+  }
+  uint64_t next_pid = 1;
+  for (auto& [node, pid] : pid_of) pid = next_pid++;
+
+  std::map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) by_id[span.id] = &span;
+
+  const auto usable = [&](const SpanRecord& span) {
+    if (span.wall_end_ns == 0) return false;  // never closed
+    return !use_sim_time || span.has_sim;
+  };
+  const auto start_ts = [&](const SpanRecord& span) -> uint64_t {
+    return use_sim_time ? static_cast<uint64_t>(span.sim_start)
+                        : span.wall_start_ns / 1000;
+  };
+  const auto end_ts = [&](const SpanRecord& span) -> uint64_t {
+    return use_sim_time ? static_cast<uint64_t>(span.sim_end)
+                        : span.wall_end_ns / 1000;
+  };
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    return out;
+  };
+
+  for (const auto& [node, pid] : pid_of) {
+    sep() << "{\"ph\":\"M\",\"pid\":" << pid
+          << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+          << EscapeJson(node.empty() ? "(unlabeled)" : node) << "\"}}";
+  }
+
+  for (const SpanRecord& span : spans) {
+    if (!usable(span)) continue;
+    const uint64_t ts = start_ts(span);
+    const uint64_t dur = end_ts(span) >= ts ? end_ts(span) - ts : 0;
+    sep() << "{\"ph\":\"X\",\"pid\":" << pid_of.at(span.node)
+          << ",\"tid\":" << span.thread << ",\"ts\":" << ts
+          << ",\"dur\":" << dur << ",\"name\":\"" << EscapeJson(span.name)
+          << "\",\"cat\":\"span\",\"args\":{\"id\":" << span.id
+          << ",\"parent\":" << span.parent << ",\"trace\":" << span.trace_id
+          << "}}";
+  }
+
+  // Flow arrows: cross-node parent edges and all link edges.
+  uint64_t flow_id = 0;
+  for (const SpanRecord& span : spans) {
+    if (!usable(span)) continue;
+    std::vector<uint64_t> sources;
+    if (span.parent != 0) {
+      const auto it = by_id.find(span.parent);
+      if (it != by_id.end() && it->second->node != span.node) {
+        sources.push_back(span.parent);
+      }
+    }
+    for (uint64_t link : span.links) {
+      if (link != span.parent) sources.push_back(link);
+    }
+    for (uint64_t source_id : sources) {
+      const auto it = by_id.find(source_id);
+      if (it == by_id.end() || !usable(*it->second)) continue;
+      const SpanRecord& source = *it->second;
+      ++flow_id;
+      sep() << "{\"ph\":\"s\",\"pid\":" << pid_of.at(source.node)
+            << ",\"tid\":" << source.thread << ",\"ts\":" << start_ts(source)
+            << ",\"id\":" << flow_id
+            << ",\"name\":\"causal\",\"cat\":\"causal\"}";
+      sep() << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":" << pid_of.at(span.node)
+            << ",\"tid\":" << span.thread << ",\"ts\":" << start_ts(span)
+            << ",\"id\":" << flow_id
+            << ",\"name\":\"causal\",\"cat\":\"causal\"}";
+    }
+  }
+
+  out << "\n]}\n";
+}
+
+}  // namespace pds2::obs

@@ -438,6 +438,7 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
         chain_config, store_dir, store_options);
     raw_nodes.push_back(node.get());
     ids.push_back(sim->AddNode(std::move(node)));
+    sim->SetNodeName(ids.back(), "validator/" + std::to_string(i));
   }
   for (ValidatorNode* node : raw_nodes) node->SetPeers(ids);
   if (nodes != nullptr) *nodes = raw_nodes;

@@ -1,0 +1,182 @@
+// obs::FlightRecorder: bounded ring capture, metric deltas against the
+// enable-time baseline, dump files, and the two crash hooks that trigger
+// dumps automatically — common::CrashPoint scripted kills and
+// dml::FaultInjector node crashes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "dml/fault_injector.h"
+#include "dml/netsim.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pds2::obs {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::Global().SetCapacityPerShard(
+        FlightRecorder::kDefaultCapacityPerShard);
+    FlightRecorder::Global().SetDumpDir(".");
+    FlightRecorder::Global().SetEnabled(true);
+    FlightRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    FlightRecorder::Global().SetEnabled(false);
+    FlightRecorder::Global().Clear();
+    SetTracingEnabled(false);
+    SetMetricsEnabled(false);
+    common::DisarmCrash();
+  }
+};
+
+TEST_F(FlightRecorderTest, RingOverwritesOldEntriesKeepingTheNewest) {
+  FlightRecorder::Global().SetCapacityPerShard(4);
+  FlightRecorder::Global().Clear();  // apply the new capacity
+  for (int i = 0; i < 20; ++i) {
+    FlightRecorder::Global().Note("note " + std::to_string(i));
+  }
+  const auto entries = FlightRecorder::Global().SnapshotEntries();
+  // Single-threaded: everything lands in one shard, so only the last 4
+  // notes survive, in capture order.
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries.front().text, "note 16");
+  EXPECT_EQ(entries.back().text, "note 19");
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GT(entries[i].seq, entries[i - 1].seq);
+  }
+}
+
+TEST_F(FlightRecorderTest, CapturesSpansLogsAndMetricDeltas) {
+  SetMetricsEnabled(true);
+  SetTracingEnabled(true);
+  Tracer::Global().Reset();
+  Registry::Global().ResetValues();
+  FlightRecorder::Global().Clear();  // re-baseline after the reset
+
+  // A silent sink: the flight-recorder hook fires inside LogDispatch
+  // either way, and the test log line stays off stderr.
+  class NullSink : public common::LogSink {
+   public:
+    void Write(const common::LogRecord&) override {}
+  };
+  NullSink null_sink;
+  common::LogSink* old_sink = common::SetLogSink(&null_sink);
+  const common::LogLevel old_level = common::GetLogLevel();
+  common::SetLogLevel(common::LogLevel::kInfo);
+
+  Registry::Global().GetCounter("flight.test_counter").Add(3);
+  Registry::Global().GetGauge("flight.test_gauge").Set(-7);
+  {
+    NodeScope node("tester/t0");
+    ScopedSpan span("flight.test_span");
+    PDS2_LOG(kInfo).Field("k", "v") << "flight recorder probe";
+  }
+
+  common::SetLogLevel(old_level);
+  common::SetLogSink(old_sink);
+
+  std::ostringstream out;
+  FlightRecorder::Global().WriteDump("unit-test", out);
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("\"reason\": \"unit-test\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"span_begin\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"span_end\""), std::string::npos);
+  EXPECT_NE(dump.find("flight.test_span"), std::string::npos);
+  EXPECT_NE(dump.find("\"node\":\"tester/t0\""), std::string::npos);
+  EXPECT_NE(dump.find("flight recorder probe"), std::string::npos);
+  EXPECT_NE(dump.find("k=v"), std::string::npos);
+  // Deltas since enable: the counter bumped after Clear shows up, with its
+  // post-baseline value; the untouched gauge appears with its value.
+  EXPECT_NE(dump.find("\"flight.test_counter\": 3"), std::string::npos);
+  EXPECT_NE(dump.find("\"flight.test_gauge\": -7"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DumpNowWritesAReadableFile) {
+  FlightRecorder::Global().Note("pre-dump breadcrumb");
+  const uint64_t dumps_before = FlightRecorder::Global().dumps_written();
+  const std::string path = FlightRecorder::Global().DumpNow("unit test dump");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(FlightRecorder::Global().dumps_written(), dumps_before + 1);
+  EXPECT_EQ(FlightRecorder::Global().LastDumpPath(), path);
+  // The reason is sanitized into the filename.
+  EXPECT_NE(path.find("unit-test-dump"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("pre-dump breadcrumb"), std::string::npos);
+  EXPECT_NE(content.str().find("\"entries\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, ScriptedCrashPointTriggersADump) {
+  const uint64_t dumps_before = FlightRecorder::Global().dumps_written();
+  common::ArmCrash(common::CrashPoint::kLogPreFsync);
+  // Non-matching points do not consume the armed crash or dump.
+  EXPECT_FALSE(common::CrashRequested(common::CrashPoint::kLogMidAppend));
+  EXPECT_EQ(FlightRecorder::Global().dumps_written(), dumps_before);
+  EXPECT_TRUE(common::CrashRequested(common::CrashPoint::kLogPreFsync));
+  EXPECT_EQ(FlightRecorder::Global().dumps_written(), dumps_before + 1);
+  const std::string path = FlightRecorder::Global().LastDumpPath();
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("crashpoint-log-pre-fsync"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("crash point fired: log-pre-fsync"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+class QuietNode : public dml::Node {
+ public:
+  void OnMessage(dml::NodeContext&, size_t, const common::Bytes&) override {}
+};
+
+TEST_F(FlightRecorderTest, FaultInjectorNodeCrashTriggersADump) {
+  dml::NetSim sim(dml::NetConfig{}, /*seed=*/9);
+  sim.AddNode(std::make_unique<QuietNode>());
+  sim.AddNode(std::make_unique<QuietNode>());
+  sim.SetNodeName(1, "victim/1");
+  common::FaultPlan plan;
+  plan.churn.push_back({/*at=*/5000, /*node=*/1, /*restart=*/false});
+  dml::FaultInjector::Install(sim, plan);
+  sim.Start();
+
+  const uint64_t dumps_before = FlightRecorder::Global().dumps_written();
+  sim.RunUntil(20'000);
+  EXPECT_FALSE(sim.IsOnline(1));
+  ASSERT_EQ(FlightRecorder::Global().dumps_written(), dumps_before + 1);
+  const std::string path = FlightRecorder::Global().LastDumpPath();
+  EXPECT_NE(path.find("node-crash-victim"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("fault injector crashed victim/1"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderCapturesNothing) {
+  FlightRecorder::Global().SetEnabled(false);
+  FlightRecorder::Global().Clear();
+  FlightRecorder::Global().Note("should not appear");
+  EXPECT_TRUE(FlightRecorder::Global().SnapshotEntries().empty());
+}
+
+}  // namespace
+}  // namespace pds2::obs

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -17,8 +18,10 @@
 #include "dml/fault_injector.h"
 #include "market/marketplace.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_analysis.h"
 #include "p2p/validator_network.h"
 
 namespace pds2::obs {
@@ -138,12 +141,16 @@ TEST(ObsLifecycleTraceTest, ChaosRunProducesFullTelemetryAndExports) {
   SetTracingEnabled(true);
   Registry::Global().ResetValues();
   Tracer::Global().Reset();
+  FlightRecorder::Global().SetDumpDir(".");
+  FlightRecorder::Global().SetEnabled(true);
+  FlightRecorder::Global().Clear();
 
   RunChaosMarketplaceLifecycle();
   RunChaosValidatorNetwork();
 
   SetMetricsEnabled(false);
   SetTracingEnabled(false);
+  FlightRecorder::Global().SetEnabled(false);
   const Snapshot snap = Registry::Global().TakeSnapshot();
   const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
 
@@ -190,6 +197,56 @@ TEST(ObsLifecycleTraceTest, ChaosRunProducesFullTelemetryAndExports) {
   ASSERT_TRUE(FindSpan(spans, "chain.produce_block") != nullptr);
   ASSERT_TRUE(FindSpan(spans, "chain.apply_block") != nullptr);
 
+  // --- The run is one causally-connected DAG across node roles. ---
+  // Context propagation (message/timer envelopes, tx submit -> block
+  // execute links) must stitch the whole workload into the component
+  // rooted at market.run_workload, covering at least consumer, executor,
+  // provider and validator roles.
+  TraceDag dag(spans);
+  const auto component = dag.Component(run->id);
+  EXPECT_GT(component.size(), 30u);
+  const auto roles = dag.NodesInComponent(run->id);
+  auto count_roles_with = [&](const std::string& prefix) {
+    size_t n = 0;
+    for (const std::string& role : roles) {
+      if (role.rfind(prefix, 0) == 0) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count_roles_with("consumer/"), 1u);
+  EXPECT_GE(count_roles_with("executor/"), 1u);
+  EXPECT_GE(count_roles_with("provider/"), 1u);
+  EXPECT_GE(count_roles_with("validator/"), 1u);
+  EXPECT_GE(roles.size(), 3u);
+
+  // The sim-time critical path from the workload root reaches past the
+  // root itself into the stage/chain spans that gated completion.
+  const auto path = dag.CriticalPathSim(run->id);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front().id, run->id);
+  common::SimTime charged_total = 0;
+  for (const auto& step : path) {
+    EXPECT_GE(step.sim_end, path.front().sim_start);
+    charged_total += step.charged_sim_us;
+  }
+  // Marginal charges along the path sum to the root's causal makespan.
+  EXPECT_EQ(charged_total,
+            path.back().sim_end - path.front().sim_start);
+
+  // --- The injected validator crash left a readable flight dump. ---
+  // RunChaosValidatorNetwork's fault plan kills node 0; the FaultInjector
+  // hook must have dumped the recorder's rings for post-mortem reading.
+  ASSERT_GE(FlightRecorder::Global().dumps_written(), 1u);
+  const std::string dump_path = FlightRecorder::Global().LastDumpPath();
+  ASSERT_FALSE(dump_path.empty());
+  EXPECT_NE(dump_path.find("node-crash"), std::string::npos) << dump_path;
+  const std::string dump_text = Slurp(dump_path);
+  EXPECT_NE(dump_text.find("\"reason\""), std::string::npos);
+  EXPECT_NE(dump_text.find("\"entries\""), std::string::npos);
+  EXPECT_NE(dump_text.find("fault injector crashed"), std::string::npos);
+  EXPECT_NE(dump_text.find("\"counter_deltas\""), std::string::npos);
+  std::remove(dump_path.c_str());
+
   // --- Per-run exports. ---
   {
     std::ofstream trace_out("obs_lifecycle_trace.jsonl");
@@ -212,6 +269,7 @@ TEST(ObsLifecycleTraceTest, ChaosRunProducesFullTelemetryAndExports) {
 
   Registry::Global().ResetValues();
   Tracer::Global().Reset();
+  FlightRecorder::Global().Clear();
 }
 
 #else  // !PDS2_METRICS

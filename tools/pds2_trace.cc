@@ -1,0 +1,258 @@
+// pds2_trace: offline analyzer for PDS2 span exports.
+//
+//   pds2_trace run.jsonl                  analyze an exported trace
+//   pds2_trace --demo                     run a seeded chaos marketplace
+//                                         lifecycle in-process and analyze
+//                                         the trace it produces
+//   pds2_trace --chrome out.json ...      also emit Chrome trace_event JSON
+//                                         (open in Perfetto / chrome://tracing)
+//
+// The report shows the causal DAG's shape (components, roots, fan-out), the
+// roles each trace touches, the sim-time critical path from the workload
+// root, and per-stage latency attribution.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "market/marketplace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_analysis.h"
+
+namespace {
+
+using pds2::obs::CriticalPathStep;
+using pds2::obs::SpanRecord;
+using pds2::obs::StageStat;
+using pds2::obs::TraceDag;
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [trace.jsonl | -]\n"
+      << "  --demo           run a seeded chaos marketplace lifecycle and\n"
+      << "                   analyze its trace (no input file)\n"
+      << "  --demo-out PATH  with --demo: write the raw JSON-lines export\n"
+      << "  --chrome PATH    write Chrome trace_event JSON for Perfetto\n"
+      << "  --wall           Chrome export in wall time (default: sim time)\n"
+      << "  --root NAME      root the analysis at the first span named NAME\n"
+      << "                   (default: market.run_workload, else first root)\n";
+  return 2;
+}
+
+// The seeded chaos lifecycle from the observability acceptance test: 4
+// providers, 3 executors with executor-1 crashing mid-training, one
+// workload end to end. Deterministic: identical invocations export
+// identical causal skeletons.
+bool RunDemoWorkload(std::string* error) {
+  namespace market = pds2::market;
+  namespace ml = pds2::ml;
+
+  market::MarketConfig config;
+  market::Marketplace m(config);
+  pds2::common::Rng rng(77);
+  ml::Dataset all = ml::MakeTwoGaussians(1200, 4, 4.0, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.2, rng);
+  auto parts = ml::PartitionWeighted(train, {1.0, 2.0, 3.0, 4.0}, rng);
+  pds2::storage::SemanticMetadata meta;
+  meta.types = {"iot/sensor/temperature"};
+  for (int i = 0; i < 4; ++i) {
+    auto& p = m.AddProvider("provider-" + std::to_string(i));
+    if (!p.store().AddDataset("temps", parts[i], meta).ok()) {
+      *error = "demo: AddDataset failed";
+      return false;
+    }
+  }
+  for (int i = 0; i < 3; ++i) m.AddExecutor("executor-" + std::to_string(i));
+  auto& consumer = m.AddConsumer("consumer");
+  m.executors()[1]->InjectFault(market::ExecutorFault::kTrain);
+
+  market::WorkloadSpec spec;
+  spec.name = "pds2-trace-demo";
+  spec.requirement.required_types = {"iot/sensor"};
+  spec.model_kind = "logistic";
+  spec.features = 4;
+  spec.epochs = 4;
+  spec.reward_pool = 10'000'000;
+  spec.min_providers = 2;
+  spec.max_providers = 16;
+  spec.executor_reward_permille = 200;
+
+  auto report = m.RunWorkload(consumer, spec);
+  if (!report.ok()) {
+    *error = "demo workload failed: " + report.status().ToString();
+    return false;
+  }
+  return true;
+}
+
+std::string FormatSimUs(uint64_t us) {
+  std::ostringstream out;
+  if (us >= 1'000'000) {
+    out << us / 1'000'000 << "." << (us % 1'000'000) / 100'000 << "s";
+  } else if (us >= 1000) {
+    out << us / 1000 << "." << (us % 1000) / 100 << "ms";
+  } else {
+    out << us << "us";
+  }
+  return out.str();
+}
+
+void PrintReport(const TraceDag& dag, const std::string& root_name) {
+  const auto roots = dag.Roots();
+  std::cout << "spans:      " << dag.size() << "\n";
+  std::cout << "components: " << dag.NumComponents() << "\n";
+  std::cout << "roots:      " << roots.size() << "\n";
+
+  const pds2::obs::FanOutStats fan = dag.FanOut();
+  std::cout << "edges:      " << fan.edges << " (mean out-degree "
+            << fan.mean_out_degree << ", max " << fan.max_out_degree
+            << " at span " << fan.max_out_degree_span << ", leaves "
+            << fan.leaves << ")\n";
+
+  // Pick the analysis root.
+  const SpanRecord* root = nullptr;
+  if (!root_name.empty()) {
+    root = dag.Find(root_name);
+    if (root == nullptr) {
+      std::cout << "\n(root span \"" << root_name << "\" not found)\n";
+    }
+  }
+  if (root == nullptr && dag.Find("market.run_workload") != nullptr) {
+    root = dag.Find("market.run_workload");
+  }
+  if (root == nullptr && !roots.empty()) root = dag.Get(roots.front());
+  if (root == nullptr) return;
+
+  std::cout << "\n== trace rooted at span " << root->id << " (" << root->name
+            << ") ==\n";
+  const auto component = dag.Component(root->id);
+  std::cout << "component spans: " << component.size() << "\n";
+  const auto nodes = dag.NodesInComponent(root->id);
+  std::cout << "roles (" << nodes.size() << "):";
+  for (const std::string& node : nodes) std::cout << " " << node;
+  std::cout << "\n";
+
+  const std::vector<CriticalPathStep> path = dag.CriticalPathSim(root->id);
+  std::cout << "\ncritical path (sim time), " << path.size() << " steps:\n";
+  for (const CriticalPathStep& step : path) {
+    std::cout << "  [" << FormatSimUs(step.sim_start) << " -> "
+              << FormatSimUs(step.sim_end) << "] +"
+              << FormatSimUs(step.charged_sim_us) << "  " << step.name;
+    if (!step.node.empty()) std::cout << "  @" << step.node;
+    std::cout << "  (span " << step.id << ")\n";
+  }
+
+  std::cout << "\nstage latency attribution (top 15 by total sim time):\n";
+  const std::vector<StageStat> stats = dag.StageStats();
+  size_t shown = 0;
+  for (const StageStat& stat : stats) {
+    if (shown++ == 15) break;
+    std::cout << "  " << stat.name << ": count " << stat.count << ", sim total "
+              << FormatSimUs(stat.total_sim_us) << ", sim max "
+              << FormatSimUs(stat.max_sim_us) << ", wall total "
+              << stat.total_wall_ns / 1000 << "us\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  bool chrome_wall = false;
+  std::string chrome_path;
+  std::string demo_out;
+  std::string root_name;
+  std::string input;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--demo-out") {
+      demo_out = next("--demo-out");
+    } else if (arg == "--chrome") {
+      chrome_path = next("--chrome");
+    } else if (arg == "--wall") {
+      chrome_wall = true;
+    } else if (arg == "--root") {
+      root_name = next("--root");
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "unknown option: " << arg << "\n";
+      return Usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (demo ? !input.empty() : input.empty()) return Usage(argv[0]);
+
+  std::vector<SpanRecord> spans;
+  if (demo) {
+    pds2::obs::SetMetricsEnabled(true);
+    pds2::obs::SetTracingEnabled(true);
+    pds2::obs::Tracer::Global().Reset();
+    std::string error;
+    if (!RunDemoWorkload(&error)) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    pds2::obs::SetTracingEnabled(false);
+    pds2::obs::SetMetricsEnabled(false);
+    spans = pds2::obs::Tracer::Global().Snapshot();
+    if (!demo_out.empty()) {
+      std::ofstream out(demo_out);
+      if (!out.is_open()) {
+        std::cerr << "cannot write " << demo_out << "\n";
+        return 1;
+      }
+      pds2::obs::Tracer::Global().WriteJsonLines(out);
+    }
+  } else {
+    std::string error;
+    if (input == "-") {
+      if (!pds2::obs::ParseSpanJsonLines(std::cin, &spans, &error)) {
+        std::cerr << "stdin: " << error << "\n";
+        return 1;
+      }
+    } else {
+      std::ifstream in(input);
+      if (!in.is_open()) {
+        std::cerr << "cannot open " << input << "\n";
+        return 1;
+      }
+      if (!pds2::obs::ParseSpanJsonLines(in, &spans, &error)) {
+        std::cerr << input << ": " << error << "\n";
+        return 1;
+      }
+    }
+  }
+
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out.is_open()) {
+      std::cerr << "cannot write " << chrome_path << "\n";
+      return 1;
+    }
+    pds2::obs::WriteChromeTrace(spans, out, /*use_sim_time=*/!chrome_wall);
+    std::cout << "wrote Chrome trace: " << chrome_path << "\n";
+  }
+
+  TraceDag dag(std::move(spans));
+  PrintReport(dag, root_name);
+  return 0;
+}
