@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_parallel.json report against its documented schema.
+
+BENCH_parallel.json is the shared flat-object report written by
+bench::MergeParallelReport ({"section": {...}, ...}). This checks the
+sections the parallel-execution work commits to (EXPERIMENTS.md E15 and
+the E6b consensus sweep): required keys, cell shapes, and the recorded
+acceptance floors — 4-thread apply >= 2.0x over the sequential baseline
+at 0% conflict and >= 1.0x at 100%. Wired into CTest under the
+`parallel` label against the checked-in artifact; also usable by hand:
+
+  check_bench_schema.py BENCH_parallel.json
+
+Exits 0 when every check passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+_errors = []
+
+
+def fail(msg):
+    _errors.append(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def require(obj, where, key, pred, what):
+    if key not in obj:
+        fail("%s: missing required key %r" % (where, key))
+        return None
+    if not pred(obj[key]):
+        fail("%s: key %r must be %s" % (where, key, what))
+        return None
+    return obj[key]
+
+
+def check_consensus(section):
+    where = "consensus"
+    require(section, where, "txs_per_block", is_num, "a number")
+    require(section, where, "per_entry_verify_ms", is_num, "a number")
+    require(section, where, "cached_apply_extra_verifies",
+            lambda v: is_num(v) and v == 0,
+            "0 (the warm cache must re-verify nothing)")
+    sweep = require(section, where, "sweep",
+                    lambda v: isinstance(v, list) and v, "a non-empty list")
+    if sweep is None:
+        return
+    for i, entry in enumerate(sweep):
+        w = "consensus sweep[%d]" % i
+        if not isinstance(entry, dict):
+            fail("%s: not an object" % w)
+            continue
+        require(entry, w, "threads", is_num, "a number")
+        require(entry, w, "apply_ms", is_num, "a number")
+        require(entry, w, "speedup", is_num, "a number")
+
+
+CELL_KEYS = [
+    "per_entry_verify_ms", "serial_exec_ms", "sequential_baseline_ms",
+    "apply_ms_1t", "apply_ms_2t", "apply_ms_4t",
+    "speedup_vs_sequential_4t", "lanes_per_block",
+    "parallel_blocks", "serial_blocks", "aborted_speculations",
+]
+
+
+def check_parallel_exec(section):
+    where = "parallel_exec"
+    require(section, where, "accounts", is_num, "a number")
+    require(section, where, "txs_per_block", is_num, "a number")
+    require(section, where, "hardware_threads", is_num, "a number")
+    cells = require(section, where, "cells",
+                    lambda v: isinstance(v, list) and v, "a non-empty list")
+    if cells is None:
+        return
+    by_conflict = {}
+    for i, cell in enumerate(cells):
+        w = "parallel_exec cells[%d]" % i
+        if not isinstance(cell, dict):
+            fail("%s: not an object" % w)
+            continue
+        conflict = require(cell, w, "conflict_pct", is_num, "a number")
+        for key in CELL_KEYS:
+            require(cell, w, key, is_num, "a number")
+        if conflict is not None:
+            by_conflict[conflict] = cell
+
+    missing = sorted(set([0, 25, 50, 100]) - set(by_conflict))
+    if missing:
+        fail("parallel_exec: conflict sweep missing cells for %s%%" % missing)
+        return
+
+    # The recorded acceptance floors for the optimistic lane executor.
+    free = by_conflict[0].get("speedup_vs_sequential_4t", 0)
+    if free < 2.0:
+        fail("parallel_exec: 0%%-conflict 4-thread speedup %.2f < 2.0" % free)
+    contended = by_conflict[100].get("speedup_vs_sequential_4t", 0)
+    if contended < 1.0:
+        fail("parallel_exec: 100%%-conflict 4-thread speedup %.2f < 1.0"
+             % contended)
+    # At full contention every transfer shares the hot account: one lane,
+    # so the executor must have fallen back to the serial path.
+    if by_conflict[100].get("parallel_blocks", -1) != 0:
+        fail("parallel_exec: 100%%-conflict cell took the lane path")
+    if by_conflict[0].get("parallel_blocks", 0) < 1:
+        fail("parallel_exec: 0%%-conflict cell never took the lane path")
+    if by_conflict[0].get("lanes_per_block", 0) <= 1:
+        fail("parallel_exec: 0%%-conflict cell has <= 1 lane per block")
+
+
+def check_shapley(section):
+    require(section, "shapley", "all_identical", lambda v: v is True,
+            "true (bit-identical results at every pool size)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_parallel.json to validate")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("FAIL: cannot parse %s: %s" % (args.report, e), file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print("FAIL: report is not a JSON object", file=sys.stderr)
+        return 1
+
+    for name in ("consensus", "parallel_exec"):
+        if name not in doc or not isinstance(doc[name], dict):
+            fail("report: missing required section %r" % name)
+    if "consensus" in doc and isinstance(doc["consensus"], dict):
+        check_consensus(doc["consensus"])
+    if "parallel_exec" in doc and isinstance(doc["parallel_exec"], dict):
+        check_parallel_exec(doc["parallel_exec"])
+    if "shapley" in doc and isinstance(doc["shapley"], dict):
+        check_shapley(doc["shapley"])
+
+    if _errors:
+        for msg in _errors:
+            print("FAIL: %s" % msg, file=sys.stderr)
+        print("%d schema violation(s)" % len(_errors), file=sys.stderr)
+        return 1
+    print("bench schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "chain/chain.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/checked_math.h"
@@ -22,9 +23,15 @@ Blockchain::Blockchain(std::vector<Bytes> validator_public_keys,
                        ChainConfig config)
     : validators_(std::move(validator_public_keys)),
       registry_(std::move(registry)),
-      config_(config) {
+      config_(config),
+      mempool_(config_.mempool) {
   assert(!validators_.empty());
   assert(registry_ != nullptr);
+}
+
+common::ThreadPool* Blockchain::ExecutionPool() const {
+  return config_.thread_pool != nullptr ? config_.thread_pool
+                                        : &common::ThreadPool::Global();
 }
 
 Status Blockchain::CreditGenesis(const Address& addr, uint64_t amount) {
@@ -35,12 +42,16 @@ Status Blockchain::CreditGenesis(const Address& addr, uint64_t amount) {
   // Cap the minted supply below uint64 so conservation keeps every later
   // balance, fee and TotalBalance() sum exactly representable: transfers
   // and fee settlement only move existing tokens, so no account can ever
-  // reach a value the genesis total did not.
+  // reach a value the genesis total did not. Before the first block the
+  // only balances are prior genesis credits, so the running counter equals
+  // state_.TotalBalance() without the O(accounts) walk per credit.
   uint64_t new_supply;
-  if (!common::CheckedAdd(state_.TotalBalance(), amount, &new_supply)) {
+  if (!common::CheckedAdd(genesis_minted_, amount, &new_supply)) {
     return Status::InvalidArgument("genesis allocation overflows total supply");
   }
-  return state_.Credit(addr, amount);
+  PDS2_RETURN_IF_ERROR(state_.Credit(addr, amount));
+  genesis_minted_ = new_supply;
+  return Status::Ok();
 }
 
 namespace {
@@ -50,9 +61,13 @@ namespace {
 // only cost is re-verifying, never a correctness change.
 constexpr size_t kMaxVerifiedTxCacheEntries = 1 << 17;
 
-// Below this many uncached signatures the pool dispatch overhead exceeds
-// the win; verify inline.
-constexpr size_t kParallelVerifyThreshold = 4;
+// Below this many signatures a batch chunk stops amortizing the two fixed
+// base-point multiplications, so chunks never shrink under this size.
+constexpr size_t kMinSignatureBatch = 16;
+
+// Below this many transactions the lane-planning pre-pass costs more than
+// any conceivable parallel win; execute sequentially.
+constexpr size_t kMinParallelBlockTxs = 4;
 
 }  // namespace
 
@@ -91,23 +106,47 @@ Status Blockchain::VerifyBlockSignatures(
     }
   }
 
-  std::vector<Status> statuses(unverified.size(), Status::Ok());
-  auto verify_one = [&](size_t k) {
-    statuses[k] = txs[unverified[k]].VerifySignature();
-  };
-  common::ThreadPool* pool = config_.thread_pool;
-  if (pool != nullptr && pool->NumThreads() > 1 &&
-      unverified.size() >= kParallelVerifyThreshold) {
-    pool->ParallelFor(0, unverified.size(), verify_one);
-  } else {
-    for (size_t k = 0; k < unverified.size(); ++k) verify_one(k);
+  const size_t n = unverified.size();
+  std::vector<Status> statuses(n, Status::Ok());
+  if (n > 0) {
+    // One randomized linear combination verifies a whole chunk of
+    // signatures at a fraction of the per-signature cost; chunk count is
+    // derived from the block (enough to feed the pool, never so many that
+    // chunks fall under the amortization floor), so a bigger block means
+    // bigger batches, not more dispatch overhead.
+    std::vector<crypto::BatchVerifyEntry> entries(n);
+    for (size_t k = 0; k < n; ++k) {
+      const Transaction& tx = txs[unverified[k]];
+      entries[k].public_key = tx.sender_public_key();
+      entries[k].message =
+          crypto::DomainSeparatedMessage(Transaction::Domain(),
+                                         tx.SigningBytes());
+      entries[k].signature = tx.signature();
+    }
+    common::ThreadPool* pool = ExecutionPool();
+    const size_t num_chunks =
+        std::max<size_t>(1, std::min(pool->NumThreads(),
+                                     (n + kMinSignatureBatch - 1) /
+                                         kMinSignatureBatch));
+    pool->ParallelForChunks(
+        n, num_chunks, [&](size_t, size_t begin, size_t end) {
+          std::vector<crypto::BatchVerifyEntry> chunk(
+              entries.begin() + begin, entries.begin() + end);
+          if (crypto::VerifySignatureBatch(chunk)) return;
+          // The batch cannot name the culprit: re-check this chunk's
+          // entries individually so the caller sees the exact per-tx
+          // status the sequential loop produced.
+          for (size_t k = begin; k < end; ++k) {
+            statuses[k] = txs[unverified[k]].VerifySignature();
+          }
+        });
   }
-  signature_verifications_ += unverified.size();
-  PDS2_M_COUNT("chain.sig_verifications", unverified.size());
-  PDS2_M_COUNT("chain.sig_cache_hits", txs.size() - unverified.size());
+  signature_verifications_ += n;
+  PDS2_M_COUNT("chain.sig_verifications", n);
+  PDS2_M_COUNT("chain.sig_cache_hits", txs.size() - n);
 
   Status first_failure = Status::Ok();
-  for (size_t k = 0; k < unverified.size(); ++k) {
+  for (size_t k = 0; k < n; ++k) {
     if (statuses[k].ok()) {
       CacheVerified(std::move(unverified_ids[k]));
     } else if (first_failure.ok()) {
@@ -120,14 +159,11 @@ Status Blockchain::VerifyBlockSignatures(
 Status Blockchain::SubmitTransaction(const Transaction& tx) {
   obs::ScopedSpan span("chain.submit_tx");
   PDS2_RETURN_IF_ERROR(VerifyTransactionCached(tx));
-  // A tx id already queued or already executed is a duplicate: the
-  // signature cache would happily re-admit it (it only dedups the
-  // *verification*), so check the mempool and the receipt history before
-  // queueing a second copy that would burn the sender's fee twice.
+  // A tx id already executed is a duplicate: the signature cache would
+  // happily re-admit it (it only dedups the *verification*), so check the
+  // receipt history before queueing a copy that would burn the sender's
+  // fee twice. Mempool duplicates are caught by Mempool::Add itself.
   const Hash id = tx.Id();
-  if (mempool_ids_.count(id) > 0) {
-    return Status::AlreadyExists("transaction already queued in mempool");
-  }
   if (receipts_.count(id) > 0) {
     return Status::AlreadyExists("transaction already executed");
   }
@@ -151,8 +187,7 @@ Status Blockchain::SubmitTransaction(const Transaction& tx) {
       registry_->Find(tx.payload().contract) == nullptr) {
     return Status::NotFound("unknown contract type: " + tx.payload().contract);
   }
-  mempool_.push_back(tx);
-  mempool_ids_.insert(id);
+  PDS2_RETURN_IF_ERROR(mempool_.Add(tx));
   // Remember where the tx came from so the block that executes it can
   // link back to the submitter's span (the tx bytes stay trace-free).
   if (span.id() != 0) tx_trace_ctx_[id] = span.context();
@@ -191,9 +226,11 @@ const Bytes& Blockchain::ProposerAt(common::SimTime timestamp) const {
   return validators_[(blocks_.size() + shift) % validators_.size()];
 }
 
-Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
-                                       uint64_t block_number,
-                                       common::SimTime timestamp) {
+Receipt Blockchain::ExecuteTransactionOn(StateView& state,
+                                         uint64_t* next_instance_id,
+                                         const Transaction& tx,
+                                         uint64_t block_number,
+                                         common::SimTime timestamp) const {
   Receipt receipt;
   receipt.tx_id = tx.Id();
   receipt.block_number = block_number;
@@ -218,14 +255,14 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
     receipt.gas_used = 0;
     return receipt;
   }
-  if (state_.GetBalance(sender) < max_cost) {
+  if (state.GetBalance(sender) < max_cost) {
     receipt.success = false;
     receipt.error = "InsufficientFunds: cannot cover value + max gas fee";
     receipt.gas_used = 0;
     return receipt;
   }
 
-  state_.BumpNonce(sender);
+  state.BumpNonce(sender);
 
   // Intrinsic gas is charged regardless of the execution outcome.
   Status status = gas.Charge(schedule.tx_base);
@@ -237,7 +274,7 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
   Bytes output;
   std::vector<Event> events;
   if (status.ok()) {
-    state_.Begin();
+    state.Begin();
     const CallPayload& payload = tx.payload();
     BlockContext block_ctx{block_number, timestamp};
 
@@ -245,43 +282,43 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
       if (tx.to().size() != kAddressSize) {
         status = Status::InvalidArgument("malformed recipient address");
       } else {
-        status = state_.Transfer(sender, tx.to(), tx.value());
+        status = state.Transfer(sender, tx.to(), tx.value());
       }
     } else {
       Contract* contract = registry_->Find(payload.contract);
       if (contract == nullptr) {
         status = Status::NotFound("unknown contract: " + payload.contract);
       } else if (payload.method == "deploy") {
-        const uint64_t instance = next_instance_id_;
+        const uint64_t instance = *next_instance_id;
         // Escrow the transferred value into the new instance's account.
         status = tx.value() > 0
-                     ? state_.Transfer(
+                     ? state.Transfer(
                            sender, ContractAddress(payload.contract, instance),
                            tx.value())
                      : Status::Ok();
         if (status.ok()) {
-          CallContext ctx(state_, gas, sender, tx.value(), payload.contract,
+          CallContext ctx(state, gas, sender, tx.value(), payload.contract,
                           instance, block_ctx, &events);
           status = contract->Deploy(ctx, payload.args);
         }
         if (status.ok()) {
-          ++next_instance_id_;
+          ++*next_instance_id;
           Writer w;
           w.PutU64(instance);
           output = w.Take();
         }
       } else {
-        if (payload.instance == 0 || payload.instance >= next_instance_id_) {
+        if (payload.instance == 0 || payload.instance >= *next_instance_id) {
           status = Status::NotFound("contract instance not deployed");
         } else {
           status = tx.value() > 0
-                       ? state_.Transfer(sender,
-                                         ContractAddress(payload.contract,
-                                                         payload.instance),
-                                         tx.value())
+                       ? state.Transfer(sender,
+                                        ContractAddress(payload.contract,
+                                                        payload.instance),
+                                        tx.value())
                        : Status::Ok();
           if (status.ok()) {
-            CallContext ctx(state_, gas, sender, tx.value(), payload.contract,
+            CallContext ctx(state, gas, sender, tx.value(), payload.contract,
                             payload.instance, block_ctx, &events);
             auto result = contract->Call(ctx, payload.method, payload.args);
             if (result.ok()) {
@@ -295,19 +332,18 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
     }
 
     if (status.ok()) {
-      state_.Commit();
+      state.Commit();
     } else {
-      state_.Rollback();
+      state.Rollback();
     }
   }
 
   // Settle gas: sender pays, proposer is credited by the caller.
   receipt.gas_used = gas.used();
   const uint64_t fee = receipt.gas_used * config_.gas_price;
-  Status fee_status = state_.Debit(sender, fee);
+  Status fee_status = state.Debit(sender, fee);
   assert(fee_status.ok());  // guaranteed by the upfront balance check
   (void)fee_status;
-  total_gas_used_ += receipt.gas_used;
 
   receipt.success = status.ok();
   if (!status.ok()) {
@@ -316,9 +352,119 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
     receipt.output = std::move(output);
     receipt.events = std::move(events);
   }
-  PDS2_M_COUNT("chain.txs_executed", 1);
-  PDS2_M_COUNT("chain.gas_used", receipt.gas_used);
   return receipt;
+}
+
+std::vector<AccessSet> Blockchain::ComputeAccessSets(
+    const std::vector<Transaction>& txs, uint64_t block_number,
+    common::SimTime timestamp) {
+  PDS2_TRACE_SPAN("chain.parallel.plan");
+  std::vector<AccessSet> sets(txs.size());
+  for (size_t i = 0; i < txs.size(); ++i) {
+    const Transaction& tx = txs[i];
+    if (tx.payload().IsPlainTransfer()) {
+      // Transfers declare their footprint exactly; a malformed recipient
+      // still only over-approximates (supersets merely merge lanes).
+      sets[i].accounts.insert(tx.SenderAddress());
+      if (tx.to().size() == kAddressSize) sets[i].accounts.insert(tx.to());
+    } else if (tx.payload().method == "deploy") {
+      // Deploys allocate the shared instance-id counter; serialize the
+      // whole block rather than model that dependency.
+      sets[i].global = true;
+    } else {
+      // Contract call: run it against the pre-block state under a tracing
+      // view inside a checkpoint that is always rolled back. The traced
+      // footprint can diverge from the real one once earlier block txs
+      // mutate state — lane execution validates accesses at runtime and
+      // aborts to the sequential path on any miss.
+      AccessTracingView tracing(state_, &sets[i]);
+      uint64_t scratch_instance_id = next_instance_id_;
+      state_.Begin();
+      ExecuteTransactionOn(tracing, &scratch_instance_id, tx, block_number,
+                           timestamp);
+      state_.Rollback();
+    }
+  }
+  return sets;
+}
+
+bool Blockchain::TryExecuteLanes(const std::vector<Transaction>& txs,
+                                 uint64_t block_number,
+                                 common::SimTime timestamp,
+                                 common::ThreadPool* pool,
+                                 std::vector<Receipt>* receipts) {
+  const std::vector<AccessSet> sets =
+      ComputeAccessSets(txs, block_number, timestamp);
+  const std::vector<std::vector<size_t>> lanes = PartitionIntoLanes(sets);
+  if (lanes.size() <= 1) return false;
+
+  // One private overlay view per lane over the frozen pre-block state.
+  std::vector<LaneStateView> views;
+  views.reserve(lanes.size());
+  for (const std::vector<size_t>& lane : lanes) {
+    AccessSet merged;
+    for (size_t i : lane) merged.Merge(sets[i]);
+    views.emplace_back(state_, std::move(merged));
+  }
+
+  std::vector<Receipt> lane_receipts(txs.size());
+  const obs::TraceContext parent_ctx = obs::CurrentTraceContext();
+  pool->ParallelFor(0, lanes.size(), [&](size_t li) {
+    obs::TraceContextScope causal_parent(parent_ctx);
+    PDS2_TRACE_SPAN("chain.parallel.lane");
+    // No deploys reach the lane path (they are global), so the instance-id
+    // counter is read-only here; a per-lane copy keeps the executor
+    // oblivious.
+    uint64_t scratch_instance_id = next_instance_id_;
+    for (size_t i : lanes[li]) {
+      lane_receipts[i] = ExecuteTransactionOn(views[li], &scratch_instance_id,
+                                              txs[i], block_number, timestamp);
+    }
+  });
+
+  for (const LaneStateView& view : views) {
+    if (view.violated()) {
+      // A transaction strayed outside its traced footprint. Nothing has
+      // touched state_ yet: drop every overlay and let the caller re-run
+      // the block sequentially.
+      PDS2_M_COUNT("chain.parallel.aborts", 1);
+      return false;
+    }
+  }
+  // Lane footprints are pairwise disjoint, so merge order cannot matter;
+  // lane order keeps it deterministic anyway.
+  for (const LaneStateView& view : views) view.MergeInto(&state_);
+  *receipts = std::move(lane_receipts);
+  PDS2_M_COUNT("chain.parallel.blocks_parallel", 1);
+  PDS2_M_COUNT("chain.parallel.lanes", lanes.size());
+  return true;
+}
+
+std::vector<Receipt> Blockchain::ExecuteBlockTxs(
+    const std::vector<Transaction>& txs, uint64_t block_number,
+    common::SimTime timestamp) {
+  PDS2_TRACE_SPAN("chain.execute_block_txs");
+  std::vector<Receipt> receipts;
+  common::ThreadPool* pool = ExecutionPool();
+  bool parallel = false;
+  if (pool->NumThreads() > 1 && txs.size() >= kMinParallelBlockTxs) {
+    parallel = TryExecuteLanes(txs, block_number, timestamp, pool, &receipts);
+  }
+  if (!parallel) {
+    PDS2_M_COUNT("chain.parallel.blocks_serial", 1);
+    receipts.reserve(txs.size());
+    for (const Transaction& tx : txs) {
+      receipts.push_back(ExecuteTransactionOn(state_, &next_instance_id_, tx,
+                                              block_number, timestamp));
+    }
+  }
+
+  uint64_t block_gas = 0;
+  for (const Receipt& receipt : receipts) block_gas += receipt.gas_used;
+  total_gas_used_ += block_gas;
+  PDS2_M_COUNT("chain.txs_executed", txs.size());
+  PDS2_M_COUNT("chain.gas_used", block_gas);
+  return receipts;
 }
 
 Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
@@ -342,35 +488,22 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
   uint64_t block_gas = 0;
   uint64_t fees = 0;
 
-  // Drain the mempool in submission order; a transaction whose nonce is
-  // ahead of the account stays queued, one that is behind is dropped.
-  // Multiple passes let several transactions from one sender land in a
-  // single block.
-  bool progressed = true;
-  while (progressed && block_gas < config_.block_gas_limit) {
-    progressed = false;
-    for (auto it = mempool_.begin(); it != mempool_.end();) {
-      const uint64_t account_nonce = state_.GetNonce(it->SenderAddress());
-      if (it->nonce() < account_nonce) {
-        mempool_ids_.erase(it->Id());
-        tx_trace_ctx_.erase(it->Id());
-        it = mempool_.erase(it);  // stale, superseded
-        continue;
-      }
-      if (it->nonce() > account_nonce ||
-          block_gas + it->gas_limit() > config_.block_gas_limit) {
-        ++it;
-        continue;
-      }
-      Receipt receipt = ExecuteTransaction(*it, block_number, timestamp);
-      block_gas += receipt.gas_used;
-      fees += receipt.gas_used * config_.gas_price;
-      receipts_[receipt.tx_id] = receipt;
-      block.transactions.push_back(*it);
-      mempool_ids_.erase(receipt.tx_id);
-      it = mempool_.erase(it);
-      progressed = true;
-    }
+  // Selection is separated from execution: the mempool hands over the
+  // block's transactions in canonical order (per-sender nonce runs,
+  // first-come-first-served, packed under the gas limit by worst case) and
+  // evicts entries that can never execute — stale nonces and heads the
+  // sender can no longer afford.
+  Mempool::Selection selection = mempool_.SelectForBlock(
+      state_, config_.block_gas_limit, config_.gas_price);
+  for (const Hash& dropped : selection.dropped) tx_trace_ctx_.erase(dropped);
+  block.transactions = std::move(selection.selected);
+
+  std::vector<Receipt> receipts =
+      ExecuteBlockTxs(block.transactions, block_number, timestamp);
+  for (Receipt& receipt : receipts) {
+    block_gas += receipt.gas_used;
+    fees += receipt.gas_used * config_.gas_price;
+    receipts_[receipt.tx_id] = std::move(receipt);
   }
 
   // Fees go to the proposer. Cannot overflow: fees were just debited from
@@ -440,11 +573,11 @@ Status Blockchain::ApplyExternalBlockInner(const Block& block) {
 
   // Execute and check the resulting state commitment.
   uint64_t fees = 0;
-  for (const Transaction& tx : block.transactions) {
-    Receipt receipt =
-        ExecuteTransaction(tx, block.header.number, block.header.timestamp);
+  std::vector<Receipt> receipts = ExecuteBlockTxs(
+      block.transactions, block.header.number, block.header.timestamp);
+  for (Receipt& receipt : receipts) {
     fees += receipt.gas_used * config_.gas_price;
-    receipts_[receipt.tx_id] = receipt;
+    receipts_[receipt.tx_id] = std::move(receipt);
   }
   if (fees > 0) {
     Status credit_status = state_.Credit(
@@ -456,6 +589,10 @@ Status Blockchain::ApplyExternalBlockInner(const Block& block) {
     return Status::Corruption("state root mismatch after execution");
   }
   blocks_.push_back(block);
+  // Locally queued copies of the block's transactions are now executed;
+  // drop them instead of waiting for stale-nonce eviction at the next
+  // production turn.
+  mempool_.RemoveExecuted(block.transactions);
   if (listener_ != nullptr) listener_->OnBlockCommitted(*this, blocks_.back());
   return Status::Ok();
 }
@@ -519,7 +656,7 @@ Bytes Blockchain::EncodeSnapshotState() const {
 
 Status Blockchain::RestoreFromSnapshot(const Bytes& snapshot_state,
                                        std::vector<Block> history) {
-  if (!blocks_.empty() || !mempool_.empty() || state_.TotalBalance() != 0) {
+  if (!blocks_.empty() || mempool_.Size() != 0 || state_.TotalBalance() != 0) {
     return Status::FailedPrecondition(
         "snapshot restore requires a freshly constructed chain");
   }

@@ -1,7 +1,6 @@
 #ifndef PDS2_CHAIN_CHAIN_H_
 #define PDS2_CHAIN_CHAIN_H_
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -11,6 +10,8 @@
 #include "chain/block.h"
 #include "chain/contract.h"
 #include "chain/gas.h"
+#include "chain/mempool.h"
+#include "chain/parallel_exec.h"
 #include "chain/state.h"
 #include "chain/transaction.h"
 #include "common/result.h"
@@ -53,10 +54,14 @@ class CommitListener {
 struct ChainConfig {
   uint64_t gas_price = 1;                  // native tokens per gas unit
   uint64_t block_gas_limit = 100'000'000;  // per-block execution budget
-  /// Optional pool for parallel block validation (signature batch + tx
-  /// root). nullptr (or a 1-thread pool) follows the sequential code path
-  /// exactly; any pool size yields bit-identical blocks and state.
+  /// Optional pool for parallel block validation (signature batches + tx
+  /// root) and optimistic parallel transaction execution. nullptr uses the
+  /// process-wide ThreadPool::Global(); a 1-thread pool follows the
+  /// sequential code path exactly. Any pool size yields bit-identical
+  /// blocks, receipts and state (see DESIGN.md "Parallel execution").
   common::ThreadPool* thread_pool = nullptr;
+  /// Mempool shape (shard count, admission bound).
+  Mempool::Config mempool;
   /// Crash tolerance of the PoA rotation. 0 = strict round-robin: only
   /// validators_[height % n] may propose, so an offline proposer stalls the
   /// chain forever. > 0 = deadline fallback: for every `proposer_grace` of
@@ -73,10 +78,15 @@ struct ChainConfig {
 /// The PDS2 governance blockchain: an account-based ledger with
 /// proof-of-authority consensus (a fixed validator set proposing in
 /// round-robin order) executing native C++ contracts with Ethereum-style
-/// gas accounting. Execution is sequential and deterministic by design — it
-/// is the ground truth of the marketplace simulation. Validation (signature
-/// batches, Merkle roots) may run on a ThreadPool without affecting any
-/// output: see ChainConfig::thread_pool.
+/// gas accounting. Execution semantics are sequential and deterministic by
+/// design — it is the ground truth of the marketplace simulation — but the
+/// implementation may run non-conflicting transactions concurrently:
+/// blocks are partitioned into conflict lanes by access set and executed
+/// optimistically on a ThreadPool, with a sequential re-run whenever a
+/// transaction strays outside its inferred footprint. Every pool size
+/// (including none) produces bit-identical receipts, state and block
+/// hashes: see ChainConfig::thread_pool and DESIGN.md "Parallel
+/// execution".
 class Blockchain {
  public:
   Blockchain(std::vector<common::Bytes> validator_public_keys,
@@ -122,7 +132,7 @@ class Blockchain {
   uint64_t Height() const { return blocks_.size(); }
   Hash LastBlockHash() const;
   const std::vector<Block>& blocks() const { return blocks_; }
-  size_t MempoolSize() const { return mempool_.size(); }
+  size_t MempoolSize() const { return mempool_.Size(); }
   const std::vector<common::Bytes>& validators() const { return validators_; }
   /// Validator whose turn it is to propose the next block.
   const common::Bytes& NextProposer() const;
@@ -178,8 +188,38 @@ class Blockchain {
                                      std::vector<Block> history);
 
  private:
-  Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number,
-                             common::SimTime timestamp);
+  /// Executes one transaction against an arbitrary state view. Pure with
+  /// respect to the chain: receipts, gas and instance-id allocation go
+  /// through the arguments, so the same routine serves sequential
+  /// execution on the real WorldState, the access-tracing pre-pass and
+  /// optimistic lane execution. Counters/metrics are the caller's job.
+  Receipt ExecuteTransactionOn(StateView& state, uint64_t* next_instance_id,
+                               const Transaction& tx, uint64_t block_number,
+                               common::SimTime timestamp) const;
+
+  /// Access set per transaction: declared for plain transfers, inferred by
+  /// a rolled-back tracing execution for contract calls, global for
+  /// deploys (they allocate the shared instance-id counter).
+  std::vector<AccessSet> ComputeAccessSets(
+      const std::vector<Transaction>& txs, uint64_t block_number,
+      common::SimTime timestamp);
+
+  /// Executes a block's transactions — in parallel conflict lanes when a
+  /// multi-thread pool is available and the block splits, sequentially
+  /// otherwise — and returns the receipts in transaction order. Updates
+  /// total gas and execution metrics exactly once per transaction.
+  std::vector<Receipt> ExecuteBlockTxs(const std::vector<Transaction>& txs,
+                                       uint64_t block_number,
+                                       common::SimTime timestamp);
+
+  /// The optimistic lane path of ExecuteBlockTxs. False (with no state
+  /// mutated) when the block does not split into >1 lane or any lane
+  /// violated its access set; true after overlays merged and `*receipts`
+  /// holds the per-transaction results.
+  bool TryExecuteLanes(const std::vector<Transaction>& txs,
+                       uint64_t block_number, common::SimTime timestamp,
+                       common::ThreadPool* pool,
+                       std::vector<Receipt>* receipts);
 
   /// ApplyExternalBlock's validation/execution body; the public wrapper
   /// adds the applied/rejected accounting around it.
@@ -189,9 +229,16 @@ class Blockchain {
   common::Status VerifyTransactionCached(const Transaction& tx);
 
   /// Verifies a block's signatures, skipping cached ones and checking the
-  /// rest on the configured pool. Returns the first failure in tx order —
-  /// the same status the sequential loop produced.
+  /// rest with batched Schnorr verification (one randomized linear
+  /// combination per chunk, chunks sized from the block and spread over
+  /// the pool). A failing chunk falls back to per-signature checks, so the
+  /// returned status is the first failure in tx order — the same status
+  /// the sequential loop produced.
   common::Status VerifyBlockSignatures(const std::vector<Transaction>& txs);
+
+  /// The pool every parallel path uses: the configured one, or the
+  /// process-wide shared pool when none was plumbed through.
+  common::ThreadPool* ExecutionPool() const;
 
   void CacheVerified(Hash tx_id);
 
@@ -209,12 +256,12 @@ class Blockchain {
 
   WorldState state_;
   std::vector<Block> blocks_;
-  std::deque<Transaction> mempool_;
-  std::set<Hash> mempool_ids_;  // tx ids queued in mempool_ (dedup)
+  Mempool mempool_;
   std::map<Hash, Receipt> receipts_;
   CommitListener* listener_ = nullptr;
   uint64_t next_instance_id_ = 1;
   uint64_t total_gas_used_ = 0;
+  uint64_t genesis_minted_ = 0;  // running CreditGenesis supply cap
   std::set<Hash> verified_txs_;  // successful signature checks, by tx id
   uint64_t signature_verifications_ = 0;
   /// Trace context active when each mempool tx was submitted (populated

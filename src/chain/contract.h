@@ -34,7 +34,7 @@ struct Event {
 /// the contract instance's namespace.
 class CallContext {
  public:
-  CallContext(WorldState& state, GasMeter& gas, Address sender, uint64_t value,
+  CallContext(StateView& state, GasMeter& gas, Address sender, uint64_t value,
               std::string contract_name, uint64_t instance,
               const BlockContext& block, std::vector<Event>* events);
 
@@ -69,10 +69,10 @@ class CallContext {
   /// The contract instance's own account address (escrow holder).
   Address SelfAddress() const;
   GasMeter& gas() { return gas_; }
-  WorldState& state() { return state_; }
+  StateView& state() { return state_; }
 
  private:
-  WorldState& state_;
+  StateView& state_;
   GasMeter& gas_;
   Address sender_;
   uint64_t value_;

@@ -1,0 +1,231 @@
+#include "chain/mempool.h"
+
+#include <algorithm>
+
+#include "common/checked_math.h"
+#include "obs/metrics.h"
+
+namespace pds2::chain {
+
+using common::Status;
+
+Mempool::Mempool(Config config) : config_(config) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  shards_ = std::vector<Shard>(config_.num_shards);
+}
+
+size_t Mempool::ShardIndexFor(const Address& sender) const {
+  // FNV-1a over the address bytes; senders map stably to shards.
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : sender) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % config_.num_shards);
+}
+
+void Mempool::PublishShardDepth(size_t shard_index, size_t depth) const {
+#if PDS2_METRICS
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Global()
+        .GetGauge("chain.mempool.shard_depth." + std::to_string(shard_index))
+        .Set(static_cast<int64_t>(depth));
+  }
+#else
+  (void)shard_index;
+  (void)depth;
+#endif
+}
+
+Status Mempool::Add(const Transaction& tx) {
+  // Reserve capacity optimistically; release on any rejection.
+  if (count_.fetch_add(1, std::memory_order_relaxed) >=
+      config_.max_transactions) {
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    PDS2_M_COUNT("chain.mempool.admission_rejected", 1);
+    return Status::ResourceExhausted("mempool is full");
+  }
+  const Address sender = tx.SenderAddress();
+  const size_t shard_index = ShardIndexFor(sender);
+  Shard& shard = shards_[shard_index];
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Hash id = tx.Id();
+    if (shard.ids.count(id) > 0) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::AlreadyExists("transaction already queued in mempool");
+    }
+    auto& chain = shard.by_sender[sender];
+    Entry entry{tx, id, next_seq_.fetch_add(1, std::memory_order_relaxed)};
+    auto [it, inserted] = chain.emplace(tx.nonce(), std::move(entry));
+    (void)it;
+    if (!inserted) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::AlreadyExists(
+          "transaction with this sender nonce already queued");
+    }
+    shard.ids.insert(std::move(id));
+    depth = shard.ids.size();
+  }
+  PublishShardDepth(shard_index, depth);
+  return Status::Ok();
+}
+
+bool Mempool::Contains(const Hash& id) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ids.count(id) > 0) return true;
+  }
+  return false;
+}
+
+size_t Mempool::Size() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
+                                           uint64_t block_gas_limit,
+                                           uint64_t gas_price) {
+  Selection result;
+
+  // Pass 1, per shard under its lock: evict stale nonces and pre-doomed
+  // chain heads, then pull each sender's executable run (consecutive nonces
+  // from the account nonce, affordable under a worst-case running balance)
+  // into a shared candidate list.
+  struct Candidate {
+    const Transaction* tx;
+    const Hash* id;
+    uint64_t seq;
+    uint64_t max_cost;  // value + gas_limit * gas_price
+    Address sender;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+    for (auto sender_it = shard.by_sender.begin();
+         sender_it != shard.by_sender.end();) {
+      const Address& sender = sender_it->first;
+      auto& chain = sender_it->second;
+      const uint64_t account_nonce = state.GetNonce(sender);
+
+      // Stale: superseded by an executed transaction with the same nonce.
+      while (!chain.empty() && chain.begin()->first < account_nonce) {
+        result.dropped.push_back(chain.begin()->second.id);
+        shard.ids.erase(chain.begin()->second.id);
+        chain.erase(chain.begin());
+        count_.fetch_sub(1, std::memory_order_relaxed);
+      }
+
+      uint64_t balance = state.GetBalance(sender);
+      uint64_t expected_nonce = account_nonce;
+      for (auto it = chain.begin(); it != chain.end(); ++it) {
+        if (it->first != expected_nonce) break;  // gap: rest is future
+        const Transaction& tx = it->second.tx;
+        uint64_t max_fee, max_cost;
+        const bool representable =
+            common::CheckedMul(tx.gas_limit(), gas_price, &max_fee) &&
+            common::CheckedAdd(tx.value(), max_fee, &max_cost);
+        if (!representable || max_cost > balance) {
+          // The chain head can never execute before anything tops the
+          // sender up: it is pre-doomed, evict it so no block carries it.
+          // Later entries in the run merely wait for the head's actual
+          // (possibly smaller) spend and stay queued.
+          if (it->first == account_nonce) {
+            result.dropped.push_back(it->second.id);
+            shard.ids.erase(it->second.id);
+            chain.erase(it);
+            count_.fetch_sub(1, std::memory_order_relaxed);
+            PDS2_M_COUNT("chain.mempool.predoomed_evicted", 1);
+          }
+          break;
+        }
+        balance -= max_cost;
+        candidates.push_back(Candidate{&tx, &it->second.id, it->second.seq,
+                                       max_cost, sender});
+        ++expected_nonce;
+      }
+
+      if (chain.empty()) {
+        sender_it = shard.by_sender.erase(sender_it);
+      } else {
+        ++sender_it;
+      }
+    }
+  }
+
+  // Pass 2: first-come-first-served packing under the block gas budget
+  // (worst case: the sum of gas limits). Multiple passes let a nonce run
+  // whose later entries were submitted first still land in one block, just
+  // as the old deque drain did.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.seq < b.seq; });
+  std::map<Address, uint64_t> included_upto;  // sender -> next expected nonce
+  std::vector<bool> taken(candidates.size(), false);
+  uint64_t block_gas = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const Candidate& cand = candidates[i];
+      auto [it, inserted] = included_upto.try_emplace(
+          cand.sender, state.GetNonce(cand.sender));
+      if (cand.tx->nonce() != it->second) continue;
+      if (block_gas + cand.tx->gas_limit() > block_gas_limit) continue;
+      block_gas += cand.tx->gas_limit();
+      it->second = cand.tx->nonce() + 1;
+      taken[i] = true;
+      result.selected.push_back(*cand.tx);
+      progressed = true;
+    }
+  }
+
+  // Remove the selected entries from their shards (still locked).
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!taken[i]) continue;
+    const Candidate& cand = candidates[i];
+    Shard& shard = shards_[ShardIndexFor(cand.sender)];
+    auto sender_it = shard.by_sender.find(cand.sender);
+    if (sender_it == shard.by_sender.end()) continue;
+    shard.ids.erase(*cand.id);
+    sender_it->second.erase(cand.tx->nonce());
+    if (sender_it->second.empty()) shard.by_sender.erase(sender_it);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  locks.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    PublishShardDepth(s, shards_[s].ids.size());
+  }
+  return result;
+}
+
+void Mempool::RemoveExecuted(const std::vector<Transaction>& txs) {
+  for (const Transaction& tx : txs) {
+    const Address sender = tx.SenderAddress();
+    const size_t shard_index = ShardIndexFor(sender);
+    Shard& shard = shards_[shard_index];
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const Hash id = tx.Id();
+      if (shard.ids.erase(id) == 0) continue;
+      auto sender_it = shard.by_sender.find(sender);
+      if (sender_it != shard.by_sender.end()) {
+        auto it = sender_it->second.find(tx.nonce());
+        if (it != sender_it->second.end() && it->second.id == id) {
+          sender_it->second.erase(it);
+        }
+        if (sender_it->second.empty()) shard.by_sender.erase(sender_it);
+      }
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      depth = shard.ids.size();
+    }
+    PublishShardDepth(shard_index, depth);
+  }
+}
+
+}  // namespace pds2::chain

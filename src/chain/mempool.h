@@ -1,0 +1,115 @@
+#ifndef PDS2_CHAIN_MEMPOOL_H_
+#define PDS2_CHAIN_MEMPOOL_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "chain/state.h"
+#include "chain/transaction.h"
+#include "chain/types.h"
+#include "common/result.h"
+
+namespace pds2::chain {
+
+/// Sharded transaction pool. Transactions are bucketed by a hash of the
+/// sender address — all of one sender's pending transactions share a shard,
+/// which is what lets selection walk nonce chains under a single shard lock
+/// — and every shard has its own mutex, so concurrent submitters no longer
+/// serialize against each other or against block production. A global
+/// submission sequence number preserves the first-come-first-served
+/// ordering of the previous deque-based pool.
+///
+/// Admission is bounded (ResourceExhausted beyond `max_transactions`), and
+/// selection evicts transactions that can never execute: stale nonces and
+/// pool heads whose sender balance no longer covers the worst-case cost
+/// `gas_limit * gas_price + value` — a produced block never carries a
+/// pre-doomed transaction.
+class Mempool {
+ public:
+  struct Config {
+    size_t num_shards = 16;
+    size_t max_transactions = 1 << 16;
+  };
+
+  Mempool() : Mempool(Config{}) {}
+  explicit Mempool(Config config);
+
+  /// Moves transplant the shard vector wholesale (a vector move never moves
+  /// its elements, so the per-shard mutexes stay put). Not safe while any
+  /// other thread touches either pool — moving a live mempool is a bug.
+  Mempool(Mempool&& other) noexcept
+      : config_(other.config_),
+        shards_(std::move(other.shards_)),
+        next_seq_(other.next_seq_.load(std::memory_order_relaxed)),
+        count_(other.count_.load(std::memory_order_relaxed)) {
+    other.count_.store(0, std::memory_order_relaxed);
+  }
+  Mempool& operator=(Mempool&& other) noexcept {
+    if (this != &other) {
+      config_ = other.config_;
+      shards_ = std::move(other.shards_);
+      next_seq_.store(other.next_seq_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      count_.store(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      other.count_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  /// Queues a transaction the chain has already signature-checked.
+  /// AlreadyExists on a duplicate id or an occupied (sender, nonce) slot
+  /// (first submission wins); ResourceExhausted when the pool is full.
+  common::Status Add(const Transaction& tx);
+
+  /// Whether a transaction id is currently queued.
+  bool Contains(const Hash& id) const;
+
+  /// Total queued transactions across all shards.
+  size_t Size() const;
+
+  struct Selection {
+    std::vector<Transaction> selected;  // canonical block order
+    std::vector<Hash> dropped;          // stale/pre-doomed, evicted for good
+  };
+
+  /// Drains the next block's transactions: per sender, consecutive nonces
+  /// starting at the account nonce, affordable under worst-case fees
+  /// against `state`, packed first-come-first-served under the sum of gas
+  /// limits. Stale entries (nonce below the account's) and unaffordable
+  /// chain heads are evicted and reported in `dropped`; future-nonce and
+  /// not-yet-fitting transactions stay queued.
+  Selection SelectForBlock(const WorldState& state, uint64_t block_gas_limit,
+                           uint64_t gas_price);
+
+  /// Removes transactions executed via an external block.
+  void RemoveExecuted(const std::vector<Transaction>& txs);
+
+ private:
+  struct Entry {
+    Transaction tx;
+    Hash id;
+    uint64_t seq = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // sender -> nonce -> entry; nonce order is selection order.
+    std::map<Address, std::map<uint64_t, Entry>> by_sender;
+    std::set<Hash> ids;
+  };
+
+  size_t ShardIndexFor(const Address& sender) const;
+  void PublishShardDepth(size_t shard_index, size_t depth) const;
+
+  Config config_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<size_t> count_{0};
+};
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_MEMPOOL_H_

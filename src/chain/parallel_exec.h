@@ -1,0 +1,148 @@
+#ifndef PDS2_CHAIN_PARALLEL_EXEC_H_
+#define PDS2_CHAIN_PARALLEL_EXEC_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/state.h"
+#include "chain/types.h"
+
+namespace pds2::chain {
+
+/// The ledger footprint of one transaction: the native accounts and the
+/// contract storage spaces it may read or write. Plain transfers declare
+/// their sets exactly ({sender, recipient}); contract calls get theirs
+/// inferred by a tracing pre-pass (see Blockchain). `global` marks a
+/// transaction that conflicts with everything (deploys, which allocate the
+/// shared instance-id counter) and forces the whole block sequential.
+struct AccessSet {
+  std::set<Address> accounts;
+  std::set<std::string> spaces;
+  bool global = false;
+
+  /// Absorbs `other` into this set (lane union).
+  void Merge(const AccessSet& other);
+};
+
+/// StateView decorator that records every account and storage space an
+/// execution touches. The tracing pre-pass runs each contract transaction
+/// against the pre-block state under one of these (inside a checkpoint that
+/// is rolled back), and the recorded footprint becomes the transaction's
+/// declared access set.
+class AccessTracingView final : public StateView {
+ public:
+  AccessTracingView(StateView& inner, AccessSet* out)
+      : inner_(inner), out_(out) {}
+
+  uint64_t GetBalance(const Address& addr) const override;
+  uint64_t GetNonce(const Address& addr) const override;
+  common::Status Credit(const Address& addr, uint64_t amount) override;
+  common::Status Debit(const Address& addr, uint64_t amount) override;
+  common::Status Transfer(const Address& from, const Address& to,
+                          uint64_t amount) override;
+  void BumpNonce(const Address& addr) override;
+  std::optional<common::Bytes> StorageGet(
+      const std::string& space, const common::Bytes& key) const override;
+  bool StoragePut(const std::string& space, const common::Bytes& key,
+                  const common::Bytes& value) override;
+  void StorageDelete(const std::string& space,
+                     const common::Bytes& key) override;
+  std::vector<std::pair<common::Bytes, common::Bytes>> StorageScan(
+      const std::string& space, const common::Bytes& prefix) const override;
+  void Begin() override { inner_.Begin(); }
+  void Commit() override { inner_.Commit(); }
+  void Rollback() override { inner_.Rollback(); }
+
+ private:
+  StateView& inner_;
+  AccessSet* out_;
+};
+
+/// A lane's private view of the world during optimistic parallel execution:
+/// reads fall through to the frozen pre-block WorldState, writes are
+/// buffered in an overlay. Lanes have pairwise-disjoint access sets, so the
+/// base is never mutated while lanes run and overlay merging is
+/// order-independent.
+///
+/// Every access is validated against the lane's allowed set. A transaction
+/// that strays outside it (the traced footprint diverged from the real one)
+/// sets the `violated` flag — the access itself stays memory-safe because
+/// it only touches the immutable base and this lane's private overlay — and
+/// the executor discards all overlays and re-runs the block sequentially.
+///
+/// Semantics (including error strings, account-existence effects and the
+/// journaled Begin/Commit/Rollback contract) replicate WorldState exactly:
+/// a lane-executed transaction must produce a bit-identical receipt.
+class LaneStateView final : public StateView {
+ public:
+  LaneStateView(const WorldState& base, AccessSet allowed)
+      : base_(base), allowed_(std::move(allowed)) {}
+
+  uint64_t GetBalance(const Address& addr) const override;
+  uint64_t GetNonce(const Address& addr) const override;
+  common::Status Credit(const Address& addr, uint64_t amount) override;
+  common::Status Debit(const Address& addr, uint64_t amount) override;
+  common::Status Transfer(const Address& from, const Address& to,
+                          uint64_t amount) override;
+  void BumpNonce(const Address& addr) override;
+  std::optional<common::Bytes> StorageGet(
+      const std::string& space, const common::Bytes& key) const override;
+  bool StoragePut(const std::string& space, const common::Bytes& key,
+                  const common::Bytes& value) override;
+  void StorageDelete(const std::string& space,
+                     const common::Bytes& key) override;
+  std::vector<std::pair<common::Bytes, common::Bytes>> StorageScan(
+      const std::string& space, const common::Bytes& prefix) const override;
+  void Begin() override;
+  void Commit() override;
+  void Rollback() override;
+
+  /// True once any access fell outside the allowed set.
+  bool violated() const { return violated_; }
+
+  /// Applies the buffered writes to `target` (the base this view was built
+  /// over). Must only be called with no open checkpoints and when no lane
+  /// violated its set.
+  void MergeInto(WorldState* target) const;
+
+ private:
+  struct JournalEntry {
+    enum class Kind { kAccount, kStorage } kind;
+    Address addr;
+    std::optional<std::optional<Account>> prior_account;  // outer: in overlay?
+    std::string space;
+    common::Bytes key;
+    std::optional<std::optional<common::Bytes>> prior_value;
+  };
+
+  std::optional<Account> LookupAccount(const Address& addr) const;
+  void PutOverlayAccount(const Address& addr, const Account& account);
+  void JournalStorageSlot(const std::string& space, const common::Bytes& key);
+  void CheckAccount(const Address& addr) const;
+  void CheckSpace(const std::string& space) const;
+
+  const WorldState& base_;
+  AccessSet allowed_;
+  mutable bool violated_ = false;
+  std::map<Address, Account> accounts_;
+  // space -> key -> value (nullopt = deleted relative to base).
+  std::map<std::string, std::map<common::Bytes, std::optional<common::Bytes>>>
+      storage_;
+  std::vector<JournalEntry> journal_;
+  std::vector<size_t> checkpoints_;
+};
+
+/// Partitions transactions [0, n) into conflict lanes: union-find over
+/// overlapping access sets, so two transactions land in the same lane iff
+/// they are connected through shared accounts or storage spaces. Lane order
+/// and in-lane order both follow the canonical (block) transaction order.
+/// If any set is global the result is a single lane holding everything.
+std::vector<std::vector<size_t>> PartitionIntoLanes(
+    const std::vector<AccessSet>& sets);
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_PARALLEL_EXEC_H_

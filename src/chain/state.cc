@@ -83,6 +83,17 @@ void WorldState::BumpNonce(const Address& addr) {
   accounts_[addr].nonce += 1;
 }
 
+std::optional<Account> WorldState::GetAccount(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return std::nullopt;
+  return it->second;
+}
+
+void WorldState::PutAccount(const Address& addr, const Account& account) {
+  JournalAccount(addr);
+  accounts_[addr] = account;
+}
+
 std::optional<Bytes> WorldState::StorageGet(const std::string& space,
                                             const Bytes& key) const {
   auto space_it = storage_.find(space);

@@ -17,59 +17,101 @@ struct Account {
   uint64_t nonce = 0;
 };
 
+/// Abstract ledger surface transaction execution runs against. WorldState
+/// is the canonical implementation; the parallel executor substitutes
+/// per-lane overlay views (see parallel_exec.h) that buffer writes and
+/// validate the inferred access sets, so the same execution code serves
+/// both the sequential and the optimistic-parallel paths.
+class StateView {
+ public:
+  virtual ~StateView() = default;
+
+  // Accounts.
+  virtual uint64_t GetBalance(const Address& addr) const = 0;
+  virtual uint64_t GetNonce(const Address& addr) const = 0;
+  virtual common::Status Credit(const Address& addr, uint64_t amount) = 0;
+  virtual common::Status Debit(const Address& addr, uint64_t amount) = 0;
+  virtual common::Status Transfer(const Address& from, const Address& to,
+                                  uint64_t amount) = 0;
+  virtual void BumpNonce(const Address& addr) = 0;
+
+  // Contract storage.
+  virtual std::optional<common::Bytes> StorageGet(
+      const std::string& space, const common::Bytes& key) const = 0;
+  virtual bool StoragePut(const std::string& space, const common::Bytes& key,
+                          const common::Bytes& value) = 0;
+  virtual void StorageDelete(const std::string& space,
+                             const common::Bytes& key) = 0;
+  virtual std::vector<std::pair<common::Bytes, common::Bytes>> StorageScan(
+      const std::string& space, const common::Bytes& prefix) const = 0;
+
+  // Journaling (transaction checkpoint scope).
+  virtual void Begin() = 0;
+  virtual void Commit() = 0;
+  virtual void Rollback() = 0;
+};
+
 /// The replicated ledger state: native-token accounts plus raw contract
 /// storage. Mutations are journaled so a failed transaction can be rolled
 /// back precisely (only the keys it touched are restored).
-class WorldState {
+class WorldState final : public StateView {
  public:
   WorldState() = default;
 
   // --- Accounts -----------------------------------------------------------
 
   /// Balance of `addr` (0 for unknown accounts).
-  uint64_t GetBalance(const Address& addr) const;
+  uint64_t GetBalance(const Address& addr) const override;
   /// Current nonce of `addr` (0 for unknown accounts).
-  uint64_t GetNonce(const Address& addr) const;
+  uint64_t GetNonce(const Address& addr) const override;
   /// Credits an account (used for genesis allocations, block rewards and
   /// gas refunds). Guarded: InvalidArgument when the credit would wrap the
   /// balance past uint64, leaving the account untouched. Transfers and fee
   /// credits can never trip the guard (conservation bounds every balance by
   /// the total supply, which CreditGenesis caps below uint64), so callers
   /// on those paths may assert success.
-  common::Status Credit(const Address& addr, uint64_t amount);
+  common::Status Credit(const Address& addr, uint64_t amount) override;
   /// Debits; InsufficientFunds if the balance is too small.
-  common::Status Debit(const Address& addr, uint64_t amount);
+  common::Status Debit(const Address& addr, uint64_t amount) override;
   /// Atomic transfer from -> to.
   common::Status Transfer(const Address& from, const Address& to,
-                          uint64_t amount);
+                          uint64_t amount) override;
   /// Increments the account nonce.
-  void BumpNonce(const Address& addr);
+  void BumpNonce(const Address& addr) override;
+  /// Raw account record; nullopt when the account does not exist. The
+  /// existence distinction is observable (created-but-empty accounts are
+  /// hashed by Digest()), so overlay views replicate it exactly.
+  std::optional<Account> GetAccount(const Address& addr) const;
+  /// Installs an account record verbatim (journaled like any mutation).
+  /// Used by the parallel executor to merge lane overlays.
+  void PutAccount(const Address& addr, const Account& account);
 
   // --- Contract storage ----------------------------------------------------
 
   /// Reads a storage slot; nullopt when unset.
-  std::optional<common::Bytes> StorageGet(const std::string& space,
-                                          const common::Bytes& key) const;
+  std::optional<common::Bytes> StorageGet(
+      const std::string& space, const common::Bytes& key) const override;
   /// Writes a storage slot. Returns true if the slot already existed
   /// (drives the cheaper "update" gas price).
   bool StoragePut(const std::string& space, const common::Bytes& key,
-                  const common::Bytes& value);
+                  const common::Bytes& value) override;
   /// Deletes a slot (no-op if absent).
-  void StorageDelete(const std::string& space, const common::Bytes& key);
+  void StorageDelete(const std::string& space,
+                     const common::Bytes& key) override;
   /// All (key, value) pairs in a namespace whose key starts with `prefix`,
   /// in key order. Used by read-only enumeration queries.
   std::vector<std::pair<common::Bytes, common::Bytes>> StorageScan(
-      const std::string& space, const common::Bytes& prefix) const;
+      const std::string& space, const common::Bytes& prefix) const override;
 
   // --- Journaling -----------------------------------------------------------
 
   /// Opens a nested checkpoint. Every mutation after this point can be
   /// undone with Rollback or kept with Commit.
-  void Begin();
+  void Begin() override;
   /// Discards the most recent checkpoint, keeping its mutations.
-  void Commit();
+  void Commit() override;
   /// Undoes all mutations since the most recent checkpoint.
-  void Rollback();
+  void Rollback() override;
   /// Depth of open checkpoints (0 outside any transaction).
   size_t CheckpointDepth() const { return checkpoints_.size(); }
 

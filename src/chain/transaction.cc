@@ -14,6 +14,8 @@ namespace {
 constexpr char kTxDomain[] = "pds2.tx";
 }  // namespace
 
+const char* Transaction::Domain() { return kTxDomain; }
+
 Transaction Transaction::Make(const crypto::SigningKey& sender, uint64_t nonce,
                               const Address& to, uint64_t value,
                               uint64_t gas_limit, CallPayload payload) {

@@ -42,6 +42,11 @@ class Transaction {
   /// Verifies the sender signature.
   common::Status VerifySignature() const;
 
+  /// Bytes covered by the sender's signature (pre domain separation).
+  common::Bytes SigningBytes() const;
+  /// The transaction signing domain ("pds2.tx").
+  static const char* Domain();
+
   const common::Bytes& sender_public_key() const { return sender_public_key_; }
   Address SenderAddress() const {
     return AddressFromPublicKey(sender_public_key_);
@@ -51,10 +56,9 @@ class Transaction {
   uint64_t value() const { return value_; }
   uint64_t gas_limit() const { return gas_limit_; }
   const CallPayload& payload() const { return payload_; }
+  const common::Bytes& signature() const { return signature_; }
 
  private:
-  common::Bytes SigningBytes() const;
-
   common::Bytes sender_public_key_;
   uint64_t nonce_ = 0;
   Address to_;

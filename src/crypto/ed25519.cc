@@ -366,6 +366,76 @@ EdPoint EdPoint::ScalarBaseMul(const BigUint& k) {
   return ScalarMul(k, Base());
 }
 
+EdPoint EdPoint::MultiScalarMul(const std::vector<BigUint>& scalars,
+                                const std::vector<EdPoint>& points) {
+  assert(scalars.size() == points.size());
+  const size_t n = scalars.size();
+  if (n == 0) return Identity();
+
+  // Below this size the bucket setup dominates; plain double-and-add wins.
+  if (n < 4) {
+    EdPoint acc = Identity();
+    for (size_t i = 0; i < n; ++i) {
+      acc = Add(acc, ScalarMul(scalars[i], points[i]));
+    }
+    return acc;
+  }
+
+  // Fixed-width little-endian limbs for cheap window extraction.
+  size_t max_bits = 0;
+  std::vector<std::array<uint64_t, 4>> limbs(n, {0, 0, 0, 0});
+  for (size_t i = 0; i < n; ++i) {
+    const auto& sl = scalars[i].limbs();
+    assert(sl.size() <= 4 && "scalar exceeds 256 bits");
+    for (size_t j = 0; j < sl.size() && j < 4; ++j) limbs[i][j] = sl[j];
+    if (scalars[i].BitLength() > max_bits) max_bits = scalars[i].BitLength();
+  }
+  if (max_bits == 0) return Identity();
+
+  // Window width c balances the per-window bucket walk (2^c additions)
+  // against the per-point additions (n per window): pick 2^(c+1) ~ n.
+  size_t c = 4;
+  while (c < 12 && (size_t{1} << (c + 1)) < n) ++c;
+  const uint64_t digit_mask = (uint64_t{1} << c) - 1;
+
+  auto window_digit = [&](size_t i, size_t bit) -> uint64_t {
+    const size_t limb = bit / 64, off = bit % 64;
+    uint64_t d = limbs[i][limb] >> off;
+    if (off + c > 64 && limb + 1 < 4) d |= limbs[i][limb + 1] << (64 - off);
+    return d & digit_mask;
+  };
+
+  const size_t num_windows = (max_bits + c - 1) / c;
+  std::vector<EdPoint> buckets(size_t{1} << c, Identity());
+  std::vector<bool> used(buckets.size(), false);
+  EdPoint result = Identity();
+  for (size_t w = num_windows; w-- > 0;) {
+    for (size_t k = 0; k < c; ++k) result = Double(result);
+    std::fill(used.begin(), used.end(), false);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t d = window_digit(i, w * c);
+      if (d == 0) continue;
+      buckets[d] = used[d] ? Add(buckets[d], points[i]) : points[i];
+      used[d] = true;
+    }
+    // sum_b b * bucket[b] through suffix sums: running accumulates the
+    // buckets from the top, so adding it once per step weights bucket b by
+    // exactly b.
+    EdPoint running = Identity();
+    EdPoint window_sum = Identity();
+    bool any = false;
+    for (size_t b = buckets.size(); b-- > 1;) {
+      if (used[b]) {
+        running = any ? Add(running, buckets[b]) : buckets[b];
+        any = true;
+      }
+      if (any) window_sum = Add(window_sum, running);
+    }
+    if (any) result = Add(result, window_sum);
+  }
+  return result;
+}
+
 void EdPoint::ToAffine(Fe25519* x, Fe25519* y) const {
   const Fe25519 z_inv = Fe25519::Invert(z_);
   *x = Fe25519::Mul(x_, z_inv);

@@ -117,4 +117,88 @@ Status VerifySignatureWithDomain(const Bytes& public_key,
   return VerifySignature(public_key, WithDomain(domain, message), signature);
 }
 
+Bytes DomainSeparatedMessage(const std::string& domain, const Bytes& message) {
+  return WithDomain(domain, message);
+}
+
+bool VerifySignatureBatch(const std::vector<BatchVerifyEntry>& entries) {
+  const size_t n = entries.size();
+  if (n == 0) return true;
+  if (n == 1) {
+    return VerifySignature(entries[0].public_key, entries[0].message,
+                           entries[0].signature)
+        .ok();
+  }
+
+  const BigUint& order = EdPoint::GroupOrder();
+
+  // Structural checks, point decoding and per-entry challenges. Any
+  // malformed entry fails the batch outright — exactly what individual
+  // verification would conclude about it.
+  std::vector<EdPoint> big_r, pub;
+  std::vector<BigUint> s(n), c(n);
+  big_r.reserve(n);
+  pub.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const BatchVerifyEntry& e = entries[i];
+    if (e.public_key.size() != kPublicKeySize ||
+        e.signature.size() != kSignatureSize) {
+      return false;
+    }
+    Bytes r_enc(e.signature.begin(), e.signature.begin() + kPublicKeySize);
+    Bytes s_bytes(e.signature.begin() + kPublicKeySize, e.signature.end());
+    auto r_point = EdPoint::Decode(r_enc);
+    if (!r_point.ok()) return false;
+    auto p_point = EdPoint::Decode(e.public_key);
+    if (!p_point.ok()) return false;
+    s[i] = BigUint::FromBytesBE(s_bytes);
+    if (s[i] >= order) return false;
+
+    Bytes challenge_input = std::move(r_enc);
+    common::Append(challenge_input, e.public_key);
+    common::Append(challenge_input, e.message);
+    c[i] = HashToScalar(challenge_input);
+    big_r.push_back(std::move(r_point).value());
+    pub.push_back(std::move(p_point).value());
+  }
+
+  // Deterministic Fiat-Shamir coefficients: one digest over the whole batch
+  // (so every z_i depends on every entry), then z_i = H(digest || i)
+  // truncated to 128 bits and forced nonzero.
+  Sha256 batch_hash;
+  batch_hash.Update("pds2.sig.batch");
+  for (const BatchVerifyEntry& e : entries) {
+    batch_hash.Update(e.public_key);
+    batch_hash.Update(e.signature);
+    batch_hash.Update(Sha256::Hash(e.message));
+  }
+  const Bytes digest = batch_hash.Finish();
+
+  std::vector<EdPoint> points;
+  std::vector<BigUint> scalars;
+  points.reserve(2 * n);
+  scalars.reserve(2 * n);
+  BigUint z_dot_s;  // sum z_i * s_i mod order
+  for (size_t i = 0; i < n; ++i) {
+    Bytes index(8);
+    for (int b = 0; b < 8; ++b) {
+      index[b] = static_cast<uint8_t>((i >> (8 * (7 - b))) & 0xff);
+    }
+    Bytes z_bytes = Sha256::Hash2(digest, index);
+    z_bytes.resize(16);  // 128-bit coefficient
+    BigUint z = BigUint::FromBytesBE(z_bytes);
+    if (z.IsZero()) z = BigUint(1);  // z = 0 would exempt entry i
+
+    scalars.push_back(z);
+    points.push_back(big_r[i]);
+    scalars.push_back(BigUint::MulMod(z, c[i], order));
+    points.push_back(pub[i]);
+    z_dot_s = z_dot_s.Add(BigUint::MulMod(z, s[i], order)).Mod(order);
+  }
+
+  const EdPoint lhs = EdPoint::ScalarBaseMul(z_dot_s);
+  const EdPoint rhs = EdPoint::MultiScalarMul(scalars, points);
+  return lhs.Equals(rhs);
+}
+
 }  // namespace pds2::crypto

@@ -2,6 +2,7 @@
 #define PDS2_CRYPTO_SCHNORR_H_
 
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -66,6 +67,34 @@ common::Status VerifySignatureWithDomain(const common::Bytes& public_key,
                                          const std::string& domain,
                                          const common::Bytes& message,
                                          const common::Bytes& signature);
+
+/// The exact bytes SignWithDomain signs (domain || 0x00 || message).
+/// Exposed so batch callers can pre-compose domain-separated messages.
+common::Bytes DomainSeparatedMessage(const std::string& domain,
+                                     const common::Bytes& message);
+
+/// One (public key, message, signature) triple for batch verification.
+/// The message must already be domain-separated if the signature was made
+/// with SignWithDomain (see DomainSeparatedMessage).
+struct BatchVerifyEntry {
+  common::Bytes public_key;
+  common::Bytes message;
+  common::Bytes signature;
+};
+
+/// Verifies a whole batch with one randomized linear combination,
+///   (sum z_i s_i) * B == sum z_i * R_i + sum (z_i c_i) * P_i,
+/// evaluated by Pippenger multi-scalar multiplication — amortized cost per
+/// signature shrinks with batch size (~5-10x fewer point operations than
+/// independent verification at block-sized batches). The coefficients z_i
+/// are 128-bit and derived Fiat-Shamir style from a hash of the entire
+/// batch, so the check is deterministic yet an adversary cannot choose
+/// signatures that cancel (false-accept probability ~2^-128).
+///
+/// Returns true iff every signature verifies. On false the caller should
+/// fall back to per-entry VerifySignature to locate the failures (a batch
+/// cannot name the culprit).
+bool VerifySignatureBatch(const std::vector<BatchVerifyEntry>& entries);
 
 }  // namespace pds2::crypto
 

@@ -50,6 +50,11 @@ class ValidatorNode : public dml::Node {
   /// directory (snapshot + log-tail replay) if one exists, and every
   /// commit is persisted there. An unrecoverable directory falls back to a
   /// fresh in-memory replica (logged), keeping the node live.
+  /// `chain_config` is passed through to the replica's Blockchain, so
+  /// block production and external-block apply run on
+  /// `chain_config.thread_pool` — or on the shared process pool when that
+  /// is nullptr (the default): validators get batched signature checks
+  /// and conflict-lane execution without plumbing a pool here.
   ValidatorNode(size_t index, std::vector<common::Bytes> validator_keys,
                 crypto::SigningKey key,
                 const std::vector<GenesisAlloc>& genesis,

@@ -12,6 +12,7 @@
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/thread_pool.h"
 #include "common/logging.h"
 #include "common/serial.h"
 #include "obs/metrics.h"
@@ -450,8 +451,10 @@ Result<RecoveredChain> OpenBlockchain(
                                                registry_factory(), config);
   };
   auto replay_from_genesis =
-      [&](uint64_t upto) -> Result<std::unique_ptr<chain::Blockchain>> {
-    auto replica = fresh_chain();
+      [&](uint64_t upto, const chain::ChainConfig& replay_config)
+      -> Result<std::unique_ptr<chain::Blockchain>> {
+    auto replica = std::make_unique<chain::Blockchain>(
+        validator_public_keys, registry_factory(), replay_config);
     for (const GenesisAccount& alloc : genesis) {
       PDS2_RETURN_IF_ERROR(replica->CreditGenesis(alloc.address, alloc.amount));
     }
@@ -495,7 +498,7 @@ Result<RecoveredChain> OpenBlockchain(
     info.snapshot_height = height;
   }
   if (!replica) {
-    PDS2_ASSIGN_OR_RETURN(replica, replay_from_genesis(0));
+    PDS2_ASSIGN_OR_RETURN(replica, replay_from_genesis(0, config));
   }
 
   // Replay the log tail through the normal validation path (proposer turn,
@@ -515,14 +518,25 @@ Result<RecoveredChain> OpenBlockchain(
       replica->StateDigest() != replica->blocks().back().header.state_root) {
     return Status::Corruption("recovered state root mismatch at head");
   }
-  // Optionally cross-check the snapshot shortcut against an uninterrupted
-  // genesis replay of the same blocks — bit-identical or we refuse.
-  if (store_options.paranoid_recovery && info.used_snapshot) {
-    PDS2_ASSIGN_OR_RETURN(std::unique_ptr<chain::Blockchain> reference,
-                          replay_from_genesis(blocks.size()));
+  // Optionally cross-check the recovered state against an uninterrupted
+  // genesis replay on a forced-sequential replica — bit-identical or we
+  // refuse. This guards two shortcuts at once: a snapshot that is
+  // internally consistent but belongs to a different history, and the
+  // optimistic parallel block executor (the recovery replay above runs on
+  // the configured pool; the reference re-run cannot take the lane path).
+  const bool parallel_replay_possible =
+      config.thread_pool != nullptr && config.thread_pool->NumThreads() > 1;
+  if (store_options.paranoid_recovery &&
+      (info.used_snapshot || parallel_replay_possible)) {
+    common::ThreadPool sequential_pool(1);
+    chain::ChainConfig sequential_config = config;
+    sequential_config.thread_pool = &sequential_pool;
+    PDS2_ASSIGN_OR_RETURN(
+        std::unique_ptr<chain::Blockchain> reference,
+        replay_from_genesis(blocks.size(), sequential_config));
     if (reference->StateDigest() != replica->StateDigest()) {
       return Status::Corruption(
-          "snapshot-restored state diverges from full replay");
+          "recovered state diverges from sequential full replay");
     }
   }
 

@@ -26,10 +26,13 @@ struct ChainStoreOptions {
   /// bounded on-disk footprint of the snapshot side.
   size_t keep_snapshots = 2;
   /// During recovery, additionally replay the whole chain from genesis on a
-  /// scratch replica and require the snapshot-restored state digest to
-  /// bit-match it. Catches a snapshot that is internally consistent but
-  /// belongs to a different genesis. Costs O(chain) — benchmarks turn it
-  /// off to measure the snapshot speedup (EXPERIMENTS.md E13).
+  /// scratch replica forced onto a single-thread pool and require the
+  /// recovered state digest to bit-match it. Catches both a snapshot that
+  /// is internally consistent but belongs to a different genesis AND any
+  /// divergence introduced by the optimistic parallel block executor (the
+  /// reference replay cannot take the lane path). Costs O(chain) —
+  /// benchmarks turn it off to measure the snapshot speedup
+  /// (EXPERIMENTS.md E13).
   bool paranoid_recovery = true;
 };
 

@@ -1,0 +1,541 @@
+// Parallel transaction execution suite: conflict-lane partitioning,
+// LaneStateView overlay semantics, the sharded mempool, and — the contract
+// that matters — bit-identical receipts, state digests and block hashes for
+// every (conflict rate, thread count) combination. The sequential path is
+// the ground truth; the optimistic lane executor must be observationally
+// indistinguishable from it.
+//
+// Carries the `parallel` and `sanitize` labels: rerun under
+// -DPDS2_SANITIZE=thread to check the lane executor for data races.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chain/chain.h"
+#include "chain/mempool.h"
+#include "chain/parallel_exec.h"
+#include "common/serial.h"
+#include "common/thread_pool.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::Bytes;
+using common::Reader;
+using common::StatusCode;
+using common::ToBytes;
+using common::Writer;
+using crypto::SigningKey;
+
+constexpr uint64_t kGas = 2'000'000;
+constexpr uint64_t kGenesisEach = 10'000'000'000;
+
+Address TestAddress(uint8_t tag) { return Address(kAddressSize, tag); }
+
+// --- PartitionIntoLanes -----------------------------------------------------
+
+AccessSet Accounts(std::initializer_list<uint8_t> tags) {
+  AccessSet set;
+  for (uint8_t tag : tags) set.accounts.insert(TestAddress(tag));
+  return set;
+}
+
+TEST(PartitionIntoLanesTest, DisjointSetsGetTheirOwnLanes) {
+  std::vector<AccessSet> sets = {Accounts({1, 2}), Accounts({3, 4}),
+                                 Accounts({5, 6})};
+  auto lanes = PartitionIntoLanes(sets);
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes[0], std::vector<size_t>{0});
+  EXPECT_EQ(lanes[1], std::vector<size_t>{1});
+  EXPECT_EQ(lanes[2], std::vector<size_t>{2});
+}
+
+TEST(PartitionIntoLanesTest, SharedAccountMergesTransitively) {
+  // 0-1 share account 2, 1-3 share account 5: {0,1,3} is one lane even
+  // though 0 and 3 have nothing in common directly.
+  std::vector<AccessSet> sets = {Accounts({1, 2}), Accounts({2, 5}),
+                                 Accounts({7, 8}), Accounts({5, 9})};
+  auto lanes = PartitionIntoLanes(sets);
+  ASSERT_EQ(lanes.size(), 2u);
+  EXPECT_EQ(lanes[0], (std::vector<size_t>{0, 1, 3}));
+  EXPECT_EQ(lanes[1], std::vector<size_t>{2});
+}
+
+TEST(PartitionIntoLanesTest, SharedStorageSpaceMerges) {
+  AccessSet a = Accounts({1});
+  a.spaces.insert("erc20/7");
+  AccessSet b = Accounts({2});
+  b.spaces.insert("erc20/7");
+  auto lanes = PartitionIntoLanes({a, b});
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0], (std::vector<size_t>{0, 1}));
+}
+
+TEST(PartitionIntoLanesTest, GlobalSetSerializesEverything) {
+  AccessSet global;
+  global.global = true;
+  auto lanes = PartitionIntoLanes({Accounts({1}), global, Accounts({2})});
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0], (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(PartitionIntoLanesTest, LanesOrderedByLowestMember) {
+  // tx1 and tx3 conflict; lane containing tx0 comes first, then {1,3},
+  // then {2}.
+  std::vector<AccessSet> sets = {Accounts({10}), Accounts({11, 12}),
+                                 Accounts({13}), Accounts({12, 14})};
+  auto lanes = PartitionIntoLanes(sets);
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes[0], std::vector<size_t>{0});
+  EXPECT_EQ(lanes[1], (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(lanes[2], std::vector<size_t>{2});
+}
+
+// --- LaneStateView ----------------------------------------------------------
+
+TEST(LaneStateViewTest, ReadsFallThroughWritesStayInOverlay) {
+  WorldState base;
+  ASSERT_TRUE(base.Credit(TestAddress(1), 100).ok());
+  AccessSet allowed = Accounts({1, 2});
+  LaneStateView view(base, allowed);
+
+  EXPECT_EQ(view.GetBalance(TestAddress(1)), 100u);
+  ASSERT_TRUE(view.Transfer(TestAddress(1), TestAddress(2), 40).ok());
+  EXPECT_EQ(view.GetBalance(TestAddress(1)), 60u);
+  EXPECT_EQ(view.GetBalance(TestAddress(2)), 40u);
+  // The base is untouched until MergeInto.
+  EXPECT_EQ(base.GetBalance(TestAddress(1)), 100u);
+  EXPECT_EQ(base.GetBalance(TestAddress(2)), 0u);
+  EXPECT_FALSE(view.violated());
+
+  view.MergeInto(&base);
+  EXPECT_EQ(base.GetBalance(TestAddress(1)), 60u);
+  EXPECT_EQ(base.GetBalance(TestAddress(2)), 40u);
+}
+
+TEST(LaneStateViewTest, MatchesWorldStateSemanticsIncludingDigest) {
+  // Run the same op sequence against a WorldState and through a lane view,
+  // then compare digests: account-existence effects (zero-balance accounts
+  // hash into the digest) must match exactly.
+  WorldState direct;
+  ASSERT_TRUE(direct.Credit(TestAddress(1), 50).ok());
+  WorldState base;
+  ASSERT_TRUE(base.Credit(TestAddress(1), 50).ok());
+
+  auto script = [](StateView& s) {
+    ASSERT_TRUE(s.Transfer(TestAddress(1), TestAddress(2), 50).ok());
+    s.BumpNonce(TestAddress(1));
+    ASSERT_TRUE(s.StoragePut("space", ToBytes("k1"), ToBytes("v1")) == false);
+    s.Begin();
+    ASSERT_TRUE(s.StoragePut("space", ToBytes("k2"), ToBytes("v2")) == false);
+    ASSERT_TRUE(s.Debit(TestAddress(2), 10).ok());
+    s.Rollback();  // k2 and the debit disappear
+    s.StorageDelete("space", ToBytes("missing"));  // no-op
+    // Transfer of 0 to a fresh address still creates the account.
+    ASSERT_TRUE(s.Transfer(TestAddress(2), TestAddress(3), 0).ok());
+  };
+  script(direct);
+
+  AccessSet allowed = Accounts({1, 2, 3});
+  allowed.spaces.insert("space");
+  LaneStateView view(base, allowed);
+  script(view);
+  ASSERT_FALSE(view.violated());
+  view.MergeInto(&base);
+
+  EXPECT_EQ(base.Digest(), direct.Digest());
+}
+
+TEST(LaneStateViewTest, ErrorStringsMatchWorldState) {
+  WorldState base;
+  ASSERT_TRUE(base.Credit(TestAddress(1), 5).ok());
+  AccessSet allowed = Accounts({1, 2});
+  LaneStateView view(base, allowed);
+
+  common::Status direct = base.Debit(TestAddress(2), 1);
+  common::Status lane = view.Debit(TestAddress(2), 1);
+  EXPECT_EQ(lane.ToString(), direct.ToString());
+
+  direct = base.Credit(TestAddress(1), UINT64_MAX);
+  lane = view.Credit(TestAddress(1), UINT64_MAX);
+  EXPECT_EQ(lane.ToString(), direct.ToString());
+}
+
+TEST(LaneStateViewTest, OutOfSetAccessSetsViolatedFlag) {
+  WorldState base;
+  LaneStateView view(base, Accounts({1}));
+  (void)view.GetBalance(TestAddress(1));
+  EXPECT_FALSE(view.violated());
+  (void)view.GetBalance(TestAddress(9));  // outside the lane
+  EXPECT_TRUE(view.violated());
+
+  LaneStateView storage_view(base, Accounts({1}));
+  (void)storage_view.StorageGet("undeclared", ToBytes("k"));
+  EXPECT_TRUE(storage_view.violated());
+}
+
+TEST(LaneStateViewTest, StorageScanMergesOverlayAndBase) {
+  WorldState base;
+  ASSERT_FALSE(base.StoragePut("s", ToBytes("a1"), ToBytes("base1")));
+  ASSERT_FALSE(base.StoragePut("s", ToBytes("a3"), ToBytes("base3")));
+  ASSERT_FALSE(base.StoragePut("s", ToBytes("a4"), ToBytes("base4")));
+
+  AccessSet allowed;
+  allowed.spaces.insert("s");
+  LaneStateView view(base, allowed);
+  ASSERT_FALSE(view.StoragePut("s", ToBytes("a2"), ToBytes("lane2")));
+  ASSERT_TRUE(view.StoragePut("s", ToBytes("a3"), ToBytes("lane3")));
+  view.StorageDelete("s", ToBytes("a4"));  // tombstone hides the base entry
+
+  auto scan = view.StorageScan("s", ToBytes("a"));
+  ASSERT_EQ(scan.size(), 3u);
+  EXPECT_EQ(scan[0].first, ToBytes("a1"));
+  EXPECT_EQ(scan[0].second, ToBytes("base1"));
+  EXPECT_EQ(scan[1].first, ToBytes("a2"));
+  EXPECT_EQ(scan[1].second, ToBytes("lane2"));
+  EXPECT_EQ(scan[2].first, ToBytes("a3"));
+  EXPECT_EQ(scan[2].second, ToBytes("lane3"));
+}
+
+// --- Sharded mempool --------------------------------------------------------
+
+class MempoolTest : public ::testing::Test {
+ protected:
+  static Transaction Tx(const SigningKey& from, uint64_t nonce,
+                        uint64_t value = 1, uint64_t gas_limit = kGas) {
+    return Transaction::Make(from, nonce, TestAddress(0xbb), value, gas_limit,
+                             CallPayload{});
+  }
+
+  static SigningKey Key(const std::string& seed) {
+    return SigningKey::FromSeed(ToBytes(seed));
+  }
+};
+
+TEST_F(MempoolTest, DuplicateIdAndNonceSlotRejected) {
+  Mempool pool;
+  SigningKey alice = Key("alice");
+  Transaction tx = Tx(alice, 0);
+  ASSERT_TRUE(pool.Add(tx).ok());
+  EXPECT_EQ(pool.Add(tx).code(), StatusCode::kAlreadyExists);
+  // Different tx, same (sender, nonce): first submission wins.
+  EXPECT_EQ(pool.Add(Tx(alice, 0, 2)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(pool.Size(), 1u);
+  EXPECT_TRUE(pool.Contains(tx.Id()));
+}
+
+TEST_F(MempoolTest, AdmissionIsBounded) {
+  Mempool::Config config;
+  config.max_transactions = 2;
+  Mempool pool(config);
+  SigningKey alice = Key("alice");
+  ASSERT_TRUE(pool.Add(Tx(alice, 0)).ok());
+  ASSERT_TRUE(pool.Add(Tx(alice, 1)).ok());
+  EXPECT_EQ(pool.Add(Tx(alice, 2)).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.Size(), 2u);
+}
+
+TEST_F(MempoolTest, SelectionFollowsNonceRunsAndEvictsStale) {
+  Mempool pool;
+  SigningKey alice = Key("alice");
+  WorldState state;
+  ASSERT_TRUE(state.Credit(AddressFromPublicKey(alice.PublicKey()),
+                           kGenesisEach)
+                  .ok());
+  state.BumpNonce(AddressFromPublicKey(alice.PublicKey()));  // nonce = 1
+
+  Transaction stale = Tx(alice, 0);
+  Transaction current = Tx(alice, 1);
+  Transaction next = Tx(alice, 2);
+  Transaction future = Tx(alice, 4);  // gap at 3: stays queued
+  ASSERT_TRUE(pool.Add(stale).ok());
+  ASSERT_TRUE(pool.Add(next).ok());
+  ASSERT_TRUE(pool.Add(current).ok());
+  ASSERT_TRUE(pool.Add(future).ok());
+
+  auto selection = pool.SelectForBlock(state, 100 * kGas, 1);
+  ASSERT_EQ(selection.selected.size(), 2u);
+  EXPECT_EQ(selection.selected[0].Id(), current.Id());
+  EXPECT_EQ(selection.selected[1].Id(), next.Id());
+  ASSERT_EQ(selection.dropped.size(), 1u);
+  EXPECT_EQ(selection.dropped[0], stale.Id());
+  EXPECT_EQ(pool.Size(), 1u);  // the future-nonce tx waits
+  EXPECT_TRUE(pool.Contains(future.Id()));
+}
+
+TEST_F(MempoolTest, PreDoomedHeadEvictedAffordableHeadKept) {
+  Mempool pool;
+  SigningKey pauper = Key("pauper");
+  SigningKey alice = Key("alice");
+  WorldState state;
+  ASSERT_TRUE(state.Credit(AddressFromPublicKey(alice.PublicKey()),
+                           kGenesisEach)
+                  .ok());
+
+  Transaction doomed = Tx(pauper, 0);  // no balance at all
+  Transaction fine = Tx(alice, 0);
+  ASSERT_TRUE(pool.Add(doomed).ok());
+  ASSERT_TRUE(pool.Add(fine).ok());
+
+  auto selection = pool.SelectForBlock(state, 100 * kGas, 1);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(selection.selected[0].Id(), fine.Id());
+  ASSERT_EQ(selection.dropped.size(), 1u);
+  EXPECT_EQ(selection.dropped[0], doomed.Id());
+  EXPECT_EQ(pool.Size(), 0u);
+}
+
+TEST_F(MempoolTest, GasLimitBoundsSelectionByWorstCase) {
+  Mempool pool;
+  SigningKey alice = Key("alice");
+  SigningKey bob = Key("bob");
+  WorldState state;
+  ASSERT_TRUE(state.Credit(AddressFromPublicKey(alice.PublicKey()),
+                           kGenesisEach)
+                  .ok());
+  ASSERT_TRUE(state.Credit(AddressFromPublicKey(bob.PublicKey()),
+                           kGenesisEach)
+                  .ok());
+  ASSERT_TRUE(pool.Add(Tx(alice, 0)).ok());
+  ASSERT_TRUE(pool.Add(Tx(bob, 0)).ok());
+
+  // Budget fits exactly one gas_limit: first-come-first-served picks
+  // alice's (submitted first); bob's stays queued for the next block.
+  auto selection = pool.SelectForBlock(state, kGas, 1);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_TRUE(selection.dropped.empty());
+  EXPECT_EQ(pool.Size(), 1u);
+}
+
+// --- End-to-end bit-equality sweep ------------------------------------------
+
+struct RunResult {
+  Hash block_hash;
+  Hash state_digest;
+  std::vector<Receipt> receipts;  // in block order
+  size_t tx_count = 0;
+};
+
+// A transfer workload over `kSenders` independent senders where
+// `conflict_pct` percent of the transactions pay a single hot address (all
+// in one lane) and the rest pay a per-sender cold address (own lane each).
+RunResult RunTransferWorkload(int conflict_pct, size_t threads) {
+  constexpr size_t kSenders = 32;
+  SigningKey validator = SigningKey::FromSeed(ToBytes("validator-0"));
+  common::ThreadPool pool(threads);
+  ChainConfig config;
+  config.thread_pool = &pool;
+  Blockchain chain({validator.PublicKey()}, ContractRegistry::CreateDefault(),
+                   config);
+
+  std::vector<SigningKey> senders;
+  for (size_t i = 0; i < kSenders; ++i) {
+    senders.push_back(SigningKey::FromSeed(ToBytes("sender-" +
+                                                   std::to_string(i))));
+    EXPECT_TRUE(chain
+                    .CreditGenesis(
+                        AddressFromPublicKey(senders.back().PublicKey()),
+                        kGenesisEach)
+                    .ok());
+  }
+
+  const Address hot = TestAddress(0xee);
+  std::vector<Transaction> txs;
+  for (size_t i = 0; i < kSenders; ++i) {
+    // Bresenham spread: exactly conflict_pct% of indices, evenly spaced.
+    const bool conflicted =
+        ((i + 1) * conflict_pct) / 100 > (i * conflict_pct) / 100;
+    const Address to =
+        conflicted ? hot : TestAddress(static_cast<uint8_t>(0x40 + i));
+    txs.push_back(Transaction::Make(senders[i], 0, to, 100 + i, kGas,
+                                    CallPayload{}));
+    EXPECT_TRUE(chain.SubmitTransaction(txs.back()).ok());
+  }
+
+  auto block = chain.ProduceBlock(validator, 1);
+  EXPECT_TRUE(block.ok()) << block.status().ToString();
+
+  RunResult result;
+  result.block_hash = block->header.Id();
+  result.state_digest = chain.StateDigest();
+  result.tx_count = block->transactions.size();
+  for (const Transaction& tx : block->transactions) {
+    auto receipt = chain.GetReceipt(tx.Id());
+    EXPECT_TRUE(receipt.ok());
+    result.receipts.push_back(*receipt);
+  }
+  return result;
+}
+
+void ExpectIdentical(const RunResult& got, const RunResult& want) {
+  EXPECT_EQ(got.block_hash, want.block_hash);
+  EXPECT_EQ(got.state_digest, want.state_digest);
+  EXPECT_EQ(got.tx_count, want.tx_count);
+  ASSERT_EQ(got.receipts.size(), want.receipts.size());
+  for (size_t i = 0; i < got.receipts.size(); ++i) {
+    EXPECT_EQ(got.receipts[i].tx_id, want.receipts[i].tx_id) << i;
+    EXPECT_EQ(got.receipts[i].success, want.receipts[i].success) << i;
+    EXPECT_EQ(got.receipts[i].error, want.receipts[i].error) << i;
+    EXPECT_EQ(got.receipts[i].gas_used, want.receipts[i].gas_used) << i;
+    EXPECT_EQ(got.receipts[i].output, want.receipts[i].output) << i;
+    EXPECT_EQ(got.receipts[i].events.size(), want.receipts[i].events.size())
+        << i;
+  }
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalenceTest, BitIdenticalAcrossThreadCounts) {
+  const int conflict_pct = GetParam();
+  const RunResult reference = RunTransferWorkload(conflict_pct, 1);
+  EXPECT_EQ(reference.tx_count, 32u);
+
+  // Guard against the sweep passing vacuously: with >1 thread and any
+  // lane-splittable workload the optimistic path must actually run.
+  obs::SetMetricsEnabled(true);
+  obs::Counter& parallel_blocks =
+      obs::Registry::Global().GetCounter("chain.parallel.blocks_parallel");
+  const uint64_t parallel_before = parallel_blocks.Value();
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    RunResult parallel = RunTransferWorkload(conflict_pct, threads);
+    ExpectIdentical(parallel, reference);
+  }
+
+  if (conflict_pct < 100) {
+    EXPECT_GT(parallel_blocks.Value(), parallel_before)
+        << "lane executor never engaged; the sweep proved nothing";
+  } else {
+    // 100% conflict is a single lane: the planner must fall back.
+    EXPECT_EQ(parallel_blocks.Value(), parallel_before);
+  }
+  obs::SetMetricsEnabled(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(ConflictSweep, ParallelEquivalenceTest,
+                         ::testing::Values(0, 25, 100));
+
+// Contract transactions exercise the tracing pre-pass: four independent
+// ERC-20 instances, each with its own holders, split into four lanes; the
+// result must match the single-thread run bit for bit.
+RunResult RunErc20Workload(size_t threads) {
+  constexpr size_t kInstances = 4;
+  SigningKey validator = SigningKey::FromSeed(ToBytes("validator-0"));
+  common::ThreadPool pool(threads);
+  ChainConfig config;
+  config.thread_pool = &pool;
+  Blockchain chain({validator.PublicKey()}, ContractRegistry::CreateDefault(),
+                   config);
+
+  std::vector<SigningKey> owners;
+  std::vector<uint64_t> instances;
+  for (size_t i = 0; i < kInstances; ++i) {
+    owners.push_back(SigningKey::FromSeed(ToBytes("owner-" +
+                                                  std::to_string(i))));
+    EXPECT_TRUE(chain
+                    .CreditGenesis(
+                        AddressFromPublicKey(owners.back().PublicKey()),
+                        kGenesisEach)
+                    .ok());
+  }
+
+  // Block 1: deploys (globally conflicting — executed sequentially).
+  common::SimTime now = 0;
+  for (size_t i = 0; i < kInstances; ++i) {
+    Writer deploy_args;
+    deploy_args.PutString("TOK" + std::to_string(i));
+    deploy_args.PutU64(1000);
+    Transaction deploy = Transaction::Make(
+        owners[i], 0, Address{}, 0, kGas,
+        CallPayload{"erc20", 0, "deploy", deploy_args.Take()});
+    EXPECT_TRUE(chain.SubmitTransaction(deploy).ok());
+  }
+  auto deploy_block = chain.ProduceBlock(validator, ++now);
+  EXPECT_TRUE(deploy_block.ok()) << deploy_block.status().ToString();
+  for (const Transaction& tx : deploy_block->transactions) {
+    auto receipt = chain.GetReceipt(tx.Id());
+    EXPECT_TRUE(receipt.ok() && receipt->success);
+    instances.push_back(*InstanceIdFromReceipt(*receipt));
+  }
+  EXPECT_EQ(instances.size(), kInstances);
+
+  // Block 2: three token transfers per instance — one lane per instance.
+  for (size_t i = 0; i < kInstances; ++i) {
+    for (uint64_t n = 0; n < 3; ++n) {
+      Writer call_args;
+      call_args.PutBytes(TestAddress(static_cast<uint8_t>(0x60 + 4 * i + n)));
+      call_args.PutU64(10 + n);
+      Transaction transfer = Transaction::Make(
+          owners[i], 1 + n, Address{}, 0, kGas,
+          CallPayload{"erc20", instances[i], "transfer", call_args.Take()});
+      EXPECT_TRUE(chain.SubmitTransaction(transfer).ok());
+    }
+  }
+  auto block = chain.ProduceBlock(validator, ++now);
+  EXPECT_TRUE(block.ok()) << block.status().ToString();
+
+  RunResult result;
+  result.block_hash = block->header.Id();
+  result.state_digest = chain.StateDigest();
+  result.tx_count = block->transactions.size();
+  for (const Transaction& tx : block->transactions) {
+    auto receipt = chain.GetReceipt(tx.Id());
+    EXPECT_TRUE(receipt.ok());
+    EXPECT_TRUE(receipt->success) << receipt->error;
+    result.receipts.push_back(*receipt);
+  }
+  return result;
+}
+
+TEST(ParallelContractTest, Erc20LanesBitIdenticalAcrossThreads) {
+  const RunResult reference = RunErc20Workload(1);
+  EXPECT_EQ(reference.tx_count, 12u);
+  for (size_t threads : {2u, 4u, 8u}) {
+    ExpectIdentical(RunErc20Workload(threads), reference);
+  }
+}
+
+// Cross-replica check: a block produced with an 8-thread pool must be
+// accepted by a replica applying it with 1 thread, and vice versa.
+TEST(ParallelApplyTest, ProducerAndReplicaDisagreeOnNothing) {
+  SigningKey validator = SigningKey::FromSeed(ToBytes("validator-0"));
+  for (size_t produce_threads : {8u, 1u}) {
+    for (size_t apply_threads : {1u, 8u}) {
+      common::ThreadPool produce_pool(produce_threads);
+      common::ThreadPool apply_pool(apply_threads);
+      ChainConfig produce_config;
+      produce_config.thread_pool = &produce_pool;
+      ChainConfig apply_config;
+      apply_config.thread_pool = &apply_pool;
+      Blockchain producer({validator.PublicKey()},
+                          ContractRegistry::CreateDefault(), produce_config);
+      Blockchain replica({validator.PublicKey()},
+                         ContractRegistry::CreateDefault(), apply_config);
+
+      std::vector<SigningKey> senders;
+      for (size_t i = 0; i < 16; ++i) {
+        senders.push_back(
+            SigningKey::FromSeed(ToBytes("s" + std::to_string(i))));
+        const Address addr =
+            AddressFromPublicKey(senders.back().PublicKey());
+        ASSERT_TRUE(producer.CreditGenesis(addr, kGenesisEach).ok());
+        ASSERT_TRUE(replica.CreditGenesis(addr, kGenesisEach).ok());
+      }
+      for (size_t i = 0; i < 16; ++i) {
+        Transaction tx = Transaction::Make(
+            senders[i], 0, TestAddress(static_cast<uint8_t>(0x80 + i)), 7,
+            kGas, CallPayload{});
+        ASSERT_TRUE(producer.SubmitTransaction(tx).ok());
+      }
+      auto block = producer.ProduceBlock(validator, 1);
+      ASSERT_TRUE(block.ok()) << block.status().ToString();
+      EXPECT_EQ(block->transactions.size(), 16u);
+      ASSERT_TRUE(replica.ApplyExternalBlock(*block).ok());
+      EXPECT_EQ(replica.StateDigest(), producer.StateDigest());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pds2::chain

@@ -111,12 +111,19 @@ TEST_F(ChainTest, MultipleTxsFromOneSenderInOneBlock) {
 }
 
 TEST_F(ChainTest, InsufficientBalanceFailsWithoutSideEffects) {
+  // A sender who cannot cover gas_limit * gas_price + value is evicted at
+  // block selection: the transaction never reaches execution, burns no
+  // fee, and does not linger in the pool.
   SigningKey pauper = SigningKey::FromSeed(ToBytes("pauper"));
   Transaction tx = Transaction::Make(pauper, 0, AddressOf(bob_), 1, kGas, {});
-  Receipt receipt = Run(tx);
-  EXPECT_FALSE(receipt.success);
-  EXPECT_EQ(receipt.gas_used, 0u);
+  EXPECT_TRUE(chain_.SubmitTransaction(tx).ok());
+  auto block = chain_.ProduceBlock(validator_, ++now_);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_TRUE(block->transactions.empty());
+  EXPECT_EQ(chain_.MempoolSize(), 0u);  // evicted for good, not re-queued
+  EXPECT_FALSE(chain_.GetReceipt(tx.Id()).ok());
   EXPECT_EQ(chain_.GetBalance(AddressOf(pauper)), 0u);
+  EXPECT_EQ(chain_.GetNonce(AddressOf(pauper)), 0u);
 }
 
 TEST_F(ChainTest, FailedContractCallRollsBackButChargesGas) {

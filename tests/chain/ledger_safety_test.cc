@@ -107,17 +107,54 @@ TEST_F(LedgerSafetyTest, MaxValueAndMaxGasRejected) {
 }
 
 // With gas_price = 0 a max-value transfer does NOT overflow (fee term is
-// zero): it must be accepted into the mempool and then fail settlement
-// cleanly on insufficient funds — no crash, no wrap, no side effects.
+// zero), so it is accepted into the mempool — but no balance can cover
+// value = 2^64-1, so block selection evicts it as pre-doomed instead of
+// carrying a transaction guaranteed to fail: no crash, no wrap, no side
+// effects, no mempool residue.
 TEST_F(LedgerSafetyTest, ZeroGasPriceMaxValueFailsCleanly) {
   Rebuild(ChainConfig{.gas_price = 0});
   const uint64_t alice_before = chain_->GetBalance(AddressOf(*alice_));
   Transaction tx = Transfer(*alice_, UINT64_MAX, kGas);
   ASSERT_TRUE(chain_->SubmitTransaction(tx).ok());
-  auto receipt = Mine(tx.Id());
+  EXPECT_EQ(chain_->MempoolSize(), 1u);
+  auto block = chain_->ProduceBlock(*validator_, ++now_);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_TRUE(block->transactions.empty());
+  EXPECT_EQ(chain_->MempoolSize(), 0u);  // evicted for good, not re-queued
+  EXPECT_FALSE(chain_->GetReceipt(tx.Id()).ok());
+  EXPECT_EQ(chain_->GetBalance(AddressOf(*alice_)), alice_before);
+}
+
+// Selection-time eviction is an optimization, not the safety boundary: a
+// block arriving from another node can still carry an unaffordable
+// transaction straight into execution, where the upfront balance check
+// fails it cleanly (failed receipt, zero gas, no state mutation).
+TEST_F(LedgerSafetyTest, UnaffordableTxInExternalBlockFailsCleanly) {
+  SigningKey pauper = SigningKey::FromSeed(ToBytes("pauper"));
+  Transaction tx = Transaction::Make(pauper, 0, AddressOf(*bob_), 1, kGas,
+                                     CallPayload{});
+  Block block;
+  block.transactions.push_back(tx);
+  block.header.parent_hash = chain_->LastBlockHash();
+  block.header.number = chain_->Height();
+  block.header.timestamp = ++now_;
+  block.header.tx_root = Block::ComputeTxRoot(block.transactions, nullptr);
+  // The failed execution leaves state untouched, so the pre-block digest
+  // is the block's state root.
+  block.header.state_root = chain_->StateDigest();
+  block.header.proposer_public_key = validator_->PublicKey();
+  block.header.signature = validator_->SignWithDomain(
+      BlockHeader::Domain(), block.header.SigningBytes());
+
+  ASSERT_TRUE(chain_->ApplyExternalBlock(block).ok());
+  auto receipt = chain_->GetReceipt(tx.Id());
   ASSERT_TRUE(receipt.ok());
   EXPECT_FALSE(receipt->success);
-  EXPECT_EQ(chain_->GetBalance(AddressOf(*alice_)), alice_before);
+  EXPECT_EQ(receipt->gas_used, 0u);
+  EXPECT_NE(receipt->error.find("InsufficientFunds"), std::string::npos)
+      << receipt->error;
+  EXPECT_EQ(chain_->GetBalance(AddressOf(pauper)), 0u);
+  EXPECT_EQ(chain_->GetNonce(AddressOf(pauper)), 0u);
 }
 
 // A transfer that exactly drains the sender (value + fee == balance) is the
