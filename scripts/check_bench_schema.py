@@ -117,6 +117,93 @@ def check_shapley(section):
             "true (bit-identical results at every pool size)")
 
 
+def check_byzantine(doc):
+    """BENCH_byzantine.json: the E16 accountability safety floors.
+
+    These are pinned, not advisory: 0 honest-fork divergences, a 100%
+    slash rate for every provable behaviour, no slash for withholding
+    (it is not provable), exact supply conservation, and bit-identical
+    honest heads across executor pool sizes.
+    """
+    where = "byzantine summary"
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail("report: missing required section 'summary'")
+    else:
+        require(summary, where, "honest_divergences",
+                lambda v: is_num(v) and v == 0,
+                "0 (honest replicas must never fork)")
+        require(summary, where, "provable_slash_rate",
+                lambda v: is_num(v) and v == 1.0,
+                "1.0 (every provable offender loses its stake)")
+        require(summary, where, "withhold_slashed",
+                lambda v: is_num(v) and v == 0,
+                "0 (withholding is not provable, never slashed)")
+        require(summary, where, "supply_conserved", lambda v: v is True,
+                "true (balances + stakes + burned is invariant)")
+        require(summary, where, "threads_identical", lambda v: v is True,
+                "true (slashing is consensus-critical and deterministic)")
+        require(summary, where, "executor_floors_ok", lambda v: v is True,
+                "true (every executor fraud completed, slashed, conserved)")
+
+    section = doc.get("validator_accountability")
+    if not isinstance(section, dict):
+        fail("report: missing required section 'validator_accountability'")
+    else:
+        cells = require(section, "validator_accountability", "cells",
+                        lambda v: isinstance(v, list) and v,
+                        "a non-empty list")
+        behaviors = set()
+        for i, cell in enumerate(cells or []):
+            w = "validator_accountability cells[%d]" % i
+            if not isinstance(cell, dict):
+                fail("%s: not an object" % w)
+                continue
+            behaviors.add(cell.get("behavior"))
+            require(cell, w, "honest_divergences",
+                    lambda v: is_num(v) and v == 0, "0")
+            require(cell, w, "supply_conserved", lambda v: v is True, "true")
+            expected = 1.0 if cell.get("provable") else 0.0
+            require(cell, w, "slash_rate",
+                    lambda v, e=expected: is_num(v) and v == e,
+                    "%.1f for provable=%s" % (expected,
+                                              cell.get("provable")))
+        missing = {"equivocate", "invalid_root", "gas_cheat",
+                   "withhold"} - behaviors
+        if missing:
+            fail("validator_accountability: missing behaviours %s"
+                 % sorted(missing))
+
+    section = doc.get("executor_accountability")
+    if not isinstance(section, dict):
+        fail("report: missing required section 'executor_accountability'")
+    else:
+        cells = require(section, "executor_accountability", "cells",
+                        lambda v: isinstance(v, list) and v,
+                        "a non-empty list")
+        faults = set()
+        for i, cell in enumerate(cells or []):
+            w = "executor_accountability cells[%d]" % i
+            if not isinstance(cell, dict):
+                fail("%s: not an object" % w)
+                continue
+            faults.add(cell.get("fault"))
+            require(cell, w, "completion_rate",
+                    lambda v: is_num(v) and v == 1.0,
+                    "1.0 (a cheating minority cannot stall the lifecycle)")
+            require(cell, w, "slash_rate", lambda v: is_num(v) and v == 1.0,
+                    "1.0 (every cheating executor forfeits its bond)")
+            require(cell, w, "supply_conserved", lambda v: v is True, "true")
+            require(cell, w, "avg_tokens_burned",
+                    lambda v: is_num(v) and v > 0,
+                    "> 0 (half of each forfeited bond is destroyed)")
+        missing = {"wrong_vote", "tampered_update",
+                   "false_attestation"} - faults
+        if missing:
+            fail("executor_accountability: missing faults %s"
+                 % sorted(missing))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="BENCH_parallel.json to validate")
@@ -131,6 +218,18 @@ def main():
     if not isinstance(doc, dict):
         print("FAIL: report is not a JSON object", file=sys.stderr)
         return 1
+
+    # BENCH_byzantine.json is recognized by its accountability sections and
+    # validated against the E16 safety floors instead of the E15 schema.
+    if "validator_accountability" in doc or "summary" in doc:
+        check_byzantine(doc)
+        if _errors:
+            for msg in _errors:
+                print("FAIL: %s" % msg, file=sys.stderr)
+            print("%d schema violation(s)" % len(_errors), file=sys.stderr)
+            return 1
+        print("bench schema OK")
+        return 0
 
     for name in ("consensus", "parallel_exec"):
         if name not in doc or not isinstance(doc[name], dict):

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "chain/evidence.h"
 #include "common/checked_math.h"
 #include "common/logging.h"
 #include "common/serial.h"
@@ -27,6 +28,39 @@ Blockchain::Blockchain(std::vector<Bytes> validator_public_keys,
       mempool_(config_.mempool) {
   assert(!validators_.empty());
   assert(registry_ != nullptr);
+  // Accountability bonds: mint and immediately stake the deposit of every
+  // validator. Deterministic (config + validator set only), so replicas,
+  // fork-choice candidate rebuilds and recovery all reproduce the same
+  // genesis state bit for bit.
+  if (config_.validator_stake > 0) {
+    for (const Bytes& validator : validators_) {
+      const Address addr = AddressFromPublicKey(validator);
+      uint64_t new_supply;
+      if (!common::CheckedAdd(genesis_minted_, config_.validator_stake,
+                              &new_supply)) {
+        assert(false && "validator stakes overflow total supply");
+        break;
+      }
+      Status status = state_.Credit(addr, config_.validator_stake);
+      assert(status.ok());
+      status = state_.StakeBond(addr, config_.validator_stake);
+      assert(status.ok());
+      (void)status;
+      genesis_minted_ = new_supply;
+    }
+  }
+}
+
+uint64_t Blockchain::TotalSupply() const {
+  return common::SaturatingAdd(
+      common::SaturatingAdd(state_.TotalBalance(), state_.TotalStaked()),
+      state_.BurnedTotal());
+}
+
+bool Blockchain::HasEvidenceFor(const Address& offender,
+                                uint64_t height) const {
+  return state_.StorageGet(kEvidenceSpace, EvidenceKey(offender, height))
+      .has_value();
 }
 
 common::ThreadPool* Blockchain::ExecutionPool() const {
@@ -68,6 +102,22 @@ constexpr size_t kMinSignatureBatch = 16;
 // Below this many transactions the lane-planning pre-pass costs more than
 // any conceivable parallel win; execute sequentially.
 constexpr size_t kMinParallelBlockTxs = 4;
+
+// Structural shape every evidence transaction must have: only the "submit"
+// method exists, and the fee exemption is all-or-nothing — an evidence tx
+// cannot smuggle value or occupy block gas.
+Status CheckEvidencePayload(const Transaction& tx) {
+  if (tx.payload().method != "submit") {
+    return Status::InvalidArgument("unknown evidence method: " +
+                                   tx.payload().method);
+  }
+  if (tx.value() != 0 || tx.gas_limit() != 0 || tx.gas_price() != 0) {
+    return Status::InvalidArgument(
+        "evidence transactions must carry zero value, gas limit and gas "
+        "price");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -167,6 +217,24 @@ Status Blockchain::SubmitTransaction(const Transaction& tx) {
   if (receipts_.count(id) > 0) {
     return Status::AlreadyExists("transaction already executed");
   }
+  if (tx.payload().contract == kEvidenceContract) {
+    // Evidence is fee-exempt (no intrinsic gas, no floor, no funded
+    // account needed), but the proof itself must verify before it may
+    // occupy mempool space — spam cannot ride the exemption.
+    PDS2_RETURN_IF_ERROR(CheckEvidencePayload(tx));
+    auto evidence = EquivocationEvidence::Deserialize(tx.payload().args);
+    if (!evidence.ok()) return evidence.status();
+    PDS2_RETURN_IF_ERROR(evidence->Verify(validators_));
+    if (HasEvidenceFor(evidence->Offender(), evidence->Height())) {
+      return Status::AlreadyExists("offence already punished on chain");
+    }
+    PDS2_RETURN_IF_ERROR(mempool_.Add(tx));
+    if (span.id() != 0) tx_trace_ctx_[id] = span.context();
+    return Status::Ok();
+  }
+  if (tx.gas_price() < config_.gas_price) {
+    return Status::InvalidArgument("gas price below network floor");
+  }
   const auto& schedule = DefaultGasSchedule();
   const uint64_t floor_cost =
       schedule.tx_base + schedule.tx_payload_byte * tx.payload().args.size();
@@ -178,7 +246,7 @@ Status Blockchain::SubmitTransaction(const Transaction& tx) {
   // wraps uint64 would slip past the affordability check wrapped to a tiny
   // number and be silently under-charged.
   uint64_t max_fee, max_cost;
-  if (!common::CheckedMul(tx.gas_limit(), config_.gas_price, &max_fee) ||
+  if (!common::CheckedMul(tx.gas_limit(), tx.gas_price(), &max_fee) ||
       !common::CheckedAdd(tx.value(), max_fee, &max_cost)) {
     return Status::InvalidArgument(
         "gas limit * gas price + value overflows settlement arithmetic");
@@ -231,6 +299,10 @@ Receipt Blockchain::ExecuteTransactionOn(StateView& state,
                                          const Transaction& tx,
                                          uint64_t block_number,
                                          common::SimTime timestamp) const {
+  if (tx.payload().contract == kEvidenceContract) {
+    return ExecuteEvidenceOn(state, tx, block_number);
+  }
+
   Receipt receipt;
   receipt.tx_id = tx.Id();
   receipt.block_number = block_number;
@@ -245,7 +317,7 @@ Receipt Blockchain::ExecuteTransactionOn(StateView& state,
   // exceeds any balance (SubmitTransaction rejects such txs up front, but
   // blocks arriving via ApplyExternalBlock reach execution directly).
   uint64_t max_fee, max_cost;
-  if (!common::CheckedMul(tx.gas_limit(), config_.gas_price, &max_fee) ||
+  if (!common::CheckedMul(tx.gas_limit(), tx.gas_price(), &max_fee) ||
       !common::CheckedAdd(tx.value(), max_fee, &max_cost)) {
     receipt.success = false;
     receipt.error = Status::InvalidArgument(
@@ -338,9 +410,11 @@ Receipt Blockchain::ExecuteTransactionOn(StateView& state,
     }
   }
 
-  // Settle gas: sender pays, proposer is credited by the caller.
+  // Settle gas: sender pays its offered price, proposer is credited by the
+  // caller. gas_used <= gas_limit, so the checked max_fee bound above
+  // guarantees this multiply cannot wrap.
   receipt.gas_used = gas.used();
-  const uint64_t fee = receipt.gas_used * config_.gas_price;
+  const uint64_t fee = receipt.gas_used * tx.gas_price();
   Status fee_status = state.Debit(sender, fee);
   assert(fee_status.ok());  // guaranteed by the upfront balance check
   (void)fee_status;
@@ -352,6 +426,69 @@ Receipt Blockchain::ExecuteTransactionOn(StateView& state,
     receipt.output = std::move(output);
     receipt.events = std::move(events);
   }
+  return receipt;
+}
+
+Receipt Blockchain::ExecuteEvidenceOn(StateView& state, const Transaction& tx,
+                                      uint64_t block_number) const {
+  Receipt receipt;
+  receipt.tx_id = tx.Id();
+  receipt.block_number = block_number;
+  receipt.gas_used = 0;  // fee-exempt by construction
+
+  const Address reporter = tx.SenderAddress();
+  state.BumpNonce(reporter);
+
+  Status status = CheckEvidencePayload(tx);
+  EquivocationEvidence evidence;
+  if (status.ok()) {
+    auto parsed = EquivocationEvidence::Deserialize(tx.payload().args);
+    if (parsed.ok()) {
+      evidence = *std::move(parsed);
+      status = evidence.Verify(validators_);
+    } else {
+      status = parsed.status();
+    }
+  }
+  if (status.ok()) {
+    const Address offender = evidence.Offender();
+    const common::Bytes marker = EvidenceKey(offender, evidence.Height());
+    if (state.StorageGet(kEvidenceSpace, marker).has_value()) {
+      status = Status::AlreadyExists("offence already punished on chain");
+    } else {
+      const uint64_t stake = state.StakeOf(offender);
+      if (stake == 0) {
+        status = Status::FailedPrecondition("offender has no bonded stake");
+      } else {
+        state.Begin();
+        status = state.StakeSlash(offender, stake, reporter,
+                                  config_.slash_reporter_bps);
+        if (status.ok()) {
+          Writer w;
+          w.PutU64(block_number);
+          state.StoragePut(kEvidenceSpace, marker, w.Take());
+          state.Commit();
+          const uint64_t bounty = static_cast<uint64_t>(
+              static_cast<unsigned __int128>(stake) *
+              config_.slash_reporter_bps / kSlashBpsDenominator);
+          PDS2_M_COUNT("chain.slash.count", 1);
+          PDS2_M_COUNT("chain.slash.amount", stake);
+          PDS2_M_COUNT("chain.slash.burned", stake - bounty);
+          Writer event_data;
+          event_data.PutRaw(offender);
+          event_data.PutU64(evidence.Height());
+          event_data.PutU64(stake);
+          receipt.events.push_back(Event{kEvidenceContract, 0, "slashed",
+                                         event_data.Take()});
+        } else {
+          state.Rollback();
+        }
+      }
+    }
+  }
+
+  receipt.success = status.ok();
+  if (!status.ok()) receipt.error = status.ToString();
   return receipt;
 }
 
@@ -367,6 +504,12 @@ std::vector<AccessSet> Blockchain::ComputeAccessSets(
       // still only over-approximates (supersets merely merge lanes).
       sets[i].accounts.insert(tx.SenderAddress());
       if (tx.to().size() == kAddressSize) sets[i].accounts.insert(tx.to());
+    } else if (tx.payload().contract == kEvidenceContract) {
+      // Evidence declares its footprint exactly: the reporter's account
+      // (nonce bump + bounty), the stake ledger and the evidence markers.
+      sets[i].accounts.insert(tx.SenderAddress());
+      sets[i].spaces.insert(kStakeSpace);
+      sets[i].spaces.insert(kEvidenceSpace);
     } else if (tx.payload().method == "deploy") {
       // Deploys allocate the shared instance-id counter; serialize the
       // whole block rather than model that dependency.
@@ -500,9 +643,10 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
 
   std::vector<Receipt> receipts =
       ExecuteBlockTxs(block.transactions, block_number, timestamp);
-  for (Receipt& receipt : receipts) {
+  for (size_t i = 0; i < receipts.size(); ++i) {
+    Receipt& receipt = receipts[i];
     block_gas += receipt.gas_used;
-    fees += receipt.gas_used * config_.gas_price;
+    fees += receipt.gas_used * block.transactions[i].gas_price();
     receipts_[receipt.tx_id] = std::move(receipt);
   }
 
@@ -569,15 +713,39 @@ Status Blockchain::ApplyExternalBlockInner(const Block& block) {
       Block::ComputeTxRoot(block.transactions, config_.thread_pool)) {
     return Status::Corruption("transaction root mismatch");
   }
+  // Per-block resource rules: the sum of gas limits is the proposer's
+  // worst-case execution budget and must respect the consensus cap (a
+  // gas-cheating proposer packs more), and every non-evidence transaction
+  // must offer at least the network's floor price.
+  uint64_t gas_limit_sum = 0;
+  for (const Transaction& tx : block.transactions) {
+    if (!common::CheckedAdd(gas_limit_sum, tx.gas_limit(), &gas_limit_sum)) {
+      return Status::InvalidArgument("block gas limits overflow");
+    }
+    if (tx.payload().contract != kEvidenceContract &&
+        tx.gas_price() < config_.gas_price) {
+      return Status::InvalidArgument("block carries tx below gas price floor");
+    }
+  }
+  if (gas_limit_sum > config_.block_gas_limit) {
+    return Status::InvalidArgument("block exceeds the block gas limit");
+  }
   PDS2_RETURN_IF_ERROR(VerifyBlockSignatures(block.transactions));
 
-  // Execute and check the resulting state commitment.
+  // Execute and check the resulting state commitment — transactionally: a
+  // Byzantine proposer can sign a block whose state_root does not match its
+  // own transactions, and rejecting it must leave no trace (no mutated
+  // balances, no receipts, no counter drift), or the replica silently forks
+  // from every honest peer. Lane merges are journaled writes, so one outer
+  // checkpoint covers the parallel path too.
+  const uint64_t saved_gas_used = total_gas_used_;
+  const uint64_t saved_instance_id = next_instance_id_;
+  state_.Begin();
   uint64_t fees = 0;
   std::vector<Receipt> receipts = ExecuteBlockTxs(
       block.transactions, block.header.number, block.header.timestamp);
-  for (Receipt& receipt : receipts) {
-    fees += receipt.gas_used * config_.gas_price;
-    receipts_[receipt.tx_id] = std::move(receipt);
+  for (size_t i = 0; i < receipts.size(); ++i) {
+    fees += receipts[i].gas_used * block.transactions[i].gas_price();
   }
   if (fees > 0) {
     Status credit_status = state_.Credit(
@@ -586,7 +754,14 @@ Status Blockchain::ApplyExternalBlockInner(const Block& block) {
     (void)credit_status;
   }
   if (state_.Digest() != block.header.state_root) {
+    state_.Rollback();
+    total_gas_used_ = saved_gas_used;
+    next_instance_id_ = saved_instance_id;
     return Status::Corruption("state root mismatch after execution");
+  }
+  state_.Commit();
+  for (Receipt& receipt : receipts) {
+    receipts_[receipt.tx_id] = std::move(receipt);
   }
   blocks_.push_back(block);
   // Locally queued copies of the block's transactions are now executed;

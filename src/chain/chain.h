@@ -52,8 +52,21 @@ class CommitListener {
 
 /// Chain-wide parameters.
 struct ChainConfig {
-  uint64_t gas_price = 1;                  // native tokens per gas unit
+  /// Network floor on the per-gas-unit fee. Transactions offer their own
+  /// Transaction::gas_price (the fee actually charged); submission and
+  /// external-block validation reject offers below this floor. Evidence
+  /// transactions are exempt (fee-free, see chain/evidence.h).
+  uint64_t gas_price = 1;
   uint64_t block_gas_limit = 100'000'000;  // per-block execution budget
+  /// Accountability deposit per validator. When > 0, the constructor mints
+  /// this amount to every validator address and immediately bonds it (the
+  /// stake ledger, StateView::StakeOf), counted against the genesis supply
+  /// cap. Accepted equivocation evidence slashes the offender's full bond.
+  /// 0 (the default) leaves genesis state byte-identical to older chains.
+  uint64_t validator_stake = 0;
+  /// Share of a slashed stake paid to the evidence reporter, in basis
+  /// points; the remainder is burned.
+  uint32_t slash_reporter_bps = 5'000;
   /// Optional pool for parallel block validation (signature batches + tx
   /// root) and optimistic parallel transaction execution. nullptr uses the
   /// process-wide ThreadPool::Global(); a 1-thread pool follows the
@@ -152,8 +165,26 @@ class Blockchain {
   /// on the submit→validate path.
   uint64_t SignatureVerifications() const { return signature_verifications_; }
 
-  /// Circulating native supply (see WorldState::TotalBalance).
-  uint64_t TotalSupply() const { return state_.TotalBalance(); }
+  /// Total native supply: circulating balances plus bonded stakes plus
+  /// burned (slashed-and-destroyed) tokens. Only genesis allocations and
+  /// validator bonds mint, so this is exactly invariant across every
+  /// transaction, slash and burn — the conservation the audit tests assert.
+  /// Equals WorldState::TotalBalance() on a chain that never staked.
+  uint64_t TotalSupply() const;
+
+  // --- Accountability (stake ledger / evidence) ----------------------------
+
+  /// Bonded stake of an account (validators bond at construction when
+  /// ChainConfig::validator_stake > 0; executors bond via the workload
+  /// contract escrow, which is tracked per-instance, not here).
+  uint64_t StakeOf(const Address& addr) const { return state_.StakeOf(addr); }
+  /// Sum of all bonded stakes.
+  uint64_t TotalStaked() const { return state_.TotalStaked(); }
+  /// Tokens destroyed by slashing so far.
+  uint64_t BurnedTotal() const { return state_.BurnedTotal(); }
+  /// Whether accepted evidence already slashed `offender` for `height`
+  /// (each offence is punished exactly once, however many reporters race).
+  bool HasEvidenceFor(const Address& offender, uint64_t height) const;
 
   /// All events a contract instance emitted, across every executed
   /// transaction, in block/receipt order — the audit-trail view of the
@@ -196,6 +227,13 @@ class Blockchain {
   Receipt ExecuteTransactionOn(StateView& state, uint64_t* next_instance_id,
                                const Transaction& tx, uint64_t block_number,
                                common::SimTime timestamp) const;
+
+  /// Executes a fee-exempt evidence transaction: verifies the equivocation
+  /// proof, slashes the offender's full bond (reporter bounty + burn) and
+  /// records the (offender, height) marker so the offence cannot be
+  /// punished twice. Dispatched from ExecuteTransactionOn.
+  Receipt ExecuteEvidenceOn(StateView& state, const Transaction& tx,
+                            uint64_t block_number) const;
 
   /// Access set per transaction: declared for plain transfers, inferred by
   /// a rolled-back tracing execution for contract calls, global for

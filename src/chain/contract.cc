@@ -4,6 +4,9 @@
 #include "chain/contracts/erc20.h"
 #include "chain/contracts/erc721.h"
 #include "chain/contracts/workload.h"
+#include "common/bytes.h"
+#include "common/checked_math.h"
+#include "common/serial.h"
 #include "crypto/schnorr.h"
 
 namespace pds2::chain {
@@ -76,6 +79,19 @@ Status CallContext::VerifySig(const Bytes& public_key,
 Status CallContext::PayOut(const Address& to, uint64_t amount) {
   PDS2_RETURN_IF_ERROR(gas_.Charge(DefaultGasSchedule().transfer));
   return state_.Transfer(SelfAddress(), to, amount);
+}
+
+Status CallContext::Burn(uint64_t amount) {
+  PDS2_RETURN_IF_ERROR(gas_.Charge(DefaultGasSchedule().transfer));
+  PDS2_RETURN_IF_ERROR(state_.Debit(SelfAddress(), amount));
+  uint64_t new_burned;
+  if (!common::CheckedAdd(state_.BurnedTotal(), amount, &new_burned)) {
+    return Status::InvalidArgument("burn would overflow burned total");
+  }
+  common::Writer w;
+  w.PutU64(new_burned);
+  state_.StoragePut(kStakeSpace, common::ToBytes(kBurnedKey), w.Take());
+  return Status::Ok();
 }
 
 Address CallContext::SelfAddress() const {

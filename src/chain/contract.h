@@ -62,6 +62,13 @@ class CallContext {
   /// (escrowed funds) to `to`.
   common::Status PayOut(const Address& to, uint64_t amount);
 
+  /// Destroys `amount` native tokens out of the contract's own balance:
+  /// the funds move to the global burned-total record (see
+  /// StateView::BurnedTotal), never to any account. Used by slashing paths
+  /// so confiscated escrow provably leaves circulation while total supply
+  /// (balances + stakes + burned) stays exactly conserved.
+  common::Status Burn(uint64_t amount);
+
   const Address& sender() const { return sender_; }
   uint64_t value() const { return value_; }
   const BlockContext& block() const { return block_; }

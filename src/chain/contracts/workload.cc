@@ -91,6 +91,31 @@ Bytes ResultVoteKey(const Address& executor) {
   return key;
 }
 
+Bytes StakeKey(const Address& executor) {
+  Bytes key = ToBytes("stake/");
+  common::Append(key, executor);
+  return key;
+}
+
+Bytes FaultKey(const Address& executor) {
+  Bytes key = ToBytes("fault/");
+  common::Append(key, executor);
+  return key;
+}
+
+// Refunds every outstanding executor bond (abort path: no executor is
+// judged, so every bond goes home).
+Status RefundAllStakes(CallContext& ctx) {
+  PDS2_ASSIGN_OR_RETURN(auto stakes, ctx.Scan(ToBytes("stake/")));
+  for (const auto& [key, value] : stakes) {
+    const Address executor(key.begin() + 6, key.end());
+    PDS2_ASSIGN_OR_RETURN(uint64_t stake, AsU64(value));
+    if (stake > 0) PDS2_RETURN_IF_ERROR(ctx.PayOut(executor, stake));
+    PDS2_RETURN_IF_ERROR(ctx.Delete(key));
+  }
+  return Status::Ok();
+}
+
 Bytes ResultTallyKey(const Bytes& result_hash) {
   Bytes key = ToBytes("tally/");
   common::Append(key, result_hash);
@@ -125,6 +150,13 @@ Status WorkloadContract::Deploy(CallContext& ctx, const Bytes& args) {
   PDS2_ASSIGN_OR_RETURN(uint64_t executor_permille, r.GetU64());
   PDS2_ASSIGN_OR_RETURN(uint64_t deadline, r.GetU64());
   PDS2_ASSIGN_OR_RETURN(std::string aggregation, r.GetString());
+  // Optional trailing accountability bond (older encodings omit it): every
+  // registering executor must escrow this much, refunded at settlement
+  // unless it provably misbehaved.
+  uint64_t executor_stake = 0;
+  if (!r.AtEnd()) {
+    PDS2_ASSIGN_OR_RETURN(executor_stake, r.GetU64());
+  }
 
   if (reward_pool == 0) {
     return Status::InvalidArgument("reward pool must be positive");
@@ -150,6 +182,8 @@ Status WorkloadContract::Deploy(CallContext& ctx, const Bytes& args) {
       ctx.Write(ToBytes("exec_permille"), EncodeU64(executor_permille)));
   PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("deadline"), EncodeU64(deadline)));
   PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("aggregation"), ToBytes(aggregation)));
+  PDS2_RETURN_IF_ERROR(
+      ctx.Write(ToBytes("exec_stake"), EncodeU64(executor_stake)));
   PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("n_providers"), EncodeU64(0)));
   PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("n_executors"), EncodeU64(0)));
   PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("n_votes"), EncodeU64(0)));
@@ -178,6 +212,19 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     PDS2_ASSIGN_OR_RETURN(auto existing, ctx.Read(ExecutorKey(ctx.sender())));
     if (existing.has_value()) {
       return Status::AlreadyExists("executor already registered");
+    }
+    // Accountability bond: the registration must escrow exactly the stake
+    // the workload demands. It is held by the contract until settlement —
+    // refunded to honest executors, slashed for provable fraud.
+    PDS2_ASSIGN_OR_RETURN(uint64_t required_stake,
+                          ReadCounter(ctx, "exec_stake"));
+    if (ctx.value() != required_stake) {
+      return Status::InvalidArgument(
+          "registration must escrow exactly the executor stake");
+    }
+    if (required_stake > 0) {
+      PDS2_RETURN_IF_ERROR(
+          ctx.Write(StakeKey(ctx.sender()), EncodeU64(required_stake)));
     }
 
     PDS2_ASSIGN_OR_RETURN(uint64_t n_providers, ReadCounter(ctx, "n_providers"));
@@ -297,6 +344,31 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     return Bytes{};
   }
 
+  if (method == "report_attestation") {
+    // The consumer puts an attestation mismatch on record: the executor's
+    // runtime quote no longer matches the measurement it registered with
+    // (paper §II-D audit). The flag converts the executor's bond into a
+    // slash at settlement; reporting is idempotent.
+    PDS2_ASSIGN_OR_RETURN(WorkloadPhase phase, ReadPhase(ctx));
+    if (phase != WorkloadPhase::kRunning &&
+        phase != WorkloadPhase::kCompleted) {
+      return Status::FailedPrecondition("workload is not running");
+    }
+    PDS2_ASSIGN_OR_RETURN(auto consumer, ctx.Read(ToBytes("consumer")));
+    if (*consumer != ctx.sender()) {
+      return Status::PermissionDenied(
+          "only the consumer may report attestation faults");
+    }
+    PDS2_ASSIGN_OR_RETURN(Bytes executor, r.GetBytes());
+    PDS2_ASSIGN_OR_RETURN(auto exec_record, ctx.Read(ExecutorKey(executor)));
+    if (!exec_record.has_value()) {
+      return Status::NotFound("reported executor is not registered");
+    }
+    PDS2_RETURN_IF_ERROR(ctx.Write(FaultKey(executor), Bytes{1}));
+    PDS2_RETURN_IF_ERROR(ctx.Emit("AttestationFault", executor));
+    return Bytes{};
+  }
+
   if (method == "finalize") {
     PDS2_ASSIGN_OR_RETURN(WorkloadPhase phase, ReadPhase(ctx));
     if (phase != WorkloadPhase::kCompleted) {
@@ -355,7 +427,11 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
       for (const auto& [key, _] : executors) {
         const Address executor(key.begin() + 5, key.end());
         PDS2_ASSIGN_OR_RETURN(auto vote, ctx.Read(ResultVoteKey(executor)));
-        if (vote.has_value() && agreed.has_value() && *vote == *agreed) {
+        // A consumer-reported attestation fault forfeits the reward too,
+        // not just the bond — a compromised enclave earned nothing.
+        PDS2_ASSIGN_OR_RETURN(auto fault, ctx.Read(FaultKey(executor)));
+        if (vote.has_value() && agreed.has_value() && *vote == *agreed &&
+            !fault.has_value()) {
           survivors.push_back(executor);
         }
       }
@@ -390,6 +466,42 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     if (paid < pool) {
       PDS2_RETURN_IF_ERROR(ctx.PayOut(ctx.sender(), pool - paid));
     }
+
+    // Executor bond settlement. Honest executors — recorded vote matches
+    // the agreed result and no attestation fault on record — get their
+    // bond back. Provable fraud (a vote committed to a losing result, or a
+    // consumer-reported attestation mismatch) forfeits it: half
+    // compensates the consumer, the remainder is burned out of circulation
+    // (total supply = balances + stakes + burned stays exactly conserved;
+    // see StateView::BurnedTotal). Silence is NOT slashed: a crashed
+    // executor is indistinguishable from a partitioned honest one, so a
+    // missing vote only forfeits the reward share, never the bond.
+    PDS2_ASSIGN_OR_RETURN(auto agreed_result, ctx.Read(ToBytes("result")));
+    PDS2_ASSIGN_OR_RETURN(auto stakes, ctx.Scan(ToBytes("stake/")));
+    for (const auto& [key, value] : stakes) {
+      const Address executor(key.begin() + 6, key.end());
+      PDS2_ASSIGN_OR_RETURN(uint64_t stake, AsU64(value));
+      PDS2_ASSIGN_OR_RETURN(auto fault, ctx.Read(FaultKey(executor)));
+      PDS2_ASSIGN_OR_RETURN(auto vote, ctx.Read(ResultVoteKey(executor)));
+      const bool wrong_vote = vote.has_value() && agreed_result.has_value() &&
+                              *vote != *agreed_result;
+      if (fault.has_value() || wrong_vote) {
+        const uint64_t to_consumer = stake / 2;
+        if (to_consumer > 0) {
+          PDS2_RETURN_IF_ERROR(ctx.PayOut(ctx.sender(), to_consumer));
+        }
+        if (stake - to_consumer > 0) {
+          PDS2_RETURN_IF_ERROR(ctx.Burn(stake - to_consumer));
+        }
+        Writer ev;
+        ev.PutBytes(executor);
+        ev.PutU64(stake);
+        PDS2_RETURN_IF_ERROR(ctx.Emit("ExecutorSlashed", ev.Take()));
+      } else if (stake > 0) {
+        PDS2_RETURN_IF_ERROR(ctx.PayOut(executor, stake));
+      }
+      PDS2_RETURN_IF_ERROR(ctx.Delete(key));
+    }
     PDS2_RETURN_IF_ERROR(WritePhase(ctx, WorkloadPhase::kPaid));
     return Bytes{};
   }
@@ -413,6 +525,8 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     PDS2_ASSIGN_OR_RETURN(auto pool_bytes, ctx.Read(ToBytes("pool")));
     PDS2_ASSIGN_OR_RETURN(uint64_t pool, AsU64(*pool_bytes));
     PDS2_RETURN_IF_ERROR(ctx.PayOut(*consumer, pool));
+    // No judgement on abort: every escrowed executor bond goes home.
+    PDS2_RETURN_IF_ERROR(RefundAllStakes(ctx));
     PDS2_RETURN_IF_ERROR(WritePhase(ctx, WorkloadPhase::kAborted));
     return Bytes{};
   }

@@ -49,18 +49,28 @@ struct ParticipationCert {
 ///
 /// Deploy args (consumer): bytes spec_hash, u64 reward_pool (must equal the
 /// escrowed tx value), u64 min_providers, u64 max_providers, u64
-/// executor_reward_permille, u64 deadline (sim-time), string aggregation.
+/// executor_reward_permille, u64 deadline (sim-time), string aggregation,
+/// [u64 executor_stake] (optional accountability bond; older encodings
+/// omit it, meaning 0).
 ///
 /// Methods:
 ///   "register_executor" (bytes executor_pubkey, u32 n, n x cert) -> ()
-///       sender must be the executor; each certificate is verified on-chain
+///       sender must be the executor; each certificate is verified on-chain;
+///       the tx value must escrow exactly `executor_stake`
 ///   "start"             () -> ()    anyone, once min_providers reached
 ///   "submit_result"     (bytes result_hash) -> ()   registered executors;
 ///       completes when a strict majority agrees on one hash
+///   "report_attestation" (bytes executor_addr) -> ()   consumer only, in
+///       Running/Completed; flags an attestation mismatch, converting the
+///       executor's bond into a slash (and forfeiting its reward share)
 ///   "finalize"          (u32 n, n x (bytes provider_addr, u64 weight)) -> ()
 ///       consumer only, in Completed; pays executors evenly from the
-///       executor pool and providers by weight from the remainder
-///   "abort"             () -> ()    consumer, in Accepting or past deadline
+///       executor pool and providers by weight from the remainder, then
+///       settles bonds: matching voters refunded, wrong-voters and
+///       fault-reported executors slashed (half to the consumer, half
+///       burned), non-voters refunded (silence is not provable fraud)
+///   "abort"             () -> ()    consumer, in Accepting or past
+///       deadline; refunds the pool and every executor bond
 ///   -- queries --
 ///   "phase"             () -> u8
 ///   "result"            () -> bytes result_hash

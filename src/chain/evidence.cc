@@ -1,0 +1,81 @@
+#include "chain/evidence.h"
+
+#include <algorithm>
+
+#include "common/serial.h"
+
+namespace pds2::chain {
+
+using common::Bytes;
+using common::Reader;
+using common::Result;
+using common::Status;
+using common::Writer;
+
+Address EquivocationEvidence::Offender() const {
+  return AddressFromPublicKey(header_a.proposer_public_key);
+}
+
+Status EquivocationEvidence::Verify(
+    const std::vector<common::Bytes>& validators) const {
+  if (header_a.number != header_b.number) {
+    return Status::InvalidArgument("evidence headers disagree on height");
+  }
+  if (header_a.proposer_public_key != header_b.proposer_public_key) {
+    return Status::InvalidArgument("evidence headers disagree on proposer");
+  }
+  if (std::find(validators.begin(), validators.end(),
+                header_a.proposer_public_key) == validators.end()) {
+    return Status::InvalidArgument("evidence proposer is not a validator");
+  }
+  if (header_a.Id() == header_b.Id()) {
+    return Status::InvalidArgument("evidence headers are identical");
+  }
+  PDS2_RETURN_IF_ERROR(crypto::VerifySignatureWithDomain(
+      header_a.proposer_public_key, BlockHeader::Domain(),
+      header_a.SigningBytes(), header_a.signature));
+  PDS2_RETURN_IF_ERROR(crypto::VerifySignatureWithDomain(
+      header_b.proposer_public_key, BlockHeader::Domain(),
+      header_b.SigningBytes(), header_b.signature));
+  return Status::Ok();
+}
+
+Bytes EquivocationEvidence::Serialize() const {
+  Writer w;
+  w.PutBytes(header_a.Serialize());
+  w.PutBytes(header_b.Serialize());
+  return w.Take();
+}
+
+Result<EquivocationEvidence> EquivocationEvidence::Deserialize(
+    const Bytes& data) {
+  Reader r(data);
+  EquivocationEvidence evidence;
+  PDS2_ASSIGN_OR_RETURN(Bytes a, r.GetBytes());
+  PDS2_ASSIGN_OR_RETURN(Bytes b, r.GetBytes());
+  PDS2_ASSIGN_OR_RETURN(evidence.header_a, BlockHeader::Deserialize(a));
+  PDS2_ASSIGN_OR_RETURN(evidence.header_b, BlockHeader::Deserialize(b));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in evidence");
+  return evidence;
+}
+
+Bytes EvidenceKey(const Address& offender, uint64_t height) {
+  Writer w;
+  w.PutRaw(offender);
+  w.PutU64(height);
+  return w.Take();
+}
+
+Transaction MakeEvidenceTransaction(const crypto::SigningKey& reporter,
+                                    uint64_t nonce,
+                                    const EquivocationEvidence& evidence) {
+  CallPayload payload;
+  payload.contract = kEvidenceContract;
+  payload.method = "submit";
+  payload.args = evidence.Serialize();
+  return Transaction::Make(reporter, nonce, Address{}, /*value=*/0,
+                           /*gas_limit=*/0, std::move(payload),
+                           /*gas_price=*/0);
+}
+
+}  // namespace pds2::chain

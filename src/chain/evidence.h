@@ -1,0 +1,64 @@
+#ifndef PDS2_CHAIN_EVIDENCE_H_
+#define PDS2_CHAIN_EVIDENCE_H_
+
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/transaction.h"
+#include "chain/types.h"
+#include "common/result.h"
+
+namespace pds2::chain {
+
+/// Proof that a validator double-signed: two validly signed block headers
+/// for the same height from the same proposer with different identities.
+/// This is the one self-contained, objectively verifiable misbehaviour in a
+/// PoA chain — an honest proposer signs at most one header per height, so
+/// the pair alone convicts, with no appeal to which fork "won". Invalid
+/// state-root and gas-cheating blocks reduce to the same proof: the cheater
+/// must also publish a correct variant to keep its slot (or the chain
+/// ignores it entirely), and the (correct, cheating) pair is a double-sign.
+///
+/// Withholding is deliberately NOT evidence: an absent block is
+/// indistinguishable from a partitioned honest proposer, so it is handled
+/// by liveness machinery (ChainConfig::proposer_grace), never by slashing.
+struct EquivocationEvidence {
+  BlockHeader header_a;
+  BlockHeader header_b;
+
+  /// The convicted proposer's address (from header_a's public key).
+  Address Offender() const;
+  /// Height both headers claim.
+  uint64_t Height() const { return header_a.number; }
+
+  /// Structural + cryptographic validity: same height, same proposer, the
+  /// proposer is in `validators`, both signatures verify under the
+  /// "pds2.block" domain, and the two headers have different identities.
+  /// Deterministic, so every replica accepts/rejects identically.
+  common::Status Verify(const std::vector<common::Bytes>& validators) const;
+
+  common::Bytes Serialize() const;
+  static common::Result<EquivocationEvidence> Deserialize(
+      const common::Bytes& data);
+};
+
+/// Contract name routing a transaction to the native evidence handler.
+inline constexpr char kEvidenceContract[] = "evidence";
+/// Reserved storage space recording accepted evidence, keyed
+/// (offender address || height), so each offence slashes exactly once no
+/// matter how many reporters race.
+inline constexpr char kEvidenceSpace[] = "pds2.evidence";
+
+/// Storage key marking evidence against `offender` at `height` as spent.
+common::Bytes EvidenceKey(const Address& offender, uint64_t height);
+
+/// Builds the signed evidence transaction. Evidence is fee-exempt
+/// (gas_limit 0, gas_price 0): a reporter needs no funded account to make
+/// the chain act on proof of misbehaviour — the bounty is its incentive.
+Transaction MakeEvidenceTransaction(const crypto::SigningKey& reporter,
+                                    uint64_t nonce,
+                                    const EquivocationEvidence& evidence);
+
+}  // namespace pds2::chain
+
+#endif  // PDS2_CHAIN_EVIDENCE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chain/evidence.h"
 #include "common/checked_math.h"
 #include "obs/metrics.h"
 
@@ -86,7 +87,7 @@ size_t Mempool::Size() const {
 
 Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
                                            uint64_t block_gas_limit,
-                                           uint64_t gas_price) {
+                                           uint64_t gas_price_floor) {
   Selection result;
 
   // Pass 1, per shard under its lock: evict stale nonces and pre-doomed
@@ -99,6 +100,8 @@ Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
     uint64_t seq;
     uint64_t max_cost;  // value + gas_limit * gas_price
     Address sender;
+    uint64_t gas_price;
+    bool is_evidence;
   };
   std::vector<Candidate> candidates;
   std::vector<std::unique_lock<std::mutex>> locks;
@@ -124,11 +127,16 @@ Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
       for (auto it = chain.begin(); it != chain.end(); ++it) {
         if (it->first != expected_nonce) break;  // gap: rest is future
         const Transaction& tx = it->second.tx;
+        const bool is_evidence = tx.payload().contract == kEvidenceContract;
         uint64_t max_fee, max_cost;
         const bool representable =
-            common::CheckedMul(tx.gas_limit(), gas_price, &max_fee) &&
+            common::CheckedMul(tx.gas_limit(), tx.gas_price(), &max_fee) &&
             common::CheckedAdd(tx.value(), max_fee, &max_cost);
-        if (!representable || max_cost > balance) {
+        // A below-floor offer can never be carried by a valid block; treat
+        // it like an unaffordable head (evidence is fee-exempt).
+        const bool below_floor =
+            !is_evidence && tx.gas_price() < gas_price_floor;
+        if (!representable || below_floor || max_cost > balance) {
           // The chain head can never execute before anything tops the
           // sender up: it is pre-doomed, evict it so no block carries it.
           // Later entries in the run merely wait for the head's actual
@@ -144,7 +152,8 @@ Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
         }
         balance -= max_cost;
         candidates.push_back(Candidate{&tx, &it->second.id, it->second.seq,
-                                       max_cost, sender});
+                                       max_cost, sender, tx.gas_price(),
+                                       is_evidence});
         ++expected_nonce;
       }
 
@@ -156,12 +165,19 @@ Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
     }
   }
 
-  // Pass 2: first-come-first-served packing under the block gas budget
-  // (worst case: the sum of gas limits). Multiple passes let a nonce run
-  // whose later entries were submitted first still land in one block, just
-  // as the old deque drain did.
+  // Pass 2: priority packing under the block gas budget (worst case: the
+  // sum of gas limits). Evidence rides a priority lane ahead of everything
+  // (accountability must not be crowded out by fee pressure), then higher
+  // gas-price offers, then submission order — a strict total order (seq is
+  // unique), so selection is deterministic. Multiple passes let a sender's
+  // nonce run land in one block even when priority orders its later
+  // entries first.
   std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) { return a.seq < b.seq; });
+            [](const Candidate& a, const Candidate& b) {
+              if (a.is_evidence != b.is_evidence) return a.is_evidence;
+              if (a.gas_price != b.gas_price) return a.gas_price > b.gas_price;
+              return a.seq < b.seq;
+            });
   std::map<Address, uint64_t> included_upto;  // sender -> next expected nonce
   std::vector<bool> taken(candidates.size(), false);
   uint64_t block_gas = 0;

@@ -78,12 +78,15 @@ class Mempool {
 
   /// Drains the next block's transactions: per sender, consecutive nonces
   /// starting at the account nonce, affordable under worst-case fees
-  /// against `state`, packed first-come-first-served under the sum of gas
-  /// limits. Stale entries (nonce below the account's) and unaffordable
-  /// chain heads are evicted and reported in `dropped`; future-nonce and
+  /// (each transaction's own gas_price) against `state`, packed under the
+  /// sum of gas limits in priority order — evidence transactions first,
+  /// then by offered gas price descending, submission order (FIFO) as the
+  /// deterministic tiebreak. Stale entries (nonce below the account's),
+  /// below-floor offers (`gas_price_floor`) and unaffordable chain heads
+  /// are evicted and reported in `dropped`; future-nonce and
   /// not-yet-fitting transactions stay queued.
   Selection SelectForBlock(const WorldState& state, uint64_t block_gas_limit,
-                           uint64_t gas_price);
+                           uint64_t gas_price_floor);
 
   /// Removes transactions executed via an external block.
   void RemoveExecuted(const std::vector<Transaction>& txs);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/bytes.h"
 #include "common/checked_math.h"
 #include "common/serial.h"
 #include "crypto/sha256.h"
@@ -10,6 +11,95 @@ namespace pds2::chain {
 
 using common::Bytes;
 using common::Status;
+
+namespace {
+
+common::Bytes EncodeStakeAmount(uint64_t amount) {
+  common::Writer w;
+  w.PutU64(amount);
+  return w.Take();
+}
+
+uint64_t DecodeStakeAmount(const std::optional<Bytes>& value) {
+  if (!value.has_value()) return 0;
+  common::Reader r(*value);
+  auto amount = r.GetU64();
+  return amount.ok() ? *amount : 0;
+}
+
+common::Bytes BurnedKeyBytes() { return common::ToBytes(kBurnedKey); }
+
+}  // namespace
+
+uint64_t StateView::StakeOf(const Address& addr) const {
+  return DecodeStakeAmount(StorageGet(kStakeSpace, addr));
+}
+
+Status StateView::StakeBond(const Address& addr, uint64_t amount) {
+  uint64_t new_stake;
+  if (!common::CheckedAdd(StakeOf(addr), amount, &new_stake)) {
+    return Status::InvalidArgument("bond would overflow stake record");
+  }
+  PDS2_RETURN_IF_ERROR(Debit(addr, amount));
+  StoragePut(kStakeSpace, addr, EncodeStakeAmount(new_stake));
+  return Status::Ok();
+}
+
+Status StateView::StakeRelease(const Address& addr, uint64_t amount) {
+  const uint64_t stake = StakeOf(addr);
+  if (stake < amount) {
+    return Status::InsufficientFunds("stake below release amount");
+  }
+  PDS2_RETURN_IF_ERROR(Credit(addr, amount));
+  if (stake == amount) {
+    StorageDelete(kStakeSpace, addr);
+  } else {
+    StoragePut(kStakeSpace, addr, EncodeStakeAmount(stake - amount));
+  }
+  return Status::Ok();
+}
+
+Status StateView::StakeSlash(const Address& offender, uint64_t amount,
+                             const Address& reporter, uint32_t reporter_bps) {
+  if (reporter_bps > kSlashBpsDenominator) {
+    return Status::InvalidArgument("reporter share above 100%");
+  }
+  const uint64_t stake = StakeOf(offender);
+  if (stake < amount) {
+    return Status::InsufficientFunds("stake below slash amount");
+  }
+  // Exact split: bounty rounds down, the burn picks up the remainder, so
+  // bounty + burn == amount with no drift.
+  const uint64_t bounty = static_cast<uint64_t>(
+      static_cast<unsigned __int128>(amount) * reporter_bps /
+      kSlashBpsDenominator);
+  const uint64_t burn = amount - bounty;
+  uint64_t new_burned;
+  if (!common::CheckedAdd(BurnedTotal(), burn, &new_burned)) {
+    return Status::InvalidArgument("slash would overflow burned total");
+  }
+  PDS2_RETURN_IF_ERROR(Credit(reporter, bounty));
+  if (stake == amount) {
+    StorageDelete(kStakeSpace, offender);
+  } else {
+    StoragePut(kStakeSpace, offender, EncodeStakeAmount(stake - amount));
+  }
+  StoragePut(kStakeSpace, BurnedKeyBytes(), EncodeStakeAmount(new_burned));
+  return Status::Ok();
+}
+
+uint64_t StateView::BurnedTotal() const {
+  return DecodeStakeAmount(StorageGet(kStakeSpace, BurnedKeyBytes()));
+}
+
+uint64_t StateView::TotalStaked() const {
+  uint64_t total = 0;
+  for (const auto& [key, value] : StorageScan(kStakeSpace, {})) {
+    if (key.size() != kAddressSize) continue;  // skip the burned-total record
+    total = common::SaturatingAdd(total, DecodeStakeAmount(value));
+  }
+  return total;
+}
 
 uint64_t WorldState::GetBalance(const Address& addr) const {
   auto it = accounts_.find(addr);

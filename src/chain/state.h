@@ -17,6 +17,17 @@ struct Account {
   uint64_t nonce = 0;
 };
 
+/// Reserved storage space holding the stake ledger: 20-byte address keys map
+/// to u64 bonded amounts, plus the (non-address-sized) burned-total key. The
+/// space lives in ordinary contract storage, so journaling, digests,
+/// snapshots and lane overlays all cover it with no special cases.
+inline constexpr char kStakeSpace[] = "pds2.stake";
+/// Key under kStakeSpace accumulating burned (slashed-and-destroyed) tokens.
+/// Deliberately not 20 bytes long, so it can never collide with an address.
+inline constexpr char kBurnedKey[] = "burned-total";
+/// Denominator of the reporter's share of a slash (basis points).
+inline constexpr uint32_t kSlashBpsDenominator = 10'000;
+
 /// Abstract ledger surface transaction execution runs against. WorldState
 /// is the canonical implementation; the parallel executor substitutes
 /// per-lane overlay views (see parallel_exec.h) that buffer writes and
@@ -49,6 +60,32 @@ class StateView {
   virtual void Begin() = 0;
   virtual void Commit() = 0;
   virtual void Rollback() = 0;
+
+  // --- Stake ledger ---------------------------------------------------------
+  // Accountability deposits (paper's D2M-style incentive layer). These are
+  // non-virtual helpers layered entirely on the virtual primitives above, so
+  // WorldState, lane overlays and tracing views all support them with
+  // identical semantics: stake lives in the kStakeSpace storage namespace
+  // and bonding/releasing moves value between an account's spendable balance
+  // and its stake record. The conserved quantity is
+  //   TotalBalance() + TotalStaked() + BurnedTotal().
+
+  /// Bonded stake of `addr` (0 when none).
+  uint64_t StakeOf(const Address& addr) const;
+  /// Moves `amount` from `addr`'s balance into its stake record.
+  common::Status StakeBond(const Address& addr, uint64_t amount);
+  /// Moves `amount` from `addr`'s stake record back to its balance.
+  common::Status StakeRelease(const Address& addr, uint64_t amount);
+  /// Confiscates `amount` from `offender`'s stake: `reporter_bps` basis
+  /// points go to `reporter` as a bounty, the remainder is burned (added to
+  /// the burned-total record, never to any balance). Exact: the three-way
+  /// split always sums to `amount`.
+  common::Status StakeSlash(const Address& offender, uint64_t amount,
+                            const Address& reporter, uint32_t reporter_bps);
+  /// Total tokens destroyed by slashing so far.
+  uint64_t BurnedTotal() const;
+  /// Sum of all bonded stakes.
+  uint64_t TotalStaked() const;
 };
 
 /// The replicated ledger state: native-token accounts plus raw contract

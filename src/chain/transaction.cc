@@ -18,13 +18,15 @@ const char* Transaction::Domain() { return kTxDomain; }
 
 Transaction Transaction::Make(const crypto::SigningKey& sender, uint64_t nonce,
                               const Address& to, uint64_t value,
-                              uint64_t gas_limit, CallPayload payload) {
+                              uint64_t gas_limit, CallPayload payload,
+                              uint64_t gas_price) {
   Transaction tx;
   tx.sender_public_key_ = sender.PublicKey();
   tx.nonce_ = nonce;
   tx.to_ = to;
   tx.value_ = value;
   tx.gas_limit_ = gas_limit;
+  tx.gas_price_ = gas_price;
   tx.payload_ = std::move(payload);
   tx.signature_ = sender.SignWithDomain(kTxDomain, tx.SigningBytes());
   return tx;
@@ -37,6 +39,7 @@ Bytes Transaction::SigningBytes() const {
   w.PutBytes(to_);
   w.PutU64(value_);
   w.PutU64(gas_limit_);
+  w.PutU64(gas_price_);
   w.PutString(payload_.contract);
   w.PutU64(payload_.instance);
   w.PutString(payload_.method);
@@ -59,6 +62,7 @@ Result<Transaction> Transaction::Deserialize(const Bytes& data) {
   PDS2_ASSIGN_OR_RETURN(tx.to_, r.GetBytes());
   PDS2_ASSIGN_OR_RETURN(tx.value_, r.GetU64());
   PDS2_ASSIGN_OR_RETURN(tx.gas_limit_, r.GetU64());
+  PDS2_ASSIGN_OR_RETURN(tx.gas_price_, r.GetU64());
   PDS2_ASSIGN_OR_RETURN(tx.payload_.contract, r.GetString());
   PDS2_ASSIGN_OR_RETURN(tx.payload_.instance, r.GetU64());
   PDS2_ASSIGN_OR_RETURN(tx.payload_.method, r.GetString());

@@ -27,10 +27,13 @@ class Transaction {
  public:
   Transaction() = default;
 
-  /// Builds and signs a transaction.
+  /// Builds and signs a transaction. `gas_price` is the fee the sender
+  /// offers per gas unit; ChainConfig::gas_price is the network floor and
+  /// the mempool prefers higher offers (see Mempool::SelectForBlock).
   static Transaction Make(const crypto::SigningKey& sender, uint64_t nonce,
                           const Address& to, uint64_t value,
-                          uint64_t gas_limit, CallPayload payload);
+                          uint64_t gas_limit, CallPayload payload,
+                          uint64_t gas_price = 1);
 
   /// The canonical byte serialization (including signature).
   common::Bytes Serialize() const;
@@ -55,6 +58,7 @@ class Transaction {
   const Address& to() const { return to_; }
   uint64_t value() const { return value_; }
   uint64_t gas_limit() const { return gas_limit_; }
+  uint64_t gas_price() const { return gas_price_; }
   const CallPayload& payload() const { return payload_; }
   const common::Bytes& signature() const { return signature_; }
 
@@ -64,6 +68,7 @@ class Transaction {
   Address to_;
   uint64_t value_ = 0;
   uint64_t gas_limit_ = 0;
+  uint64_t gas_price_ = 1;
   CallPayload payload_;
   common::Bytes signature_;
 };

@@ -171,6 +171,47 @@ FaultPlan FaultPlan::Random(uint64_t seed, size_t num_nodes, SimTime duration,
     plan.partitions.push_back(std::move(partition));
   }
 
+  // Byzantine validator assignments: distinct nodes, behaviour drawn
+  // uniformly from the non-kNone values. Seed-derived like everything else,
+  // so a cell (seed, f) names exactly one adversary configuration.
+  if (profile.num_byzantine_validators > 0) {
+    std::vector<size_t> byz_nodes(num_nodes);
+    for (size_t i = 0; i < num_nodes; ++i) byz_nodes[i] = i;
+    rng.Shuffle(byz_nodes);
+    const size_t count =
+        std::min(profile.num_byzantine_validators, num_nodes);
+    constexpr ByzantineBehavior kBehaviors[] = {
+        ByzantineBehavior::kEquivocate, ByzantineBehavior::kInvalidStateRoot,
+        ByzantineBehavior::kGasCheat, ByzantineBehavior::kWithhold};
+    for (size_t k = 0; k < count; ++k) {
+      ByzantineValidatorSpec spec;
+      spec.node = byz_nodes[k];
+      spec.behavior = kBehaviors[rng.NextU64(std::size(kBehaviors))];
+      plan.byzantine_validators.push_back(spec);
+    }
+  }
+
+  // Byzantine executor assignments: a seed-chosen subset of executor slots
+  // (indices over num_nodes; harnesses with a different executor count take
+  // the index modulo theirs), fault bytes cycling through the profile list.
+  if (profile.byzantine_executor_fraction > 0.0) {
+    std::vector<size_t> exec_slots(num_nodes);
+    for (size_t i = 0; i < num_nodes; ++i) exec_slots[i] = i;
+    rng.Shuffle(exec_slots);
+    const size_t count = static_cast<size_t>(
+        profile.byzantine_executor_fraction * static_cast<double>(num_nodes) +
+        0.5);
+    for (size_t k = 0; k < count && k < num_nodes; ++k) {
+      ByzantineExecutorSpec spec;
+      spec.executor = exec_slots[k];
+      spec.fault = profile.byzantine_executor_faults.empty()
+                       ? 0
+                       : profile.byzantine_executor_faults
+                             [k % profile.byzantine_executor_faults.size()];
+      plan.byzantine_executors.push_back(spec);
+    }
+  }
+
   // Directed link degradations.
   if (profile.link_fault_rate > 0.0) {
     for (size_t from = 0; from < num_nodes; ++from) {

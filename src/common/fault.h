@@ -65,6 +65,42 @@ struct LinkFault {
   double latency_mult = 1.0;  // multiplies the delivery latency
 };
 
+/// Byzantine (arbitrary, not just crash/omission) misbehaviours a scripted
+/// validator can exhibit. The first three are *provable*: the cheater signs
+/// two different headers at one height (the cheating variant plus the
+/// correct one it needs to keep its slot), and any honest observer holding
+/// the pair can convict it on chain (see chain/evidence.h). Withholding is
+/// deliberately unprovable — silence is indistinguishable from a partition —
+/// and is absorbed by the proposer_grace liveness fallback instead.
+enum class ByzantineBehavior : uint8_t {
+  kNone = 0,
+  kEquivocate,        // two signed blocks at one height
+  kInvalidStateRoot,  // block committing to a state it never computed
+  kGasCheat,          // block whose gas-limit sum busts the block budget
+  kWithhold,          // produces nothing in its slot
+};
+
+/// True for behaviours an honest node can prove on chain (and so slash).
+inline bool IsProvable(ByzantineBehavior b) {
+  return b == ByzantineBehavior::kEquivocate ||
+         b == ByzantineBehavior::kInvalidStateRoot ||
+         b == ByzantineBehavior::kGasCheat;
+}
+
+/// One scripted Byzantine validator.
+struct ByzantineValidatorSpec {
+  size_t node = 0;  // validator index
+  ByzantineBehavior behavior = ByzantineBehavior::kNone;
+};
+
+/// One scripted Byzantine executor (marketplace actor). `fault` is the
+/// market::ExecutorFault value to inject; kept as a raw byte so common does
+/// not depend on market.
+struct ByzantineExecutorSpec {
+  size_t executor = 0;  // executor index
+  uint8_t fault = 0;
+};
+
 /// Knobs for FaultPlan::Random. All times are absolute sim-time spans.
 struct FaultProfile {
   /// Fraction of nodes that crash (and later restart) at least once.
@@ -81,6 +117,16 @@ struct FaultProfile {
   double max_latency_mult = 4.0;
   /// Probability that a delivered payload has one byte flipped in flight.
   double corrupt_rate = 0.0;
+  /// Number of validators scripted with a seed-chosen Byzantine behaviour
+  /// (distinct nodes, behaviour drawn uniformly from the non-kNone values).
+  size_t num_byzantine_validators = 0;
+  /// Fraction of marketplace executors scripted with a Byzantine fault.
+  /// The concrete fault byte cycles through the provable executor faults;
+  /// the harness maps it onto market::ExecutorFault.
+  double byzantine_executor_fraction = 0.0;
+  /// Executor-fault bytes to cycle through when byzantine_executor_fraction
+  /// is set (market::ExecutorFault values; empty means byte 0).
+  std::vector<uint8_t> byzantine_executor_faults;
 };
 
 /// A deterministic, replayable schedule of faults. The plan is pure data:
@@ -92,6 +138,8 @@ struct FaultPlan {
   std::vector<PartitionEvent> partitions;
   std::vector<LinkFault> link_faults;
   double corrupt_rate = 0.0;  // network-wide payload corruption probability
+  std::vector<ByzantineValidatorSpec> byzantine_validators;
+  std::vector<ByzantineExecutorSpec> byzantine_executors;
 
   /// Aggregate effect of the plan on one directed link at time `now`.
   struct LinkEffect {

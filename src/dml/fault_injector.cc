@@ -1,6 +1,7 @@
 #include "dml/fault_injector.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 #include "obs/flight_recorder.h"
@@ -25,6 +26,27 @@ void FaultInjector::OnStart(NodeContext& ctx) {
   // The injector itself never goes offline, so none of these are dropped.
   for (size_t i = 0; i < plan_.churn.size(); ++i) {
     ctx.SetTimer(plan_.churn[i].at, i);
+  }
+  // Leave the adversary roster in the black box: the Byzantine specs are
+  // enacted by the protocol layer (p2p::ApplyByzantineSpecs, the
+  // marketplace harnesses), not by this injector, so a chaos dump would
+  // otherwise not show who was scripted to cheat.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (recorder.enabled()) {
+    for (const common::ByzantineValidatorSpec& spec :
+         plan_.byzantine_validators) {
+      recorder.Note("fault plan scripts byzantine behavior " +
+                        std::to_string(static_cast<int>(spec.behavior)) +
+                        " on validator " + std::to_string(spec.node),
+                    /*has_sim=*/true, ctx.Now());
+    }
+    for (const common::ByzantineExecutorSpec& spec :
+         plan_.byzantine_executors) {
+      recorder.Note("fault plan scripts executor fault " +
+                        std::to_string(static_cast<int>(spec.fault)) +
+                        " on executor slot " + std::to_string(spec.executor),
+                    /*has_sim=*/true, ctx.Now());
+    }
   }
 }
 

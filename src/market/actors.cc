@@ -109,6 +109,17 @@ tee::AttestationQuote ExecutorAgent::QuoteFor(uint64_t workload_instance) const 
   return quote;
 }
 
+tee::AttestationQuote ExecutorAgent::AuditQuote(
+    uint64_t workload_instance) const {
+  Writer w;
+  w.PutU64(workload_instance);
+  tee::AttestationQuote quote = enclave_->GenerateQuote(w.Take());
+  if (fault_ == ExecutorFault::kFalseAttestation && !quote.signature.empty()) {
+    quote.signature[0] ^= 0x01;
+  }
+  return quote;
+}
+
 Status ExecutorAgent::Setup(const WorkloadSpec& spec) {
   if (fault_ == ExecutorFault::kSetup) {
     return Status::Unavailable("executor " + name_ + " crashed during setup");

@@ -86,6 +86,12 @@ enum class ExecutorFault {
   kSetup,        // crashes when the enclave is configured
   kTrain,        // crashes mid-training, after on-chain registration
   kVote,         // trains, then crashes before submitting its result
+  // --- Byzantine (fraud, not crash): registered, bonded, then cheats. ----
+  kWrongVote,         // deliberately votes for a result it never computed
+  kTamperedUpdate,    // tampers with its model update, so its result hash
+                      // diverges from the honest quorum's
+  kFalseAttestation,  // bonds with a valid quote, then fails the runtime
+                      // re-audit (rolled-back / compromised enclave)
 };
 
 /// An executor: TEE-equipped compute node. Holds a chain identity (for
@@ -104,6 +110,12 @@ class ExecutorAgent {
 
   /// Quote binding this enclave to the given workload instance.
   tee::AttestationQuote QuoteFor(uint64_t workload_instance) const;
+
+  /// Quote for the consumer's *runtime* re-audit. Differs from QuoteFor
+  /// only under kFalseAttestation: that fault presents a valid quote at
+  /// seal/registration time (so the executor bonds first) and a corrupt one
+  /// here — the rolled-back-enclave scenario the bond exists to punish.
+  tee::AttestationQuote AuditQuote(uint64_t workload_instance) const;
 
   /// Configures the enclave kernel for a workload (resets any prior data).
   common::Status Setup(const WorkloadSpec& spec);

@@ -220,6 +220,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
                          : spec.deadline;
   deploy_args.PutU64(deadline);
   deploy_args.PutString("gossip");
+  deploy_args.PutU64(spec.executor_stake);
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt deploy_receipt,
       execute_as("consumer/", consumer.name(), consumer.key(),
@@ -408,7 +409,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     PDS2_ASSIGN_OR_RETURN(
         chain::Receipt receipt,
         execute_as("executor/", executor->name(), executor->key(),
-                   chain::Address{}, 0, kDefaultGas,
+                   chain::Address{}, spec.executor_stake, kDefaultGas,
                    chain::CallPayload{"workload", report.instance,
                                       "register_executor", args.Take()}));
     if (!receipt.success) {
@@ -416,7 +417,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
           Status::Internal("executor registration failed: " + receipt.error));
     }
   }
-  audit("all executor registrations validated on-chain");
+  audit(spec.executor_stake > 0
+            ? "all executor registrations validated on-chain, " +
+                  std::to_string(spec.executor_stake) + " tokens bonded each"
+            : "all executor registrations validated on-chain");
   span_register.End();
 
   // --- Phase 5: governance starts the workload. ---------------------------
@@ -431,6 +435,33 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   }
   audit("workload started");
   span_start.End();
+
+  // Runtime attestation re-audit (paper §II-D): now that executors are
+  // bonded, the consumer re-verifies each enclave's quote. A quote that was
+  // valid at sealing time but fails now (rollback, compromise) is reported
+  // on-chain — the report converts the executor's bond into a slash at
+  // settlement, which is exactly what the bond exists for.
+  for (auto& [executor, contributions] : per_executor) {
+    (void)contributions;
+    const tee::AttestationQuote audit_quote =
+        executor->AuditQuote(report.instance);
+    const Status verified =
+        tee::VerifyQuote(audit_quote, attestation_.RootPublicKey(),
+                         executor->enclave().Measurement());
+    if (verified.ok()) continue;
+    Writer fault_args;
+    fault_args.PutBytes(executor->address());
+    auto reported = execute_as(
+        "consumer/", consumer.name(), consumer.key(), chain::Address{}, 0,
+        kDefaultGas,
+        chain::CallPayload{"workload", report.instance, "report_attestation",
+                           fault_args.Take()});
+    if (reported.ok() && reported->success) {
+      PDS2_M_COUNT("market.attestation_faults_reported", 1);
+      audit("runtime attestation audit failed for " + executor->name() +
+            "; fault reported on-chain");
+    }
+  }
 
   obs::ScopedSpan span_train("market.train_aggregate", &now_);
   // --- Phase 6: in-enclave training + decentralized aggregation. An
@@ -565,8 +596,25 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
                 Status::Unavailable("crashed before submitting its result"));
       continue;
     }
+    // Byzantine voters commit on-chain to a result they never computed (or
+    // computed from a tampered model update). The commitment is what makes
+    // the fraud provable: finalize compares every recorded vote against
+    // the agreed result and slashes the minority cheaters' bonds.
+    Bytes vote_hash = result_hash;
+    if (executor->injected_fault() == ExecutorFault::kWrongVote ||
+        executor->injected_fault() == ExecutorFault::kTamperedUpdate) {
+      Bytes tampered = result_hash;
+      common::Append(tampered,
+                     ToBytes(executor->injected_fault() ==
+                                     ExecutorFault::kWrongVote
+                                 ? "wrong-vote"
+                                 : "tampered-update"));
+      vote_hash = crypto::Sha256::Hash(tampered);
+      audit("executor " + executor->name() +
+            " voted for a divergent result (injected fraud)");
+    }
     Writer args;
-    args.PutBytes(result_hash);
+    args.PutBytes(vote_hash);
     PDS2_ASSIGN_OR_RETURN(
         chain::Receipt receipt,
         execute_as("executor/", executor->name(), executor->key(),
@@ -610,6 +658,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     fin.PutBytes(p.provider->address());
     fin.PutU64(std::max<uint64_t>(1, weight));
   }
+  const uint64_t burned_before = chain_->BurnedTotal();
   PDS2_ASSIGN_OR_RETURN(
       chain::Receipt fin_receipt,
       execute_as("consumer/", consumer.name(), consumer.key(),
@@ -619,15 +668,38 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   if (!fin_receipt.success) {
     return abort_and_fail(Status::Internal(fin_receipt.error));
   }
+  report.tokens_burned = chain_->BurnedTotal() - burned_before;
+  // Name the slashed executors from the settlement's audit events.
+  for (const chain::Event& event : fin_receipt.events) {
+    if (event.name != "ExecutorSlashed") continue;
+    Reader ev(event.data);
+    auto addr = ev.GetBytes();
+    auto stake = ev.GetU64();
+    if (!addr.ok() || !stake.ok()) continue;
+    for (ExecutorAgent* executor : registered) {
+      if (executor->address() == *addr) {
+        report.slashed_executors[executor->name()] = *stake;
+        PDS2_M_COUNT("market.executors_slashed", 1);
+        audit("slashed executor " + executor->name() + ": bond of " +
+              std::to_string(*stake) + " forfeited (half to consumer, half "
+              "burned)");
+      }
+    }
+  }
   for (const auto& p : participations) {
     report.provider_rewards[p.provider->name()] =
         chain_->GetBalance(p.provider->address()) -
         balances_before[p.provider->name()];
   }
   for (ExecutorAgent* executor : registered) {
-    report.executor_rewards[executor->name()] =
-        chain_->GetBalance(executor->address()) -
-        balances_before[executor->name()];
+    uint64_t delta = chain_->GetBalance(executor->address()) -
+                     balances_before[executor->name()];
+    // An honest executor's balance delta includes its refunded bond; the
+    // report keeps "rewards" meaning rewards.
+    if (report.slashed_executors.count(executor->name()) == 0) {
+      delta -= std::min(delta, spec.executor_stake);
+    }
+    report.executor_rewards[executor->name()] = delta;
   }
   audit("escrow discharged; rewards distributed");
   span_finalize.End();

@@ -48,6 +48,12 @@ struct RunReport {
   /// setup/training, or never voted). Registered-but-dropped executors
   /// appear in executor_rewards with 0 tokens.
   std::vector<std::string> dropped_executors;
+  /// Executors whose bond was slashed at finalize (minority-vote fraud or
+  /// a consumer-reported attestation mismatch), name -> forfeited stake.
+  std::map<std::string, uint64_t> slashed_executors;
+  /// Tokens destroyed by slashing during this run (the burned half of each
+  /// forfeited bond; the other half compensated the consumer).
+  uint64_t tokens_burned = 0;
   std::vector<std::string> audit_log;
 };
 

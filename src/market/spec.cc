@@ -36,6 +36,7 @@ Bytes WorkloadSpec::Serialize() const {
   w.PutU64(deadline);
   w.PutU8(static_cast<uint8_t>(reward_policy));
   w.PutU8(static_cast<uint8_t>(aggregation));
+  w.PutU64(executor_stake);
   return w.Take();
 }
 
@@ -71,6 +72,10 @@ Result<WorkloadSpec> WorkloadSpec::Deserialize(const Bytes& data) {
   PDS2_ASSIGN_OR_RETURN(uint8_t aggregation, r.GetU8());
   if (aggregation > 1) return Status::Corruption("invalid aggregation method");
   spec.aggregation = static_cast<AggregationMethod>(aggregation);
+  // Optional trailing bond (pre-staking encodings omit it).
+  if (!r.AtEnd()) {
+    PDS2_ASSIGN_OR_RETURN(spec.executor_stake, r.GetU64());
+  }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in spec");
   return spec;
 }

@@ -69,6 +69,11 @@ struct WorkloadSpec {
   uint64_t min_providers = 1;
   uint64_t max_providers = 64;
   uint64_t executor_reward_permille = 100;
+  /// Accountability bond each executor escrows at registration; refunded at
+  /// settlement unless the executor provably misbehaved (wrong result vote,
+  /// or a consumer-reported attestation mismatch), in which case half goes
+  /// to the consumer and half is burned. 0 = no bonding (legacy behaviour).
+  uint64_t executor_stake = 0;
   common::SimTime deadline = 0;
   RewardPolicy reward_policy = RewardPolicy::kByRecords;
   AggregationMethod aggregation = AggregationMethod::kAllReduce;

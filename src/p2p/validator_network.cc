@@ -134,12 +134,157 @@ Status ValidatorNode::SubmitTransaction(const chain::Transaction& tx,
 
 void ValidatorNode::TryProduce(dml::NodeContext& ctx) {
   if (chain_->ProposerAt(ctx.Now()) != key_.PublicKey()) return;
+  if (byzantine_ == common::ByzantineBehavior::kWithhold) {
+    // Silence. Indistinguishable from a partitioned honest proposer, so it
+    // is never slashable — the proposer_grace fallback absorbs the slot.
+    PDS2_M_COUNT("p2p.byzantine.withheld", 1);
+    return;
+  }
   auto block = chain_->ProduceBlock(key_, ctx.Now());
   if (!block.ok()) return;  // e.g. non-monotonic timestamp: wait a slot
   ++blocks_produced_;
   PDS2_M_COUNT("p2p.blocks_produced", 1);
   Broadcast(ctx, EncodeBlock(kMsgBlock, *block));
+  if (byzantine_ != common::ByzantineBehavior::kNone) {
+    BroadcastByzantineVariant(ctx, *block);
+  }
   DrainBuffer();
+}
+
+void ValidatorNode::BroadcastByzantineVariant(dml::NodeContext& ctx,
+                                              const chain::Block& block) {
+  // Every provable misbehaviour is expressed as a second signed header at
+  // the height we just produced honestly (we must keep producing honest
+  // blocks or the chain simply ignores us) — exactly the double-sign that
+  // chain::EquivocationEvidence convicts.
+  chain::Block variant = block;
+  switch (byzantine_) {
+    case common::ByzantineBehavior::kEquivocate:
+      // A perfectly well-formed competing block: honest replicas that see
+      // it first adopt it and the fork-choice rule must reconverge them.
+      variant.header.timestamp += 1;
+      break;
+    case common::ByzantineBehavior::kInvalidStateRoot:
+      // Commits to a state no replica can reproduce; honest replicas
+      // reject it (and the rejection is transactional — no residue).
+      variant.header.state_root[0] ^= 0xff;
+      break;
+    case common::ByzantineBehavior::kGasCheat: {
+      // Pads the block with a self-signed transfer whose gas limit alone
+      // busts the block budget, recommitting the tx root so the header is
+      // internally consistent — only the gas-sum consensus rule catches it.
+      chain::Transaction filler = chain::Transaction::Make(
+          key_, /*nonce=*/1ull << 30,
+          chain::AddressFromPublicKey(key_.PublicKey()), /*value=*/0,
+          /*gas_limit=*/chain_config_.block_gas_limit + 1, {},
+          chain_config_.gas_price);
+      variant.transactions.push_back(std::move(filler));
+      variant.header.tx_root =
+          chain::Block::ComputeTxRoot(variant.transactions);
+      break;
+    }
+    default:
+      return;
+  }
+  variant.header.signature = key_.SignWithDomain(
+      chain::BlockHeader::Domain(), variant.header.SigningBytes());
+  PDS2_M_COUNT("p2p.byzantine.variants_broadcast", 1);
+  Broadcast(ctx, EncodeBlock(kMsgBlock, variant));
+}
+
+void ValidatorNode::RecordHeader(dml::NodeContext& ctx,
+                                 const chain::BlockHeader& header) {
+  // Watchtower: only a validly signed header from a known validator is
+  // attributable; anything else is noise a forger could plant.
+  const std::vector<Bytes>& validators = chain_->validators();
+  if (std::find(validators.begin(), validators.end(),
+                header.proposer_public_key) == validators.end()) {
+    return;
+  }
+  const chain::Hash id = header.Id();
+  if (verified_headers_.count(id) == 0) {
+    if (!crypto::VerifySignatureWithDomain(
+             header.proposer_public_key, chain::BlockHeader::Domain(),
+             header.SigningBytes(), header.signature)
+             .ok()) {
+      return;
+    }
+    if (verified_headers_.size() >= 4096) verified_headers_.clear();
+    verified_headers_.insert(id);
+  }
+  const chain::Address offender =
+      chain::AddressFromPublicKey(header.proposer_public_key);
+  auto [it, inserted] =
+      seen_headers_.emplace(std::make_pair(header.number, offender), header);
+  if (inserted) {
+    // Keep the watchtower bounded: anything far below our height can no
+    // longer pair up (its counterpart would be equally stale).
+    const uint64_t floor =
+        chain_->Height() > 64 ? chain_->Height() - 64 : 0;
+    while (!seen_headers_.empty() &&
+           seen_headers_.begin()->first.first < floor) {
+      seen_headers_.erase(seen_headers_.begin());
+    }
+    return;
+  }
+  if (it->second.Id() == id) return;  // same header re-gossiped
+  const auto ev_key = std::make_pair(offender, header.number);
+  if (pending_evidence_.count(ev_key) > 0 ||
+      chain_->HasEvidenceFor(offender, header.number)) {
+    return;  // already being prosecuted / already punished
+  }
+  chain::EquivocationEvidence evidence;
+  evidence.header_a = it->second;
+  evidence.header_b = header;
+  if (!evidence.Verify(validators).ok()) return;
+  ++evidence_detected_;
+  PDS2_M_COUNT("p2p.evidence.detected", 1);
+  PDS2_LOG(kWarn) << "validator " << index_ << " detected double-sign at "
+                  << "height " << header.number << " by "
+                  << chain::ShortHex(offender);
+  QuarantinePeerOf(offender);
+  pending_evidence_.emplace(ev_key, std::move(evidence));
+  MaybeSubmitEvidence(ctx);
+}
+
+void ValidatorNode::QuarantinePeerOf(const chain::Address& proposer) {
+  for (size_t i = 0; i < validator_keys_.size() && i < peers_.size(); ++i) {
+    if (chain::AddressFromPublicKey(validator_keys_[i]) != proposer) continue;
+    if (quarantined_peers_.insert(peers_[i]).second) {
+      PDS2_M_COUNT("p2p.evidence.quarantined", 1);
+      PDS2_LOG(kWarn) << "validator " << index_ << " quarantined peer "
+                      << peers_[i] << " (double-signing validator " << i
+                      << ")";
+    }
+  }
+}
+
+void ValidatorNode::MaybeSubmitEvidence(dml::NodeContext& ctx) {
+  if (pending_evidence_.empty()) return;
+  const chain::Address self = chain::AddressFromPublicKey(key_.PublicKey());
+  uint64_t nonce_offset = 0;
+  for (auto it = pending_evidence_.begin(); it != pending_evidence_.end();) {
+    if (chain_->HasEvidenceFor(it->first.first, it->first.second)) {
+      // The slash is on chain (ours or another reporter's); case closed.
+      it = pending_evidence_.erase(it);
+      continue;
+    }
+    chain::Transaction tx = chain::MakeEvidenceTransaction(
+        key_, chain_->GetNonce(self) + nonce_offset, it->second);
+    Status status = chain_->SubmitTransaction(tx);
+    if (status.ok()) {
+      ++nonce_offset;
+      ++evidence_submitted_;
+      PDS2_M_COUNT("p2p.evidence.submitted", 1);
+      seen_txs_[tx.Id()] = true;
+      Broadcast(ctx, EncodeTx(tx));
+    }
+    // AlreadyExists (still queued, or a racing reporter landed first) is
+    // expected: the entry stays pending and is retried every slot until
+    // the on-chain marker appears. Deterministic signing makes a retry
+    // byte-identical, so it can never double-queue.
+    ++it;
+  }
 }
 
 void ValidatorNode::SendSyncRequest(dml::NodeContext& ctx, size_t to) {
@@ -169,7 +314,12 @@ void ValidatorNode::NoteRemoteHead(dml::NodeContext& ctx, size_t from,
   if (sync_timer_armed_) return;
   sync_backoff_ = block_interval_;
   sync_timer_armed_ = true;
-  ctx.SetTimer(sync_backoff_, kSyncTimer);
+  // Seeded jitter (up to 25% of the backoff) desynchronizes replicas that
+  // discovered the same gap in the same slot, so their retries do not all
+  // land on one responder at once. Drawn from the node's deterministic RNG:
+  // the same seed still reproduces the same run bit for bit.
+  ctx.SetTimer(sync_backoff_ + ctx.rng().NextU64(sync_backoff_ / 4 + 1),
+               kSyncTimer);
 }
 
 void ValidatorNode::OnTimer(dml::NodeContext& ctx, uint64_t timer_id) {
@@ -180,10 +330,15 @@ void ValidatorNode::OnTimer(dml::NodeContext& ctx, uint64_t timer_id) {
       return;
     }
     // Still behind: retry against a random peer (the original responder may
-    // be the one that is partitioned away from us).
+    // be the one that is partitioned away from us). Quarantined peers are
+    // deprioritized, not excluded: the last draws accept anyone, so
+    // down-scoring can never strand sync when only offenders remain.
     size_t peer = ctx.self();
     for (int tries = 0; tries < 8 && peer == ctx.self(); ++tries) {
-      peer = peers_[ctx.rng().NextU64(peers_.size())];
+      size_t cand = peers_[ctx.rng().NextU64(peers_.size())];
+      if (cand == ctx.self()) continue;
+      if (tries < 5 && quarantined_peers_.count(cand) > 0) continue;
+      peer = cand;
     }
     if (peer != ctx.self()) {
       SendSyncRequest(ctx, peer);
@@ -194,11 +349,14 @@ void ValidatorNode::OnTimer(dml::NodeContext& ctx, uint64_t timer_id) {
     sync_backoff_ = std::min(sync_backoff_ * 2,
                              block_interval_ * kMaxSyncBackoffIntervals);
     sync_timer_armed_ = true;
-    ctx.SetTimer(sync_backoff_, kSyncTimer);
+    // Same seeded jitter as the initial arm (see NoteRemoteHead).
+    ctx.SetTimer(sync_backoff_ + ctx.rng().NextU64(sync_backoff_ / 4 + 1),
+                 kSyncTimer);
     return;
   }
   if (timer_id != kSlotTimer) return;
   TryProduce(ctx);
+  MaybeSubmitEvidence(ctx);
   // Head announcement every slot: lets peers that missed a block (lossy
   // links) discover the gap and pull it via the sync protocol, and carries
   // the head hash so same-height divergence (a fork from a proposer_grace
@@ -328,6 +486,13 @@ void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
 
   switch (*kind) {
     case kMsgTx: {
+      if (quarantined_peers_.count(from) > 0) {
+        // Down-scored: a double-signer's gossip is not worth validating.
+        // Blocks and sync traffic are still processed — quarantine never
+        // gates consensus, only discretionary relaying.
+        PDS2_M_COUNT("p2p.evidence.tx_dropped", 1);
+        return;
+      }
       auto tx_bytes = r.GetBytes();
       if (!tx_bytes.ok()) return;
       auto tx = chain::Transaction::Deserialize(*tx_bytes);
@@ -344,6 +509,7 @@ void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
       if (!block_bytes.ok()) return;
       auto block = chain::Block::Deserialize(*block_bytes);
       if (!block.ok()) return;
+      RecordHeader(ctx, block->header);
       ApplyOrBuffer(ctx, from, std::move(*block));
       break;
     }
@@ -377,6 +543,7 @@ void ValidatorNode::OnMessage(dml::NodeContext& ctx, size_t from,
       if (!block_bytes.ok()) return;
       auto block = chain::Block::Deserialize(*block_bytes);
       if (!block.ok()) return;
+      RecordHeader(ctx, block->header);
       ApplyOrBuffer(ctx, from, std::move(*block));
       break;
     }
@@ -443,6 +610,16 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
   for (ValidatorNode* node : raw_nodes) node->SetPeers(ids);
   if (nodes != nullptr) *nodes = raw_nodes;
   return sim;
+}
+
+void ApplyByzantineSpecs(const common::FaultPlan& plan,
+                         const std::vector<ValidatorNode*>& nodes) {
+  for (const common::ByzantineValidatorSpec& spec :
+       plan.byzantine_validators) {
+    if (spec.node < nodes.size()) {
+      nodes[spec.node]->SetByzantine(spec.behavior);
+    }
+  }
 }
 
 }  // namespace pds2::p2p

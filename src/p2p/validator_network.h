@@ -3,9 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "chain/chain.h"
+#include "chain/evidence.h"
+#include "common/fault.h"
 #include "dml/netsim.h"
 #include "storage/chain_store.h"
 
@@ -72,6 +76,14 @@ class ValidatorNode : public dml::Node {
   /// Peer ids must be assigned after all nodes are added to the sim.
   void SetPeers(std::vector<size_t> peers) { peers_ = std::move(peers); }
 
+  /// Scripts this validator to misbehave (chaos/bench harnesses only). An
+  /// honest node never calls this; see common::ByzantineBehavior for the
+  /// menu and chain/evidence.h for why the provable ones get slashed.
+  void SetByzantine(common::ByzantineBehavior behavior) {
+    byzantine_ = behavior;
+  }
+  common::ByzantineBehavior byzantine() const { return byzantine_; }
+
   /// Local ingress: a client hands a transaction to this validator, which
   /// pools and gossips it.
   common::Status SubmitTransaction(const chain::Transaction& tx,
@@ -90,6 +102,12 @@ class ValidatorNode : public dml::Node {
   uint64_t sync_retries() const { return sync_retries_; }
   uint64_t forks_resolved() const { return forks_resolved_; }
   uint64_t future_blocks_evicted() const { return future_blocks_evicted_; }
+  uint64_t evidence_detected() const { return evidence_detected_; }
+  uint64_t evidence_submitted() const { return evidence_submitted_; }
+  size_t pending_evidence_count() const { return pending_evidence_.size(); }
+  const std::set<size_t>& quarantined_peers() const {
+    return quarantined_peers_;
+  }
 
  private:
   void Broadcast(dml::NodeContext& ctx, const common::Bytes& payload);
@@ -104,6 +122,19 @@ class ValidatorNode : public dml::Node {
   /// Rebuilds a candidate replica from a full snapshot and swaps it in if
   /// it is valid and strictly preferred by the fork-choice rule.
   void MaybeAdoptChain(const std::vector<chain::Block>& blocks);
+  /// Emits this node's scripted misbehaviour right after it produced the
+  /// honest block for its slot: a second conflicting signed header (the
+  /// double-sign every provable behaviour reduces to).
+  void BroadcastByzantineVariant(dml::NodeContext& ctx,
+                                 const chain::Block& block);
+  /// Accountability watchtower: remembers every validly signed header seen
+  /// per (height, proposer) and turns a conflicting pair into pending
+  /// equivocation evidence, quarantining the offender's peer.
+  void RecordHeader(dml::NodeContext& ctx, const chain::BlockHeader& header);
+  /// Submits pending evidence transactions (retried every slot until the
+  /// chain records the slash, robust across fork adoption).
+  void MaybeSubmitEvidence(dml::NodeContext& ctx);
+  void QuarantinePeerOf(const chain::Address& proposer);
 
   size_t index_;
   crypto::SigningKey key_;
@@ -133,11 +164,32 @@ class ValidatorNode : public dml::Node {
   bool sync_timer_armed_ = false;
   common::SimTime sync_backoff_ = 0;
 
+  // Scripted misbehaviour (kNone on every honest node).
+  common::ByzantineBehavior byzantine_ = common::ByzantineBehavior::kNone;
+
+  // Watchtower state: first validly-signed header seen per (height,
+  // proposer address); a second one with a different id is a double-sign.
+  // Pruned below (height - 64) as the chain advances.
+  std::map<std::pair<uint64_t, chain::Address>, chain::BlockHeader>
+      seen_headers_;
+  // Header ids whose proposer signature already verified (dedup work).
+  std::set<chain::Hash> verified_headers_;
+  // Evidence built locally but not yet recorded on chain, keyed
+  // (offender, height). Erased once chain_->HasEvidenceFor confirms.
+  std::map<std::pair<chain::Address, uint64_t>, chain::EquivocationEvidence>
+      pending_evidence_;
+  // Peers whose validator double-signed: their tx gossip is dropped and
+  // sync avoids them when an honest peer is available. Never gates block
+  // or snapshot processing — consensus safety cannot depend on scoring.
+  std::set<size_t> quarantined_peers_;
+
   uint64_t blocks_produced_ = 0;
   uint64_t sync_requests_sent_ = 0;
   uint64_t sync_retries_ = 0;
   uint64_t forks_resolved_ = 0;
   uint64_t future_blocks_evicted_ = 0;
+  uint64_t evidence_detected_ = 0;
+  uint64_t evidence_submitted_ = 0;
 };
 
 /// Convenience: builds a NetSim with `n` validators wired as full mesh.
@@ -151,6 +203,11 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
     uint64_t seed, std::vector<ValidatorNode*>* nodes,
     chain::ChainConfig chain_config = {}, const std::string& store_root = "",
     storage::ChainStoreOptions store_options = {});
+
+/// Applies a FaultPlan's scripted Byzantine validator assignments to the
+/// nodes of a network built by MakeValidatorNetwork.
+void ApplyByzantineSpecs(const common::FaultPlan& plan,
+                         const std::vector<ValidatorNode*>& nodes);
 
 }  // namespace pds2::p2p
 

@@ -1,0 +1,257 @@
+// Accountability layer: equivocation proofs, the evidence transaction, and
+// the bond/slash/burn settlement they trigger.
+//
+// The proof object is the one self-contained conviction a PoA chain can
+// make — two validly signed headers, same height, same proposer, different
+// identities — so the tests here pin exactly what convicts and what does
+// not (tampered signatures, non-validators, cross-height pairs), then walk
+// a real double-sign through submission, execution, the exactly-once
+// marker, and supply conservation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chain/chain.h"
+#include "chain/evidence.h"
+#include "chain/state.h"
+#include "common/serial.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::Bytes;
+using common::StatusCode;
+using common::ToBytes;
+using crypto::SigningKey;
+
+constexpr uint64_t kStake = 1'000'000;
+constexpr uint64_t kGenesisEach = 10'000'000'000;
+
+// Builds a validly signed header for `proposer` at `number`; `salt` varies
+// the timestamp so two calls yield distinct identities.
+BlockHeader SignedHeader(const SigningKey& proposer, uint64_t number,
+                         uint64_t salt) {
+  BlockHeader h;
+  h.parent_hash = Hash(32, 0xab);
+  h.number = number;
+  h.timestamp = 1'000 + salt;
+  h.tx_root = Hash(32, 0x01);
+  h.state_root = Hash(32, 0x02);
+  h.proposer_public_key = proposer.PublicKey();
+  h.signature = proposer.SignWithDomain(BlockHeader::Domain(),
+                                        h.SigningBytes());
+  return h;
+}
+
+class EvidenceTest : public ::testing::Test {
+ protected:
+  EvidenceTest()
+      : honest_(SigningKey::FromSeed(ToBytes("honest-validator"))),
+        offender_(SigningKey::FromSeed(ToBytes("byzantine-validator"))),
+        reporter_(SigningKey::FromSeed(ToBytes("watchtower"))) {
+    ChainConfig config;
+    config.validator_stake = kStake;
+    chain_ = std::make_unique<Blockchain>(
+        std::vector<Bytes>{honest_.PublicKey(), offender_.PublicKey()},
+        ContractRegistry::CreateDefault(), config);
+    EXPECT_TRUE(
+        chain_->CreditGenesis(AddressOf(reporter_), kGenesisEach).ok());
+    supply_ = chain_->TotalSupply();
+  }
+
+  static Address AddressOf(const SigningKey& key) {
+    return AddressFromPublicKey(key.PublicKey());
+  }
+
+  std::vector<Bytes> Validators() const {
+    return {honest_.PublicKey(), offender_.PublicKey()};
+  }
+
+  EquivocationEvidence DoubleSign(uint64_t height) const {
+    return EquivocationEvidence{SignedHeader(offender_, height, 1),
+                                SignedHeader(offender_, height, 2)};
+  }
+
+  SigningKey honest_;
+  SigningKey offender_;
+  SigningKey reporter_;
+  std::unique_ptr<Blockchain> chain_;
+  uint64_t supply_ = 0;
+  common::SimTime now_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The proof object itself.
+
+TEST_F(EvidenceTest, ValidDoubleSignVerifies) {
+  EquivocationEvidence ev = DoubleSign(7);
+  EXPECT_TRUE(ev.Verify(Validators()).ok());
+  EXPECT_EQ(ev.Offender(), AddressOf(offender_));
+  EXPECT_EQ(ev.Height(), 7u);
+}
+
+TEST_F(EvidenceTest, IdenticalHeadersAreNotEquivocation) {
+  BlockHeader h = SignedHeader(offender_, 3, 1);
+  EquivocationEvidence ev{h, h};
+  EXPECT_FALSE(ev.Verify(Validators()).ok());
+}
+
+TEST_F(EvidenceTest, CrossHeightPairRejected) {
+  EquivocationEvidence ev{SignedHeader(offender_, 3, 1),
+                          SignedHeader(offender_, 4, 2)};
+  EXPECT_FALSE(ev.Verify(Validators()).ok());
+}
+
+TEST_F(EvidenceTest, CrossProposerPairRejected) {
+  EquivocationEvidence ev{SignedHeader(offender_, 3, 1),
+                          SignedHeader(honest_, 3, 2)};
+  EXPECT_FALSE(ev.Verify(Validators()).ok());
+}
+
+TEST_F(EvidenceTest, NonValidatorCannotBeConvicted) {
+  SigningKey outsider = SigningKey::FromSeed(ToBytes("outsider"));
+  EquivocationEvidence ev{SignedHeader(outsider, 3, 1),
+                          SignedHeader(outsider, 3, 2)};
+  EXPECT_FALSE(ev.Verify(Validators()).ok());
+}
+
+TEST_F(EvidenceTest, TamperedSignatureRejected) {
+  EquivocationEvidence ev = DoubleSign(5);
+  ev.header_b.signature[0] ^= 0x01;
+  EXPECT_FALSE(ev.Verify(Validators()).ok());
+}
+
+// Forged content under a stale signature must not convict: re-signing is
+// what makes the pair damning, not possession of two header buffers.
+TEST_F(EvidenceTest, ForgedHeaderContentRejected) {
+  EquivocationEvidence ev = DoubleSign(5);
+  ev.header_b.state_root[0] ^= 0xff;  // content no longer matches signature
+  EXPECT_FALSE(ev.Verify(Validators()).ok());
+}
+
+TEST_F(EvidenceTest, SerializeRoundTripPreservesProof) {
+  EquivocationEvidence ev = DoubleSign(9);
+  auto back = EquivocationEvidence::Deserialize(ev.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->header_a.Id(), ev.header_a.Id());
+  EXPECT_EQ(back->header_b.Id(), ev.header_b.Id());
+  EXPECT_TRUE(back->Verify(Validators()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The evidence transaction end to end.
+
+TEST_F(EvidenceTest, EvidenceTransactionSlashesExactlyOnce) {
+  EquivocationEvidence ev = DoubleSign(4);
+  Transaction tx = MakeEvidenceTransaction(
+      reporter_, chain_->GetNonce(AddressOf(reporter_)), ev);
+  ASSERT_TRUE(chain_->SubmitTransaction(tx).ok());
+  auto block = chain_->ProduceBlock(honest_, ++now_);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+
+  auto receipt = chain_->GetReceipt(tx.Id());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success) << receipt->error;
+  EXPECT_EQ(receipt->gas_used, 0u);  // fee-exempt
+
+  // The whole bond is forfeited: bounty to the reporter, remainder burned.
+  const uint64_t bounty = kStake / 2;  // default slash_reporter_bps = 5000
+  EXPECT_EQ(chain_->StakeOf(AddressOf(offender_)), 0u);
+  EXPECT_EQ(chain_->GetBalance(AddressOf(reporter_)), kGenesisEach + bounty);
+  EXPECT_EQ(chain_->BurnedTotal(), kStake - bounty);
+  EXPECT_EQ(chain_->StakeOf(AddressOf(honest_)), kStake);  // untouched
+  EXPECT_TRUE(chain_->HasEvidenceFor(AddressOf(offender_), 4));
+  EXPECT_EQ(chain_->TotalSupply(), supply_);  // conserved through the slash
+
+  // The receipt carries the audit event.
+  ASSERT_EQ(receipt->events.size(), 1u);
+  EXPECT_EQ(receipt->events[0].contract, kEvidenceContract);
+  EXPECT_EQ(receipt->events[0].name, "slashed");
+
+  // A second proof of the same offence — different header pair, same
+  // (offender, height) — is refused at the door.
+  EquivocationEvidence again{SignedHeader(offender_, 4, 3),
+                             SignedHeader(offender_, 4, 4)};
+  Transaction dup = MakeEvidenceTransaction(
+      reporter_, chain_->GetNonce(AddressOf(reporter_)), again);
+  EXPECT_EQ(chain_->SubmitTransaction(dup).code(), StatusCode::kAlreadyExists);
+}
+
+// An unfunded reporter can still make the chain act: evidence is
+// fee-exempt, and the bounty is the account's first credit.
+TEST_F(EvidenceTest, PennilessReporterCollectsBounty) {
+  SigningKey pauper = SigningKey::FromSeed(ToBytes("penniless"));
+  Transaction tx = MakeEvidenceTransaction(pauper, 0, DoubleSign(2));
+  ASSERT_TRUE(chain_->SubmitTransaction(tx).ok());
+  ASSERT_TRUE(chain_->ProduceBlock(honest_, ++now_).ok());
+  auto receipt = chain_->GetReceipt(tx.Id());
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success) << receipt->error;
+  EXPECT_EQ(chain_->GetBalance(AddressOf(pauper)), kStake / 2);
+  EXPECT_EQ(chain_->TotalSupply(), supply_);
+}
+
+// Spam cannot ride the fee exemption: a proof that does not verify never
+// reaches the mempool.
+TEST_F(EvidenceTest, InvalidProofRejectedAtSubmission) {
+  EquivocationEvidence bogus = DoubleSign(6);
+  bogus.header_b.signature[0] ^= 0x01;
+  Transaction tx = MakeEvidenceTransaction(
+      reporter_, chain_->GetNonce(AddressOf(reporter_)), bogus);
+  EXPECT_FALSE(chain_->SubmitTransaction(tx).ok());
+  EXPECT_EQ(chain_->MempoolSize(), 0u);
+}
+
+// An evidence transaction survives the wire: serialize -> deserialize keeps
+// the id (signature coverage includes gas_price and the proof bytes), and a
+// block carrying it round-trips bit-identically.
+TEST_F(EvidenceTest, EvidenceTransactionStorageRoundTrip) {
+  EquivocationEvidence ev = DoubleSign(8);
+  Transaction tx = MakeEvidenceTransaction(
+      reporter_, chain_->GetNonce(AddressOf(reporter_)), ev);
+  auto tx_back = Transaction::Deserialize(tx.Serialize());
+  ASSERT_TRUE(tx_back.ok());
+  EXPECT_EQ(tx_back->Id(), tx.Id());
+  EXPECT_EQ(tx_back->gas_price(), 0u);
+
+  ASSERT_TRUE(chain_->SubmitTransaction(tx).ok());
+  auto block = chain_->ProduceBlock(honest_, ++now_);
+  ASSERT_TRUE(block.ok());
+  ASSERT_EQ(block->transactions.size(), 1u);
+  auto block_back = Block::Deserialize(block->Serialize());
+  ASSERT_TRUE(block_back.ok());
+  EXPECT_EQ(block_back->header.Id(), block->header.Id());
+  ASSERT_EQ(block_back->transactions.size(), 1u);
+  EXPECT_EQ(block_back->transactions[0].Id(), tx.Id());
+  auto proof = EquivocationEvidence::Deserialize(
+      block_back->transactions[0].payload().args);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(proof->Verify(Validators()).ok());
+}
+
+// A replica receiving the block externally reaches the same verdict and
+// the same post-state as the producer — slashing is consensus-critical, so
+// it must be deterministic across the apply path too.
+TEST_F(EvidenceTest, ExternalBlockReplaysSlashDeterministically) {
+  ChainConfig config;
+  config.validator_stake = kStake;
+  Blockchain replica({honest_.PublicKey(), offender_.PublicKey()},
+                     ContractRegistry::CreateDefault(), config);
+  ASSERT_TRUE(replica.CreditGenesis(AddressOf(reporter_), kGenesisEach).ok());
+  ASSERT_EQ(replica.StateDigest(), chain_->StateDigest());
+
+  Transaction tx = MakeEvidenceTransaction(
+      reporter_, chain_->GetNonce(AddressOf(reporter_)), DoubleSign(3));
+  ASSERT_TRUE(chain_->SubmitTransaction(tx).ok());
+  auto block = chain_->ProduceBlock(honest_, ++now_);
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(replica.ApplyExternalBlock(*block).ok());
+
+  EXPECT_EQ(replica.StateDigest(), chain_->StateDigest());
+  EXPECT_EQ(replica.StakeOf(AddressOf(offender_)), 0u);
+  EXPECT_EQ(replica.BurnedTotal(), chain_->BurnedTotal());
+  EXPECT_TRUE(replica.HasEvidenceFor(AddressOf(offender_), 3));
+}
+
+}  // namespace
+}  // namespace pds2::chain

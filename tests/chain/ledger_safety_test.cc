@@ -49,10 +49,10 @@ class LedgerSafetyTest : public ::testing::Test {
   }
 
   Transaction Transfer(const SigningKey& from, uint64_t value,
-                       uint64_t gas_limit) {
+                       uint64_t gas_limit, uint64_t gas_price = 1) {
     return Transaction::Make(from, chain_->GetNonce(AddressOf(from)),
-                             AddressOf(*bob_), value, gas_limit,
-                             CallPayload{});
+                             AddressOf(*bob_), value, gas_limit, CallPayload{},
+                             gas_price);
   }
 
   // Mines a block; returns the receipt if the tx executed.
@@ -81,7 +81,7 @@ class LedgerSafetyTest : public ::testing::Test {
 // went through with a nonsense fee. Now rejected at submission.
 TEST_F(LedgerSafetyTest, GasLimitTimesPriceOverflowRejected) {
   Rebuild(ChainConfig{.gas_price = 3});
-  Transaction tx = Transfer(*alice_, 1, UINT64_MAX / 2);
+  Transaction tx = Transfer(*alice_, 1, UINT64_MAX / 2, /*gas_price=*/3);
   common::Status status = chain_->SubmitTransaction(tx);
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
       << status.ToString();
@@ -114,7 +114,7 @@ TEST_F(LedgerSafetyTest, MaxValueAndMaxGasRejected) {
 TEST_F(LedgerSafetyTest, ZeroGasPriceMaxValueFailsCleanly) {
   Rebuild(ChainConfig{.gas_price = 0});
   const uint64_t alice_before = chain_->GetBalance(AddressOf(*alice_));
-  Transaction tx = Transfer(*alice_, UINT64_MAX, kGas);
+  Transaction tx = Transfer(*alice_, UINT64_MAX, kGas, /*gas_price=*/0);
   ASSERT_TRUE(chain_->SubmitTransaction(tx).ok());
   EXPECT_EQ(chain_->MempoolSize(), 1u);
   auto block = chain_->ProduceBlock(*validator_, ++now_);
@@ -222,6 +222,63 @@ TEST_F(LedgerSafetyTest, ExecutedTransactionCannotBeResubmitted) {
   EXPECT_EQ(replay.code(), StatusCode::kAlreadyExists);
   (void)chain_->ProduceBlock(*validator_, ++now_);
   EXPECT_EQ(chain_->GetBalance(AddressOf(*bob_)), bob_before + 7);  // once
+}
+
+// Bonding moves tokens balance -> stake and release moves them back; the
+// conserved quantity balance + staked + burned never changes, and neither
+// side can be overdrawn.
+TEST_F(LedgerSafetyTest, StakeBondReleaseConservesSupply) {
+  WorldState state;
+  Address v(20, 0x44);
+  ASSERT_TRUE(state.Credit(v, 1'000).ok());
+  const uint64_t total =
+      state.TotalBalance() + state.TotalStaked() + state.BurnedTotal();
+  ASSERT_TRUE(state.StakeBond(v, 600).ok());
+  EXPECT_EQ(state.GetBalance(v), 400u);
+  EXPECT_EQ(state.StakeOf(v), 600u);
+  EXPECT_EQ(state.TotalBalance() + state.TotalStaked() + state.BurnedTotal(),
+            total);
+  EXPECT_FALSE(state.StakeBond(v, 500).ok());     // balance is only 400
+  EXPECT_FALSE(state.StakeRelease(v, 601).ok());  // stake is only 600
+  ASSERT_TRUE(state.StakeRelease(v, 600).ok());
+  EXPECT_EQ(state.GetBalance(v), 1'000u);
+  EXPECT_EQ(state.StakeOf(v), 0u);
+  EXPECT_EQ(state.TotalBalance() + state.TotalStaked() + state.BurnedTotal(),
+            total);
+}
+
+// Slashing splits the forfeited stake exactly: the reporter bounty rounds
+// down (floor(amount * bps / 10^4)) and the burn picks up the remainder, so
+// bounty + burn == amount and the conserved total is unchanged.
+TEST_F(LedgerSafetyTest, SlashSplitsBountyAndBurnExactly) {
+  WorldState state;
+  Address offender(20, 0x55), reporter(20, 0x66);
+  ASSERT_TRUE(state.Credit(offender, 1'001).ok());
+  ASSERT_TRUE(state.StakeBond(offender, 1'001).ok());
+  const uint64_t total =
+      state.TotalBalance() + state.TotalStaked() + state.BurnedTotal();
+  ASSERT_TRUE(state.StakeSlash(offender, 1'001, reporter, 3'333).ok());
+  EXPECT_EQ(state.GetBalance(reporter), 333u);  // floor(1001 * 0.3333)
+  EXPECT_EQ(state.BurnedTotal(), 668u);         // the remainder, exactly
+  EXPECT_EQ(state.StakeOf(offender), 0u);
+  EXPECT_EQ(state.TotalBalance() + state.TotalStaked() + state.BurnedTotal(),
+            total);
+  // Nothing left to slash, and a >100% reporter share is malformed.
+  EXPECT_FALSE(state.StakeSlash(offender, 1, reporter, 0).ok());
+  EXPECT_EQ(state.StakeSlash(offender, 0, reporter, 10'001).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// A chain constructed with validator_stake mints and bonds the deposit per
+// validator; TotalSupply counts it, so the conservation check in TearDown
+// holds across the bonded-genesis configuration too.
+TEST_F(LedgerSafetyTest, ValidatorStakeBondedAtConstruction) {
+  Rebuild(ChainConfig{.validator_stake = 5'000});
+  EXPECT_EQ(chain_->StakeOf(AddressOf(*validator_)), 5'000u);
+  EXPECT_EQ(chain_->TotalStaked(), 5'000u);
+  EXPECT_EQ(chain_->TotalSupply(), 2 * kGenesisEach + 5'000u);
+  // The bond is not spendable balance.
+  EXPECT_EQ(chain_->GetBalance(AddressOf(*validator_)), 0u);
 }
 
 // The checked helpers themselves, at the boundaries.
