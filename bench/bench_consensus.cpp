@@ -1106,5 +1106,11 @@ int main() {
                       "provable offender slashed, supply conserved"
                     : "E16 FAIL: accountability floor violated");
   }
+
+  // Thread-context metadata on every report this binary touched.
+  bench::WriteBenchMetadata("BENCH_parallel.json");
+  bench::WriteBenchMetadata("BENCH_robustness.json");
+  bench::WriteBenchMetadata("BENCH_durability.json");
+  bench::WriteBenchMetadata("BENCH_byzantine.json");
   return 0;
 }

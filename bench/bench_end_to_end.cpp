@@ -122,6 +122,7 @@ void RunE12() {
                 propagation_pct, spans_per_run);
   bench::MergeParallelReport("marketplace_lifecycle_overhead", json,
                              "BENCH_observability.json");
+  bench::WriteBenchMetadata("BENCH_observability.json");
   std::printf("-> BENCH_observability.json\n");
 }
 

@@ -341,6 +341,7 @@ void WriteObservabilityReport() {
       median_enabled_us, disabled_overhead_pct, enabled_overhead_pct);
   pds2::bench::MergeParallelReport("block_validation_overhead", json,
                                    "BENCH_observability.json");
+  pds2::bench::WriteBenchMetadata("BENCH_observability.json");
   std::printf(
       "\nobservability overhead: disabled macro %.2f ns, %.0f sites/apply, "
       "apply median %.0f us -> disabled-path overhead %.4f%% (budget 2%%); "

@@ -171,6 +171,7 @@ int main() {
                 pn, pperms, all_identical ? "true" : "false");
   bench::MergeParallelReport("shapley",
                              std::string(section) + sweep_json + "\n    ]\n  }");
+  bench::WriteBenchMetadata("BENCH_parallel.json");
   std::printf("wrote BENCH_parallel.json (shapley section)\n");
   return 0;
 }

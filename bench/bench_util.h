@@ -3,12 +3,15 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/stopwatch.h"
 
 namespace pds2::bench {
@@ -116,6 +119,27 @@ inline void MergeParallelReport(const std::string& section,
         << (s + 1 < sections.size() ? "," : "") << "\n";
   }
   out << "}\n";
+}
+
+/// Writes the shared "metadata" section of a bench report: the effective
+/// worker count every parallel stage ran with, the raw PDS2_THREADS
+/// override (empty when unset) and the machine's hardware concurrency.
+/// Bench numbers are meaningless without the thread context, so every
+/// BENCH_*.json emitter calls this once per report file it touches.
+inline void WriteBenchMetadata(const std::string& path =
+                                   "BENCH_parallel.json") {
+  const char* env = std::getenv("PDS2_THREADS");
+  std::string json = "{\n";
+  json += "    \"threads_effective\": " +
+          std::to_string(common::ThreadPool::DefaultThreadCount()) + ",\n";
+  json += "    \"pds2_threads_env\": \"" + std::string(env ? env : "") +
+          "\",\n";
+  json += "    \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency() == 0
+                             ? 1
+                             : std::thread::hardware_concurrency()) +
+          "\n  }";
+  MergeParallelReport("metadata", json, path);
 }
 
 }  // namespace pds2::bench

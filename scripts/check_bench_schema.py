@@ -204,6 +204,71 @@ def check_byzantine(doc):
                  % sorted(missing))
 
 
+def check_discovery(doc):
+    """BENCH_discovery.json: the E17 store/memoization/discovery floors.
+
+    Pinned acceptance criteria: every pair's second run hit the cache, a
+    cache hit is at least 5x faster than training from scratch, every
+    substituted artifact verified against its chain anchor (rate exactly
+    1.0), the chunked store actually deduplicated overlapping revisions
+    (ratio > 1.0), and the gossip index converged bit-identically across
+    two runs of the same fault-injected seed.
+    """
+    where = "discovery"
+    section = doc.get("discovery")
+    if not isinstance(section, dict):
+        fail("report: missing required section 'discovery'")
+        return
+    pairs = require(section, where, "pairs",
+                    lambda v: is_num(v) and v > 0, "a positive number")
+    require(section, where, "cache_hits",
+            lambda v: is_num(v) and v == pairs,
+            "== pairs (every identical rerun must hit the cache)")
+    require(section, where, "hit_miss_speedup_median",
+            lambda v: is_num(v) and v >= 5.0,
+            ">= 5.0 (cache hit must dominate train-from-scratch)")
+    require(section, where, "artifact_verify_rate",
+            lambda v: is_num(v) and v == 1.0,
+            "1.0 (every substituted artifact verifies against its anchor)")
+    require(section, where, "dedup_ratio",
+            lambda v: is_num(v) and v > 1.0,
+            "> 1.0 (overlapping revisions must share chunks)")
+    require(section, where, "discovery_converge_s",
+            lambda v: is_num(v) and v > 0,
+            "> 0 (the churned gossip index must converge)")
+    require(section, where, "discovery_deterministic", lambda v: v is True,
+            "true (same seed -> bit-identical digests)")
+
+    metadata = doc.get("metadata")
+    if not isinstance(metadata, dict):
+        fail("report: missing required section 'metadata'")
+    else:
+        require(metadata, "metadata", "threads_effective",
+                lambda v: is_num(v) and v >= 1, ">= 1")
+        require(metadata, "metadata", "hardware_concurrency",
+                lambda v: is_num(v) and v >= 1, ">= 1")
+        require(metadata, "metadata", "pds2_threads_env",
+                lambda v: isinstance(v, str), "a string")
+
+
+def check_metadata_if_present(doc):
+    """Shared thread-context metadata, validated wherever a report has it.
+
+    Older committed artifacts predate the metadata emitter, so absence is
+    not an error outside BENCH_discovery.json — but a present section must
+    be well-formed.
+    """
+    metadata = doc.get("metadata")
+    if not isinstance(metadata, dict):
+        return
+    require(metadata, "metadata", "threads_effective",
+            lambda v: is_num(v) and v >= 1, ">= 1")
+    require(metadata, "metadata", "hardware_concurrency",
+            lambda v: is_num(v) and v >= 1, ">= 1")
+    require(metadata, "metadata", "pds2_threads_env",
+            lambda v: isinstance(v, str), "a string")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="BENCH_parallel.json to validate")
@@ -219,10 +284,23 @@ def main():
         print("FAIL: report is not a JSON object", file=sys.stderr)
         return 1
 
+    # BENCH_discovery.json is recognized by its "discovery" section and
+    # validated against the E17 store/memoization floors.
+    if "discovery" in doc:
+        check_discovery(doc)
+        if _errors:
+            for msg in _errors:
+                print("FAIL: %s" % msg, file=sys.stderr)
+            print("%d schema violation(s)" % len(_errors), file=sys.stderr)
+            return 1
+        print("bench schema OK")
+        return 0
+
     # BENCH_byzantine.json is recognized by its accountability sections and
     # validated against the E16 safety floors instead of the E15 schema.
     if "validator_accountability" in doc or "summary" in doc:
         check_byzantine(doc)
+        check_metadata_if_present(doc)
         if _errors:
             for msg in _errors:
                 print("FAIL: %s" % msg, file=sys.stderr)
@@ -240,6 +318,7 @@ def main():
         check_parallel_exec(doc["parallel_exec"])
     if "shapley" in doc and isinstance(doc["shapley"], dict):
         check_shapley(doc["shapley"])
+    check_metadata_if_present(doc)
 
     if _errors:
         for msg in _errors:

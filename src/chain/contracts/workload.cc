@@ -531,6 +531,39 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     return Bytes{};
   }
 
+  if (method == "anchor_artifact") {
+    // Anchors the content address of the off-chain result artifact (the
+    // content-addressed store's manifest hash) next to the agreed result
+    // hash, so substitution consumers can verify a fetched artifact
+    // against chain state without trusting the provider.
+    PDS2_ASSIGN_OR_RETURN(WorkloadPhase phase, ReadPhase(ctx));
+    if (phase != WorkloadPhase::kPaid) {
+      return Status::FailedPrecondition(
+          "artifacts anchor only after settlement");
+    }
+    PDS2_ASSIGN_OR_RETURN(auto consumer, ctx.Read(ToBytes("consumer")));
+    if (*consumer != ctx.sender()) {
+      return Status::PermissionDenied("only the consumer may anchor");
+    }
+    PDS2_ASSIGN_OR_RETURN(auto existing, ctx.Read(ToBytes("artifact")));
+    if (existing.has_value()) {
+      return Status::FailedPrecondition("artifact already anchored");
+    }
+    PDS2_ASSIGN_OR_RETURN(Bytes artifact_address, r.GetBytes());
+    PDS2_ASSIGN_OR_RETURN(Bytes result_hash, r.GetBytes());
+    if (artifact_address.empty()) {
+      return Status::InvalidArgument("empty artifact address");
+    }
+    PDS2_ASSIGN_OR_RETURN(auto agreed, ctx.Read(ToBytes("result")));
+    if (!agreed.has_value() || *agreed != result_hash) {
+      return Status::InvalidArgument(
+          "anchored result hash must match the agreed result");
+    }
+    PDS2_RETURN_IF_ERROR(ctx.Write(ToBytes("artifact"), artifact_address));
+    PDS2_RETURN_IF_ERROR(ctx.Emit("ArtifactAnchored", artifact_address));
+    return Bytes{};
+  }
+
   // ---- Read-only queries ----
 
   if (method == "phase") {
@@ -542,6 +575,12 @@ Result<Bytes> WorkloadContract::Call(CallContext& ctx,
     PDS2_ASSIGN_OR_RETURN(auto result, ctx.Read(ToBytes("result")));
     if (!result.has_value()) return Status::NotFound("no agreed result yet");
     return *result;
+  }
+
+  if (method == "artifact") {
+    PDS2_ASSIGN_OR_RETURN(auto artifact, ctx.Read(ToBytes("artifact")));
+    if (!artifact.has_value()) return Status::NotFound("no anchored artifact");
+    return *artifact;
   }
 
   if (method == "spec") {

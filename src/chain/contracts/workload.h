@@ -71,9 +71,15 @@ struct ParticipationCert {
 ///       burned), non-voters refunded (silence is not provable fraud)
 ///   "abort"             () -> ()    consumer, in Accepting or past
 ///       deadline; refunds the pool and every executor bond
+///   "anchor_artifact"   (bytes artifact_address, bytes result_hash) -> ()
+///       consumer only, in Paid, once; records the content address of the
+///       off-chain result artifact (must carry the agreed result hash), so
+///       substitution consumers can verify fetched artifacts against chain
+///       state
 ///   -- queries --
 ///   "phase"             () -> u8
 ///   "result"            () -> bytes result_hash
+///   "artifact"          () -> bytes artifact_address
 ///   "spec"              () -> deploy args echo
 ///   "provider_records"  (bytes provider_addr) -> u64
 ///   "participants"      () -> (u32 p, p x bytes, u32 e, e x bytes)

@@ -147,6 +147,9 @@ Mempool::Selection Mempool::SelectForBlock(const WorldState& state,
             chain.erase(it);
             count_.fetch_sub(1, std::memory_order_relaxed);
             PDS2_M_COUNT("chain.mempool.predoomed_evicted", 1);
+            if (below_floor) {
+              PDS2_M_COUNT("chain.mempool.evicted_below_floor", 1);
+            }
           }
           break;
         }

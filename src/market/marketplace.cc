@@ -1,6 +1,7 @@
 #include "market/marketplace.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "chain/contracts/actor_registry.h"
@@ -9,6 +10,8 @@
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tee/enclave.h"
+#include "tee/training_kernel.h"
 
 namespace pds2::market {
 
@@ -25,6 +28,16 @@ constexpr uint64_t kDefaultGas = 20'000'000;
 
 Marketplace::Marketplace(MarketConfig config)
     : config_(std::move(config)), attestation_(config_.seed ^ 0xa77e57) {
+  store::ArtifactStoreOptions store_options;
+  store_options.dir = config_.artifact_dir;
+  auto opened = store::ArtifactStore::Open(store_options);
+  if (!opened.ok()) {
+    // A broken durable directory must not take the marketplace down:
+    // results fall back to in-memory distribution (cannot fail).
+    opened = store::ArtifactStore::Open({});
+  }
+  artifact_store_ = std::move(*opened);
+
   std::vector<Bytes> validator_keys;
   for (size_t i = 0; i < config_.num_validators; ++i) {
     validators_.push_back(crypto::SigningKey::FromSeed(
@@ -164,7 +177,8 @@ Result<chain::Address> Marketplace::DatasetOwner(
 }
 
 Result<ml::Vec> Marketplace::FetchResult(const RunReport& report) const {
-  PDS2_ASSIGN_OR_RETURN(Bytes blob, result_store_.Get(report.result_address));
+  PDS2_ASSIGN_OR_RETURN(Bytes blob,
+                        artifact_store_->Get(report.result_address));
   if (crypto::Sha256::Hash(blob) != report.result_hash) {
     return Status::Corruption(
         "stored result does not match the on-chain result hash");
@@ -172,6 +186,92 @@ Result<ml::Vec> Marketplace::FetchResult(const RunReport& report) const {
   Reader r(blob);
   PDS2_ASSIGN_OR_RETURN(ml::Vec params, r.GetDoubleVector());
   return params;
+}
+
+Result<store::Advert> Marketplace::AdvertiseDataset(
+    ProviderAgent& provider, const std::string& dataset_name, uint64_t price) {
+  PDS2_ASSIGN_OR_RETURN(storage::DatasetSummary summary,
+                        provider.store().Summary(dataset_name));
+  store::Advert advert;
+  advert.content_hash = summary.commitment;
+  advert.provider = provider.name();
+  advert.tags = summary.metadata.types;
+  advert.size_bytes = summary.num_records;
+  advert.price = price;
+  discovery_index_.Upsert(advert);
+  PDS2_M_COUNT("market.dataset_adverts", 1);
+  return advert;
+}
+
+// Pays the reduced reuse fee for a memoized artifact through the ledger.
+// The split mirrors finalize: the executor share (current spec's permille)
+// divides evenly among the producing executors, the remainder goes to the
+// producing providers by their recorded weights. Every token moves as a
+// plain ledger transfer from the consumer, so conservation is inherited
+// from the chain; integer-division dust simply never leaves the consumer.
+Status Marketplace::SettleReuseFee(ConsumerAgent& consumer,
+                                   const store::MemoEntry& entry,
+                                   const WorkloadSpec& spec,
+                                   RunReport& report) {
+  const uint64_t fee = spec.reward_pool * config_.reuse_fee_permille / 1000;
+  if (fee == 0) return Status::Ok();
+
+  auto resolve =
+      [&](const store::MemoBeneficiary& b) -> std::optional<chain::Address> {
+    if (b.role == store::MemoBeneficiary::Role::kProvider) {
+      for (auto& p : providers_) {
+        if (p->name() == b.account) return p->address();
+      }
+    } else {
+      for (auto& e : executors_) {
+        if (e->name() == b.account) return e->address();
+      }
+    }
+    return std::nullopt;
+  };
+
+  uint64_t executor_count = 0;
+  uint64_t provider_weight_total = 0;
+  for (const store::MemoBeneficiary& b : entry.beneficiaries) {
+    if (b.role == store::MemoBeneficiary::Role::kExecutor) {
+      executor_count++;
+    } else {
+      provider_weight_total += b.weight;
+    }
+  }
+  const uint64_t executor_pool =
+      provider_weight_total == 0
+          ? fee
+          : fee * spec.executor_reward_permille / 1000;
+  const uint64_t provider_pool = fee - executor_pool;
+
+  for (const store::MemoBeneficiary& b : entry.beneficiaries) {
+    uint64_t amount = 0;
+    if (b.role == store::MemoBeneficiary::Role::kExecutor) {
+      if (executor_count > 0) amount = executor_pool / executor_count;
+    } else if (provider_weight_total > 0) {
+      amount = static_cast<uint64_t>(
+          static_cast<unsigned __int128>(provider_pool) * b.weight /
+          provider_weight_total);
+    }
+    if (amount == 0) continue;
+    std::optional<chain::Address> to = resolve(b);
+    if (!to.has_value()) continue;  // beneficiary left; share stays unpaid
+    obs::NodeScope scope("consumer/", consumer.name());
+    PDS2_ASSIGN_OR_RETURN(
+        chain::Receipt receipt,
+        Execute(consumer.key(), *to, amount, kDefaultGas, chain::CallPayload{}));
+    if (!receipt.success) {
+      return Status::Internal("reuse fee transfer failed: " + receipt.error);
+    }
+    report.reuse_fee += amount;
+    if (b.role == store::MemoBeneficiary::Role::kExecutor) {
+      report.executor_rewards[b.account] += amount;
+    } else {
+      report.provider_rewards[b.account] += amount;
+    }
+  }
+  return Status::Ok();
 }
 
 Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
@@ -269,7 +369,37 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     ExecutorAgent* executor;
   };
   std::vector<Participation> participations;
-  for (auto& provider : providers_) {
+  // Discovery-assisted matching: when providers have gossiped dataset
+  // adverts, the ones whose advertised type tags cover the spec's
+  // requirement are consulted first — the consumer asks the network who
+  // claims to have the data before knocking on every door. An empty index
+  // degrades to the plain registration-order walk.
+  std::vector<ProviderAgent*> match_order;
+  if (discovery_index_.size() > 0 && !spec.requirement.required_types.empty()) {
+    std::set<std::string> advertised;
+    for (const std::string& type : spec.requirement.required_types) {
+      for (const store::Advert& ad : discovery_index_.FindByTag(type)) {
+        advertised.insert(ad.provider);
+      }
+    }
+    for (auto& provider : providers_) {
+      if (advertised.count(provider->name()) > 0) {
+        match_order.push_back(provider.get());
+      }
+    }
+    for (auto& provider : providers_) {
+      if (advertised.count(provider->name()) == 0) {
+        match_order.push_back(provider.get());
+      }
+    }
+    if (!advertised.empty()) {
+      audit("discovery index ranked " + std::to_string(advertised.size()) +
+            " advertised providers first");
+    }
+  } else {
+    for (auto& provider : providers_) match_order.push_back(provider.get());
+  }
+  for (ProviderAgent* provider : match_order) {
     if (participations.size() >=
         static_cast<size_t>(spec.max_providers)) {
       break;
@@ -280,7 +410,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
       return provider->EvaluateWorkload(config_.ontology, spec);
     }();
     if (!offer.has_value()) continue;
-    participations.push_back({provider.get(), std::move(*offer), nullptr});
+    participations.push_back({provider, std::move(*offer), nullptr});
   }
   audit(std::to_string(participations.size()) + " providers accepted");
   if (participations.size() < spec.min_providers) {
@@ -291,6 +421,87 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   }
 
   span_match.End();
+
+  // --- Substitution probe (store/memo.h): the matched inputs plus the
+  // training fingerprint and the enclave code measurement fully determine
+  // the result, so if the network already computed this exact function the
+  // consumer fetches the attested artifact instead of paying for training.
+  // The artifact is trusted only after it verifies against the *chain*:
+  // the source workload's anchored artifact address and agreed result
+  // hash. Any verification failure falls back to an honest recompute.
+  {
+    std::vector<Bytes> input_hashes;
+    for (const Participation& p : participations) {
+      input_hashes.push_back(p.offer.commitment);
+    }
+    report.memo_key = store::ComputeMemoKey(
+        tee::MeasureKernel("pds2.training", tee::TrainingKernel::kVersion),
+        std::move(input_hashes), spec.TrainingFingerprint());
+  }
+  const store::MemoEntry* memo_hit =
+      config_.enable_substitution ? memo_index_.Lookup(report.memo_key)
+                                  : nullptr;
+  if (memo_hit != nullptr) {
+    obs::ScopedSpan span_subst("market.substitute", &now_);
+    PDS2_M_COUNT("market.substitution_probes_hit", 1);
+    auto verified_fetch = [&]() -> Result<Bytes> {
+      PDS2_ASSIGN_OR_RETURN(
+          Bytes anchored,
+          chain_->Query("workload", memo_hit->source_instance, "artifact",
+                        {}));
+      if (anchored != memo_hit->artifact_address) {
+        return Status::Corruption("memo entry disagrees with chain anchor");
+      }
+      PDS2_ASSIGN_OR_RETURN(
+          Bytes agreed_hash,
+          chain_->Query("workload", memo_hit->source_instance, "result", {}));
+      if (agreed_hash != memo_hit->result_hash) {
+        return Status::Corruption("memo result hash disagrees with chain");
+      }
+      PDS2_ASSIGN_OR_RETURN(Bytes blob,
+                            artifact_store_->Get(memo_hit->artifact_address));
+      if (crypto::Sha256::Hash(blob) != memo_hit->result_hash) {
+        return Status::Corruption("fetched artifact fails hash verification");
+      }
+      return blob;
+    };
+    auto blob = verified_fetch();
+    if (blob.ok()) {
+      Reader blob_reader(*blob);
+      auto params = blob_reader.GetDoubleVector();
+      if (params.ok()) {
+        audit("memo key hit: artifact " +
+              common::HexPrefix(memo_hit->artifact_address, 12) +
+              " verified against the anchor of instance " +
+              std::to_string(memo_hit->source_instance));
+        // Release this run's escrow (still in Accepting, so the abort
+        // refunds immediately), then settle the reduced reuse fee.
+        (void)execute_as(
+            "consumer/", consumer.name(), consumer.key(), chain::Address{}, 0,
+            kDefaultGas,
+            chain::CallPayload{"workload", report.instance, "abort", {}});
+        PDS2_RETURN_IF_ERROR(
+            SettleReuseFee(consumer, *memo_hit, spec, report));
+        report.substituted = true;
+        report.reused_from_instance = memo_hit->source_instance;
+        report.result_hash = memo_hit->result_hash;
+        report.result_address = memo_hit->artifact_address;
+        report.model_params = *params;
+        report.num_providers = participations.size();
+        report.gas_used = chain_->TotalGasUsed() - gas_before;
+        report.blocks_produced = chain_->Height() - height_before;
+        audit("substituted memoized result; reuse fee " +
+              std::to_string(report.reuse_fee) + " of pool " +
+              std::to_string(spec.reward_pool) + " settled");
+        PDS2_M_COUNT("market.workloads_substituted", 1);
+        return report;
+      }
+      audit("substitution declined: " + params.status().ToString());
+    } else {
+      audit("substitution declined: " + blob.status().ToString());
+      PDS2_M_COUNT("market.substitution_verify_failures", 1);
+    }
+  }
 
   // --- Phase 3: providers pick executors, verify attestation, send data.
   // Providers with their own hardware (Fig. 3) pin their preferred
@@ -579,7 +790,10 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   const Bytes result_hash = crypto::Sha256::Hash(result_blob);
   // Executors publish the result blob off-chain; only its hash goes on
   // the ledger (the chain "is not used for storing any ... code or data").
-  report.result_address = result_store_.Put(result_blob);
+  // The content-addressed store chunks and dedups it, and the address is
+  // anchored on-chain at finalize for substitution consumers.
+  PDS2_ASSIGN_OR_RETURN(report.result_address,
+                        artifact_store_->Put(result_blob));
   audit("decentralized aggregation complete; result " +
         common::HexPrefix(result_hash, 12));
   span_train.End();
@@ -649,6 +863,7 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
 
   Writer fin;
   fin.PutU32(static_cast<uint32_t>(participations.size()));
+  std::vector<std::pair<std::string, uint64_t>> settled_weights;
   for (const auto& p : participations) {
     uint64_t weight = p.offer.num_records;
     if (spec.reward_policy == RewardPolicy::kShapley) {
@@ -657,6 +872,8 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
     }
     fin.PutBytes(p.provider->address());
     fin.PutU64(std::max<uint64_t>(1, weight));
+    settled_weights.emplace_back(p.provider->name(),
+                                 std::max<uint64_t>(1, weight));
   }
   const uint64_t burned_before = chain_->BurnedTotal();
   PDS2_ASSIGN_OR_RETURN(
@@ -703,6 +920,51 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   }
   audit("escrow discharged; rewards distributed");
   span_finalize.End();
+
+  // --- Publication: pin the artifact, anchor its address on-chain, and
+  // memoize the computation so future identical workloads substitute
+  // instead of retraining. Publication is best-effort — the workload is
+  // already settled, so a failure here costs only future cache hits.
+  {
+    obs::ScopedSpan span_publish("market.publish_artifact", &now_);
+    (void)artifact_store_->AddRoot(report.result_address);
+    Writer anchor_args;
+    anchor_args.PutBytes(report.result_address);
+    anchor_args.PutBytes(result_hash);
+    auto anchored = execute_as(
+        "consumer/", consumer.name(), consumer.key(), chain::Address{}, 0,
+        kDefaultGas,
+        chain::CallPayload{"workload", report.instance, "anchor_artifact",
+                           anchor_args.Take()});
+    if (anchored.ok() && anchored->success) {
+      audit("artifact " + common::HexPrefix(report.result_address, 12) +
+            " anchored on-chain");
+      store::MemoEntry entry;
+      entry.memo_key = report.memo_key;
+      entry.artifact_address = report.result_address;
+      entry.result_hash = result_hash;
+      entry.source_instance = report.instance;
+      for (ExecutorAgent* executor : active) {
+        entry.beneficiaries.push_back(
+            {executor->name(), store::MemoBeneficiary::Role::kExecutor, 1});
+      }
+      for (const auto& [provider_name, weight] : settled_weights) {
+        entry.beneficiaries.push_back(
+            {provider_name, store::MemoBeneficiary::Role::kProvider, weight});
+      }
+      if (memo_index_.Insert(std::move(entry))) {
+        PDS2_M_COUNT("market.memo_entries_published", 1);
+      }
+      store::Advert advert;
+      advert.content_hash = report.result_address;
+      advert.provider = consumer.name();
+      advert.tags = {"model:" + spec.model_kind,
+                     "memo:" + common::HexEncode(report.memo_key)};
+      advert.size_bytes = result_blob.size();
+      advert.price = spec.reward_pool * config_.reuse_fee_permille / 1000;
+      discovery_index_.Upsert(advert);
+    }
+  }
 
   report.gas_used = chain_->TotalGasUsed() - gas_before;
   report.blocks_produced = chain_->Height() - height_before;

@@ -9,8 +9,10 @@
 #include "chain/chain.h"
 #include "market/actors.h"
 #include "market/spec.h"
-#include "storage/content_store.h"
 #include "storage/semantic.h"
+#include "store/artifact_store.h"
+#include "store/discovery.h"
+#include "store/memo.h"
 #include "tee/attestation.h"
 
 namespace pds2::market {
@@ -22,6 +24,15 @@ struct MarketConfig {
   uint64_t seed = 1;
   common::SimTime block_interval = common::kMicrosPerSecond;
   storage::Ontology ontology = storage::Ontology::StandardIot();
+  /// Memoized computation (store/memo.h): when a workload's memo key
+  /// resolves, the attested artifact is fetched and a reduced reuse fee is
+  /// settled instead of recomputing. Off by default: substitution changes
+  /// the run's economics, so callers opt in.
+  bool enable_substitution = false;
+  /// Reuse fee as a fraction of the (avoided) reward pool, in permille.
+  uint64_t reuse_fee_permille = 100;
+  /// Durable directory for the artifact store; empty = in-memory.
+  std::string artifact_dir;
 };
 
 /// Extra per-run inputs a consumer may supply.
@@ -55,6 +66,12 @@ struct RunReport {
   /// forfeited bond; the other half compensated the consumer).
   uint64_t tokens_burned = 0;
   std::vector<std::string> audit_log;
+  /// Substitution (memoized computation): true when this run settled by
+  /// reusing an already-computed artifact instead of training.
+  bool substituted = false;
+  uint64_t reuse_fee = 0;            // tokens paid for the reused artifact
+  uint64_t reused_from_instance = 0; // workload that anchored the artifact
+  common::Bytes memo_key;            // this run's memoization key
 };
 
 /// The PDS2 marketplace facade: wires the governance blockchain, the
@@ -114,11 +131,28 @@ class Marketplace {
   common::Result<chain::Address> DatasetOwner(
       const common::Bytes& commitment) const;
 
-  /// Retrieves a finished workload's model from the off-chain result store
-  /// by its report and verifies it against the on-chain result hash — the
-  /// consumer-side integrity check of Fig. 2's final step. Corruption if
-  /// the stored blob does not hash to the agreed result.
+  /// Retrieves a finished workload's model from the off-chain artifact
+  /// store by its report and verifies it against the on-chain result hash —
+  /// the consumer-side integrity check of Fig. 2's final step. Corruption
+  /// if the stored blob does not hash to the agreed result.
   common::Result<ml::Vec> FetchResult(const RunReport& report) const;
+
+  /// Publishes a discovery advert for one of the provider's registered
+  /// datasets: (dataset commitment, semantic type tags, record count,
+  /// asking price). Consumers' workload matching prefers providers whose
+  /// adverts cover the spec's required types. Returns the advert.
+  common::Result<store::Advert> AdvertiseDataset(ProviderAgent& provider,
+                                                 const std::string& dataset_name,
+                                                 uint64_t price);
+
+  /// The marketplace's view of the gossip discovery index. In-process runs
+  /// share one index; networked deployments converge theirs via
+  /// store::DiscoveryNode (see discovery tests + E17).
+  store::DiscoveryIndex& discovery_index() { return discovery_index_; }
+  /// The memoized-computation cache consulted by RunWorkload.
+  store::MemoIndex& memo_index() { return memo_index_; }
+  /// The content-addressed artifact store backing result distribution.
+  store::ArtifactStore& artifact_store() { return *artifact_store_; }
 
  private:
   common::Status RegisterActor(const crypto::SigningKey& key, uint64_t roles,
@@ -137,8 +171,16 @@ class Marketplace {
   std::vector<std::unique_ptr<ConsumerAgent>> consumers_;
   uint64_t actor_seed_ = 0;
 
-  // Off-chain result distribution (the chain stores only hashes).
-  storage::ContentStore result_store_;
+  // Off-chain result distribution (the chain stores only hashes): results
+  // live in the content-addressed store, deduplicated and GC-rooted, with
+  // their addresses anchored on-chain at finalize.
+  std::unique_ptr<store::ArtifactStore> artifact_store_;
+  store::MemoIndex memo_index_;
+  store::DiscoveryIndex discovery_index_;
+
+  common::Status SettleReuseFee(ConsumerAgent& consumer,
+                                const store::MemoEntry& entry,
+                                const WorkloadSpec& spec, RunReport& report);
 };
 
 }  // namespace pds2::market

@@ -84,6 +84,27 @@ Bytes WorkloadSpec::SpecHash() const {
   return crypto::Sha256::Hash(Serialize());
 }
 
+Bytes WorkloadSpec::TrainingFingerprint() const {
+  Writer w;
+  w.PutString("pds2.memo.spec.v1");
+  w.PutString(model_kind);
+  w.PutU64(features);
+  w.PutU64(hidden_units);
+  w.PutDouble(learning_rate);
+  w.PutU64(epochs);
+  w.PutU64(batch_size);
+  w.PutDouble(l2);
+  w.PutBool(dp_enabled);
+  w.PutDouble(dp_clip);
+  w.PutDouble(dp_noise);
+  w.PutBool(validation.enabled);
+  w.PutDouble(validation.feature_min);
+  w.PutDouble(validation.feature_max);
+  w.PutDouble(validation.min_label_fraction);
+  w.PutU8(static_cast<uint8_t>(aggregation));
+  return crypto::Sha256::Hash(w.Take());
+}
+
 Status WorkloadSpec::Validate() const {
   if (name.empty()) return Status::InvalidArgument("workload needs a name");
   if (features == 0) return Status::InvalidArgument("zero features");

@@ -84,6 +84,13 @@ struct WorkloadSpec {
   /// SHA-256 of the serialized spec — registered on-chain at deployment.
   common::Bytes SpecHash() const;
 
+  /// Hash of only the fields that determine the computed result: the
+  /// training task and the in-enclave validation gates. Economics, naming
+  /// and deadlines are excluded, so two workloads that would train the
+  /// same model share one memoization key (store/memo.h) even when their
+  /// prices differ.
+  common::Bytes TrainingFingerprint() const;
+
   /// Sanity-checks field combinations before submission.
   common::Status Validate() const;
 };

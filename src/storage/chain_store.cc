@@ -12,6 +12,7 @@
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "storage/record_io.h"
 #include "common/thread_pool.h"
 #include "common/logging.h"
 #include "common/serial.h"
@@ -44,14 +45,9 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// [u32 len][u32 crc][payload] — one log/snapshot record.
-Bytes EncodeRecord(const Bytes& payload) {
-  Writer w;
-  w.PutU32(static_cast<uint32_t>(payload.size()));
-  w.PutU32(common::Crc32c(payload));
-  w.PutRaw(payload);
-  return w.Take();
-}
+// One log/snapshot record, in the storage layer's shared CRC framing
+// ([u32 len][u32 crc][payload]; see storage/record_io.h).
+Bytes EncodeRecord(const Bytes& payload) { return EncodeCrcRecord(payload); }
 
 Status ReadFileBytes(const std::string& path, Bytes* out) {
   std::ifstream in(path, std::ios::binary);
@@ -174,18 +170,13 @@ Status ChainStore::ScanLog() {
   Reader r(buf);
   (void)r.GetRaw(sizeof(kLogMagic));
   uint64_t valid_bytes = sizeof(kLogMagic);
-  while (r.remaining() >= 8) {
-    auto len = r.GetU32();
-    auto crc = r.GetU32();
-    if (!len.ok() || !crc.ok()) break;
-    if (r.remaining() < *len) break;  // torn payload
-    auto payload = r.GetRaw(*len);
+  while (true) {
+    auto payload = ReadCrcRecord(r);  // torn or bit-rotted frames fail here
     if (!payload.ok()) break;
-    if (common::Crc32c(*payload) != *crc) break;  // torn or bit-rotted
     auto block = chain::Block::Deserialize(*payload);
     if (!block.ok()) break;
     recovered_blocks_.push_back(std::move(*block));
-    valid_bytes += 8 + *len;
+    valid_bytes += kRecordFrameBytes + payload->size();
     record_end_offsets_.push_back(valid_bytes);
   }
   blocks_logged_ = recovered_blocks_.size();
@@ -343,10 +334,8 @@ Result<Bytes> ChainStore::LoadSnapshot(uint64_t height) const {
     return Status::Corruption("bad snapshot magic at height " +
                               std::to_string(height));
   }
-  PDS2_ASSIGN_OR_RETURN(uint32_t len, r.GetU32());
-  PDS2_ASSIGN_OR_RETURN(uint32_t crc, r.GetU32());
-  PDS2_ASSIGN_OR_RETURN(Bytes payload, r.GetRaw(len));
-  if (common::Crc32c(payload) != crc) {
+  auto payload = ReadCrcRecord(r);
+  if (!payload.ok()) {
     return Status::Corruption("snapshot checksum mismatch at height " +
                               std::to_string(height));
   }
@@ -354,7 +343,7 @@ Result<Bytes> ChainStore::LoadSnapshot(uint64_t height) const {
     return Status::Corruption("trailing bytes in snapshot at height " +
                               std::to_string(height));
   }
-  return payload;
+  return *payload;
 }
 
 Status ChainStore::Rewrite(const chain::Blockchain& chain) {

@@ -1,0 +1,127 @@
+#ifndef PDS2_STORE_ARTIFACT_STORE_H_
+#define PDS2_STORE_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pds2::store {
+
+/// Content-addressed artifact store — the "Nix binary cache for models"
+/// (ROADMAP item 4). An artifact (dataset blob, trained model parameters)
+/// is split into fixed-size chunks addressed by SHA-256 of their content;
+/// a manifest lists the chunk hashes, and the artifact's address is the
+/// hash of the manifest. Identical chunks are stored once, so overlapping
+/// datasets and incremental model revisions deduplicate naturally.
+///
+/// Lifecycle safety:
+///  - Reads are verified: every chunk is re-hashed against the manifest
+///    before reassembly, so silent corruption cannot escape the store.
+///  - GC roots pin artifacts; `CollectGarbage` mark-and-sweeps manifests
+///    and chunks reachable from no root.
+///  - The optional on-disk layout reuses the storage layer's CRC-framed
+///    record format (storage/record_io.h): `chunks.pack`, `manifests.log`
+///    and `roots.log` are append-only record streams with 8-byte magics;
+///    a torn or bit-rotted tail record is detected by its CRC and the
+///    affected artifact fails closed on read instead of returning garbage.
+struct ArtifactStoreOptions {
+  /// Chunking granularity. Smaller chunks dedup better, cost more hashes.
+  size_t chunk_size = 4096;
+  /// Directory for the durable layout; empty = in-memory only.
+  std::string dir;
+  /// fsync after appends (disk mode). Off by default: tests and benches
+  /// exercise the format, not the disk.
+  bool fsync = false;
+};
+
+/// What `CollectGarbage` reclaimed.
+struct GcStats {
+  uint64_t manifests_removed = 0;
+  uint64_t chunks_removed = 0;
+  uint64_t bytes_reclaimed = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Opens the store, replaying any durable state in `options.dir`. A
+  /// corrupt tail record (torn write) is truncated away, matching the
+  /// chain log's recovery policy; artifacts whose chunks were lost that
+  /// way fail closed on Get.
+  static common::Result<std::unique_ptr<ArtifactStore>> Open(
+      ArtifactStoreOptions options = {});
+
+  ~ArtifactStore();
+
+  /// Stores a blob; returns its content address (hash of the manifest).
+  /// Idempotent: re-putting the same bytes returns the same address and
+  /// stores nothing new.
+  common::Result<common::Bytes> Put(const common::Bytes& blob);
+
+  /// Verified read: re-hashes every chunk against the manifest. Corruption
+  /// if a chunk's content no longer matches its address, NotFound for an
+  /// unknown address or a chunk lost to a torn write.
+  common::Result<common::Bytes> Get(const common::Bytes& address) const;
+
+  bool Contains(const common::Bytes& address) const;
+
+  /// GC roots are refcounted: AddRoot twice requires RemoveRoot twice.
+  common::Status AddRoot(const common::Bytes& address);
+  common::Status RemoveRoot(const common::Bytes& address);
+
+  /// Mark-and-sweep: drops every manifest not reachable from a root, then
+  /// every chunk referenced by no surviving manifest. In disk mode the
+  /// pack and manifest log are compacted through a tmp-file + rename, the
+  /// same crash-safe pattern as the chain snapshot.
+  common::Result<GcStats> CollectGarbage();
+
+  /// Dedup accounting. Logical = sum of blob sizes accepted by Put;
+  /// stored = bytes of unique live chunks. Ratio >= 1.0, and > 1.0 as
+  /// soon as two artifacts share a chunk.
+  uint64_t LogicalBytes() const { return logical_bytes_; }
+  uint64_t StoredBytes() const { return stored_bytes_; }
+  double DedupRatio() const {
+    return stored_bytes_ == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes_) /
+                     static_cast<double>(stored_bytes_);
+  }
+  size_t NumArtifacts() const { return manifests_.size(); }
+  size_t NumChunks() const { return chunks_.size(); }
+
+ private:
+  explicit ArtifactStore(ArtifactStoreOptions options);
+
+  struct Manifest {
+    uint64_t blob_size = 0;
+    std::vector<common::Bytes> chunk_hashes;
+    /// Logical bytes this artifact contributed (for GC accounting).
+    uint64_t logical_size = 0;
+  };
+
+  common::Bytes EncodeManifest(const Manifest& m) const;
+  static common::Result<Manifest> DecodeManifest(const common::Bytes& raw);
+
+  common::Status ReplayDisk();
+  common::Status AppendChunkRecord(const common::Bytes& hash,
+                                   const common::Bytes& data);
+  common::Status AppendManifestRecord(const common::Bytes& address,
+                                      const common::Bytes& manifest);
+  common::Status AppendRootRecord(const common::Bytes& address, int64_t delta);
+  common::Status RewriteDisk();
+
+  ArtifactStoreOptions options_;
+  std::map<common::Bytes, common::Bytes> chunks_;    // chunk hash -> data
+  std::map<common::Bytes, Manifest> manifests_;      // address -> manifest
+  std::map<common::Bytes, uint64_t> roots_;          // address -> refcount
+  uint64_t logical_bytes_ = 0;
+  uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace pds2::store
+
+#endif  // PDS2_STORE_ARTIFACT_STORE_H_

@@ -1,0 +1,41 @@
+#include "store/memo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace pds2::store {
+
+using common::Bytes;
+
+namespace {
+constexpr char kMemoDomain[] = "pds2.memo.v1";
+}  // namespace
+
+Bytes ComputeMemoKey(const Bytes& code_measurement,
+                     std::vector<Bytes> input_hashes,
+                     const Bytes& hyperparams_fingerprint) {
+  std::sort(input_hashes.begin(), input_hashes.end());
+  // Length-prefixed fields, so no concatenation of two keys' material can
+  // collide across field boundaries.
+  common::Writer w;
+  w.PutString(kMemoDomain);
+  w.PutBytes(code_measurement);
+  w.PutU32(static_cast<uint32_t>(input_hashes.size()));
+  for (const Bytes& h : input_hashes) w.PutBytes(h);
+  w.PutBytes(hyperparams_fingerprint);
+  return crypto::Sha256::Hash(w.Take());
+}
+
+bool MemoIndex::Insert(MemoEntry entry) {
+  return entries_.emplace(entry.memo_key, std::move(entry)).second;
+}
+
+const MemoEntry* MemoIndex::Lookup(const Bytes& memo_key) const {
+  auto it = entries_.find(memo_key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pds2::store

@@ -1,0 +1,64 @@
+#ifndef PDS2_STORE_MEMO_H_
+#define PDS2_STORE_MEMO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace pds2::store {
+
+/// Memoized computation ("substitution", in Nix terms): a workload is a
+/// pure function of (enclave code measurement, input dataset hashes,
+/// hyperparameter fingerprint). If the network has already evaluated that
+/// function, a consumer can fetch the attested artifact instead of paying
+/// for a recompute. The memo key is the function's content address.
+
+/// Deterministic key: H(domain || measurement || sorted input hashes ||
+/// hyperparams fingerprint). Input hashes are sorted so provider order —
+/// an accident of matching — never splits the cache.
+common::Bytes ComputeMemoKey(const common::Bytes& code_measurement,
+                             std::vector<common::Bytes> input_hashes,
+                             const common::Bytes& hyperparams_fingerprint);
+
+/// Who gets paid when a memoized result is reused, mirroring the original
+/// finalize split: executors computed it, providers supplied the data.
+struct MemoBeneficiary {
+  enum class Role : uint8_t { kExecutor = 0, kProvider = 1 };
+  std::string account;
+  Role role = Role::kExecutor;
+  /// Relative weight within the role's share (providers: records used).
+  uint64_t weight = 1;
+};
+
+/// One cache entry: where the artifact lives and how reuse is settled.
+struct MemoEntry {
+  common::Bytes memo_key;
+  common::Bytes artifact_address;  // content address in the ArtifactStore
+  common::Bytes result_hash;       // the chain-agreed result hash
+  uint64_t source_instance = 0;    // workload that produced it (chain anchor)
+  std::vector<MemoBeneficiary> beneficiaries;
+};
+
+/// Local view of the network's memo cache. Insert-once semantics: the
+/// first producer of a key wins, later identical computations are the
+/// cache hits this index exists to prevent.
+class MemoIndex {
+ public:
+  /// Returns false (and changes nothing) if the key is already present.
+  bool Insert(MemoEntry entry);
+
+  /// nullptr on miss.
+  const MemoEntry* Lookup(const common::Bytes& memo_key) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<common::Bytes, MemoEntry> entries_;
+};
+
+}  // namespace pds2::store
+
+#endif  // PDS2_STORE_MEMO_H_

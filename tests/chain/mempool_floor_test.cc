@@ -1,0 +1,127 @@
+// Focused mempool gas-price-floor coverage: a below-floor offer at the
+// head of a sender's nonce chain is evicted at selection time — no block
+// ever carries it — and the eviction is visible on the dedicated
+// `chain.mempool.evicted_below_floor` counter (alongside the general
+// pre-doomed counter it is a slice of).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chain/chain.h"
+#include "chain/mempool.h"
+#include "common/serial.h"
+#include "obs/metrics.h"
+
+namespace pds2::chain {
+namespace {
+
+using common::StatusCode;
+using common::ToBytes;
+using crypto::SigningKey;
+
+constexpr uint64_t kGas = 2'000'000;
+constexpr uint64_t kGenesisEach = 10'000'000'000;
+
+Transaction Tx(const SigningKey& from, uint64_t nonce, uint64_t gas_price) {
+  return Transaction::Make(from, nonce, Address(kAddressSize, 0xbb),
+                           /*value=*/1, kGas, CallPayload{}, gas_price);
+}
+
+uint64_t CounterValue(const std::string& name) {
+  const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  for (const auto& [counter, value] : snap.counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+TEST(MempoolFloorTest, BelowFloorHeadEvictedAndCounted) {
+  obs::SetMetricsEnabled(true);
+  const uint64_t floor_evicted_before =
+      CounterValue("chain.mempool.evicted_below_floor");
+  const uint64_t predoomed_before =
+      CounterValue("chain.mempool.predoomed_evicted");
+
+  Mempool pool;
+  SigningKey alice = SigningKey::FromSeed(ToBytes("alice"));
+  SigningKey bob = SigningKey::FromSeed(ToBytes("bob"));
+  WorldState state;
+  ASSERT_TRUE(
+      state.Credit(AddressFromPublicKey(alice.PublicKey()), kGenesisEach)
+          .ok());
+  ASSERT_TRUE(
+      state.Credit(AddressFromPublicKey(bob.PublicKey()), kGenesisEach)
+          .ok());
+
+  Transaction cheap = Tx(alice, 0, /*gas_price=*/1);   // below the floor
+  Transaction priced = Tx(bob, 0, /*gas_price=*/5);    // at the floor
+  ASSERT_TRUE(pool.Add(cheap).ok());
+  ASSERT_TRUE(pool.Add(priced).ok());
+
+  auto selection = pool.SelectForBlock(state, 100 * kGas,
+                                       /*gas_price_floor=*/5);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(selection.selected[0].Id(), priced.Id());
+  ASSERT_EQ(selection.dropped.size(), 1u);
+  EXPECT_EQ(selection.dropped[0], cheap.Id());
+  EXPECT_EQ(pool.Size(), 0u);
+  EXPECT_FALSE(pool.Contains(cheap.Id()));
+
+  // The dedicated floor counter moved by exactly the one eviction, and the
+  // general pre-doomed counter includes it.
+  EXPECT_EQ(CounterValue("chain.mempool.evicted_below_floor"),
+            floor_evicted_before + 1);
+  EXPECT_GE(CounterValue("chain.mempool.predoomed_evicted"),
+            predoomed_before + 1);
+}
+
+TEST(MempoolFloorTest, AtFloorOffersAreNotEvicted) {
+  obs::SetMetricsEnabled(true);
+  const uint64_t floor_evicted_before =
+      CounterValue("chain.mempool.evicted_below_floor");
+
+  Mempool pool;
+  SigningKey alice = SigningKey::FromSeed(ToBytes("alice"));
+  WorldState state;
+  ASSERT_TRUE(
+      state.Credit(AddressFromPublicKey(alice.PublicKey()), kGenesisEach)
+          .ok());
+  Transaction at_floor = Tx(alice, 0, /*gas_price=*/5);
+  ASSERT_TRUE(pool.Add(at_floor).ok());
+
+  auto selection = pool.SelectForBlock(state, 100 * kGas,
+                                       /*gas_price_floor=*/5);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_TRUE(selection.dropped.empty());
+  EXPECT_EQ(CounterValue("chain.mempool.evicted_below_floor"),
+            floor_evicted_before);
+}
+
+TEST(MempoolFloorTest, UnaffordableButAboveFloorDoesNotTouchFloorCounter) {
+  obs::SetMetricsEnabled(true);
+  const uint64_t floor_evicted_before =
+      CounterValue("chain.mempool.evicted_below_floor");
+  const uint64_t predoomed_before =
+      CounterValue("chain.mempool.predoomed_evicted");
+
+  Mempool pool;
+  SigningKey pauper = SigningKey::FromSeed(ToBytes("pauper"));
+  WorldState state;  // pauper has no balance at all
+  Transaction doomed = Tx(pauper, 0, /*gas_price=*/10);
+  ASSERT_TRUE(pool.Add(doomed).ok());
+
+  auto selection = pool.SelectForBlock(state, 100 * kGas,
+                                       /*gas_price_floor=*/5);
+  EXPECT_TRUE(selection.selected.empty());
+  ASSERT_EQ(selection.dropped.size(), 1u);
+
+  // Evicted for unaffordability, not the floor: only the general counter
+  // moves.
+  EXPECT_EQ(CounterValue("chain.mempool.evicted_below_floor"),
+            floor_evicted_before);
+  EXPECT_GE(CounterValue("chain.mempool.predoomed_evicted"),
+            predoomed_before + 1);
+}
+
+}  // namespace
+}  // namespace pds2::chain

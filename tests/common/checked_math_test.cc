@@ -1,0 +1,127 @@
+// Boundary coverage for the overflow-checked money arithmetic: every
+// settlement computation funnels through these three helpers, so the
+// exact edge behaviour at UINT64_MAX is load-bearing for the ledger.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/checked_math.h"
+
+namespace pds2::common {
+namespace {
+
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+TEST(CheckedAddTest, InRangeSumsSucceed) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedAdd(0, 0, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(CheckedAdd(1, 2, &out));
+  EXPECT_EQ(out, 3u);
+  // The exact boundary: kMax itself is representable.
+  EXPECT_TRUE(CheckedAdd(kMax, 0, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(CheckedAdd(0, kMax, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(CheckedAdd(kMax - 1, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(CheckedAdd(kMax / 2, kMax / 2 + 1, &out));
+  EXPECT_EQ(out, kMax);
+}
+
+TEST(CheckedAddTest, OverflowRejectsAndLeavesOutUntouched) {
+  uint64_t out = 0xdeadbeef;
+  EXPECT_FALSE(CheckedAdd(kMax, 1, &out));
+  EXPECT_EQ(out, 0xdeadbeefu);  // the contract: out untouched on failure
+  EXPECT_FALSE(CheckedAdd(1, kMax, &out));
+  EXPECT_FALSE(CheckedAdd(kMax, kMax, &out));
+  EXPECT_FALSE(CheckedAdd(kMax - 1, 2, &out));
+  EXPECT_FALSE(CheckedAdd(kMax / 2 + 1, kMax / 2 + 1, &out));
+  EXPECT_EQ(out, 0xdeadbeefu);
+}
+
+TEST(CheckedMulTest, InRangeProductsSucceed) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedMul(0, 0, &out));
+  EXPECT_EQ(out, 0u);
+  // Zero annihilates even kMax — the b != 0 guard in the portable path.
+  EXPECT_TRUE(CheckedMul(kMax, 0, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(CheckedMul(0, kMax, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(CheckedMul(kMax, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(CheckedMul(1, kMax, &out));
+  EXPECT_EQ(out, kMax);
+  // Largest exact factorization boundaries: 2^32 - 1 squared fits ...
+  constexpr uint64_t k32 = (1ULL << 32) - 1;
+  EXPECT_TRUE(CheckedMul(k32, k32, &out));
+  EXPECT_EQ(out, kMax - 2 * k32);
+  // ... and (kMax / b) * b is the largest multiple of b that fits.
+  for (uint64_t b : {3ULL, 7ULL, 1'000'003ULL, (1ULL << 33)}) {
+    EXPECT_TRUE(CheckedMul(kMax / b, b, &out)) << b;
+    EXPECT_EQ(out, (kMax / b) * b) << b;
+  }
+}
+
+TEST(CheckedMulTest, OverflowRejectsAndLeavesOutUntouched) {
+  uint64_t out = 0xdeadbeef;
+  EXPECT_FALSE(CheckedMul(kMax, 2, &out));
+  EXPECT_EQ(out, 0xdeadbeefu);
+  EXPECT_FALSE(CheckedMul(2, kMax, &out));
+  // One past the largest multiple of b that fits.
+  for (uint64_t b : {2ULL, 3ULL, 7ULL, 1'000'003ULL, (1ULL << 33)}) {
+    EXPECT_FALSE(CheckedMul(kMax / b + 1, b, &out)) << b;
+    EXPECT_FALSE(CheckedMul(b, kMax / b + 1, &out)) << b;
+  }
+  // 2^32 * 2^32 is exactly one bit too many.
+  EXPECT_FALSE(CheckedMul(1ULL << 32, 1ULL << 32, &out));
+  EXPECT_EQ(out, 0xdeadbeefu);
+}
+
+TEST(CheckedMathTest, ExhaustiveEdgeMatrixAgainstWideArithmetic) {
+  // Every pair from the interesting-values set, checked against the
+  // ground truth computed in 128 bits.
+  const std::vector<uint64_t> edges = {
+      0,        1,        2,         3,
+      kMax,     kMax - 1, kMax - 2,  kMax / 2,
+      kMax / 2 + 1,       kMax / 3,  (1ULL << 32) - 1,
+      1ULL << 32,         (1ULL << 32) + 1,
+      1ULL << 63,         (1ULL << 63) - 1};
+  for (uint64_t a : edges) {
+    for (uint64_t b : edges) {
+      const unsigned __int128 wide_sum =
+          static_cast<unsigned __int128>(a) + b;
+      const unsigned __int128 wide_prod =
+          static_cast<unsigned __int128>(a) * b;
+
+      uint64_t out = 0;
+      const bool add_ok = CheckedAdd(a, b, &out);
+      EXPECT_EQ(add_ok, wide_sum <= kMax) << a << " + " << b;
+      if (add_ok) EXPECT_EQ(out, static_cast<uint64_t>(wide_sum));
+
+      const bool mul_ok = CheckedMul(a, b, &out);
+      EXPECT_EQ(mul_ok, wide_prod <= kMax) << a << " * " << b;
+      if (mul_ok) EXPECT_EQ(out, static_cast<uint64_t>(wide_prod));
+
+      const uint64_t sat = SaturatingAdd(a, b);
+      EXPECT_EQ(sat, wide_sum <= kMax ? static_cast<uint64_t>(wide_sum)
+                                      : kMax)
+          << a << " +sat " << b;
+    }
+  }
+}
+
+TEST(SaturatingAddTest, ClampsAtTheCeilingInsteadOfWrapping) {
+  EXPECT_EQ(SaturatingAdd(0, 0), 0u);
+  EXPECT_EQ(SaturatingAdd(kMax, 0), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax - 1, 1), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax, 1), kMax);       // would wrap to 0
+  EXPECT_EQ(SaturatingAdd(kMax, kMax), kMax);    // would wrap to kMax - 1
+  EXPECT_EQ(SaturatingAdd(1, kMax), kMax);
+}
+
+}  // namespace
+}  // namespace pds2::common

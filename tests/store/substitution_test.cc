@@ -1,0 +1,322 @@
+// Memoized computation ("substitution"): determinism of the memo key and
+// the training fingerprint it builds on, and the end-to-end reuse path —
+// the second identical workload fetches the chain-anchored artifact and
+// settles a reduced fee instead of training, with supply conservation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "market/marketplace.h"
+#include "ml/metrics.h"
+#include "store/memo.h"
+#include "tee/enclave.h"
+#include "tee/training_kernel.h"
+
+namespace pds2::market {
+namespace {
+
+using common::Bytes;
+using common::Rng;
+using common::ToBytes;
+
+storage::SemanticMetadata TempMeta() {
+  storage::SemanticMetadata meta;
+  meta.types = {"iot/sensor/temperature"};
+  meta.numeric["sampling_hz"] = 10.0;
+  return meta;
+}
+
+WorkloadSpec BasicSpec() {
+  WorkloadSpec spec;
+  spec.name = "predict-temperature-anomaly";
+  spec.requirement.required_types = {"iot/sensor"};
+  spec.requirement.min_records = 10;
+  spec.model_kind = "logistic";
+  spec.features = 4;
+  spec.epochs = 8;
+  spec.reward_pool = 1'000'000;
+  spec.min_providers = 2;
+  spec.max_providers = 16;
+  spec.executor_reward_permille = 200;
+  return spec;
+}
+
+// --- Memo key determinism ---------------------------------------------------
+
+TEST(MemoKeyTest, PureFunctionOfItsInputs) {
+  const Bytes measurement = ToBytes("measurement-a");
+  const Bytes params = ToBytes("hyperparams-a");
+  const std::vector<Bytes> inputs = {ToBytes("dataset-1"),
+                                     ToBytes("dataset-2")};
+
+  const Bytes key = store::ComputeMemoKey(measurement, inputs, params);
+  EXPECT_EQ(key.size(), 32u);
+  EXPECT_EQ(store::ComputeMemoKey(measurement, inputs, params), key);
+
+  // Input order is an accident of provider matching; it must not split
+  // the cache.
+  const std::vector<Bytes> reversed = {ToBytes("dataset-2"),
+                                       ToBytes("dataset-1")};
+  EXPECT_EQ(store::ComputeMemoKey(measurement, reversed, params), key);
+}
+
+TEST(MemoKeyTest, AnyComponentChangeChangesTheKey) {
+  const Bytes measurement = ToBytes("measurement-a");
+  const Bytes params = ToBytes("hyperparams-a");
+  const std::vector<Bytes> inputs = {ToBytes("dataset-1"),
+                                     ToBytes("dataset-2")};
+  const Bytes key = store::ComputeMemoKey(measurement, inputs, params);
+
+  EXPECT_NE(store::ComputeMemoKey(ToBytes("measurement-b"), inputs, params),
+            key);
+  EXPECT_NE(store::ComputeMemoKey(measurement, {ToBytes("dataset-1")},
+                                  params),
+            key);
+  EXPECT_NE(store::ComputeMemoKey(
+                measurement,
+                {ToBytes("dataset-1"), ToBytes("dataset-3")}, params),
+            key);
+  EXPECT_NE(store::ComputeMemoKey(measurement, inputs,
+                                  ToBytes("hyperparams-b")),
+            key);
+  // Concatenation ambiguity: moving a byte across a field boundary must
+  // not collide (fields are length-framed).
+  EXPECT_NE(store::ComputeMemoKey(ToBytes("measurement-ah"), inputs,
+                                  ToBytes("yperparams-a")),
+            key);
+}
+
+TEST(MemoKeyTest, TrainingFingerprintCoversTrainingFieldsOnly) {
+  const WorkloadSpec base = BasicSpec();
+  const Bytes fp = base.TrainingFingerprint();
+  EXPECT_EQ(base.TrainingFingerprint(), fp);  // deterministic
+
+  // Every training-relevant field perturbs the fingerprint.
+  {
+    WorkloadSpec s = base;
+    s.model_kind = "linear";
+    EXPECT_NE(s.TrainingFingerprint(), fp);
+  }
+  {
+    WorkloadSpec s = base;
+    s.epochs += 1;
+    EXPECT_NE(s.TrainingFingerprint(), fp);
+  }
+  {
+    WorkloadSpec s = base;
+    s.learning_rate = 0.05;
+    EXPECT_NE(s.TrainingFingerprint(), fp);
+  }
+  {
+    WorkloadSpec s = base;
+    s.dp_enabled = true;
+    EXPECT_NE(s.TrainingFingerprint(), fp);
+  }
+  {
+    WorkloadSpec s = base;
+    s.validation.enabled = true;
+    EXPECT_NE(s.TrainingFingerprint(), fp);
+  }
+  {
+    WorkloadSpec s = base;
+    s.aggregation = AggregationMethod::kTeeStar;
+    EXPECT_NE(s.TrainingFingerprint(), fp);
+  }
+
+  // Economics, naming and deadlines do not: two workloads that train the
+  // same model share a key even when their prices differ.
+  {
+    WorkloadSpec s = base;
+    s.name = "different-name";
+    s.reward_pool = 42;
+    s.executor_reward_permille = 999;
+    s.executor_stake = 12345;
+    s.deadline = 99;
+    s.reward_policy = RewardPolicy::kShapley;
+    EXPECT_EQ(s.TrainingFingerprint(), fp);
+  }
+}
+
+TEST(MemoIndexTest, InsertOnceFirstProducerWins) {
+  store::MemoIndex index;
+  store::MemoEntry first;
+  first.memo_key = ToBytes("key");
+  first.source_instance = 1;
+  store::MemoEntry second;
+  second.memo_key = ToBytes("key");
+  second.source_instance = 2;
+
+  EXPECT_TRUE(index.Insert(first));
+  EXPECT_FALSE(index.Insert(second));
+  EXPECT_EQ(index.size(), 1u);
+  const store::MemoEntry* hit = index.Lookup(ToBytes("key"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->source_instance, 1u);
+  EXPECT_EQ(index.Lookup(ToBytes("miss")), nullptr);
+}
+
+// --- End-to-end substitution ------------------------------------------------
+
+class SubstitutionTest : public ::testing::Test {
+ protected:
+  SubstitutionTest() : market_(SubstitutionConfig()), rng_(77) {
+    ml::Dataset all = ml::MakeTwoGaussians(1200, 4, 4.0, rng_);
+    auto [train, test] = ml::TrainTestSplit(all, 0.2, rng_);
+    test_ = test;
+    auto parts = ml::PartitionWeighted(train, {1.0, 2.0, 3.0, 4.0}, rng_);
+    for (int i = 0; i < 4; ++i) {
+      ProviderAgent& p = market_.AddProvider("provider-" + std::to_string(i));
+      EXPECT_TRUE(p.store().AddDataset("temps", parts[i], TempMeta()).ok());
+    }
+    market_.AddExecutor("executor-0");
+    market_.AddExecutor("executor-1");
+    consumer_ = &market_.AddConsumer("consumer");
+  }
+
+  static MarketConfig SubstitutionConfig() {
+    MarketConfig config;
+    config.enable_substitution = true;
+    return config;
+  }
+
+  Marketplace market_;
+  Rng rng_;
+  ml::Dataset test_;
+  ConsumerAgent* consumer_;
+};
+
+TEST_F(SubstitutionTest, SecondIdenticalWorkloadReusesTheArtifact) {
+  const uint64_t genesis_total = market_.chain().TotalSupply();
+
+  // Run 1: a full lifecycle — trains, anchors the artifact, publishes the
+  // memo entry and a discovery advert.
+  auto first = market_.RunWorkload(*consumer_, BasicSpec());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->substituted);
+  EXPECT_FALSE(first->memo_key.empty());
+  EXPECT_EQ(market_.memo_index().size(), 1u);
+  EXPECT_GE(market_.discovery_index().size(), 1u);
+
+  // The artifact address is anchored on-chain next to the result hash.
+  auto anchored = market_.chain().Query("workload", first->instance,
+                                        "artifact", Bytes{});
+  ASSERT_TRUE(anchored.ok()) << anchored.status().ToString();
+  EXPECT_EQ(*anchored, first->result_address);
+
+  // Run 2: identical spec. The memo key resolves; no training happens —
+  // the run settles a reduced reuse fee against the anchored artifact.
+  auto second = market_.RunWorkload(*consumer_, BasicSpec());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->substituted);
+  EXPECT_EQ(second->reused_from_instance, first->instance);
+  EXPECT_EQ(second->memo_key, first->memo_key);
+  EXPECT_EQ(second->result_hash, first->result_hash);
+  EXPECT_EQ(second->result_address, first->result_address);
+  EXPECT_EQ(second->model_params, first->model_params);
+
+  // The reuse fee is bounded by the configured fraction of the pool and
+  // actually paid (executors and providers both got a share).
+  const uint64_t pool = BasicSpec().reward_pool;
+  EXPECT_GT(second->reuse_fee, 0u);
+  EXPECT_LE(second->reuse_fee, pool * 100 / 1000);
+  EXPECT_LT(second->reuse_fee, pool / 2);  // strictly cheaper than training
+  uint64_t paid = 0;
+  for (const auto& [name, amount] : second->executor_rewards) paid += amount;
+  for (const auto& [name, amount] : second->provider_rewards) paid += amount;
+  EXPECT_EQ(paid, second->reuse_fee);
+
+  // Substantially cheaper than a training run: the whole lifecycle after
+  // the match (registration, start, voting, finalize) is skipped. Blocks
+  // batch many transactions, so gas is the honest cost signal.
+  EXPECT_LT(second->gas_used, first->gas_used * 3 / 4);
+  EXPECT_LE(second->blocks_produced, first->blocks_produced);
+  // No executor ever trained: the substituted report carries no executor
+  // roster, only the fee beneficiaries.
+  EXPECT_EQ(second->num_executors, 0u);
+  EXPECT_TRUE(second->dropped_executors.empty());
+
+  // Conservation: substitution moves value around, it never mints or
+  // burns (run 1 may burn only via slashing, which this clean run has
+  // none of).
+  EXPECT_EQ(market_.chain().TotalSupply(), genesis_total);
+
+  // The reused model is the real thing.
+  auto fetched = market_.FetchResult(*second);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  ml::LogisticRegressionModel model(4);
+  model.SetParams(*fetched);
+  EXPECT_GT(ml::Accuracy(model, test_), 0.9);
+}
+
+TEST_F(SubstitutionTest, DifferentTrainingSpecMissesTheCache) {
+  auto first = market_.RunWorkload(*consumer_, BasicSpec());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  WorkloadSpec changed = BasicSpec();
+  changed.epochs += 2;  // different computation → different memo key
+  auto second = market_.RunWorkload(*consumer_, changed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(second->substituted);
+  EXPECT_NE(second->memo_key, first->memo_key);
+  EXPECT_EQ(market_.memo_index().size(), 2u);
+}
+
+TEST_F(SubstitutionTest, EconomicsOnlyChangesStillHit) {
+  auto first = market_.RunWorkload(*consumer_, BasicSpec());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Same training task, different price tag: the fingerprint ignores
+  // economics, so the cache still hits.
+  WorkloadSpec repriced = BasicSpec();
+  repriced.name = "same-model-cheaper";
+  repriced.reward_pool = 800'000;
+  auto second = market_.RunWorkload(*consumer_, repriced);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->substituted);
+  // Fee scales with the *new* spec's pool.
+  EXPECT_LE(second->reuse_fee, repriced.reward_pool * 100 / 1000);
+}
+
+TEST_F(SubstitutionTest, DisabledSubstitutionAlwaysRecomputes) {
+  Marketplace market{MarketConfig{}};  // default: substitution off
+  Rng rng(77);
+  ml::Dataset all = ml::MakeTwoGaussians(1200, 4, 4.0, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.2, rng);
+  auto parts = ml::PartitionWeighted(train, {1.0, 2.0, 3.0, 4.0}, rng);
+  for (int i = 0; i < 4; ++i) {
+    ProviderAgent& p = market.AddProvider("provider-" + std::to_string(i));
+    ASSERT_TRUE(p.store().AddDataset("temps", parts[i], TempMeta()).ok());
+  }
+  market.AddExecutor("executor-0");
+  market.AddExecutor("executor-1");
+  ConsumerAgent& consumer = market.AddConsumer("consumer");
+
+  auto first = market.RunWorkload(consumer, BasicSpec());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = market.RunWorkload(consumer, BasicSpec());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(second->substituted);
+  EXPECT_EQ(second->reuse_fee, 0u);
+}
+
+TEST_F(SubstitutionTest, AdvertisedDatasetsJoinTheDiscoveryIndex) {
+  ProviderAgent& provider = *market_.providers()[0];
+  auto advert = market_.AdvertiseDataset(provider, "temps", /*price=*/500);
+  ASSERT_TRUE(advert.ok()) << advert.status().ToString();
+  EXPECT_EQ(advert->provider, provider.name());
+  EXPECT_EQ(advert->price, 500u);
+  EXPECT_FALSE(advert->content_hash.empty());
+
+  auto found = market_.discovery_index().FindByTag("iot/sensor/temperature");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].provider, provider.name());
+
+  // A workload still completes with adverts steering the matching order.
+  auto report = market_.RunWorkload(*consumer_, BasicSpec());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->num_providers, 4u);
+}
+
+}  // namespace
+}  // namespace pds2::market
