@@ -142,6 +142,7 @@ ConvergenceOutcome RunConvergence(uint64_t seed) {
   net.latency_jitter = 10 * common::kMicrosPerMilli;
   net.drop_rate = 0.05;
   auto sim = std::make_unique<dml::NetSim>(net, seed);
+  sim->Reserve(kNodes);
   std::vector<store::DiscoveryNode*> nodes;
   for (size_t i = 0; i < kNodes; ++i) {
     auto node = std::make_unique<store::DiscoveryNode>(

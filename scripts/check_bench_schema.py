@@ -251,6 +251,61 @@ def check_discovery(doc):
                 lambda v: isinstance(v, str), "a string")
 
 
+def check_scale(doc):
+    """BENCH_scale.json: the E18 NetSim-at-scale floors.
+
+    Pinned acceptance criteria: the churn + rumor-convergence sweep reaches
+    at least 10^5 nodes, the simulator sustains at least 100k events/sec at
+    some sweep point, the 1-vs-N-thread rerun was bit-identical, and every
+    churned sweep cell actually converged (99.9% infected within the sim
+    budget) while exercising churn.
+    """
+    where = "scale"
+    section = doc.get("scale")
+    if not isinstance(section, dict):
+        fail("report: missing required section 'scale'")
+        return
+    require(section, where, "max_nodes",
+            lambda v: is_num(v) and v >= 100_000,
+            ">= 100000 (the sweep must reach 10^5 nodes)")
+    require(section, where, "max_events_per_sec",
+            lambda v: is_num(v) and v >= 100_000,
+            ">= 100000 events/sec at the best sweep point")
+    require(section, where, "deterministic_across_threads",
+            lambda v: v is True,
+            "true (1 vs N threads must be bit-identical)")
+    sweep = require(section, where, "sweep",
+                    lambda v: isinstance(v, list) and v, "a non-empty list")
+    for i, cell in enumerate(sweep or []):
+        w = "scale sweep[%d]" % i
+        if not isinstance(cell, dict):
+            fail("%s: not an object" % w)
+            continue
+        require(cell, w, "nodes", lambda v: is_num(v) and v > 0,
+                "a positive number")
+        require(cell, w, "events", lambda v: is_num(v) and v > 0,
+                "a positive number")
+        require(cell, w, "events_per_sec", lambda v: is_num(v) and v > 0,
+                "a positive number")
+        require(cell, w, "converge_sim_s", lambda v: is_num(v) and v > 0,
+                "> 0 (the epidemic must have converged)")
+        require(cell, w, "infected_fraction",
+                lambda v: is_num(v) and v >= 0.999,
+                ">= 0.999 (99.9% of nodes infected)")
+        require(cell, w, "churn_transitions", lambda v: is_num(v) and v > 0,
+                "> 0 (the sweep runs under churn)")
+    # The 10^6-node smoke is optional (env-skippable on slow hosts), but a
+    # recorded run must be self-consistent.
+    smoke = section.get("million_smoke")
+    if isinstance(smoke, dict) and smoke.get("ran") is True:
+        require(smoke, "scale million_smoke", "nodes",
+                lambda v: is_num(v) and v >= 1_000_000, ">= 1000000")
+        require(smoke, "scale million_smoke", "events",
+                lambda v: is_num(v) and v > 0, "a positive number")
+        require(smoke, "scale million_smoke", "events_per_sec",
+                lambda v: is_num(v) and v > 0, "a positive number")
+
+
 def check_metadata_if_present(doc):
     """Shared thread-context metadata, validated wherever a report has it.
 
@@ -288,6 +343,19 @@ def main():
     # validated against the E17 store/memoization floors.
     if "discovery" in doc:
         check_discovery(doc)
+        if _errors:
+            for msg in _errors:
+                print("FAIL: %s" % msg, file=sys.stderr)
+            print("%d schema violation(s)" % len(_errors), file=sys.stderr)
+            return 1
+        print("bench schema OK")
+        return 0
+
+    # BENCH_scale.json is recognized by its "scale" section and validated
+    # against the E18 NetSim-at-scale floors.
+    if "scale" in doc:
+        check_scale(doc)
+        check_metadata_if_present(doc)
         if _errors:
             for msg in _errors:
                 print("FAIL: %s" % msg, file=sys.stderr)

@@ -1,0 +1,273 @@
+#ifndef PDS2_DML_EVENT_WHEEL_H_
+#define PDS2_DML_EVENT_WHEEL_H_
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace pds2::dml {
+
+/// Hierarchical timer wheel — the NetSim event queue. Replaces the old
+/// std::priority_queue (O(log n) per operation, with n in the millions at
+/// 10^5-10^6 simulated nodes) with amortized O(1) schedule and pop at
+/// discrete-event-simulator densities.
+///
+/// Four levels of 256 slots each, one simulated microsecond of resolution
+/// at level 0: level k spans 256^(k+1) us, so the wheels cover 2^32 us
+/// (~71.6 simulated minutes) ahead of the processed frontier; anything
+/// further lands in an overflow min-heap ordered by (time, schedule seq)
+/// that migrates into the wheels as soon as the frontier comes within the
+/// span — eagerly, so an overflow event keeps its FIFO rank even against a
+/// same-timestamp event scheduled later straight into the wheels. An
+/// event's level is picked by the highest byte in
+/// which its timestamp differs from the frontier (`time ^ base_`), the
+/// classic hashed-wheel rule; advancing the frontier cascades one
+/// higher-level slot down into the finer wheels.
+///
+/// Ordering contract (matches the old priority queue exactly): events pop
+/// in nondecreasing timestamp order, and events with the *same* timestamp
+/// pop in schedule order (FIFO). The FIFO half holds structurally: a
+/// level-0 slot covers exactly one microsecond, slots are appended to and
+/// drained front-to-back, and a cascade for time T always completes before
+/// any direct level-0 insert for T can happen (a direct insert requires
+/// the frontier to already be inside T's 256 us window, which is what
+/// triggered the cascade).
+///
+/// The wheel never rewinds: Schedule requires time >= the frontier, which
+/// NetSim guarantees because events are scheduled at `clock.Now() + delay`
+/// and the frontier is only advanced up to the RunUntil bound.
+///
+/// Events live in an internal free-listed arena; slots hold 32-bit arena
+/// references, so steady-state scheduling allocates nothing once the
+/// arena and slot vectors have grown to the simulation's natural depth.
+template <typename Event>
+class EventWheel {
+ public:
+  using SimTime = common::SimTime;
+
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr size_t kSlotsPerLevel = size_t{1} << kSlotBits;  // 256
+  /// Horizon (relative to the frontier) beyond which events overflow.
+  static constexpr uint64_t kWheelSpan = uint64_t{1}
+                                         << (kLevels * kSlotBits);  // 2^32
+
+  EventWheel() {
+    for (int level = 0; level < kLevels; ++level) {
+      slots_[level].resize(kSlotsPerLevel);
+    }
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// The processed frontier: every stored event has time >= frontier().
+  SimTime frontier() const { return base_; }
+
+  /// Inserts an event due at `time`. Requires time >= frontier().
+  void Schedule(SimTime time, Event event) {
+    assert(time >= base_);
+    const uint32_t ref = AllocItem(time, std::move(event));
+    Place(time, ref);
+    ++size_;
+  }
+
+  /// Timestamp of the earliest pending event, provided it is <= `bound`.
+  /// Returns false when the wheel is empty or the earliest event is due
+  /// after `bound`. May advance the frontier (cascading higher-level
+  /// slots down), but never beyond `bound` — so a later Schedule at any
+  /// time >= bound remains valid.
+  bool PeekNextTime(SimTime bound, SimTime* time) {
+    while (size_ > 0) {
+      // Pull overflow events that have come within the wheel span into the
+      // wheels. This runs before any slot is inspected and re-runs after
+      // every frontier change, so an overflow event is always filed into
+      // its slot before a later Schedule for the same timestamp could be —
+      // which is what preserves its FIFO rank.
+      while (!overflow_.empty() &&
+             (overflow_.front().time ^ base_) < kWheelSpan) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+        const OverflowEntry entry = overflow_.back();
+        overflow_.pop_back();
+        Place(entry.time, entry.ref);
+      }
+      // Level 0 first: an occupied slot at or after the cursor holds the
+      // earliest pending events (one exact microsecond per slot).
+      const size_t cursor0 = static_cast<size_t>(base_) & kSlotMask;
+      size_t slot;
+      if (FindOccupied(0, cursor0, &slot)) {
+        const SimTime t = (base_ & ~static_cast<SimTime>(kSlotMask)) |
+                          static_cast<SimTime>(slot);
+        if (t > bound) return false;
+        *time = t;
+        return true;
+      }
+      // The current 256 us window is spent: advance to the next occupied
+      // higher-level slot and cascade it down. Levels are strictly
+      // ordered in time, so the first occupied slot found this way is the
+      // earliest remaining region of the simulation.
+      bool cascaded = false;
+      for (int level = 1; level < kLevels && !cascaded; ++level) {
+        const size_t cursor = Cursor(level);
+        size_t next;
+        if (!FindOccupied(level, cursor + 1, &next)) continue;
+        const int shift = level * kSlotBits;
+        const SimTime window_mask =
+            (SimTime{1} << (shift + kSlotBits)) - 1;
+        const SimTime new_base = (base_ & ~window_mask) |
+                                 (static_cast<SimTime>(next) << shift);
+        if (new_base > bound) return false;  // earliest event is > bound
+        base_ = new_base;
+        Drain(level, next);
+        cascaded = true;
+      }
+      if (cascaded) continue;
+      // Wheels empty; everything pending sits in the overflow heap. Jump
+      // the frontier to its earliest entry; the migration loop above files
+      // it (and everything else now in range) on the next iteration.
+      assert(!overflow_.empty());
+      const SimTime min_time = overflow_.front().time;
+      if (min_time > bound) return false;
+      base_ = min_time;
+    }
+    return false;
+  }
+
+  /// Removes the earliest event if it is due at or before `bound`.
+  bool PopUntil(SimTime bound, SimTime* time, Event* out) {
+    SimTime t;
+    if (!PeekNextTime(bound, &t)) return false;
+    const size_t slot = static_cast<size_t>(t) & kSlotMask;
+    std::vector<uint32_t>& refs = slots_[0][slot];
+    size_t& head = heads0_[slot];
+    assert(head < refs.size());
+    const uint32_t ref = refs[head++];
+    if (head == refs.size()) {
+      refs.clear();
+      head = 0;
+      MarkEmpty(0, slot);
+    }
+    *time = arena_[ref].time;
+    *out = std::move(arena_[ref].event);
+    FreeItem(ref);
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr size_t kSlotMask = kSlotsPerLevel - 1;
+  static constexpr size_t kBitmapWords = kSlotsPerLevel / 64;
+
+  struct Item {
+    SimTime time = 0;
+    Event event{};
+  };
+
+  size_t Cursor(int level) const {
+    return static_cast<size_t>(base_ >> (level * kSlotBits)) & kSlotMask;
+  }
+
+  uint32_t AllocItem(SimTime time, Event event) {
+    uint32_t ref;
+    if (!free_.empty()) {
+      ref = free_.back();
+      free_.pop_back();
+      arena_[ref].time = time;
+      arena_[ref].event = std::move(event);
+    } else {
+      ref = static_cast<uint32_t>(arena_.size());
+      arena_.push_back(Item{time, std::move(event)});
+    }
+    return ref;
+  }
+
+  void FreeItem(uint32_t ref) {
+    arena_[ref].event = Event{};  // release payload resources eagerly
+    free_.push_back(ref);
+  }
+
+  struct OverflowEntry {
+    SimTime time = 0;
+    uint64_t seq = 0;   // schedule order, breaks same-time ties FIFO
+    uint32_t ref = 0;
+  };
+  struct OverflowLater {
+    bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Files `ref` into the level selected by the highest byte in which its
+  /// time differs from the frontier (or overflow beyond the wheel span).
+  void Place(SimTime time, uint32_t ref) {
+    const uint64_t diff = time ^ base_;
+    if (diff >= kWheelSpan) {
+      overflow_.push_back(OverflowEntry{time, overflow_seq_++, ref});
+      std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+      return;
+    }
+    int level = 0;
+    if (diff >= (uint64_t{1} << kSlotBits)) {
+      level = (std::bit_width(diff) - 1) / kSlotBits;
+    }
+    const size_t slot =
+        static_cast<size_t>(time >> (level * kSlotBits)) & kSlotMask;
+    slots_[level][slot].push_back(ref);
+    bitmap_[level][slot / 64] |= uint64_t{1} << (slot % 64);
+  }
+
+  /// Re-files every event of a higher-level slot now that the frontier
+  /// entered its window (they land at strictly lower levels). Stored order
+  /// is preserved, which is what keeps same-timestamp events FIFO.
+  void Drain(int level, size_t slot) {
+    std::vector<uint32_t>& refs = slots_[level][slot];
+    MarkEmpty(level, slot);
+    drain_scratch_.swap(refs);  // refs is now the (empty) old scratch
+    for (const uint32_t ref : drain_scratch_) {
+      Place(arena_[ref].time, ref);
+    }
+    drain_scratch_.clear();
+  }
+
+  void MarkEmpty(int level, size_t slot) {
+    bitmap_[level][slot / 64] &= ~(uint64_t{1} << (slot % 64));
+  }
+
+  /// First occupied slot index >= `from` at `level`; false if none.
+  bool FindOccupied(int level, size_t from, size_t* slot) const {
+    if (from >= kSlotsPerLevel) return false;
+    size_t word = from / 64;
+    uint64_t bits = bitmap_[level][word] & (~uint64_t{0} << (from % 64));
+    while (true) {
+      if (bits != 0) {
+        *slot = word * 64 + static_cast<size_t>(std::countr_zero(bits));
+        return true;
+      }
+      if (++word >= kBitmapWords) return false;
+      bits = bitmap_[level][word];
+    }
+  }
+
+  SimTime base_ = 0;  // processed frontier; all events are >= base_
+  size_t size_ = 0;
+  std::vector<Item> arena_;
+  std::vector<uint32_t> free_;
+  std::vector<std::vector<uint32_t>> slots_[kLevels];
+  uint64_t bitmap_[kLevels][kBitmapWords] = {};
+  /// Per-slot consumed prefix of the level-0 slot being drained (only the
+  /// slot PopUntil is currently serving ever has a non-zero head).
+  size_t heads0_[kSlotsPerLevel] = {};
+  std::vector<OverflowEntry> overflow_;  // min-heap on (time, seq)
+  uint64_t overflow_seq_ = 0;
+  std::vector<uint32_t> drain_scratch_;
+};
+
+}  // namespace pds2::dml
+
+#endif  // PDS2_DML_EVENT_WHEEL_H_

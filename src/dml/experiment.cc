@@ -55,6 +55,7 @@ DmlResult RunGossip(const DmlExperimentConfig& config) {
   TaskData task = MakeTask(config, config.num_nodes, rng);
 
   NetSim sim(config.net, config.seed ^ 0x9e3779b9);
+  sim.Reserve(config.num_nodes);
   std::vector<GossipNode*> nodes;
   for (size_t i = 0; i < config.num_nodes; ++i) {
     auto node = std::make_unique<GossipNode>(
@@ -99,6 +100,7 @@ DmlResult RunFedAvg(const DmlExperimentConfig& config) {
   TaskData task = MakeTask(config, config.num_nodes, rng);
 
   NetSim sim(config.net, config.seed ^ 0x9e3779b9);
+  sim.Reserve(config.num_nodes + 1);  // clients + the server node
   std::vector<size_t> client_ids(config.num_nodes);
   std::iota(client_ids.begin(), client_ids.end(), 1);
 

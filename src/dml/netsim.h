@@ -1,15 +1,16 @@
 #ifndef PDS2_DML_NETSIM_H_
 #define PDS2_DML_NETSIM_H_
 
+#include <cstring>
 #include <memory>
-#include <queue>
-#include <vector>
-
+#include <new>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
+#include "dml/event_wheel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -28,10 +29,15 @@ struct NetConfig {
 };
 
 /// Network-wide counters (experiments E2/E3 and the chaos harness read
-/// these). Since PR 3 this is a point-in-time *view* materialized by
-/// NetSim::stats() from the simulator's live obs::Counter set; the same
-/// counts are mirrored into the global obs::Registry under "dml.net.*".
+/// these). Since PR 9 this is a point-in-time *view* materialized by
+/// NetSim::stats() from per-partition struct-of-arrays rows (see
+/// NetSim::StatRow); the same counts are still mirrored into the global
+/// obs::Registry under "dml.net.*" while metrics are enabled.
 struct NetStats {
+  /// Events popped from the queue (message deliveries + timer fires,
+  /// including ones dropped at admission) — the simulator's unit of work,
+  /// which is what bench_scale's events/sec throughput counts.
+  uint64_t events_processed = 0;
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;     // by loss or offline receiver
@@ -43,6 +49,85 @@ struct NetStats {
   uint64_t timers_dropped_offline = 0;   // timers lost to an offline node
   /// Bytes received per node — exposes hotspots (the federated server).
   std::vector<uint64_t> bytes_received_per_node;
+};
+
+/// Compact message payload with a small-buffer optimization: payloads up
+/// to kInlineCapacity bytes live inside the event itself (no heap), larger
+/// ones keep their heap buffer. At 10^5-10^6 simulated nodes the event
+/// queue holds millions of in-flight messages; small control payloads —
+/// gossip rumors, acks, heartbeats — dominate, and storing them inline
+/// removes one allocation per send plus the pointer chase per delivery.
+class MsgBuf {
+ public:
+  static constexpr size_t kInlineCapacity = 24;
+
+  MsgBuf() : size_(0) {}
+  explicit MsgBuf(common::Bytes bytes) {
+    if (bytes.size() <= kInlineCapacity) {
+      size_ = static_cast<uint32_t>(bytes.size());
+      if (!bytes.empty()) std::memcpy(u_.inline_buf, bytes.data(), size_);
+    } else {
+      size_ = kHeapTag;
+      new (&u_.heap) common::Bytes(std::move(bytes));
+    }
+  }
+  MsgBuf(MsgBuf&& other) noexcept { MoveFrom(other); }
+  MsgBuf& operator=(MsgBuf&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  MsgBuf(const MsgBuf&) = delete;
+  MsgBuf& operator=(const MsgBuf&) = delete;
+  ~MsgBuf() { Destroy(); }
+
+  bool inline_storage() const { return size_ != kHeapTag; }
+  size_t size() const {
+    return inline_storage() ? size_ : u_.heap.size();
+  }
+  const uint8_t* data() const {
+    return inline_storage() ? u_.inline_buf : u_.heap.data();
+  }
+  uint8_t* mutable_data() {
+    return inline_storage() ? u_.inline_buf : u_.heap.data();
+  }
+
+  /// The payload as a Bytes reference for handler delivery: heap payloads
+  /// are returned directly, inline payloads are copied into `scratch`
+  /// (which reuses its capacity across deliveries — no allocation in
+  /// steady state).
+  const common::Bytes& AsBytes(common::Bytes& scratch) const {
+    if (!inline_storage()) return u_.heap;
+    scratch.assign(u_.inline_buf, u_.inline_buf + size_);
+    return scratch;
+  }
+
+ private:
+  static constexpr uint32_t kHeapTag = 0xFFFFFFFFu;
+
+  void Destroy() {
+    if (!inline_storage()) std::destroy_at(&u_.heap);
+  }
+  void MoveFrom(MsgBuf& other) {
+    size_ = other.size_;
+    if (other.inline_storage()) {
+      if (size_ > 0) std::memcpy(u_.inline_buf, other.u_.inline_buf, size_);
+    } else {
+      new (&u_.heap) common::Bytes(std::move(other.u_.heap));
+      std::destroy_at(&other.u_.heap);
+    }
+    other.size_ = 0;
+  }
+
+  union U {
+    uint8_t inline_buf[kInlineCapacity];
+    common::Bytes heap;
+    U() {}
+    ~U() {}
+  } u_;
+  uint32_t size_;  // kHeapTag selects the heap member
 };
 
 class NetSim;
@@ -82,6 +167,12 @@ class NodeContext {
   /// Arms a one-shot timer that fires OnTimer(timer_id) after `delay`.
   void SetTimer(common::SimTime delay, uint64_t timer_id);
 
+  /// Takes a node offline / brings it back (see NetSim::SetOnline). Safe
+  /// from inside a parallel batch: the transition is buffered and applied
+  /// on the merge thread in deterministic event order, after the batch
+  /// joins — which is what lets FaultInjector churn a parallel run.
+  void SetOnline(size_t node, bool online);
+
   /// Records one protocol-level retransmission in NetStats::retries —
   /// called by protocols (e.g. the validator sync backoff) so experiment
   /// harnesses can see recovery effort without reaching into the protocol.
@@ -94,25 +185,31 @@ class NodeContext {
  private:
   friend class NetSim;
 
-  /// Side effects buffered during a parallel batch; the simulator applies
-  /// them in deterministic event order after the batch joins. The trace
+  /// Side effects buffered during a parallel batch by all events of one
+  /// partition; the simulator replays them in deterministic event order
+  /// after the batch joins. Ops are tagged with the batch-wide index of
+  /// the event whose handler emitted them; because a partition processes
+  /// its events in batch order, each partition's op list is already
+  /// sorted by that tag and the merge is a single linear walk. The trace
   /// context is captured here, on the worker thread, where the sender's
   /// delivery span is still installed — by the time the outbox drains on
-  /// the main thread that context is gone.
+  /// the merge thread that context is gone.
   struct Outbox {
-    struct PendingSend {
-      size_t to;
-      common::Bytes payload;
+    enum class OpKind : uint8_t { kSend, kTimer, kChurn };
+    struct Op {
+      uint32_t event_index = 0;  // index into the batch's admitted events
+      OpKind kind = OpKind::kSend;
+      uint32_t node = 0;              // send target / churned node
+      bool online = false;            // churn direction
+      common::SimTime delay = 0;      // timer delay
+      uint64_t timer_id = 0;          // timer id
+      common::Bytes payload;          // send payload
       obs::TraceContext trace;
     };
-    struct PendingTimer {
-      common::SimTime delay;
-      uint64_t timer_id;
-      obs::TraceContext trace;
-    };
-    std::vector<PendingSend> sends;
-    std::vector<PendingTimer> timers;
+    std::vector<Op> ops;
     uint64_t retries = 0;
+    uint32_t current_event = 0;  // set by the drain loop before each handler
+    common::Bytes delivery_scratch;  // reused per-partition payload buffer
   };
 
   NodeContext(NetSim& sim, size_t self, Outbox* outbox)
@@ -146,23 +243,35 @@ class Node {
   }
 };
 
-/// Deterministic discrete-event network simulator. By default
-/// single-threaded: events (message deliveries, timers) execute in
-/// timestamp order, ties broken by insertion sequence. Nodes can be taken
-/// offline and back online to model churn; messages to offline nodes are
-/// lost (no retransmission — protocol robustness under loss is part of what
-/// the experiments measure).
+/// Deterministic discrete-event network simulator, engineered to hold
+/// 10^5-10^6 nodes: the event queue is a hierarchical timer wheel
+/// (EventWheel — O(1) schedule/pop), per-node state lives in flat
+/// struct-of-arrays vectors (online bits, 32-bit epochs, interned names,
+/// RNG streams), message payloads are small-buffer MsgBufs, and the live
+/// counters are per-partition cache-line-aligned rows instead of shared
+/// atomics. By default single-threaded: events (message deliveries,
+/// timers) execute in timestamp order, ties broken by schedule order.
+/// Nodes can be taken offline and back online to model churn; messages to
+/// offline nodes are lost (no retransmission — protocol robustness under
+/// loss is part of what the experiments measure).
 ///
 /// Parallel mode (EnableParallel): events inside a small time window are
-/// treated as concurrent and their per-node handlers — the LocalUpdate /
-/// gossip-push steps that dominate DML round cost — run on a ThreadPool.
-/// Determinism is preserved at any pool size: each node draws from its own
-/// RNG stream, handlers buffer their sends/timers in per-event outboxes,
-/// and the simulator applies those outboxes (and all shared-RNG draws for
-/// drop/jitter) in event-sequence order after the batch joins.
+/// treated as concurrent and their handlers run on a ThreadPool, grouped
+/// by *partition* — a contiguous block of node indices, so one task
+/// covers many nodes and the per-node arrays it touches are disjoint
+/// cache-line ranges. Determinism is preserved at any pool size: each
+/// node draws from its own RNG stream, handlers buffer their
+/// sends/timers/churn in per-partition outboxes, and the simulator
+/// replays those outboxes (and all shared-RNG draws for drop/jitter) in
+/// batch event order after the join. Partition count is a pure function
+/// of the node count, never of the pool size.
 class NetSim {
  public:
   NetSim(NetConfig config, uint64_t seed);
+
+  /// Pre-sizes every per-node array. Optional; calling it before a large
+  /// AddNode loop avoids repeated growth at 10^5-10^6 nodes.
+  void Reserve(size_t num_nodes);
 
   /// Registers a node; returns its index.
   size_t AddNode(std::unique_ptr<Node> node);
@@ -189,7 +298,9 @@ class NetSim {
   /// even if they come due after the restart, exactly as a real process
   /// loses its state when it dies. Drops are counted in NetStats
   /// (timers_dropped_offline / messages_dropped). On rejoin the node's
-  /// OnRestart hook runs so protocols can re-arm.
+  /// OnRestart hook runs so protocols can re-arm. From inside a parallel
+  /// batch use NodeContext::SetOnline, which defers the transition to the
+  /// deterministic merge phase.
   void SetOnline(size_t node, bool online);
   bool IsOnline(size_t node) const { return online_[node]; }
 
@@ -203,11 +314,13 @@ class NetSim {
 
   /// Logical label used by the tracing layer for spans executed on this
   /// node ("validator/2", defaults to "node/<i>"). Callable any time.
+  /// Custom names are interned: a node without one costs 4 bytes, not a
+  /// std::string, and the default label is formatted on demand.
   void SetNodeName(size_t node, std::string name);
-  const std::string& NodeName(size_t node) const { return node_names_[node]; }
+  std::string NodeName(size_t node) const;
 
-  /// Point-in-time copy of the live counters (racy-but-consistent when the
-  /// parallel mode is active; exact between RunUntil calls).
+  /// Point-in-time copy of the live counters (exact between RunUntil
+  /// calls; do not call concurrently with a running parallel batch).
   NetStats stats() const;
   /// The simulator clock, for sim-time spans (PDS2_TRACE_SPAN_SIM).
   const common::SimClock* sim_clock() const { return &clock_; }
@@ -224,63 +337,122 @@ class NetSim {
   common::Rng& RngFor(size_t node);
   void CountRetryFor();
 
+  /// Number of parallel partitions node state is split into — a pure
+  /// function of the node count (never of the pool size), so partition
+  /// assignment cannot introduce scheduling dependence.
+  size_t NumPartitions() const;
+
  private:
+  /// One queued event. Compact on purpose: 32-bit node indices and
+  /// epochs (10^6 nodes and restarts fit comfortably), a small-buffer
+  /// payload, no heap indirection for control-sized messages. The old
+  /// FIFO tie-break sequence number is gone — the timer wheel preserves
+  /// schedule order for same-timestamp events structurally.
   struct PdsEvent {
-    common::SimTime time = 0;
-    uint64_t seq = 0;  // FIFO tie-break
-    enum class Kind { kMessage, kTimer } kind = Kind::kMessage;
-    size_t target = 0;
-    size_t from = 0;        // messages
-    common::Bytes payload;
-    uint64_t timer_id = 0;  // timers
-    uint64_t target_epoch = 0;  // target's life at schedule time
+    enum class Kind : uint8_t { kMessage, kTimer } kind = Kind::kMessage;
+    uint32_t target = 0;
+    uint32_t from = 0;          // messages
+    uint32_t target_epoch = 0;  // target's life at schedule time
+    uint64_t timer_id = 0;      // timers
+    MsgBuf payload;
     obs::TraceContext trace;    // sender's span at schedule time
   };
-  struct EventLater {
-    bool operator()(const PdsEvent& a, const PdsEvent& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+
+  /// Cache-line-aligned struct-of-arrays row of the live counters. Row 0
+  /// belongs to the sequential loop and the merge phase; in parallel mode
+  /// each partition owns row 1 + partition, so hot counters are written
+  /// without atomics and without false sharing, and stats() sums the rows.
+  struct alignas(64) StatRow {
+    uint64_t events_processed = 0;
+    uint64_t messages_sent = 0;
+    uint64_t messages_delivered = 0;
+    uint64_t messages_dropped = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t partition_drops = 0;
+    uint64_t messages_corrupted = 0;
+    uint64_t retries = 0;
+    uint64_t timers_dropped_offline = 0;
   };
 
   void RunUntilParallel(common::SimTime t);
 
   /// True when `event` is addressed to a live target (online and same
-  /// life); otherwise records the drop in stats and returns false.
-  bool AdmitEvent(const PdsEvent& event);
+  /// life); otherwise records the drop in `row` and returns false. Reads
+  /// only state that is frozen during a parallel batch (churn is
+  /// deferred), so partition workers may call it concurrently.
+  bool AdmitEvent(const PdsEvent& event, StatRow& row);
+
+  /// Delivery accounting + handler dispatch for one admitted event.
+  /// `ctx` carries the partition outbox in parallel mode (nullptr ==
+  /// sequential: side effects apply immediately).
+  void DispatchEvent(PdsEvent& event, NodeContext& ctx, StatRow& row,
+                     common::Bytes& scratch);
+
+  size_t PartitionOf(size_t node) const;
+
+  /// Routes an event to the wheel, or — when a windowed parallel batch
+  /// has already advanced the wheel's frontier past `time` — to the small
+  /// retro heap. Retro events are strictly earlier than everything left
+  /// in the wheel (the wheel's frontier never passes the last RunUntil
+  /// bound, and every wheel event at or before that bound was popped), so
+  /// the two structures never have to break a timestamp tie against each
+  /// other; within the retro heap, ties pop FIFO by insertion sequence.
+  void ScheduleEvent(common::SimTime time, PdsEvent event);
+  bool NextEventTime(common::SimTime bound, common::SimTime* time);
+  bool PopNext(common::SimTime bound, common::SimTime* time,
+               PdsEvent* event);
 
   NetConfig config_;
   common::Rng rng_;
   common::SimClock clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::string> node_names_;
+  /// Interned node names: 0 = default ("node/<i>", formatted on demand),
+  /// otherwise 1-based index into name_pool_.
+  std::vector<uint32_t> name_ids_;
+  std::vector<std::string> name_pool_;
   std::vector<bool> online_;
-  std::vector<uint64_t> epoch_;  // bumped on every crash
+  std::vector<uint32_t> epoch_;  // bumped on every crash
   LinkFaultHook* fault_hook_ = nullptr;
-  std::priority_queue<PdsEvent, std::vector<PdsEvent>, EventLater> queue_;
-  /// Live per-simulator counters (NetStats is the snapshot view). Kept
+  EventWheel<PdsEvent> queue_;
+  /// Live counters, struct-of-arrays by partition (see StatRow). Kept
   /// per-instance so multiple sims in one process — the norm in tests —
   /// never bleed counts into each other; increments are additionally
-  /// mirrored to the global registry for process-wide exports.
-  struct LiveStats {
-    obs::Counter messages_sent;
-    obs::Counter messages_delivered;
-    obs::Counter messages_dropped;
-    obs::Counter bytes_sent;
-    obs::Counter partition_drops;
-    obs::Counter messages_corrupted;
-    obs::Counter retries;
-    obs::Counter timers_dropped_offline;
-  };
-  LiveStats live_stats_;
+  /// mirrored to the global registry for process-wide exports while
+  /// metrics are enabled.
+  std::vector<StatRow> stat_rows_;
   std::vector<uint64_t> bytes_received_per_node_;
-  uint64_t seq_ = 0;
+  common::Bytes delivery_scratch_;  // sequential-mode payload reuse
   bool started_ = false;
+
+  /// Events scheduled behind the wheel frontier by a windowed parallel
+  /// batch (see ScheduleEvent). Min-heap on (time, insertion seq) kept in
+  /// a vector with std::push_heap/pop_heap; empty except transiently when
+  /// batch_window_ > 0.
+  struct RetroEntry {
+    common::SimTime time = 0;
+    uint64_t seq = 0;
+    PdsEvent event;
+  };
+  struct RetroLater {
+    bool operator()(const RetroEntry& a, const RetroEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<RetroEntry> retro_;
+  uint64_t retro_seq_ = 0;
 
   // Parallel-mode state (EnableParallel).
   common::ThreadPool* pool_ = nullptr;
   common::SimTime batch_window_ = 0;
   std::vector<common::Rng> node_rngs_;  // one private stream per node
+  bool in_batch_ = false;  // guards direct SetOnline during a batch
+  // Reused batch scratch (cleared, not reallocated, every batch).
+  std::vector<PdsEvent> batch_;
+  std::vector<NodeContext::Outbox> partition_outboxes_;
+  std::vector<std::vector<uint32_t>> partition_events_;
+  std::vector<size_t> active_partitions_;
+  std::vector<size_t> partition_cursors_;
 };
 
 }  // namespace pds2::dml

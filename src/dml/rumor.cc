@@ -1,0 +1,44 @@
+#include "dml/rumor.h"
+
+namespace pds2::dml {
+
+namespace {
+constexpr uint8_t kRumorByte = 0x52;  // 'R'
+}  // namespace
+
+void RumorNode::Arm(NodeContext& ctx) {
+  // Jittered period desynchronizes the fleet: without it every node fires
+  // in the same microsecond and the wheel degenerates into a handful of
+  // giant slots.
+  const common::SimTime delay =
+      config_.push_interval / 2 + ctx.rng().NextU64(config_.push_interval);
+  ctx.SetTimer(delay, 0);
+}
+
+void RumorNode::OnMessage(NodeContext& ctx, size_t from,
+                          const common::Bytes& payload) {
+  (void)from;
+  if (payload.empty() || payload[0] != kRumorByte) return;
+  if (!infected_) {
+    infected_ = true;
+    infected_at_ = ctx.Now();
+  }
+}
+
+void RumorNode::OnTimer(NodeContext& ctx, uint64_t timer_id) {
+  (void)timer_id;
+  if (infected_) {
+    for (size_t i = 0; i < config_.fanout; ++i) {
+      // Uniform peer pick may land on the fault injector's node index —
+      // it ignores stray traffic, so this only costs a vanishing fraction
+      // of pushes at scale.
+      const size_t peer = ctx.rng().NextU64(ctx.NumNodes());
+      if (peer == ctx.self()) continue;
+      ctx.Send(peer, common::Bytes{kRumorByte});
+      ++pushes_;
+    }
+  }
+  ctx.SetTimer(config_.push_interval, 0);
+}
+
+}  // namespace pds2::dml

@@ -632,6 +632,7 @@ std::unique_ptr<dml::NetSim> MakeValidatorNetwork(
   }
 
   auto sim = std::make_unique<dml::NetSim>(net_config, seed);
+  sim->Reserve(n);
   std::vector<size_t> ids;
   std::vector<ValidatorNode*> raw_nodes;
   for (size_t i = 0; i < n; ++i) {

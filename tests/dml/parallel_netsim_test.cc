@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "dml/gossip.h"
 #include "dml/netsim.h"
+#include "dml/rumor.h"
 #include "ml/dataset.h"
 #include "ml/model.h"
 
@@ -97,6 +98,66 @@ TEST(ParallelNetSimTest, RepeatedParallelRunsAreIdentical) {
   const Fingerprint a = RunGossipSim(&pool, 0);
   const Fingerprint b = RunGossipSim(&pool, 0);
   EXPECT_TRUE(a == b);
+}
+
+TEST(ParallelNetSimTest, NodeAddedAfterEnableParallelHasItsOwnRngStream) {
+  // Regression: per-node RNG streams used to be forked all at once, so a
+  // node added after EnableParallel had no stream and RngFor indexed
+  // node_rngs_ out of bounds (release-mode OOB read). Streams now fork at
+  // AddNode time; sending from (and drawing inside) the late node must
+  // work.
+  ThreadPool pool(2);
+  NetConfig net;
+  net.drop_rate = 0.0;
+  NetSim sim(net, /*seed=*/5);
+  sim.EnableParallel(&pool, /*batch_window=*/0);
+
+  RumorConfig rumor;
+  auto early = std::make_unique<RumorNode>(rumor);
+  RumorNode* early_ptr = early.get();
+  sim.AddNode(std::move(early));
+  // Added after the switch to parallel mode — the node whose rng()/Send
+  // used to read out of bounds.
+  auto late = std::make_unique<RumorNode>(rumor);
+  RumorNode* late_ptr = late.get();
+  late->Seed();
+  sim.AddNode(std::move(late));
+
+  sim.Start();
+  sim.RunUntil(5 * common::kMicrosPerSecond);
+  EXPECT_GT(late_ptr->pushes(), 0u);  // the late node drew and sent
+  EXPECT_TRUE(early_ptr->infected());
+  EXPECT_GT(sim.stats().messages_delivered, 0u);
+}
+
+TEST(ParallelNetSimTest, RngStreamsIndependentOfEnableParallelOrder) {
+  // A node's private stream is a pure function of (seed, node index):
+  // enabling parallel mode before or after the AddNode loop must produce
+  // the same trajectory.
+  auto run = [](bool enable_first) {
+    ThreadPool pool(2);
+    NetConfig net;
+    net.drop_rate = 0.05;
+    NetSim sim(net, /*seed=*/99);
+    if (enable_first) sim.EnableParallel(&pool, 0);
+    RumorConfig rumor;
+    std::vector<RumorNode*> nodes;
+    for (size_t i = 0; i < 16; ++i) {
+      auto node = std::make_unique<RumorNode>(rumor);
+      nodes.push_back(node.get());
+      sim.AddNode(std::move(node));
+    }
+    if (!enable_first) sim.EnableParallel(&pool, 0);
+    nodes[0]->Seed();
+    sim.Start();
+    sim.RunUntil(3 * common::kMicrosPerSecond);
+    uint64_t fingerprint = sim.stats().messages_sent;
+    for (const RumorNode* node : nodes) {
+      fingerprint = fingerprint * 1099511628211ull + node->infected_at();
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(true), run(false));
 }
 
 TEST(ParallelNetSimTest, SequentialModeIsUntouchedByParallelSupport) {
