@@ -1,21 +1,32 @@
 // E10 — End-to-end platform feasibility (paper §II-D, §VI).
 // E12 — Observability overhead on a full marketplace run.
+// E19 — Health plane: sampling+rule-evaluation overhead and alert quality.
 //
 // The future-work section asks for "an implementation that can be used to
 // test the feasibility of the platform". This harness runs the complete
 // marketplace at increasing scale and reports throughput, per-phase chain
 // activity, model quality and the settlement audit (escrow conservation).
 // E12 then repeats one mid-size run with metrics+tracing off and on and
-// reports the wall-clock delta into BENCH_observability.json.
+// reports the wall-clock delta into BENCH_observability.json. E19 attaches
+// the per-block health sampler + the full default rule pack and records
+// its overhead, then replays a seeded executor-fault matrix measuring
+// alert precision/recall, detection latency, and 1-vs-N-thread digest
+// determinism.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "market/marketplace.h"
 #include "ml/metrics.h"
+#include "obs/health_rules.h"
 #include "obs/metrics.h"
+#include "obs/time_series.h"
 #include "obs/trace.h"
 
 namespace {
@@ -126,6 +137,216 @@ void RunE12() {
   std::printf("-> BENCH_observability.json\n");
 }
 
+// ---------------------------------------------------------------------------
+// E19 — health plane.
+
+// One seeded lifecycle with the health plane in one of three modes:
+//   0  metrics on, no TimeSeries/monitor at all (base)
+//   1  TimeSeries + monitor constructed but never attached (disabled)
+//   2  attached: per-block sampling + full DefaultRules evaluation
+struct HealthRun {
+  double wall_ms = -1.0;
+  bool run_ok = false;
+  std::vector<std::string> fired;
+  uint64_t digest = 0;
+  uint64_t samples = 0;
+  uint64_t rules = 0;
+  uint64_t max_latency_samples = 0;  // fire sample - first bad sample
+};
+
+HealthRun OneHealthLifecycle(uint64_t seed, int mode,
+                             const std::vector<market::ExecutorFault>& faults,
+                             common::ThreadPool* pool) {
+  obs::Registry::Global().ResetValues();
+  constexpr size_t n = 8, n_exec = 3;
+  market::MarketConfig config;
+  config.seed = seed;
+  config.thread_pool = pool;
+  market::Marketplace m(config);
+
+  common::Rng rng(seed);
+  ml::Dataset world = ml::MakeTwoGaussians(60 * n + 500, 6, 3.5, rng);
+  auto [train, test] = ml::TrainTestSplit(
+      world, 500.0 / static_cast<double>(world.Size()), rng);
+  auto parts = ml::PartitionIid(train, n, rng);
+  for (size_t i = 0; i < n; ++i) {
+    auto& p = m.AddProvider("p" + std::to_string(i));
+    (void)p.store().AddDataset("d", parts[i], Meta());
+  }
+  for (size_t i = 0; i < n_exec; ++i) m.AddExecutor("e" + std::to_string(i));
+  auto& consumer = m.AddConsumer("c");
+  for (size_t i = 0; i < faults.size() && i < n_exec; ++i) {
+    m.executors()[i]->InjectFault(faults[i]);
+  }
+
+  market::WorkloadSpec spec;
+  spec.name = "e19";
+  spec.requirement.required_types = {"iot/sensor"};
+  spec.model_kind = "logistic";
+  spec.features = 6;
+  spec.epochs = 5;
+  spec.reward_pool = 1'000'000;
+  spec.min_providers = 2;
+  spec.max_providers = n;
+  spec.executor_reward_permille = 150;
+  spec.executor_stake = 100'000;  // a real bond, so slashes are observable
+
+  obs::TimeSeries ts({.capacity = 4096, .max_series = 4096});
+  obs::HealthMonitor monitor(&ts, {.dump_on_critical = false});
+  if (mode >= 1) monitor.AddRules(obs::rules::DefaultRules());
+  if (mode == 2) m.SetHealthSampling(&ts, &monitor);
+
+  bench::Timer timer;
+  auto report = m.RunWorkload(consumer, spec);
+  HealthRun out;
+  out.wall_ms = timer.ElapsedMs();
+  out.run_ok = report.ok();
+  out.fired = monitor.FiredRuleIds();
+  out.digest = monitor.EventsDigest();
+  out.samples = ts.SampleCount();
+  out.rules = monitor.RuleCount();
+  for (const obs::AlertEvent& event : monitor.Events()) {
+    if (!event.fired) continue;
+    out.max_latency_samples =
+        std::max<uint64_t>(out.max_latency_samples,
+                           event.sample_index - event.first_bad_sample);
+  }
+  return out;
+}
+
+void RunE19() {
+  bench::Banner("E19: health plane overhead and alert quality",
+                "per-block sampling + rule evaluation <= 2%; every injected "
+                "fault fires exactly its mapped alerts");
+  obs::SetMetricsEnabled(true);
+
+  // --- Overhead arms. Base has no health plane, `disabled` pays only
+  // construction (never sampled), `enabled` samples + evaluates the full
+  // default rule pack at every produced block.
+  constexpr int kTrials = 9;
+  std::vector<double> base_ms, disabled_ms, enabled_ms;
+  uint64_t samples = 0, rules = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const uint64_t seed = 1900 + static_cast<uint64_t>(t);
+    base_ms.push_back(OneHealthLifecycle(seed, 0, {}, nullptr).wall_ms);
+    disabled_ms.push_back(OneHealthLifecycle(seed, 1, {}, nullptr).wall_ms);
+    const HealthRun enabled = OneHealthLifecycle(seed, 2, {}, nullptr);
+    enabled_ms.push_back(enabled.wall_ms);
+    samples = enabled.samples;
+    rules = enabled.rules;
+  }
+  const double base = Median(base_ms);
+  const double disabled = Median(disabled_ms);
+  const double enabled = Median(enabled_ms);
+  const double disabled_pct =
+      base <= 0.0 ? 0.0 : (disabled - base) / base * 100.0;
+  const double enabled_pct =
+      base <= 0.0 ? 0.0 : (enabled - base) / base * 100.0;
+  std::printf("lifecycle median: %.1f ms base, %.1f ms health-disabled "
+              "(%.2f%%), %.1f ms health-enabled (%.2f%%)\n",
+              base, disabled, disabled_pct, enabled, enabled_pct);
+  std::printf("%llu samples/lifecycle, %llu rules evaluated per sample\n",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(rules));
+
+  // --- Seeded fault matrix: every cell must fire exactly its mapped
+  // rules. Precision counts false fires, recall counts missed faults.
+  struct Cell {
+    const char* name;
+    std::vector<market::ExecutorFault> faults;
+    std::set<std::string> expected;
+  };
+  const std::vector<Cell> cells = {
+      {"fault_free", {}, {}},
+      {"train_crash",
+       {market::ExecutorFault::kTrain},
+       {"market.executor-dropped"}},
+      {"false_attestation",
+       {market::ExecutorFault::kFalseAttestation},
+       {"market.attestation-fault", "market.executor-slashed"}},
+      {"lost_quorum",
+       {market::ExecutorFault::kVote, market::ExecutorFault::kVote},
+       {"market.executor-dropped", "market.workload-aborted"}},
+  };
+  uint64_t tp = 0, fp = 0, fn = 0, expected_total = 0, fired_total = 0;
+  uint64_t max_latency = 0;
+  for (const Cell& cell : cells) {
+    const HealthRun run = OneHealthLifecycle(1950, 2, cell.faults, nullptr);
+    const std::set<std::string> fired(run.fired.begin(), run.fired.end());
+    expected_total += cell.expected.size();
+    fired_total += fired.size();
+    max_latency = std::max(max_latency, run.max_latency_samples);
+    for (const std::string& id : fired) {
+      if (cell.expected.count(id)) ++tp;
+      else ++fp;
+    }
+    for (const std::string& id : cell.expected) {
+      if (!fired.count(id)) ++fn;
+    }
+    std::printf("  %-18s fired %zu/%zu expected alerts%s\n", cell.name,
+                fired.size(), cell.expected.size(),
+                fired == cell.expected ? "" : "  <-- MISMATCH");
+  }
+  const double precision =
+      tp + fp == 0 ? 1.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  const double recall =
+      tp + fn == 0 ? 1.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fn);
+
+  // --- Determinism: the same faulted seed at 0/1/4 pool threads must
+  // produce the same alert stream digest (EventsDigest excludes wall time).
+  const std::vector<market::ExecutorFault> mixed = {
+      market::ExecutorFault::kFalseAttestation, market::ExecutorFault::kTrain};
+  const HealthRun seq = OneHealthLifecycle(1960, 2, mixed, nullptr);
+  common::ThreadPool pool1(1), pool4(4);
+  const HealthRun one = OneHealthLifecycle(1960, 2, mixed, &pool1);
+  const HealthRun four = OneHealthLifecycle(1960, 2, mixed, &pool4);
+  const bool threads_identical = !seq.fired.empty() &&
+                                 one.fired == seq.fired &&
+                                 four.fired == seq.fired &&
+                                 one.digest == seq.digest &&
+                                 four.digest == seq.digest;
+  obs::SetMetricsEnabled(false);
+
+  std::printf("alert precision %.3f recall %.3f, max detection latency %llu "
+              "sample(s), threads %s\n",
+              precision, recall,
+              static_cast<unsigned long long>(max_latency),
+              threads_identical ? "identical" : "DIVERGED");
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "    \"trials\": %d,\n"
+      "    \"lifecycle_median_ms_base\": %.2f,\n"
+      "    \"lifecycle_median_ms_health_disabled\": %.2f,\n"
+      "    \"lifecycle_median_ms_health_enabled\": %.2f,\n"
+      "    \"disabled_overhead_pct\": %.2f,\n"
+      "    \"enabled_overhead_pct\": %.2f,\n"
+      "    \"samples_per_lifecycle\": %llu,\n"
+      "    \"rules_per_sample\": %llu,\n"
+      "    \"fault_cells\": %zu,\n"
+      "    \"alerts_expected\": %llu,\n"
+      "    \"alerts_fired\": %llu,\n"
+      "    \"alert_precision\": %.4f,\n"
+      "    \"alert_recall\": %.4f,\n"
+      "    \"max_detection_latency_samples\": %llu,\n"
+      "    \"threads_identical\": %s\n"
+      "  }",
+      kTrials, base, disabled, enabled, disabled_pct, enabled_pct,
+      static_cast<unsigned long long>(samples),
+      static_cast<unsigned long long>(rules), cells.size(),
+      static_cast<unsigned long long>(expected_total),
+      static_cast<unsigned long long>(fired_total), precision, recall,
+      static_cast<unsigned long long>(max_latency),
+      threads_identical ? "true" : "false");
+  bench::MergeParallelReport("health", json, "BENCH_observability.json");
+  bench::WriteBenchMetadata("BENCH_observability.json");
+  std::printf("-> BENCH_observability.json\n");
+}
+
 }  // namespace
 
 int main() {
@@ -198,5 +419,6 @@ int main() {
               "sharded)\n");
 
   RunE12();
+  RunE19();
   return 0;
 }

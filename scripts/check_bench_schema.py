@@ -306,6 +306,60 @@ def check_scale(doc):
                 lambda v: is_num(v) and v > 0, "a positive number")
 
 
+def check_observability(doc):
+    """BENCH_observability.json: the E12/E19 observability floors.
+
+    Pinned acceptance criteria for the health plane (E19): enabling
+    per-block sampling + full-rule-pack evaluation costs at most 2% of
+    the lifecycle, a constructed-but-unattached plane costs ~nothing,
+    every injected fault class fires exactly its mapped alerts (precision
+    and recall both 1.0), an alert lands within 3 samples of the first
+    bad sample, and the alert stream digest is bit-identical at 1 vs N
+    pool threads. The E12 section is shape-checked only — its wall-clock
+    deltas are noisy on shared hosts and the E19 arms supersede them.
+    """
+    e12 = doc.get("marketplace_lifecycle_overhead")
+    if isinstance(e12, dict):
+        where = "marketplace_lifecycle_overhead"
+        require(e12, where, "trials", lambda v: is_num(v) and v > 0,
+                "a positive number")
+        require(e12, where, "enabled_overhead_pct", is_num, "a number")
+        require(e12, where, "spans_per_lifecycle",
+                lambda v: is_num(v) and v > 0,
+                "> 0 (tracing must have recorded spans)")
+
+    where = "health"
+    section = doc.get("health")
+    if not isinstance(section, dict):
+        fail("report: missing required section 'health'")
+        return
+    require(section, where, "trials", lambda v: is_num(v) and v > 0,
+            "a positive number")
+    require(section, where, "enabled_overhead_pct",
+            lambda v: is_num(v) and v <= 2.0,
+            "<= 2.0 (sampling + rule evaluation within the budget)")
+    require(section, where, "disabled_overhead_pct",
+            lambda v: is_num(v) and v <= 1.0,
+            "<= 1.0 (an unattached health plane costs ~nothing)")
+    require(section, where, "samples_per_lifecycle",
+            lambda v: is_num(v) and v > 0,
+            "> 0 (the sampler must have run)")
+    require(section, where, "rules_per_sample",
+            lambda v: is_num(v) and v > 0,
+            "> 0 (the default rule pack must be loaded)")
+    require(section, where, "alert_precision",
+            lambda v: is_num(v) and v == 1.0,
+            "1.0 (no rule fires outside its mapped fault class)")
+    require(section, where, "alert_recall",
+            lambda v: is_num(v) and v == 1.0,
+            "1.0 (every injected fault class fires its mapped rules)")
+    require(section, where, "max_detection_latency_samples",
+            lambda v: is_num(v) and v <= 3,
+            "<= 3 samples from first bad sample to fire")
+    require(section, where, "threads_identical", lambda v: v is True,
+            "true (same seed -> bit-identical alert stream at 1 vs N)")
+
+
 def check_metadata_if_present(doc):
     """Shared thread-context metadata, validated wherever a report has it.
 
@@ -355,6 +409,19 @@ def main():
     # against the E18 NetSim-at-scale floors.
     if "scale" in doc:
         check_scale(doc)
+        check_metadata_if_present(doc)
+        if _errors:
+            for msg in _errors:
+                print("FAIL: %s" % msg, file=sys.stderr)
+            print("%d schema violation(s)" % len(_errors), file=sys.stderr)
+            return 1
+        print("bench schema OK")
+        return 0
+
+    # BENCH_observability.json is recognized by its health / lifecycle-
+    # overhead sections and validated against the E19 health-plane floors.
+    if "health" in doc or "marketplace_lifecycle_overhead" in doc:
+        check_observability(doc)
         check_metadata_if_present(doc)
         if _errors:
             for msg in _errors:

@@ -57,6 +57,13 @@ uint64_t Blockchain::TotalSupply() const {
       state_.BurnedTotal());
 }
 
+void Blockchain::PublishSupplyGauges() const {
+  PDS2_M_GAUGE_SET("chain.supply.circulating", state_.TotalBalance());
+  PDS2_M_GAUGE_SET("chain.supply.staked", state_.TotalStaked());
+  PDS2_M_GAUGE_SET("chain.supply.burned", state_.BurnedTotal());
+  PDS2_M_GAUGE_SET("chain.supply.genesis", genesis_minted_);
+}
+
 bool Blockchain::HasEvidenceFor(const Address& offender,
                                 uint64_t height) const {
   return state_.StorageGet(kEvidenceSpace, EvidenceKey(offender, height))
@@ -671,6 +678,7 @@ Result<Block> Blockchain::ProduceBlock(const crypto::SigningKey& proposer,
   blocks_.push_back(block);
   LinkAndForgetTxContexts(block.transactions, &span);
   PDS2_M_COUNT("chain.blocks_produced", 1);
+  PublishSupplyGauges();
   PDS2_LOG(kDebug) << "produced block " << block_number << " with "
                    << block.transactions.size() << " txs, gas " << block_gas;
   if (listener_ != nullptr) listener_->OnBlockCommitted(*this, blocks_.back());
@@ -685,6 +693,7 @@ Status Blockchain::ApplyExternalBlock(const Block& block) {
   if (status.ok()) {
     PDS2_M_COUNT("chain.blocks_applied", 1);
     LinkAndForgetTxContexts(block.transactions, &span);
+    PublishSupplyGauges();
   } else {
     PDS2_M_COUNT("chain.blocks_rejected", 1);
   }

@@ -235,6 +235,12 @@ class Blockchain {
   Receipt ExecuteEvidenceOn(StateView& state, const Transaction& tx,
                             uint64_t block_number) const;
 
+  /// Publishes the chain.supply.* gauges (circulating/staked/burned/genesis)
+  /// after a commit so the health plane can watch supply conservation live.
+  /// No-op (one relaxed load) while metrics are disabled; the O(accounts)
+  /// balance walk only runs when they are on.
+  void PublishSupplyGauges() const;
+
   /// Access set per transaction: declared for plain transfers, inferred by
   /// a rolled-back tracing execution for contract calls, global for
   /// deploys (they allocate the shared instance-id counter).

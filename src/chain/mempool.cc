@@ -31,6 +31,8 @@ void Mempool::PublishShardDepth(size_t shard_index, size_t depth) const {
     obs::Registry::Global()
         .GetGauge("chain.mempool.shard_depth." + std::to_string(shard_index))
         .Set(static_cast<int64_t>(depth));
+    PDS2_M_GAUGE_SET("chain.mempool.depth",
+                     count_.load(std::memory_order_relaxed));
   }
 #else
   (void)shard_index;

@@ -340,6 +340,31 @@ void NetSim::DispatchEvent(PdsEvent& event, NodeContext& ctx, StatRow& row,
   }
 }
 
+void NetSim::SetTickHook(SimTime interval,
+                         std::function<void(SimTime)> hook) {
+  tick_interval_ = hook ? interval : 0;
+  tick_hook_ = std::move(hook);
+  next_tick_ = clock_.Now() + tick_interval_;
+}
+
+void NetSim::FireTicksBefore(SimTime bound) {
+  while (tick_interval_ > 0 && next_tick_ < bound) {
+    const SimTime tick = next_tick_;
+    next_tick_ += tick_interval_;
+    clock_.AdvanceTo(tick);
+    tick_hook_(tick);
+  }
+}
+
+void NetSim::FireTicksThrough(SimTime bound) {
+  while (tick_interval_ > 0 && next_tick_ <= bound) {
+    const SimTime tick = next_tick_;
+    next_tick_ += tick_interval_;
+    clock_.AdvanceTo(tick);
+    tick_hook_(tick);
+  }
+}
+
 void NetSim::RunUntil(SimTime t) {
   assert(started_);
   PDS2_TRACE_SPAN_SIM("dml.net.run_until", &clock_);
@@ -350,12 +375,16 @@ void NetSim::RunUntil(SimTime t) {
   SimTime event_time = 0;
   PdsEvent event;
   while (PopNext(t, &event_time, &event)) {
+    // Ticks strictly before this event fire first; an event stamped at
+    // exactly the tick time executes before the tick observes it.
+    FireTicksBefore(event_time);
     clock_.AdvanceTo(event_time);
     stat_rows_[0].events_processed += 1;
     if (!AdmitEvent(event, stat_rows_[0])) continue;
     NodeContext ctx(*this, event.target);
     DispatchEvent(event, ctx, stat_rows_[0], delivery_scratch_);
   }
+  FireTicksThrough(t);
   clock_.AdvanceTo(t);
 }
 
@@ -369,6 +398,10 @@ void NetSim::RunUntilParallel(SimTime t) {
     // an event can fire at most `batch_window_` early — the bounded
     // approximation that buys parallelism (0 = exact-tie batching only).
     const SimTime horizon = std::min(batch_time + batch_window_, t);
+    // Ticks due strictly before this batch's stamp fire now, sequentially,
+    // against a quiescent sim — batch formation is pool-independent, so
+    // tick placement is too.
+    FireTicksBefore(batch_time);
     clock_.AdvanceTo(batch_time);
 
     batch_.clear();
@@ -461,6 +494,7 @@ void NetSim::RunUntilParallel(SimTime t) {
       partition_events_[p].clear();
     }
   }
+  FireTicksThrough(t);
   clock_.AdvanceTo(t);
 }
 

@@ -2,6 +2,7 @@
 #define PDS2_DML_NETSIM_H_
 
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <new>
 #include <string>
@@ -308,6 +309,17 @@ class NetSim {
   /// payload corruption). Call before Start(). nullptr disables.
   void SetLinkFaultHook(LinkFaultHook* hook) { fault_hook_ = hook; }
 
+  /// Installs a deterministic periodic tick: `hook(t)` runs with the sim
+  /// clock at exactly `t` for t = Now+interval, Now+2*interval, ... — always
+  /// on the driving thread, between events (never inside a parallel batch),
+  /// ordered so an event stamped at the tick time executes first. Batch
+  /// formation is pool-size-independent, so tick placement is bit-identical
+  /// at 1 vs N threads — this is what drives health-plane sampling on
+  /// 10^5-node runs. The hook must observe, not mutate, the simulation
+  /// (snapshot metrics, evaluate rules); interval 0 or a null hook disables.
+  void SetTickHook(common::SimTime interval,
+                   std::function<void(common::SimTime)> hook);
+
   common::SimTime Now() const { return clock_.Now(); }
   size_t NumNodes() const { return nodes_.size(); }
   Node* node(size_t i) { return nodes_[i].get(); }
@@ -376,6 +388,12 @@ class NetSim {
 
   void RunUntilParallel(common::SimTime t);
 
+  /// Fires the tick hook for every pending tick time strictly before
+  /// `bound` (FireTicksBefore) or up to and including it (FireTicksThrough),
+  /// advancing the clock to each tick time.
+  void FireTicksBefore(common::SimTime bound);
+  void FireTicksThrough(common::SimTime bound);
+
   /// True when `event` is addressed to a live target (online and same
   /// life); otherwise records the drop in `row` and returns false. Reads
   /// only state that is frozen during a parallel batch (churn is
@@ -413,6 +431,11 @@ class NetSim {
   std::vector<bool> online_;
   std::vector<uint32_t> epoch_;  // bumped on every crash
   LinkFaultHook* fault_hook_ = nullptr;
+  /// Periodic observation tick (SetTickHook). next_tick_ is the next time
+  /// the hook is due; 0 interval = disabled.
+  common::SimTime tick_interval_ = 0;
+  common::SimTime next_tick_ = 0;
+  std::function<void(common::SimTime)> tick_hook_;
   EventWheel<PdsEvent> queue_;
   /// Live counters, struct-of-arrays by partition (see StatRow). Kept
   /// per-instance so multiple sims in one process — the norm in tests —

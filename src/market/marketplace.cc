@@ -45,8 +45,10 @@ Marketplace::Marketplace(MarketConfig config)
                 std::to_string(i))));
     validator_keys.push_back(validators_.back().PublicKey());
   }
+  chain::ChainConfig chain_config;
+  chain_config.thread_pool = config_.thread_pool;
   chain_ = std::make_unique<chain::Blockchain>(
-      validator_keys, chain::ContractRegistry::CreateDefault());
+      validator_keys, chain::ContractRegistry::CreateDefault(), chain_config);
 
   // Governance bootstrap: validator 0 holds the funding treasury (enough
   // for ~1e6 actors) and deploys the actor registry.
@@ -61,15 +63,29 @@ Marketplace::Marketplace(MarketConfig config)
   }
 }
 
+void Marketplace::SetHealthSampling(obs::TimeSeries* ts,
+                                    obs::HealthMonitor* monitor) {
+  health_ts_ = ts;
+  health_monitor_ = ts != nullptr ? monitor : nullptr;
+}
+
 Status Marketplace::Tick() {
   now_ += config_.block_interval;
   const size_t turn = chain_->Height() % validators_.size();
-  // Block production is the proposing validator's work, whoever's span we
-  // are inside: the chain.produce_block span carries that validator's
-  // identity while staying parented under the submitting actor's stage.
-  obs::NodeScope node_scope("validator/", turn);
-  auto block = chain_->ProduceBlock(validators_[turn], now_);
-  return block.ok() ? Status::Ok() : block.status();
+  Status status;
+  {
+    // Block production is the proposing validator's work, whoever's span we
+    // are inside: the chain.produce_block span carries that validator's
+    // identity while staying parented under the submitting actor's stage.
+    obs::NodeScope node_scope("validator/", turn);
+    auto block = chain_->ProduceBlock(validators_[turn], now_);
+    status = block.ok() ? Status::Ok() : block.status();
+  }
+  if (health_ts_ != nullptr) {
+    health_ts_->Sample(obs::WallNowNs(), /*has_sim=*/true, now_);
+    if (health_monitor_ != nullptr) health_monitor_->EvaluateLatest();
+  }
+  return status;
 }
 
 Result<chain::Receipt> Marketplace::Execute(const crypto::SigningKey& sender,
@@ -969,6 +985,12 @@ Result<RunReport> Marketplace::RunWorkload(ConsumerAgent& consumer,
   report.gas_used = chain_->TotalGasUsed() - gas_before;
   report.blocks_produced = chain_->Height() - height_before;
   PDS2_M_COUNT("market.workloads_completed", 1);
+  // Settlement-stage counters (slashes, completion) land after the last
+  // block's sample; one closing sample makes them visible to alert rules.
+  if (health_ts_ != nullptr) {
+    health_ts_->Sample(obs::WallNowNs(), /*has_sim=*/true, now_);
+    if (health_monitor_ != nullptr) health_monitor_->EvaluateLatest();
+  }
   return report;
 }
 

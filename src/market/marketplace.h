@@ -9,6 +9,8 @@
 #include "chain/chain.h"
 #include "market/actors.h"
 #include "market/spec.h"
+#include "obs/health.h"
+#include "obs/time_series.h"
 #include "storage/semantic.h"
 #include "store/artifact_store.h"
 #include "store/discovery.h"
@@ -33,6 +35,11 @@ struct MarketConfig {
   uint64_t reuse_fee_permille = 100;
   /// Durable directory for the artifact store; empty = in-memory.
   std::string artifact_dir;
+  /// Pool for the chain's parallel validation/execution (see
+  /// ChainConfig::thread_pool). nullptr = process-wide pool; any size is
+  /// bit-identical, which is what the health plane's 1-vs-N alert
+  /// determinism checks sweep.
+  common::ThreadPool* thread_pool = nullptr;
 };
 
 /// Extra per-run inputs a consumer may supply.
@@ -93,6 +100,14 @@ class Marketplace {
 
   /// Produces one block from the pending transactions.
   common::Status Tick();
+
+  /// Wires the health plane into the lifecycle clock: after every Tick()
+  /// (one block interval of sim time) the registry is sampled into `ts` at
+  /// sim time Now() and, when `monitor` is non-null, its rules are
+  /// evaluated at the new sample. Pass nullptrs to detach. The marketplace
+  /// is single-driver, so sampling here is deterministic per seed.
+  void SetHealthSampling(obs::TimeSeries* ts,
+                         obs::HealthMonitor* monitor = nullptr);
 
   // --- Actor onboarding (funds the account, registers the actor role) ----
   ProviderAgent& AddProvider(const std::string& name);
@@ -163,6 +178,8 @@ class Marketplace {
   std::unique_ptr<chain::Blockchain> chain_;
   tee::AttestationService attestation_;
   common::SimTime now_ = 0;
+  obs::TimeSeries* health_ts_ = nullptr;
+  obs::HealthMonitor* health_monitor_ = nullptr;
   uint64_t actor_registry_instance_ = 0;
   uint64_t dataset_registry_instance_ = 0;  // lazily deployed erc721
 

@@ -63,25 +63,70 @@ Registry& Registry::Global() {
   return *registry;                            // outlive static teardown
 }
 
+Registry::Registry() {
+  // The spill counter and the per-kind overflow sinks are created before
+  // any cap can bind, so Get* under pressure returns an existing handle
+  // instead of allocating (and never recurses into itself).
+  auto counter = std::make_unique<Counter>();
+  dropped_series_ = counter.get();
+  counters_["obs.metrics.dropped_series"] = std::move(counter);
+  counter = std::make_unique<Counter>();
+  overflow_counter_ = counter.get();
+  counters_["obs.metrics.overflow"] = std::move(counter);
+  auto gauge = std::make_unique<Gauge>();
+  overflow_gauge_ = gauge.get();
+  gauges_["obs.metrics.overflow"] = std::move(gauge);
+  auto histogram = std::make_unique<Histogram>();
+  overflow_histogram_ = histogram.get();
+  histograms_["obs.metrics.overflow"] = std::move(histogram);
+}
+
 Counter& Registry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
-  return *slot;
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  if (counters_.size() >= max_series_) {
+    dropped_series_->Add(1);
+    return *overflow_counter_;
+  }
+  return *(counters_[name] = std::make_unique<Counter>());
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (slot == nullptr) slot = std::make_unique<Gauge>();
-  return *slot;
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  if (gauges_.size() >= max_series_) {
+    dropped_series_->Add(1);
+    return *overflow_gauge_;
+  }
+  return *(gauges_[name] = std::make_unique<Gauge>());
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>();
-  return *slot;
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  if (histograms_.size() >= max_series_) {
+    dropped_series_->Add(1);
+    return *overflow_histogram_;
+  }
+  return *(histograms_[name] = std::make_unique<Histogram>());
+}
+
+void Registry::SetMaxSeries(size_t max_series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_series_ = max_series == 0 ? 1 : max_series;
+}
+
+size_t Registry::MaxSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_series_;
+}
+
+uint64_t Registry::DroppedSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_series_->Value();
 }
 
 Snapshot Registry::TakeSnapshot() const {

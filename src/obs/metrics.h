@@ -180,8 +180,21 @@ struct Snapshot {
 /// in place), so hot paths can cache the handle — which is exactly what the
 /// PDS2_M_* macros do with a function-local static. Creation takes a mutex;
 /// updates through the returned handles are lock-free.
+///
+/// Cardinality guard: dynamically named series (per-shard mempool depths,
+/// per-node labels at 10^5-node scale) could otherwise grow the maps
+/// without bound. Once a kind's map reaches the cap, Get* for a NEW name
+/// returns that kind's shared overflow sink instead of allocating, and the
+/// "obs.metrics.dropped_series" counter records the spill. Existing names
+/// — including every statically named metric created before the flood —
+/// keep their own handles.
 class Registry {
  public:
+  /// Default cap on distinct series per metric kind.
+  static constexpr size_t kDefaultMaxSeries = 4096;
+
+  Registry();
+
   /// The process-wide registry every PDS2_M_* macro records into.
   static Registry& Global();
 
@@ -195,11 +208,25 @@ class Registry {
   /// tests and benches).
   void ResetValues();
 
+  /// Adjusts the per-kind cardinality cap (names already registered stay).
+  void SetMaxSeries(size_t max_series);
+  size_t MaxSeries() const;
+  /// Series turned away by the cap so far (also published as the
+  /// "obs.metrics.dropped_series" counter).
+  uint64_t DroppedSeries() const;
+
  private:
   mutable std::mutex mu_;
+  size_t max_series_ = kDefaultMaxSeries;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Overflow sinks + spill counter, created eagerly in the constructor so
+  // they exist below any cap and Get* never recurses.
+  Counter* overflow_counter_ = nullptr;
+  Gauge* overflow_gauge_ = nullptr;
+  Histogram* overflow_histogram_ = nullptr;
+  Counter* dropped_series_ = nullptr;
 };
 
 }  // namespace pds2::obs

@@ -1,0 +1,321 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pds2::obs {
+
+namespace {
+
+// Metric names are dotted identifiers; escaping keeps arbitrary names safe.
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void WriteDouble(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";
+    return;
+  }
+  // Integral values (the common case: counters, gauges, quantile
+  // midpoints) print exactly; everything else round-trips via %.17g.
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+const char* SeriesKindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kGauge:
+      return "gauge";
+    case SeriesKind::kQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+TimeSeries::TimeSeries(TimeSeriesConfig config, Registry* registry)
+    : config_(config),
+      registry_(registry != nullptr ? registry : &Registry::Global()) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  time_ring_.resize(config_.capacity);
+}
+
+void TimeSeries::AppendLocked(const std::string& name, SeriesKind kind,
+                              double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    if (series_.size() >= config_.max_series) {
+      ++dropped_series_;
+      PDS2_M_COUNT("obs.timeseries.dropped_series", 1);
+      return;
+    }
+    Series s;
+    s.kind = kind;
+    s.first_sample = samples_;
+    s.ring.resize(config_.capacity, 0.0);
+    it = series_.emplace(name, std::move(s)).first;
+  }
+  it->second.ring[samples_ % config_.capacity] = value;
+}
+
+size_t TimeSeries::Sample(uint64_t wall_ns, bool has_sim,
+                          common::SimTime sim_us) {
+  const Snapshot snapshot = registry_->TakeSnapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  time_ring_[samples_ % config_.capacity] = {wall_ns, has_sim, sim_us};
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendLocked(name, SeriesKind::kCounter, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendLocked(name, SeriesKind::kGauge, static_cast<double>(value));
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    AppendLocked(name + "#count", SeriesKind::kCounter,
+                 static_cast<double>(summary.count));
+    AppendLocked(name + "#p50", SeriesKind::kQuantile,
+                 static_cast<double>(summary.p50));
+    AppendLocked(name + "#p90", SeriesKind::kQuantile,
+                 static_cast<double>(summary.p90));
+    AppendLocked(name + "#p99", SeriesKind::kQuantile,
+                 static_cast<double>(summary.p99));
+  }
+  return samples_++;
+}
+
+size_t TimeSeries::SampleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+size_t TimeSeries::OldestRetainedLocked() const {
+  return samples_ > config_.capacity ? samples_ - config_.capacity : 0;
+}
+
+size_t TimeSeries::OldestRetained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OldestRetainedLocked();
+}
+
+size_t TimeSeries::Capacity() const { return config_.capacity; }
+
+size_t TimeSeries::SeriesCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+uint64_t TimeSeries::DroppedSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_series_;
+}
+
+std::optional<TimeSeries::SampleInfo> TimeSeries::InfoAt(
+    size_t sample_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample_index >= samples_ || sample_index < OldestRetainedLocked()) {
+    return std::nullopt;
+  }
+  return time_ring_[sample_index % config_.capacity];
+}
+
+std::optional<double> TimeSeries::ValueAtLocked(const Series& s,
+                                                size_t index) const {
+  if (index >= samples_) return std::nullopt;
+  if (index < s.first_sample || index < OldestRetainedLocked()) {
+    return std::nullopt;
+  }
+  return s.ring[index % config_.capacity];
+}
+
+std::optional<double> TimeSeries::ValueAt(const std::string& series,
+                                          size_t sample_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return std::nullopt;
+  return ValueAtLocked(it->second, sample_index);
+}
+
+std::optional<double> TimeSeries::Latest(const std::string& series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end() || samples_ == 0) return std::nullopt;
+  return ValueAtLocked(it->second, samples_ - 1);
+}
+
+std::optional<double> TimeSeries::Delta(const std::string& series,
+                                        size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end() || samples_ == 0) return std::nullopt;
+  const size_t last = samples_ - 1;
+  const size_t lo =
+      std::max(it->second.first_sample,
+               std::max(OldestRetainedLocked(),
+                        last >= window ? last - window : size_t{0}));
+  const auto newest = ValueAtLocked(it->second, last);
+  const auto oldest = ValueAtLocked(it->second, lo);
+  if (!newest || !oldest) return std::nullopt;
+  return *newest - *oldest;
+}
+
+std::optional<double> TimeSeries::RatePerSecond(const std::string& series,
+                                                size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end() || samples_ == 0) return std::nullopt;
+  const size_t last = samples_ - 1;
+  const size_t lo =
+      std::max(it->second.first_sample,
+               std::max(OldestRetainedLocked(),
+                        last >= window ? last - window : size_t{0}));
+  if (lo >= last) return std::nullopt;  // need two distinct samples
+  const auto newest = ValueAtLocked(it->second, last);
+  const auto oldest = ValueAtLocked(it->second, lo);
+  if (!newest || !oldest) return std::nullopt;
+  const SampleInfo& a = time_ring_[lo % config_.capacity];
+  const SampleInfo& b = time_ring_[last % config_.capacity];
+  double seconds = 0.0;
+  if (a.has_sim && b.has_sim) {
+    seconds = static_cast<double>(b.sim_us - a.sim_us) /
+              static_cast<double>(common::kMicrosPerSecond);
+  } else {
+    seconds = static_cast<double>(b.wall_ns - a.wall_ns) / 1.0e9;
+  }
+  if (seconds <= 0.0) return std::nullopt;
+  return (*newest - *oldest) / seconds;
+}
+
+std::vector<double> TimeSeries::WindowLocked(const Series& s,
+                                             size_t window) const {
+  std::vector<double> values;
+  if (samples_ == 0 || window == 0) return values;
+  const size_t last = samples_ - 1;
+  const size_t lo =
+      std::max(s.first_sample,
+               std::max(OldestRetainedLocked(),
+                        last + 1 >= window ? last + 1 - window : size_t{0}));
+  for (size_t i = lo; i <= last; ++i) {
+    values.push_back(s.ring[i % config_.capacity]);
+  }
+  return values;
+}
+
+std::optional<double> TimeSeries::WindowMin(const std::string& series,
+                                            size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return std::nullopt;
+  const std::vector<double> values = WindowLocked(it->second, window);
+  if (values.empty()) return std::nullopt;
+  return *std::min_element(values.begin(), values.end());
+}
+
+std::optional<double> TimeSeries::WindowMax(const std::string& series,
+                                            size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return std::nullopt;
+  const std::vector<double> values = WindowLocked(it->second, window);
+  if (values.empty()) return std::nullopt;
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::optional<double> TimeSeries::WindowQuantile(const std::string& series,
+                                                 size_t window,
+                                                 double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return std::nullopt;
+  std::vector<double> values = WindowLocked(it->second, window);
+  if (values.empty()) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const size_t rank = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5));
+  return values[rank];
+}
+
+std::optional<size_t> TimeSeries::SamplesSinceChange(
+    const std::string& series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end() || samples_ == 0) return std::nullopt;
+  const size_t last = samples_ - 1;
+  const auto latest = ValueAtLocked(it->second, last);
+  if (!latest) return std::nullopt;
+  size_t stale = 0;
+  for (size_t i = last; i > 0; --i) {
+    const auto prev = ValueAtLocked(it->second, i - 1);
+    if (!prev || *prev != *latest) break;
+    ++stale;
+  }
+  return stale;
+}
+
+std::optional<SeriesKind> TimeSeries::KindOf(const std::string& series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return std::nullopt;
+  return it->second.kind;
+}
+
+std::vector<std::string> TimeSeries::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+void TimeSeries::WriteJsonLines(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t lo = OldestRetainedLocked();
+  out << "{\"type\":\"meta\",\"samples\":" << samples_
+      << ",\"retained\":" << (samples_ - lo)
+      << ",\"capacity\":" << config_.capacity
+      << ",\"series\":" << series_.size()
+      << ",\"dropped_series\":" << dropped_series_ << "}\n";
+  for (size_t i = lo; i < samples_; ++i) {
+    const SampleInfo& info = time_ring_[i % config_.capacity];
+    out << "{\"type\":\"sample\",\"index\":" << i
+        << ",\"wall_ns\":" << info.wall_ns;
+    if (info.has_sim) out << ",\"sim_us\":" << info.sim_us;
+    out << "}\n";
+  }
+  for (const auto& [name, s] : series_) {
+    const size_t start = std::max(s.first_sample, lo);
+    if (start >= samples_) continue;
+    out << "{\"type\":\"series\",\"name\":\"" << EscapeJson(name)
+        << "\",\"kind\":\"" << SeriesKindName(s.kind)
+        << "\",\"start\":" << start << ",\"values\":[";
+    for (size_t i = start; i < samples_; ++i) {
+      if (i != start) out << ",";
+      WriteDouble(out, s.ring[i % config_.capacity]);
+    }
+    out << "]}\n";
+  }
+}
+
+void TimeSeries::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+  samples_ = 0;
+  dropped_series_ = 0;
+}
+
+}  // namespace pds2::obs

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "chain/contracts/workload.h"
 #include "common/rng.h"
 #include "crypto/sha256.h"
 #include "market/marketplace.h"
+#include "obs/health_rules.h"
+#include "obs/time_series.h"
 
 namespace pds2::market {
 namespace {
@@ -324,6 +328,41 @@ TEST_F(ChaosLifecycleTest, EscrowConservedAcrossDeadlineAbort) {
   const uint64_t consumer_after =
       market_.chain().GetBalance(consumer_->address());
   EXPECT_GT(consumer_after + 1'000'000, consumer_before);  // gas only
+}
+
+// ---------------------------------------------------------------------------
+// Health plane: the default rule packs watch a chaos run. The injected fault
+// must fire its mapped alert, and the supply-conservation invariant — checked
+// on every sampled block — must stay quiet even while an executor dies.
+
+TEST_F(ChaosLifecycleTest, HealthPlaneFlagsInjectedFaultAndSupplyHolds) {
+  obs::SetMetricsEnabled(true);
+  obs::Registry::Global().ResetValues();
+  obs::TimeSeries ts({.capacity = 2048, .max_series = 4096});
+  obs::HealthMonitor monitor(&ts, {.dump_on_critical = false});
+  monitor.AddRules(obs::rules::DefaultRules());
+  market_.SetHealthSampling(&ts, &monitor);
+
+  Executor(1).InjectFault(ExecutorFault::kTrain);
+  const uint64_t supply_before = market_.chain().TotalSupply();
+  auto report = market_.RunWorkload(*consumer_, BasicSpec());
+  market_.SetHealthSampling(nullptr);
+  obs::SetMetricsEnabled(false);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectSettled(report, supply_before);
+
+  const auto fired = monitor.FiredRuleIds();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "market.executor-dropped"),
+            fired.end())
+      << "dropped executor went unnoticed by the health plane";
+  // Safety rules must NOT fire: the chain conserved supply on every sample
+  // and no substitution/attestation fault was injected.
+  for (const auto& id : fired) {
+    EXPECT_NE(id, "chain.supply-conservation");
+    EXPECT_NE(id, "market.substitution-verify-failure");
+    EXPECT_NE(id, "market.attestation-fault");
+  }
+  EXPECT_GT(ts.SampleCount(), 0u);
 }
 
 }  // namespace

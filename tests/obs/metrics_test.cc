@@ -153,14 +153,33 @@ TEST(RegistryTest, HandlesAreStableAndNamed) {
   Histogram& h = registry.GetHistogram("chain.test_us");
   h.Observe(100);
 
+  // A fresh registry eagerly holds the cardinality-guard sinks
+  // (obs.metrics.dropped_series + per-kind obs.metrics.overflow), so look
+  // metrics up by name rather than by position or count.
   Snapshot snap = registry.TakeSnapshot();
-  ASSERT_EQ(snap.counters.size(), 1u);
-  EXPECT_EQ(snap.counters[0].first, "chain.test_counter");
-  EXPECT_EQ(snap.counters[0].second, 3u);
-  ASSERT_EQ(snap.gauges.size(), 1u);
-  EXPECT_EQ(snap.gauges[0].second, -7);
-  ASSERT_EQ(snap.histograms.size(), 1u);
-  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+  ASSERT_EQ(snap.counters.size(), 3u);
+  bool counter_found = false, gauge_found = false, hist_found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "chain.test_counter") {
+      counter_found = true;
+      EXPECT_EQ(value, 3u);
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "pool.test_gauge") {
+      gauge_found = true;
+      EXPECT_EQ(value, -7);
+    }
+  }
+  for (const auto& [name, summary] : snap.histograms) {
+    if (name == "chain.test_us") {
+      hist_found = true;
+      EXPECT_EQ(summary.count, 1u);
+    }
+  }
+  EXPECT_TRUE(counter_found);
+  EXPECT_TRUE(gauge_found);
+  EXPECT_TRUE(hist_found);
 
   // ResetValues zeroes in place: the handles stay valid.
   registry.ResetValues();
@@ -175,10 +194,13 @@ TEST(RegistryTest, SnapshotIsSortedByName) {
   registry.GetCounter("a.first").Add(1);
   registry.GetCounter("m.middle").Add(1);
   Snapshot snap = registry.TakeSnapshot();
-  ASSERT_EQ(snap.counters.size(), 3u);
-  EXPECT_EQ(snap.counters[0].first, "a.first");
-  EXPECT_EQ(snap.counters[1].first, "m.middle");
-  EXPECT_EQ(snap.counters[2].first, "z.last");
+  ASSERT_EQ(snap.counters.size(), 5u);  // + the 2 eager guard sinks
+  EXPECT_TRUE(std::is_sorted(snap.counters.begin(), snap.counters.end(),
+                             [](const auto& lhs, const auto& rhs) {
+                               return lhs.first < rhs.first;
+                             }));
+  EXPECT_EQ(snap.counters.front().first, "a.first");
+  EXPECT_EQ(snap.counters.back().first, "z.last");
 }
 
 // The macro-behavior tests only apply when the instrumentation is compiled
@@ -239,7 +261,10 @@ TEST(ExportTest, JsonAndJsonLinesContainEveryMetric) {
     EXPECT_EQ(line.back(), '}');
     EXPECT_NE(line.find("\"type\""), std::string::npos);
   }
-  EXPECT_EQ(line_count, 3);
+  // One line per series, guard sinks included.
+  EXPECT_EQ(line_count,
+            static_cast<int>(snap.counters.size() + snap.gauges.size() +
+                             snap.histograms.size()));
 }
 
 TEST(ExportTest, PrometheusNamesAndFormat) {
@@ -313,8 +338,12 @@ TEST(ExportTest, PrometheusQuantileSeriesRoundTrip) {
   Histogram& hist = registry.GetHistogram("chain.apply_us");
   for (uint64_t v = 1; v <= 1000; ++v) hist.Observe(v * 10);
   const Snapshot snap = registry.TakeSnapshot();
-  ASSERT_EQ(snap.histograms.size(), 1u);
-  const HistogramSummary& summary = snap.histograms[0].second;
+  const HistogramSummary* found = nullptr;
+  for (const auto& [name, s] : snap.histograms) {
+    if (name == "chain.apply_us") found = &s;
+  }
+  ASSERT_NE(found, nullptr);
+  const HistogramSummary& summary = *found;
 
   std::ostringstream out;
   WriteSnapshotPrometheus(snap, out);
@@ -340,6 +369,78 @@ TEST(ExportTest, PrometheusQuantileSeriesRoundTrip) {
   // Sanity on the distribution itself: 10..10000 uniform.
   EXPECT_GT(q.at("0.9"), q.at("0.5"));
   EXPECT_GE(q.at("0.99"), q.at("0.9"));
+}
+
+// --- Cardinality guard ------------------------------------------------------
+// Dynamically named series (chain.mempool.shard_depth.<i>, per-node labels
+// at 10^5-node scale) must not grow the registry without bound: past the
+// cap, new names share the per-kind overflow sink and the spill is counted.
+
+TEST(RegistryCardinalityTest, NewNamesPastCapShareTheOverflowSink) {
+  Registry registry;
+  // A fresh registry holds the 2 eager counters (dropped_series +
+  // overflow); cap at 4 leaves room for exactly two more counter names.
+  registry.SetMaxSeries(4);
+  EXPECT_EQ(registry.MaxSeries(), 4u);
+
+  Counter& a = registry.GetCounter("dyn.shard.0");
+  Counter& b = registry.GetCounter("dyn.shard.1");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(registry.DroppedSeries(), 0u);
+
+  Counter& spill1 = registry.GetCounter("dyn.shard.2");
+  Counter& spill2 = registry.GetCounter("dyn.shard.3");
+  EXPECT_EQ(&spill1, &spill2);  // one shared sink, not new series
+  EXPECT_EQ(&spill1, &registry.GetCounter("obs.metrics.overflow"));
+  EXPECT_EQ(registry.DroppedSeries(), 2u);
+  EXPECT_EQ(registry.TakeSnapshot().counters.size(), 4u);
+
+  // Writes through the sink are not lost, just aggregated.
+  spill1.Add(5);
+  spill2.Add(7);
+  EXPECT_EQ(registry.GetCounter("obs.metrics.overflow").Value(), 12u);
+  // The spill shows up as a regular counter for exports and alert rules.
+  const Snapshot snap = registry.TakeSnapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "obs.metrics.dropped_series") {
+      found = true;
+      EXPECT_EQ(value, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RegistryCardinalityTest, ExistingNamesKeepTheirHandlesAtTheCap) {
+  Registry registry;
+  Counter& before = registry.GetCounter("kept.counter");
+  Gauge& gauge_before = registry.GetGauge("kept.gauge");
+  registry.SetMaxSeries(1);  // every map is already at or over the cap
+
+  // Existing names still resolve to their own objects...
+  EXPECT_EQ(&registry.GetCounter("kept.counter"), &before);
+  EXPECT_EQ(&registry.GetGauge("kept.gauge"), &gauge_before);
+  // ...while any new name of any kind spills.
+  registry.GetCounter("new.counter").Add(1);
+  registry.GetGauge("new.gauge").Set(1);
+  registry.GetHistogram("new.hist").Observe(1);
+  EXPECT_EQ(registry.DroppedSeries(), 3u);
+  EXPECT_EQ(registry.GetHistogram("obs.metrics.overflow").Count(), 1u);
+}
+
+TEST(RegistryCardinalityTest, GuardIsPerKind) {
+  Registry registry;
+  registry.SetMaxSeries(3);
+  // Counters start at 2 entries, gauges and histograms at 1: the same cap
+  // leaves different headroom per kind.
+  registry.GetCounter("c.0");
+  registry.GetCounter("c.1");  // spills (2 eager + 1 = cap)
+  registry.GetGauge("g.0");
+  registry.GetGauge("g.1");
+  registry.GetGauge("g.2");  // spills
+  EXPECT_EQ(registry.DroppedSeries(), 2u);
+  EXPECT_EQ(registry.TakeSnapshot().counters.size(), 3u);
+  EXPECT_EQ(registry.TakeSnapshot().gauges.size(), 3u);
 }
 
 }  // namespace

@@ -13,6 +13,9 @@
 
 #include "common/fault.h"
 #include "dml/fault_injector.h"
+#include "dml/health_sampler.h"
+#include "obs/health_rules.h"
+#include "obs/time_series.h"
 #include "p2p/validator_network.h"
 
 namespace pds2::p2p {
@@ -209,6 +212,33 @@ TEST_F(ByzantineConvergenceTest, SeededPlanScriptsDeterministicAdversaries) {
       EXPECT_EQ(nodes_[i]->chain().StakeOf(addr), kStake);
     }
   }
+}
+
+// Health plane: the default rule packs sampled once per block interval must
+// flag the equivocation (critical evidence rule) without tripping the
+// supply-conservation invariant — honest replicas conserve supply throughout.
+TEST_F(ByzantineConvergenceTest, HealthPlaneFlagsEquivocationSupplyHolds) {
+  obs::SetMetricsEnabled(true);
+  obs::Registry::Global().ResetValues();
+  Build(4, /*seed=*/11);
+  nodes_[1]->SetByzantine(ByzantineBehavior::kEquivocate);
+
+  obs::TimeSeries ts({.capacity = 256, .max_series = 4096});
+  obs::HealthMonitor monitor(&ts, {.dump_on_critical = false});
+  monitor.AddRules(obs::rules::DefaultRules());
+  dml::AttachHealthSampler(*sim_, kBlockInterval, &ts, &monitor);
+  sim_->RunUntil(30 * kBlockInterval);
+  obs::SetMetricsEnabled(false);
+
+  ExpectHonestConverged({0, 2, 3}, 15);
+  const auto fired = monitor.FiredRuleIds();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "p2p.equivocation-detected"),
+            fired.end())
+      << "watchtower evidence never surfaced as an alert";
+  for (const auto& id : fired) {
+    EXPECT_NE(id, "chain.supply-conservation");
+  }
+  EXPECT_GE(ts.SampleCount(), 25u);  // one sample per block interval
 }
 
 }  // namespace

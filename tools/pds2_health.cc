@@ -1,0 +1,524 @@
+// pds2_health: offline analyzer for PDS2 health-plane exports.
+//
+//   pds2_health run.jsonl                 analyze an exported time series +
+//                                         alert stream (JSON lines, schema
+//                                         in docs/PROTOCOL.md)
+//   pds2_health --demo                    run a seeded faulty marketplace
+//                                         lifecycle in-process with the
+//                                         default rule packs and analyze
+//                                         the export it produces
+//   pds2_health --chrome out.json ...     also emit Chrome trace_event JSON
+//                                         (rule alert intervals on the sim
+//                                         timeline, open in Perfetto)
+//
+// The report shows the sampling window, the rules that fired with their
+// fire/resolve timelines (first-bad sample, observed vs bound), and the
+// fastest-moving counter series over the retained window.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "market/marketplace.h"
+#include "obs/health.h"
+#include "obs/health_rules.h"
+#include "obs/time_series.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [health.jsonl | -]\n"
+      << "  --demo           run a seeded faulty marketplace lifecycle with\n"
+      << "                   the default health rule packs (no input file)\n"
+      << "  --demo-out PATH  with --demo: write the raw JSON-lines export\n"
+      << "  --chrome PATH    write Chrome trace_event JSON (alert intervals\n"
+      << "                   on the sim timeline) for Perfetto\n"
+      << "  --series N       show the top N moving counter series (default 10)\n";
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON-lines field extraction (same spirit as the span parser: the
+// exporter writes flat one-line objects, so positional scans are exact).
+// ---------------------------------------------------------------------------
+
+bool FindRawValue(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t start = at + needle.size();
+  size_t end = start;
+  if (start < line.size() && line[start] == '"') {
+    end = line.find('"', start + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(start + 1, end - start - 1);
+    return true;
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool FindNumber(const std::string& line, const std::string& key, double* out) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw)) return false;
+  try {
+    *out = std::stod(raw);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool FindU64(const std::string& line, const std::string& key, uint64_t* out) {
+  double v = 0;
+  if (!FindNumber(line, key, &v)) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parsed dump model.
+// ---------------------------------------------------------------------------
+
+struct SampleLine {
+  uint64_t index = 0;
+  uint64_t wall_ns = 0;
+  bool has_sim = false;
+  uint64_t sim_us = 0;
+};
+
+struct SeriesLine {
+  std::string kind;
+  uint64_t start = 0;
+  std::vector<double> values;
+};
+
+struct AlertLine {
+  std::string rule;
+  std::string severity;
+  bool fired = true;
+  uint64_t sample = 0;
+  uint64_t first_bad = 0;
+  uint64_t sim_us = 0;
+  bool has_sim = false;
+  double observed = 0;
+  double bound = 0;
+  std::string detail;
+};
+
+struct HealthDump {
+  uint64_t samples = 0;
+  uint64_t retained = 0;
+  uint64_t capacity = 0;
+  uint64_t dropped_series = 0;
+  std::vector<SampleLine> sample_lines;
+  std::map<std::string, SeriesLine> series;
+  std::vector<AlertLine> alerts;
+};
+
+bool ParseValuesArray(const std::string& line, std::vector<double>* out) {
+  const size_t at = line.find("\"values\":[");
+  if (at == std::string::npos) return false;
+  size_t pos = at + 10;
+  const size_t end = line.find(']', pos);
+  if (end == std::string::npos) return false;
+  std::string body = line.substr(pos, end - pos);
+  std::istringstream in(body);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    try {
+      out->push_back(std::stod(token));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseDump(std::istream& in, HealthDump* dump, std::string* error) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string type;
+    if (!FindRawValue(line, "type", &type)) {
+      *error = "line " + std::to_string(line_no) + ": no \"type\" field";
+      return false;
+    }
+    if (type == "meta") {
+      FindU64(line, "samples", &dump->samples);
+      FindU64(line, "retained", &dump->retained);
+      FindU64(line, "capacity", &dump->capacity);
+      FindU64(line, "dropped_series", &dump->dropped_series);
+    } else if (type == "sample") {
+      SampleLine s;
+      FindU64(line, "index", &s.index);
+      FindU64(line, "wall_ns", &s.wall_ns);
+      s.has_sim = FindU64(line, "sim_us", &s.sim_us);
+      dump->sample_lines.push_back(s);
+    } else if (type == "series") {
+      std::string name;
+      if (!FindRawValue(line, "name", &name)) {
+        *error = "line " + std::to_string(line_no) + ": series without name";
+        return false;
+      }
+      SeriesLine s;
+      FindRawValue(line, "kind", &s.kind);
+      FindU64(line, "start", &s.start);
+      if (!ParseValuesArray(line, &s.values)) {
+        *error = "line " + std::to_string(line_no) + ": bad values array";
+        return false;
+      }
+      dump->series[name] = std::move(s);
+    } else if (type == "alert") {
+      AlertLine a;
+      FindRawValue(line, "rule", &a.rule);
+      FindRawValue(line, "severity", &a.severity);
+      std::string fired;
+      FindRawValue(line, "fired", &fired);
+      a.fired = fired != "false";
+      FindU64(line, "sample", &a.sample);
+      FindU64(line, "first_bad", &a.first_bad);
+      a.has_sim = FindU64(line, "sim_us", &a.sim_us);
+      FindNumber(line, "observed", &a.observed);
+      FindNumber(line, "bound", &a.bound);
+      FindRawValue(line, "detail", &a.detail);
+      dump->alerts.push_back(std::move(a));
+    }
+    // Unknown line types are skipped: exports may grow.
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Report.
+// ---------------------------------------------------------------------------
+
+std::string FormatSimUs(uint64_t us) {
+  std::ostringstream out;
+  if (us >= 1'000'000) {
+    out << us / 1'000'000 << "." << (us % 1'000'000) / 100'000 << "s";
+  } else if (us >= 1000) {
+    out << us / 1000 << "." << (us % 1000) / 100 << "ms";
+  } else {
+    out << us << "us";
+  }
+  return out.str();
+}
+
+struct RuleTimeline {
+  std::string severity;
+  // (fire sample, resolve sample or UINT64_MAX while still active).
+  std::vector<std::pair<uint64_t, uint64_t>> intervals;
+  std::vector<const AlertLine*> fires;
+};
+
+void PrintReport(const HealthDump& dump, size_t top_series) {
+  std::cout << "samples:  " << dump.samples << " (retained " << dump.retained
+            << ", capacity " << dump.capacity << ")\n";
+  if (!dump.sample_lines.empty()) {
+    const SampleLine& first = dump.sample_lines.front();
+    const SampleLine& last = dump.sample_lines.back();
+    std::cout << "window:   sample " << first.index << " .. " << last.index;
+    if (first.has_sim && last.has_sim) {
+      std::cout << "  (sim " << FormatSimUs(first.sim_us) << " .. "
+                << FormatSimUs(last.sim_us) << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "series:   " << dump.series.size() << " (" << dump.dropped_series
+            << " dropped by cardinality cap)\n";
+
+  // Group alerts into per-rule timelines.
+  std::map<std::string, RuleTimeline> rules;
+  size_t fires = 0;
+  for (const AlertLine& a : dump.alerts) {
+    RuleTimeline& t = rules[a.rule];
+    t.severity = a.severity;
+    if (a.fired) {
+      ++fires;
+      t.intervals.emplace_back(a.sample, UINT64_MAX);
+      t.fires.push_back(&a);
+    } else if (!t.intervals.empty() &&
+               t.intervals.back().second == UINT64_MAX) {
+      t.intervals.back().second = a.sample;
+    }
+  }
+  std::cout << "alerts:   " << fires << " fire(s) across " << rules.size()
+            << " rule(s), " << dump.alerts.size() << " events total\n";
+
+  if (!rules.empty()) {
+    std::cout << "\n== rule timelines ==\n";
+    for (const auto& [rule, t] : rules) {
+      std::cout << rule << "  [" << t.severity << "]\n";
+      for (size_t i = 0; i < t.intervals.size(); ++i) {
+        const auto& [from, to] = t.intervals[i];
+        const AlertLine* fire = t.fires[i];
+        std::cout << "  fired @sample " << from;
+        if (fire->has_sim) std::cout << " (sim " << FormatSimUs(fire->sim_us)
+                                     << ")";
+        if (fire->first_bad != from) {
+          std::cout << ", first bad @" << fire->first_bad;
+        }
+        std::cout << ", observed " << fire->observed << " vs bound "
+                  << fire->bound;
+        if (!fire->detail.empty()) std::cout << " — " << fire->detail;
+        if (to == UINT64_MAX) {
+          std::cout << ", still active at export\n";
+        } else {
+          std::cout << ", resolved @sample " << to << "\n";
+        }
+      }
+    }
+  }
+
+  // Fastest-moving counters over the retained window.
+  struct Mover {
+    std::string name;
+    double delta = 0;
+  };
+  std::vector<Mover> movers;
+  for (const auto& [name, s] : dump.series) {
+    if (s.kind != "counter" || s.values.size() < 2) continue;
+    const double delta = s.values.back() - s.values.front();
+    if (delta > 0) movers.push_back({name, delta});
+  }
+  std::sort(movers.begin(), movers.end(),
+            [](const Mover& a, const Mover& b) {
+              if (a.delta != b.delta) return a.delta > b.delta;
+              return a.name < b.name;
+            });
+  if (!movers.empty()) {
+    std::cout << "\n== top moving counters (delta over window) ==\n";
+    for (size_t i = 0; i < movers.size() && i < top_series; ++i) {
+      std::cout << "  " << movers[i].name << ": +" << movers[i].delta << "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export: one "X" slice per alert interval on the sim
+// timeline; rules stack as tracks (tid = rule ordinal).
+// ---------------------------------------------------------------------------
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+uint64_t SimOfSample(const HealthDump& dump, uint64_t sample) {
+  for (const SampleLine& s : dump.sample_lines) {
+    if (s.index == sample) return s.has_sim ? s.sim_us : s.index;
+  }
+  return sample;
+}
+
+void WriteChrome(const HealthDump& dump, std::ostream& out) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::map<std::string, int> tids;
+  const uint64_t end_sim =
+      dump.sample_lines.empty()
+          ? 0
+          : SimOfSample(dump, dump.sample_lines.back().index);
+  std::map<std::string, std::vector<const AlertLine*>> by_rule;
+  for (const AlertLine& a : dump.alerts) by_rule[a.rule].push_back(&a);
+  for (const auto& [rule, events] : by_rule) {
+    const int tid =
+        tids.emplace(rule, static_cast<int>(tids.size()) + 1).first->second;
+    const AlertLine* open = nullptr;
+    auto emit = [&](uint64_t from, uint64_t to, const AlertLine* fire) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << EscapeJson(rule) << "\",\"ph\":\"X\",\"ts\":"
+          << from << ",\"dur\":" << (to > from ? to - from : 1)
+          << ",\"pid\":1,\"tid\":" << tid << ",\"cat\":\""
+          << EscapeJson(fire->severity) << "\",\"args\":{\"observed\":"
+          << fire->observed << ",\"bound\":" << fire->bound
+          << ",\"sample\":" << fire->sample << "}}";
+    };
+    for (const AlertLine* a : events) {
+      if (a->fired) {
+        open = a;
+      } else if (open != nullptr) {
+        emit(open->has_sim ? open->sim_us : SimOfSample(dump, open->sample),
+             a->has_sim ? a->sim_us : SimOfSample(dump, a->sample), open);
+        open = nullptr;
+      }
+    }
+    if (open != nullptr) {
+      emit(open->has_sim ? open->sim_us : SimOfSample(dump, open->sample),
+           end_sim, open);
+    }
+  }
+  // Thread names so Perfetto labels each rule's track.
+  for (const auto& [rule, tid] : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << EscapeJson(rule) << "\"}}";
+  }
+  out << "]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Demo: a seeded marketplace lifecycle with one crashing executor, sampled
+// per block tick against the default rule packs.
+// ---------------------------------------------------------------------------
+
+bool RunDemo(std::ostream& export_out, std::string* error) {
+  namespace market = pds2::market;
+  namespace ml = pds2::ml;
+  namespace obs = pds2::obs;
+
+  obs::SetMetricsEnabled(true);
+  obs::Registry::Global().ResetValues();
+
+  obs::TimeSeries ts({.capacity = 512, .max_series = 2048});
+  obs::HealthMonitor monitor(&ts, {.dump_on_critical = false});
+  monitor.AddRules(obs::rules::DefaultRules());
+
+  market::MarketConfig config;
+  market::Marketplace m(config);
+  m.SetHealthSampling(&ts, &monitor);
+
+  pds2::common::Rng rng(77);
+  ml::Dataset all = ml::MakeTwoGaussians(1200, 4, 4.0, rng);
+  auto [train, test] = ml::TrainTestSplit(all, 0.2, rng);
+  auto parts = ml::PartitionWeighted(train, {1.0, 2.0, 3.0, 4.0}, rng);
+  pds2::storage::SemanticMetadata meta;
+  meta.types = {"iot/sensor/temperature"};
+  for (int i = 0; i < 4; ++i) {
+    auto& p = m.AddProvider("provider-" + std::to_string(i));
+    if (!p.store().AddDataset("temps", parts[i], meta).ok()) {
+      *error = "demo: AddDataset failed";
+      return false;
+    }
+  }
+  for (int i = 0; i < 3; ++i) m.AddExecutor("executor-" + std::to_string(i));
+  auto& consumer = m.AddConsumer("consumer");
+  m.executors()[1]->InjectFault(market::ExecutorFault::kTrain);
+
+  market::WorkloadSpec spec;
+  spec.name = "pds2-health-demo";
+  spec.requirement.required_types = {"iot/sensor"};
+  spec.model_kind = "logistic";
+  spec.features = 4;
+  spec.epochs = 4;
+  spec.reward_pool = 10'000'000;
+  spec.min_providers = 2;
+  spec.max_providers = 16;
+  spec.executor_reward_permille = 200;
+
+  auto report = m.RunWorkload(consumer, spec);
+  obs::SetMetricsEnabled(false);
+  if (!report.ok()) {
+    *error = "demo workload failed: " + report.status().ToString();
+    return false;
+  }
+  ts.WriteJsonLines(export_out);
+  monitor.WriteJsonLines(export_out);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  std::string demo_out;
+  std::string chrome_path;
+  std::string input;
+  size_t top_series = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--demo-out") {
+      demo_out = next("--demo-out");
+    } else if (arg == "--chrome") {
+      chrome_path = next("--chrome");
+    } else if (arg == "--series") {
+      top_series = static_cast<size_t>(std::stoul(next("--series")));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "unknown option: " << arg << "\n";
+      return Usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (demo ? !input.empty() : input.empty()) return Usage(argv[0]);
+
+  std::stringstream buffer;
+  if (demo) {
+    std::string error;
+    if (!RunDemo(buffer, &error)) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    if (!demo_out.empty()) {
+      std::ofstream out(demo_out);
+      if (!out.is_open()) {
+        std::cerr << "cannot write " << demo_out << "\n";
+        return 1;
+      }
+      out << buffer.str();
+    }
+  } else if (input == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(input);
+    if (!in.is_open()) {
+      std::cerr << "cannot open " << input << "\n";
+      return 1;
+    }
+    buffer << in.rdbuf();
+  }
+
+  HealthDump dump;
+  std::string error;
+  if (!ParseDump(buffer, &dump, &error)) {
+    std::cerr << (input.empty() ? "demo export" : input) << ": " << error
+              << "\n";
+    return 1;
+  }
+
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out.is_open()) {
+      std::cerr << "cannot write " << chrome_path << "\n";
+      return 1;
+    }
+    WriteChrome(dump, out);
+    std::cout << "wrote Chrome trace: " << chrome_path << "\n";
+  }
+
+  PrintReport(dump, top_series);
+  return 0;
+}
